@@ -1,0 +1,137 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5), runs the ablation benches, and finishes with
+   Bechamel micro-benchmarks of the engine's core operations.
+
+   Usage:  dune exec bench/main.exe [-- --full] [-- --only fig5,fig6,...]
+                                    [-- --csv results/]
+
+   Default sizes are scaled down to finish in minutes; [--full] switches
+   to the paper's sizes (and 5-run averages). *)
+
+module Common = Harness.Common
+module Experiments = Harness.Experiments
+module Ablation = Harness.Ablation
+module Calendar_exp = Harness.Calendar_exp
+
+let parse_args () =
+  let full = ref false in
+  let only = ref [] in
+  let args = Array.to_list Sys.argv in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+      full := true;
+      go rest
+    | "--only" :: spec :: rest ->
+      only := String.split_on_char ',' spec;
+      go rest
+    | "--csv" :: dir :: rest ->
+      Common.csv_dir := Some dir;
+      go rest
+    | _ :: rest -> go rest
+  in
+  go args;
+  let scale = if !full then Common.paper_scale else Common.default_scale in
+  (scale, !only)
+
+let wanted only name = only = [] || List.mem name only
+
+(* -- Bechamel micro-benchmarks --------------------------------------------- *)
+
+module Micro = struct
+  module Value = Relational.Value
+  module Rtxn = Quantum.Rtxn
+  module Qdb = Quantum.Qdb
+  open Logic
+
+  (* Fixtures shared by the micro benches. *)
+  let geometry = { Workload.Flights.flights = 1; rows_per_flight = 17; dest = "LA" }
+  let db_fixture () = Relational.Store.db (Workload.Flights.fresh_store geometry)
+
+  let atom_pair =
+    let f = Term.V (Term.fresh_var "f") and s = Term.V (Term.fresh_var "s") in
+    let f2 = Term.V (Term.fresh_var "f2") and s2 = Term.V (Term.fresh_var "s2") in
+    ( Atom.make "Available" [ f; s ],
+      Atom.make "Available" [ f2; Term.int 3 ] |> fun a2 ->
+      (Atom.make "Available" [ f; s ], a2) |> fun _ ->
+      (Atom.make "Available" [ f; s ], Atom.make "Available" [ f2; s2 ]) )
+
+  let users = Workload.Travel.make_users ~flights:1 ~pairs_per_flight:10
+
+  let pending_sequence =
+    List.mapi
+      (fun i u -> { (Rtxn.freshen (Workload.Travel.entangled_txn u)) with Rtxn.id = i })
+      users
+
+  let composed db =
+    Quantum.Compose.body_of_sequence ~key_of:(Quantum.Compose.resolver_of_db db)
+      pending_sequence
+
+  let tests () =
+    let db = db_fixture () in
+    let formula = composed db in
+    let a1, a2 = snd atom_pair in
+    let open Bechamel in
+    [ Test.make ~name:"unify/mgu" (Staged.stage (fun () -> Logic.Unify.mgu a1 a2));
+      Test.make ~name:"unify/predicate" (Staged.stage (fun () -> Logic.Unify.predicate a1 a2));
+      Test.make ~name:"compose/20-txn-body"
+        (Staged.stage (fun () -> ignore (composed db)));
+      Test.make ~name:"solve/20-txn-body"
+        (Staged.stage (fun () -> ignore (Solver.Backtrack.solve db formula)));
+      Test.make ~name:"admission/submit+reject-cycle"
+        (Staged.stage (fun () ->
+             (* One full admission check against a standing partition. *)
+             let store = Workload.Flights.fresh_store geometry in
+             let qdb = Qdb.create store in
+             List.iter
+               (fun u -> ignore (Qdb.submit qdb (Workload.Travel.plain_txn u)))
+               (List.filteri (fun i _ -> i < 5) users)));
+    ]
+
+  let run () =
+    Common.section "Micro-benchmarks (Bechamel)";
+    let open Bechamel in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let grouped = Test.make_grouped ~name:"core" (tests ()) in
+    let raw = Benchmark.all cfg [ instance ] grouped in
+    let analyzed = Analyze.all ols instance raw in
+    let rows =
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.sprintf "%.1f ns/run" est
+            | Some _ | None -> "n/a"
+          in
+          [ name; ns ] :: acc)
+        analyzed []
+    in
+    Common.print_table ~header:[ "operation"; "time" ] (List.sort compare rows)
+end
+
+let () =
+  let scale, only = parse_args () in
+  Printf.printf "quantum-db benchmark harness (%s scale, %d run(s) per point)\n%!"
+    (if scale.Common.full then "paper" else "reduced")
+    scale.Common.runs;
+  if wanted only "table1" then ignore (Experiments.run_table1 scale);
+  if wanted only "fig5" then ignore (Experiments.run_fig5 scale);
+  if wanted only "fig6" then ignore (Experiments.run_fig6 scale);
+  if wanted only "fig7" || wanted only "table2" then
+    ignore (Experiments.run_fig7_and_table2 scale);
+  if wanted only "fig8" || wanted only "fig9" then ignore (Experiments.run_fig89 scale);
+  if wanted only "calendar" then ignore (Calendar_exp.run scale);
+  if wanted only "ablation" then begin
+    ignore (Ablation.run_backend_ablation scale);
+    ignore (Ablation.run_serializability_ablation scale);
+    ignore (Ablation.run_adaptive_ablation scale);
+    ignore (Ablation.run_cache_capacity_ablation scale);
+    ignore (Ablation.run_cache_stats scale);
+    ignore (Ablation.run_formula_growth scale)
+  end;
+  if wanted only "micro" then Micro.run ();
+  Printf.printf "\nAll benches complete.\n"

@@ -1,0 +1,235 @@
+(* Command-line driver for the quantum database.
+
+   Subcommands:
+     exp    — regenerate one paper table/figure, the ablations, or 'all'
+     demo   — the Mickey/Goofy walkthrough on a tiny flight
+     shell  — interactive session: submit resource transactions in the
+              Datalog-like notation, read/peek, inspect read impact,
+              ground, print tables
+   (micro-benchmarks live in bench/main.exe) *)
+
+module Qdb = Quantum.Qdb
+module Rtxn = Quantum.Rtxn
+module Flights = Workload.Flights
+module Travel = Workload.Travel
+module Common = Harness.Common
+module Experiments = Harness.Experiments
+module Ablation = Harness.Ablation
+
+open Cmdliner
+
+(* -- exp --------------------------------------------------------------------- *)
+
+let full_flag =
+  Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's full experiment sizes.")
+
+let exp_names = [ "table1"; "fig5"; "fig6"; "fig7"; "table2"; "fig8"; "fig9"; "calendar"; "ablation"; "all" ]
+
+let exp_arg =
+  let doc =
+    Printf.sprintf "Experiment to run: %s." (String.concat ", " exp_names)
+  in
+  Arg.(required & pos 0 (some (enum (List.map (fun n -> (n, n)) exp_names))) None
+       & info [] ~docv:"EXPERIMENT" ~doc)
+
+let run_exp name full =
+  let scale = if full then Common.paper_scale else Common.default_scale in
+  let pick wanted = name = "all" || name = wanted in
+  if pick "table1" then ignore (Experiments.run_table1 scale);
+  if pick "fig5" then ignore (Experiments.run_fig5 scale);
+  if pick "fig6" then ignore (Experiments.run_fig6 scale);
+  if pick "fig7" || pick "table2" then ignore (Experiments.run_fig7_and_table2 scale);
+  if pick "fig8" || pick "fig9" then ignore (Experiments.run_fig89 scale);
+  if pick "calendar" then ignore (Harness.Calendar_exp.run scale);
+  if pick "ablation" then begin
+    ignore (Ablation.run_backend_ablation scale);
+    ignore (Ablation.run_serializability_ablation scale);
+    ignore (Ablation.run_adaptive_ablation scale);
+    ignore (Ablation.run_cache_capacity_ablation scale);
+    ignore (Ablation.run_cache_stats scale);
+    ignore (Ablation.run_formula_growth scale)
+  end
+
+let exp_cmd =
+  let doc = "Regenerate a table or figure of the paper's evaluation." in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run_exp $ exp_arg $ full_flag)
+
+(* -- demo --------------------------------------------------------------------- *)
+
+let run_demo () =
+  let geometry = { Flights.flights = 1; rows_per_flight = 2; dest = "LA" } in
+  let store = Flights.fresh_store geometry in
+  let qdb = Qdb.create store in
+  print_endline "A flight to LA with two rows of three seats (0,1,2 / 3,4,5).";
+  print_endline "";
+  print_endline "Mickey books any seat, OPTIONALLY next to Goofy (who has not arrived):";
+  let mickey = { Travel.name = "Mickey"; partner = "Goofy"; flight = 0 } in
+  (match Qdb.submit qdb (Travel.entangled_txn mickey) with
+   | Qdb.Committed id ->
+     Printf.printf "  -> committed (id %d), seat NOT yet assigned (quantum state)\n" id
+   | Qdb.Rejected r -> Printf.printf "  -> rejected: %s\n" r);
+  Printf.printf "  pending transactions: %d; Bookings table rows: %d\n"
+    (Qdb.pending_count qdb)
+    (Relational.Table.cardinality (Relational.Database.table (Qdb.db qdb) "Bookings"));
+  print_endline "";
+  print_endline "Donald books a specific seat (seat 1):";
+  let donald =
+    Quantum.Datalog_parser.parse_txn ~label:"Donald"
+      {|-Available(f, s), +Bookings("Donald", f, s) :-1 Available(f, s), f = 0, s = 1|}
+  in
+  (match Qdb.submit qdb donald with
+   | Qdb.Committed _ -> print_endline "  -> committed; Mickey's options narrowed, nothing visible"
+   | Qdb.Rejected r -> Printf.printf "  -> rejected: %s\n" r);
+  print_endline "";
+  print_endline "Goofy arrives; he wants to sit next to Mickey:";
+  let goofy = { Travel.name = "Goofy"; partner = "Mickey"; flight = 0 } in
+  (match Qdb.submit qdb (Travel.entangled_txn goofy) with
+   | Qdb.Committed _ ->
+     print_endline "  -> committed; the entangled pair grounds immediately"
+   | Qdb.Rejected r -> Printf.printf "  -> rejected: %s\n" r);
+  print_endline "";
+  print_endline "Mickey checks in (a read — collapses any remaining uncertainty):";
+  let answers = Qdb.read qdb (Travel.seat_query mickey) in
+  List.iter (fun t -> Printf.printf "  Mickey's (flight, seat): %s\n" (Relational.Tuple.to_string t)) answers;
+  (match Flights.booking_of (Qdb.db qdb) "Mickey", Flights.booking_of (Qdb.db qdb) "Goofy" with
+   | Some (_, sm), Some (_, sg) ->
+     Printf.printf "  Mickey seat %d, Goofy seat %d — adjacent: %b\n" sm sg
+       (Flights.seats_adjacent (Qdb.db qdb) sm sg)
+   | _ -> ());
+  ignore (Qdb.ground_all qdb);
+  print_endline "";
+  print_endline "Final bookings:";
+  Format.printf "%a@." Relational.Table.pp (Relational.Database.table (Qdb.db qdb) "Bookings")
+
+let demo_cmd =
+  let doc = "Walk through the paper's Mickey/Goofy scenario." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run_demo $ const ())
+
+(* -- shell --------------------------------------------------------------------- *)
+
+let shell_help =
+  {|Commands:
+  txn <datalog>     submit a resource transaction, e.g.
+                    txn -Available(f,s), +Bookings("me",f,s) :-1 Available(f,s)
+  read <query>      read (collapses impacted pending txns), e.g.
+                    read (f,s) :- Bookings("me",f,s)
+  peek <query>      read without fixing anything (witness view)
+  impact <query>    show which pending txns a read would collapse
+  ground <id>       fix the values of pending transaction <id>
+  ground all        fix everything
+  pending           list pending transactions
+  show <table>      print a table
+  tables            list tables
+  help              this message
+  quit              exit|}
+
+let run_shell rows flights =
+  let geometry = { Flights.flights; rows_per_flight = rows; dest = "LA" } in
+  let store = Flights.fresh_store geometry in
+  let qdb = Qdb.create store in
+  Printf.printf
+    "quantum-db shell — %d flight(s) x %d seats. Type 'help' for commands.\n%!"
+    flights (3 * rows);
+  let rec loop () =
+    print_string "qdb> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | line ->
+      let line = String.trim line in
+      (try
+         if line = "quit" || line = "exit" then raise Exit
+         else if line = "help" then print_endline shell_help
+         else if line = "tables" then
+           List.iter print_endline (Relational.Database.table_names (Qdb.db qdb))
+         else if line = "pending" then
+           List.iter (fun t -> Printf.printf "%s\n" (Rtxn.to_string t)) (Qdb.pending qdb)
+         else if line = "ground all" then begin
+           let gs = Qdb.ground_all qdb in
+           Printf.printf "grounded %d transaction(s)\n" (List.length gs)
+         end
+         else if String.length line > 7 && String.sub line 0 7 = "ground " then begin
+           let id = int_of_string (String.trim (String.sub line 7 (String.length line - 7))) in
+           let gs = Qdb.ground qdb id in
+           Printf.printf "grounded %d transaction(s)\n" (List.length gs)
+         end
+         else if String.length line > 5 && String.sub line 0 5 = "show " then begin
+           let name = String.trim (String.sub line 5 (String.length line - 5)) in
+           match Relational.Database.find_table (Qdb.db qdb) name with
+           | Some table -> Format.printf "%a@." Relational.Table.pp table
+           | None -> Printf.printf "no such table: %s\n" name
+         end
+         else if String.length line > 4 && String.sub line 0 4 = "txn " then begin
+           let txn =
+             Quantum.Datalog_parser.parse_txn (String.sub line 4 (String.length line - 4))
+           in
+           match Qdb.submit qdb txn with
+           | Qdb.Committed id -> Printf.printf "committed (id %d)\n" id
+           | Qdb.Rejected reason -> Printf.printf "rejected: %s\n" reason
+         end
+         else if String.length line > 5 && String.sub line 0 5 = "read " then begin
+           let q =
+             Quantum.Datalog_parser.parse_query (String.sub line 5 (String.length line - 5))
+           in
+           let answers = Qdb.read qdb q in
+           if answers = [] then print_endline "(no answers)"
+           else List.iter (fun t -> print_endline (Relational.Tuple.to_string t)) answers
+         end
+         else if String.length line > 5 && String.sub line 0 5 = "peek " then begin
+           let q =
+             Quantum.Datalog_parser.parse_query (String.sub line 5 (String.length line - 5))
+           in
+           let answers = Qdb.read ~policy:Qdb.Peek qdb q in
+           if answers = [] then print_endline "(no answers)"
+           else List.iter (fun t -> print_endline (Relational.Tuple.to_string t)) answers;
+           print_endline "(nothing was fixed — these values may still change)"
+         end
+         else if String.length line > 7 && String.sub line 0 7 = "impact " then begin
+           let q =
+             Quantum.Datalog_parser.parse_query (String.sub line 7 (String.length line - 7))
+           in
+           match Qdb.read_impact qdb q with
+           | [] -> print_endline "(this read would fix nothing)"
+           | impacted ->
+             Printf.printf "this read would force grounding of %d transaction(s):\n"
+               (List.length impacted);
+             List.iter (fun t -> print_endline ("  " ^ Rtxn.to_string t)) impacted
+         end
+         else if line = "" then ()
+         else Printf.printf "unknown command (try 'help')\n"
+       with
+       | Exit -> raise Exit
+       | Quantum.Datalog_parser.Syntax_error msg -> Printf.printf "syntax error: %s\n" msg
+       | Rtxn.Ill_formed msg -> Printf.printf "ill-formed transaction: %s\n" msg
+       | Failure msg -> Printf.printf "error: %s\n" msg);
+      loop ()
+  in
+  (try loop () with Exit -> ());
+  print_endline "bye."
+
+let verbose_flag =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show engine debug logs.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let rows_arg =
+  Arg.(value & opt int 2 & info [ "rows" ] ~doc:"Seat rows per flight.")
+
+let flights_arg =
+  Arg.(value & opt int 1 & info [ "flights" ] ~doc:"Number of flights.")
+
+let shell_cmd =
+  let doc = "Interactive quantum-database session over a travel database." in
+  let run verbose rows flights =
+    setup_logs verbose;
+    run_shell rows flights
+  in
+  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ verbose_flag $ rows_arg $ flights_arg)
+
+(* -- main ---------------------------------------------------------------------- *)
+
+let () =
+  let doc = "Quantum databases: late-binding resource transactions (CIDR 2013 reproduction)." in
+  let info = Cmd.info "qdb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ exp_cmd; demo_cmd; shell_cmd ]))

@@ -1,0 +1,1 @@
+examples/calendar_scheduling.ml: List Printf Quantum Relational String Workload

@@ -1,0 +1,1 @@
+examples/calendar_scheduling.mli:

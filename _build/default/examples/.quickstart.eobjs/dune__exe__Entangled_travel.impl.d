@@ -1,0 +1,1 @@
+examples/entangled_travel.ml: Printf Quantum Workload

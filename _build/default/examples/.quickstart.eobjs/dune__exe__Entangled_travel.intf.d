@@ -1,0 +1,1 @@
+examples/entangled_travel.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Quantum Relational Workload

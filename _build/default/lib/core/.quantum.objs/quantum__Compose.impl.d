@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Atom Formula Fun List Logic Relational Rtxn String Unify

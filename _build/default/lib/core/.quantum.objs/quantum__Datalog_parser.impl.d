@@ -1,0 +1,1 @@
+lib/core/datalog_parser.ml: Atom Buffer Format Formula Hashtbl List Logic Printf Relational Rtxn Solver String Term

@@ -1,0 +1,1 @@
+lib/core/datalog_parser.mli: Rtxn Solver

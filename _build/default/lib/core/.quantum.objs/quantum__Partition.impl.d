@@ -1,0 +1,1 @@
+lib/core/partition.ml: Compose Formula Int List Logic Option Rtxn Solver Subst Term Unify

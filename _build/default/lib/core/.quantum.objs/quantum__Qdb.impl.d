@@ -1,0 +1,1 @@
+lib/core/qdb.ml: Array Atom Compose Float Format Formula Hashtbl List Logic Logs Metrics Option Partition Printf Relational Rtxn Sat Solver String Subst Term Unify

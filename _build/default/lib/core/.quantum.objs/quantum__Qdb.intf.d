@@ -1,0 +1,1 @@
+lib/core/qdb.mli: Logic Metrics Relational Rtxn Solver

@@ -1,0 +1,1 @@
+lib/core/rtxn.ml: Array Atom Format Formula Hashtbl List Logic Relational Subst Term

@@ -1,0 +1,1 @@
+lib/core/rtxn.mli: Format Logic Relational

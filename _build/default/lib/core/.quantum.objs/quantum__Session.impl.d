@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Fun Hashtbl List Mutex Printf Qdb Queue Relational Rtxn

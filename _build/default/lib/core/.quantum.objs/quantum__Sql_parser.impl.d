@@ -1,0 +1,1 @@
+lib/core/sql_parser.ml: Array Atom Buffer Either Format Formula Hashtbl List Logic Printf Relational Rtxn String Term

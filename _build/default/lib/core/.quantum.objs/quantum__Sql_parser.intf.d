@@ -1,0 +1,1 @@
+lib/core/sql_parser.mli: Relational Rtxn

@@ -1,0 +1,379 @@
+(* Parser for the paper's Datalog-like intermediate representation
+   (Section 2).  The concrete grammar:
+
+     txn        ::= updates ":-1" body "."?
+                  | ":-1" body "."?            (pure CHOOSE, no updates)
+     updates    ::= update ("," update)*
+     update     ::= "+" atom | "-" atom
+     body       ::= item ("," item)*
+     item       ::= "?" atom                   optional (underlined) atom
+                  | atom                       hard atom
+                  | "?" "{" constraints "}"    optional constraint group
+                  | constraint                 hard (dis)equality
+     constraint ::= term ("=" | "<>" | "!=") term
+     atom       ::= IDENT "(" term ("," term)* ")"
+     term       ::= INT | STRING | "true" | "false"
+                  | lowercase IDENT            variable
+                  | uppercase IDENT            string constant (paper's M, G)
+
+     query      ::= "(" term ("," term)* ")" ":-" body "."?
+
+   Identifiers starting with a lowercase letter are variables; capitalised
+   bare identifiers abbreviate string constants exactly as the paper's
+   examples abbreviate 'Mickey' to M. *)
+
+module Value = Relational.Value
+open Logic
+
+exception Syntax_error of string
+
+let syntax_error fmt = Format.kasprintf (fun msg -> raise (Syntax_error msg)) fmt
+
+(* -- Lexer ---------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | PLUS
+  | MINUS
+  | QUESTION
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | TURNSTILE_ONE (* ":-1" *)
+  | TURNSTILE (* ":-" *)
+  | DOT
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | QUESTION -> "?"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | TURNSTILE_ONE -> ":-1"
+  | TURNSTILE -> ":-"
+  | DOT -> "."
+  | EOF -> "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then begin
+      (* comment to end of line *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      emit (IDENT (String.sub input start (!i - start)))
+    end
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      incr i;
+      let buf = Buffer.create 16 in
+      while !i < n && input.[!i] <> quote do
+        Buffer.add_char buf input.[!i];
+        incr i
+      done;
+      if !i >= n then syntax_error "unterminated string literal";
+      incr i;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      let three = if !i + 2 < n then String.sub input !i 3 else "" in
+      if three = ":-1" then begin
+        emit TURNSTILE_ONE;
+        i := !i + 3
+      end
+      else if two = ":-" then begin
+        emit TURNSTILE;
+        i := !i + 2
+      end
+      else if two = "<>" || two = "!=" then begin
+        emit NEQ;
+        i := !i + 2
+      end
+      else if two = "<=" then begin
+        emit LE;
+        i := !i + 2
+      end
+      else if two = ">=" then begin
+        emit GE;
+        i := !i + 2
+      end
+      else begin
+        (match c with
+         | '(' -> emit LPAREN
+         | ')' -> emit RPAREN
+         | '{' -> emit LBRACE
+         | '}' -> emit RBRACE
+         | ',' -> emit COMMA
+         | '+' -> emit PLUS
+         | '-' -> emit MINUS
+         | '?' -> emit QUESTION
+         | '=' -> emit EQ
+         | '<' -> emit LT
+         | '>' -> emit GT
+         | '.' -> emit DOT
+         | c -> syntax_error "unexpected character '%c'" c);
+        incr i
+      end
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+(* -- Parser --------------------------------------------------------------- *)
+
+type state = {
+  mutable toks : token list;
+  (* variables are shared by name within one parse *)
+  vars : (string, Term.var) Hashtbl.t;
+}
+
+let peek st =
+  match st.toks with
+  | tok :: _ -> tok
+  | [] -> EOF
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else syntax_error "expected %s, found %s" (token_to_string tok) (token_to_string (peek st))
+
+let variable st name =
+  match Hashtbl.find_opt st.vars name with
+  | Some v -> v
+  | None ->
+    let v = Term.fresh_var name in
+    Hashtbl.add st.vars name v;
+    v
+
+let parse_term st =
+  match peek st with
+  | INT n ->
+    advance st;
+    Term.int n
+  | MINUS ->
+    advance st;
+    (match peek st with
+     | INT n ->
+       advance st;
+       Term.int (-n)
+     | tok -> syntax_error "expected integer after '-', found %s" (token_to_string tok))
+  | STRING s ->
+    advance st;
+    Term.str s
+  | IDENT "true" ->
+    advance st;
+    Term.bool true
+  | IDENT "false" ->
+    advance st;
+    Term.bool false
+  | IDENT name ->
+    advance st;
+    if name.[0] >= 'a' && name.[0] <= 'z' then Term.var (variable st name)
+    else Term.str name (* capitalised bare identifier: string constant *)
+  | tok -> syntax_error "expected a term, found %s" (token_to_string tok)
+
+let parse_term_list st =
+  expect st LPAREN;
+  let rec items acc =
+    let t = parse_term st in
+    match peek st with
+    | COMMA ->
+      advance st;
+      items (t :: acc)
+    | RPAREN ->
+      advance st;
+      List.rev (t :: acc)
+    | tok -> syntax_error "expected ',' or ')', found %s" (token_to_string tok)
+  in
+  items []
+
+let parse_atom st =
+  match peek st with
+  | IDENT rel ->
+    advance st;
+    let args = parse_term_list st in
+    Atom.make rel args
+  | tok -> syntax_error "expected a relation name, found %s" (token_to_string tok)
+
+(* An item is an atom when an identifier is followed by '('; otherwise a
+   constraint starting with a term. *)
+let item_is_atom = function
+  | IDENT _ :: LPAREN :: _ -> true
+  | _ -> false
+
+let parse_constraint st =
+  let lhs = parse_term st in
+  match peek st with
+  | EQ ->
+    advance st;
+    let rhs = parse_term st in
+    Formula.eq lhs rhs
+  | NEQ ->
+    advance st;
+    let rhs = parse_term st in
+    Formula.neq lhs rhs
+  | LT ->
+    advance st;
+    let rhs = parse_term st in
+    Formula.lt lhs rhs
+  | LE ->
+    advance st;
+    let rhs = parse_term st in
+    Formula.le lhs rhs
+  | GT ->
+    advance st;
+    let rhs = parse_term st in
+    Formula.lt rhs lhs
+  | GE ->
+    advance st;
+    let rhs = parse_term st in
+    Formula.le rhs lhs
+  | tok -> syntax_error "expected a comparison operator, found %s" (token_to_string tok)
+
+type body = {
+  hard : Atom.t list;
+  optional : Atom.t list;
+  constraints : Formula.t list;
+  optional_constraints : Formula.t list;
+}
+
+let parse_body st =
+  let hard = ref [] and optional = ref [] in
+  let constraints = ref [] and optional_constraints = ref [] in
+  let parse_item () =
+    match peek st with
+    | QUESTION ->
+      advance st;
+      (match peek st with
+       | LBRACE ->
+         advance st;
+         let rec group () =
+           optional_constraints := parse_constraint st :: !optional_constraints;
+           match peek st with
+           | COMMA ->
+             advance st;
+             group ()
+           | RBRACE -> advance st
+           | tok -> syntax_error "expected ',' or '}', found %s" (token_to_string tok)
+         in
+         group ()
+       | _ -> optional := parse_atom st :: !optional)
+    | _ ->
+      if item_is_atom st.toks then hard := parse_atom st :: !hard
+      else constraints := parse_constraint st :: !constraints
+  in
+  let rec items () =
+    parse_item ();
+    match peek st with
+    | COMMA ->
+      advance st;
+      items ()
+    | _ -> ()
+  in
+  items ();
+  {
+    hard = List.rev !hard;
+    optional = List.rev !optional;
+    constraints = List.rev !constraints;
+    optional_constraints = List.rev !optional_constraints;
+  }
+
+let parse_updates st =
+  let rec updates acc =
+    let u =
+      match peek st with
+      | PLUS ->
+        advance st;
+        Rtxn.Ins (parse_atom st)
+      | MINUS ->
+        advance st;
+        Rtxn.Del (parse_atom st)
+      | tok -> syntax_error "expected '+' or '-', found %s" (token_to_string tok)
+    in
+    match peek st with
+    | COMMA ->
+      advance st;
+      updates (u :: acc)
+    | _ -> List.rev (u :: acc)
+  in
+  updates []
+
+let finish st =
+  if peek st = DOT then advance st;
+  match peek st with
+  | EOF -> ()
+  | tok -> syntax_error "trailing input at %s" (token_to_string tok)
+
+let parse_txn ?label ?trigger input =
+  let st = { toks = tokenize input; vars = Hashtbl.create 8 } in
+  let updates =
+    match peek st with
+    | TURNSTILE_ONE -> []
+    | _ -> parse_updates st
+  in
+  expect st TURNSTILE_ONE;
+  let body = parse_body st in
+  finish st;
+  Rtxn.make ?label ?trigger ~hard:body.hard ~optional:body.optional
+    ~constraints:body.constraints ~optional_constraints:body.optional_constraints
+    ~updates ()
+
+let parse_query input =
+  let st = { toks = tokenize input; vars = Hashtbl.create 8 } in
+  let head = parse_term_list st in
+  expect st TURNSTILE;
+  let body = parse_body st in
+  finish st;
+  if body.optional <> [] || body.optional_constraints <> [] then
+    syntax_error "read queries cannot contain optional items";
+  Solver.Query.make ~constraints:body.constraints ~head ~body:body.hard ()

@@ -1,0 +1,21 @@
+(** Parser for the paper's Datalog-like intermediate representation.
+
+    Example (Figure 1's transaction, with [?] marking OPTIONAL items):
+
+    {[
+      -Available(f1, s1), +Bookings(Mickey, f1, s1)
+        :-1 Available(f1, s1), ?Bookings(Goofy, f1, s2), ?Adjacent(s1, s2)
+    ]}
+
+    Lowercase identifiers are variables, capitalised bare identifiers are
+    string constants (the paper's M/G abbreviations), [%] starts a
+    comment.  Read queries use [(head terms) :- body]. *)
+
+exception Syntax_error of string
+
+val parse_txn : ?label:string -> ?trigger:Rtxn.trigger -> string -> Rtxn.t
+(** @raise Syntax_error on malformed input.
+    @raise Rtxn.Ill_formed when the transaction violates range
+    restriction. *)
+
+val parse_query : string -> Solver.Query.t

@@ -1,0 +1,56 @@
+(* Engine-level counters and wall-clock accumulators, the raw material of
+   the experiment harness (Figures 5, 7, 8). *)
+
+type t = {
+  mutable submitted : int;
+  mutable committed : int;
+  mutable rejected : int;
+  mutable grounded : int;
+  mutable forced_groundings : int; (* k-pressure or read-induced *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable writes_rejected : int;
+  mutable partition_merges : int;
+  mutable time_submit : float; (* seconds *)
+  mutable time_ground : float;
+  mutable time_read : float;
+  cache_stats : Solver.Cache.stats;
+  solver_stats : Solver.Backtrack.stats;
+}
+
+let create () =
+  {
+    submitted = 0;
+    committed = 0;
+    rejected = 0;
+    grounded = 0;
+    forced_groundings = 0;
+    reads = 0;
+    writes = 0;
+    writes_rejected = 0;
+    partition_merges = 0;
+    time_submit = 0.;
+    time_ground = 0.;
+    time_read = 0.;
+    cache_stats = Solver.Cache.fresh_stats ();
+    solver_stats = Solver.Backtrack.fresh_stats ();
+  }
+
+let timed accumulate f =
+  let start = Unix.gettimeofday () in
+  let finally () = accumulate (Unix.gettimeofday () -. start) in
+  Fun.protect ~finally f
+
+let pp fmt m =
+  Format.fprintf fmt
+    "@[<v>submitted=%d committed=%d rejected=%d grounded=%d forced=%d@,\
+     reads=%d writes=%d writes_rejected=%d merges=%d@,\
+     t_submit=%.3fs t_ground=%.3fs t_read=%.3fs@,\
+     cache: ext=%d hit=%d full=%d inval=%d@,\
+     solver: nodes=%d cand=%d back=%d@]"
+    m.submitted m.committed m.rejected m.grounded m.forced_groundings m.reads m.writes
+    m.writes_rejected m.partition_merges m.time_submit m.time_ground m.time_read
+    m.cache_stats.Solver.Cache.extensions m.cache_stats.Solver.Cache.extension_hits
+    m.cache_stats.Solver.Cache.full_solves m.cache_stats.Solver.Cache.invalidations
+    m.solver_stats.Solver.Backtrack.nodes m.solver_stats.Solver.Backtrack.candidates
+    m.solver_stats.Solver.Backtrack.backtracks

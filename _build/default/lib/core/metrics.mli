@@ -1,0 +1,27 @@
+(** Engine-level counters and wall-clock accumulators — the raw material of
+    the experiment harness (Figures 5, 7, 8). *)
+
+type t = {
+  mutable submitted : int;
+  mutable committed : int;
+  mutable rejected : int;
+  mutable grounded : int;
+  mutable forced_groundings : int;  (** k-pressure or read-induced *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable writes_rejected : int;
+  mutable partition_merges : int;
+  mutable time_submit : float;  (** seconds *)
+  mutable time_ground : float;
+  mutable time_read : float;
+  cache_stats : Solver.Cache.stats;
+  solver_stats : Solver.Backtrack.stats;
+}
+
+val create : unit -> t
+
+val timed : (float -> unit) -> (unit -> 'a) -> 'a
+(** [timed accumulate f] runs [f], passing its wall-clock duration to
+    [accumulate] even when [f] raises. *)
+
+val pp : Format.formatter -> t -> unit

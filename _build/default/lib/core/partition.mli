@@ -1,0 +1,48 @@
+(** Independent-set partitioning of pending transactions: the "Quantum
+    State" organisation of the paper's prototype.  Each partition owns a
+    transaction sequence, its composed body and a solution cache. *)
+
+type partition = {
+  pid : int;
+  mutable txns : Rtxn.t list;  (** sequence order, oldest first *)
+  mutable formula : Logic.Formula.t;  (** composed hard body *)
+  cache : Solver.Cache.t;
+}
+
+type t
+
+val create :
+  ?cache_stats:Solver.Cache.stats ->
+  ?key_of:Compose.key_resolver ->
+  ?check_inserts:bool ->
+  ?cache_capacity:int ->
+  unit ->
+  t
+val partitions : t -> partition list
+val pending_count : t -> int
+val all_pending : t -> Rtxn.t list
+val find_txn : t -> int -> (partition * Rtxn.t) option
+
+val depends : Rtxn.t -> partition -> bool
+(** Conservative: any atom of the transaction unifies with any atom of a
+    partition member. *)
+
+val split_dependent : t -> Rtxn.t -> partition list * partition list
+
+val merged_view : partition list -> Rtxn.t list * Logic.Formula.t
+(** Transactions of all parts in admission order, with the conjoined
+    composed body (exact, because the parts were independent). *)
+
+val merge_witnesses : partition list -> Logic.Subst.t option
+(** Union of the cached witnesses; [None] when any part lacks one. *)
+
+val replace :
+  t -> partition list -> Rtxn.t list -> Logic.Formula.t -> Logic.Subst.t option -> partition
+(** Swap [old_parts] for a single fresh partition. *)
+
+val remove_partition : t -> partition -> unit
+
+val resplit : t -> partition -> partition list
+(** Re-partition a partition's transactions into independent sets after
+    groundings removed members; recomposes each group's body and projects
+    the witness onto it. *)

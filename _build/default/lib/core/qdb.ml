@@ -1,0 +1,716 @@
+(* The quantum database engine (Sections 3 and 4).
+
+   A quantum database is an extensional store plus an ordered set of
+   pending (committed, not yet grounded) resource transactions, organised
+   into independent partitions.  The engine maintains the invariant that
+   every partition's composed body is satisfiable over the current
+   extensional database — equivalently, that the represented set of
+   possible worlds is nonempty — and transforms the state on:
+
+   - [submit]: admission-check a new resource transaction (Section 3.2.1),
+   - [read]: answer a query, collapsing impacted pending transactions
+     under the chosen read policy (Section 3.2.2),
+   - [write]: admission-check a blind external write (Section 3.2.2),
+   - [ground]: fix value assignments under strict or semantic
+     serializability (Section 3.2.3).
+
+   Durability follows the prototype (Section 4): pending transactions are
+   serialized into a [__pending_xacts] table before the commit is
+   acknowledged, and groundings delete their entry in the same atomic
+   batch as their updates. *)
+
+module Database = Relational.Database
+module Store = Relational.Store
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Sexp = Relational.Sexp
+open Logic
+
+let log_src = Logs.Src.create "quantum.qdb" ~doc:"Quantum database engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type serializability =
+  | Strict (* ground in arrival order: classical serializability *)
+  | Semantic (* reorder-to-front when the reordered body stays satisfiable *)
+
+type read_policy =
+  | Collapse (* fix impacted values at read time (the paper's choice) *)
+  | Peek (* answer from the current witness without fixing anything *)
+  | Expose (* return answers across (a sample of) possible worlds *)
+
+type solver_backend =
+  | Backtracking (* dynamic-order search with solution cache (default) *)
+  | Limit_one_plan of int (* static plans with bounded optimizer lookahead *)
+  | Sat_backend (* CNF encoding + DPLL (Section 6 ablation) *)
+
+type config = {
+  k : int; (* max pending transactions per partition *)
+  serializability : serializability;
+  read_policy : read_policy;
+  backend : solver_backend;
+  check_inserts : bool;
+  node_limit : int;
+  adaptive : bool; (* phase-transition-aware forced grounding *)
+  adaptive_slack : float; (* min resources-per-pending-delete before fixing *)
+  cache_capacity : int; (* witnesses per partition (Section 4's multi-solution strategy) *)
+}
+
+let default_config =
+  {
+    k = 61; (* the prototype's MySQL join ceiling *)
+    serializability = Semantic;
+    read_policy = Collapse;
+    backend = Backtracking;
+    check_inserts = true;
+    node_limit = Solver.Backtrack.default_node_limit;
+    adaptive = false;
+    adaptive_slack = 1.5;
+    cache_capacity = Solver.Cache.default_capacity;
+  }
+
+let pending_table_name = "__pending_xacts"
+
+type grounding = {
+  txn : Rtxn.t;
+  valuation : Logic.Subst.t;
+  optional_satisfied : bool array;
+}
+
+type t = {
+  store : Store.t;
+  parts : Partition.t;
+  config : config;
+  metrics : Metrics.t;
+  mutable next_id : int;
+  (* observer invoked for every grounding, wherever it was triggered
+     (explicit, read-induced, partner arrival, k-pressure) — the paper's
+     optional second notification that values have been assigned. *)
+  mutable ground_hook : (grounding -> unit) option;
+}
+
+type commit_result =
+  | Committed of int
+  | Rejected of string
+
+exception Inconsistent of string
+
+let inconsistent fmt = Format.kasprintf (fun msg -> raise (Inconsistent msg)) fmt
+
+let db t = Store.db t.store
+let metrics t = t.metrics
+let config t = t.config
+let pending_count t = Partition.pending_count t.parts
+let pending t = Partition.all_pending t.parts
+let partition_count t = List.length (Partition.partitions t.parts)
+
+(* Per-partition (pending count, composed-body statistics) — the joins a
+   LIMIT-1 compilation of each invariant check would need; the prototype's
+   MySQL backend capped these at 61. *)
+let partition_stats t =
+  List.map
+    (fun p -> (List.length p.Partition.txns, Formula.stats p.Partition.formula))
+    (Partition.partitions t.parts)
+
+let max_partition_size t =
+  List.fold_left
+    (fun m p -> max m (List.length p.Partition.txns))
+    0
+    (Partition.partitions t.parts)
+
+let pending_schema =
+  Schema.make ~name:pending_table_name
+    ~columns:[ Schema.column "id" Value.Tint; Schema.column "payload" Value.Tstr ]
+    ~key:[ "id" ] ()
+
+(* Key resolver backed by the live catalog, so composition emits
+   key-accurate insert-safety and delete-freeing predicates. *)
+let key_resolver store rel =
+  match Store.find_table store rel with
+  | Some table -> Some (Schema.key_indices (Relational.Table.schema table))
+  | None -> None
+
+let create ?(config = default_config) store =
+  (match Store.find_table store pending_table_name with
+   | Some _ -> ()
+   | None -> ignore (Store.create_table store pending_schema));
+  let metrics = Metrics.create () in
+  {
+    store;
+    parts =
+      Partition.create ~cache_stats:metrics.Metrics.cache_stats ~key_of:(key_resolver store)
+        ~check_inserts:config.check_inserts ~cache_capacity:config.cache_capacity ();
+    config;
+    metrics;
+    next_id = 0;
+    ground_hook = None;
+  }
+
+let pending_row txn =
+  Tuple.of_list
+    [ Value.Int txn.Rtxn.id; Value.Str (Sexp.to_string (Rtxn.to_sexp txn)) ]
+
+(* -- Solver dispatch ------------------------------------------------------ *)
+
+(* Admission check through the configured backend.  The backtracking
+   backend goes through the partition's solution cache (extension first);
+   the others re-solve the full composed body, which is exactly their
+   cost profile the ablation bench measures. *)
+let check_admission t (p : Partition.partition) ~new_clauses ~full_formula =
+  let database = db t in
+  match t.config.backend with
+  | Backtracking ->
+    Solver.Cache.extend_or_resolve ~node_limit:t.config.node_limit p.Partition.cache database
+      ~new_clauses ~full_formula
+  | Limit_one_plan depth ->
+    (match Solver.Limit_one.solve ~search_depth:depth database full_formula with
+     | Some w ->
+       Solver.Cache.set_witness p.Partition.cache w;
+       Some w
+     | None -> None)
+  | Sat_backend ->
+    (match Sat.Encode.solve database full_formula with
+     | Some (Some w) ->
+       Solver.Cache.set_witness p.Partition.cache w;
+       Some w
+     | Some None -> None
+     | None ->
+       (* Over the encoding budget: fall back to search so admission stays
+          complete. *)
+       Solver.Cache.extend_or_resolve ~node_limit:t.config.node_limit p.Partition.cache database
+         ~new_clauses ~full_formula)
+
+(* -- Grounding (Section 3.2.3) -------------------------------------------- *)
+
+(* Position-aware soft clauses: the optional obligations of each grounded
+   transaction, composed against every *other* transaction in the
+   partition (a partner's pending insert must be visible to the adjacency
+   optional regardless of arrival order). *)
+let soft_units sequence grounded =
+  List.concat_map
+    (fun txn ->
+      let others = List.filter (fun t -> t.Rtxn.id <> txn.Rtxn.id) sequence in
+      let units = Compose.soft_clauses_for others txn in
+      List.map (fun u -> (txn.Rtxn.id, u)) units)
+    grounded
+
+(* Ground the transactions [targets] of partition [p]:
+   - Strict: the prefix of the arrival order up to the last target;
+   - Semantic: targets move to the front when the reordered composed body
+     is still satisfiable, otherwise fall back to Strict.
+   Solves the whole partition body with the targets' optionals as soft
+   units, applies the grounded transactions' updates (and pending-table
+   deletions) in one atomic batch, then recomposes and re-splits the
+   remainder. *)
+let ground_in_partition t (p : Partition.partition) target_ids =
+  let database = db t in
+  let is_target txn = List.mem txn.Rtxn.id target_ids in
+  let arrival = p.Partition.txns in
+  let strict_sequence_and_cut () =
+    (* Everything up to the last target grounds too. *)
+    let rec last_pos i pos = function
+      | [] -> pos
+      | txn :: rest -> last_pos (i + 1) (if is_target txn then i else pos) rest
+    in
+    let cut = last_pos 0 (-1) arrival in
+    (arrival, cut + 1)
+  in
+  (* Seed for re-solves: the cached witness restricted to the variables of
+     the transactions that are NOT being grounded.  This pins every
+     unaffected transaction to its current planned grounding, so the
+     search only ranges over the targets — the incremental behaviour the
+     paper's solution cache is for.  An unseeded solve remains the
+     fallback (bounded, since near-full states make exhaustive search
+     explode). *)
+  let others_seed exclude =
+    match Solver.Cache.witness p.Partition.cache with
+    | None -> None
+    | Some w ->
+      let keep =
+        List.fold_left
+          (fun acc txn ->
+            if List.exists (fun g -> g.Rtxn.id = txn.Rtxn.id) exclude then acc
+            else Term.Var_set.union acc (Rtxn.all_vars txn))
+          Term.Var_set.empty arrival
+      in
+      Some (Subst.restrict keep w)
+  in
+  let sequence, cut =
+    match t.config.serializability with
+    | Strict -> strict_sequence_and_cut ()
+    | Semantic ->
+      let targets, others = List.partition is_target arrival in
+      let reordered = targets @ others in
+      let reordered_body =
+        Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+          ~key_of:(key_resolver t.store) reordered
+      in
+      let sat seed =
+        Solver.Backtrack.satisfiable ~node_limit:t.config.node_limit ?seed
+          ~stats:t.metrics.Metrics.solver_stats database reordered_body
+      in
+      let reorder_ok =
+        match others_seed targets with
+        | Some seed ->
+          (try sat (Some seed) with Solver.Backtrack.Too_many_nodes -> false)
+          ||
+          (try sat None with Solver.Backtrack.Too_many_nodes -> false)
+        | None -> (try sat None with Solver.Backtrack.Too_many_nodes -> false)
+      in
+      if reorder_ok then (reordered, List.length targets) else strict_sequence_and_cut ()
+  in
+  let grounded_txns = List.filteri (fun i _ -> i < cut) sequence in
+  let remaining = List.filteri (fun i _ -> i >= cut) sequence in
+  if grounded_txns = [] then []
+  else begin
+    let hard =
+      Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+        ~key_of:(key_resolver t.store) sequence
+    in
+    let soft = soft_units sequence grounded_txns in
+    let soft_formulas = List.map snd soft in
+    let solve ?seed ?(node_limit = t.config.node_limit) () =
+      Solver.Soft.solve ~node_limit ?seed ~stats:t.metrics.Metrics.solver_stats database ~hard
+        ~soft:soft_formulas
+    in
+    let all_satisfied o = Solver.Soft.satisfied_count o = List.length soft in
+    (* Seeded solve first; when the pinned context blocks some optional,
+       retry unseeded with a reduced budget and keep the better outcome. *)
+    let outcome =
+      match others_seed grounded_txns with
+      | Some seed ->
+        (match solve ~seed () with
+         | Some seeded when all_satisfied seeded -> Some seeded
+         | seeded ->
+
+           let unseeded =
+             (* Tightly bounded: near-full states make exhaustive optional
+                search degenerate into pigeonhole proofs; a failed repair
+                attempt must stay cheap. *)
+             try solve ~node_limit:(max 1000 (t.config.node_limit / 256)) ()
+             with Solver.Backtrack.Too_many_nodes -> None
+           in
+           (match seeded, unseeded with
+            | Some a, Some b ->
+              if Solver.Soft.satisfied_count b > Solver.Soft.satisfied_count a then Some b
+              else Some a
+            | Some a, None -> Some a
+            | None, other -> other))
+      | None -> solve ()
+    in
+    match outcome with
+    | None ->
+      inconsistent "partition %d: invariant violated, composed body unsatisfiable"
+        p.Partition.pid
+    | Some { Solver.Soft.valuation; satisfied } ->
+      (* Per-transaction optional satisfaction flags. *)
+      let groundings =
+        List.map
+          (fun txn ->
+            let optional_satisfied =
+              soft
+              |> List.mapi (fun i (id, _) -> (i, id))
+              |> List.filter_map (fun (i, id) ->
+                if id = txn.Rtxn.id then Some satisfied.(i) else None)
+              |> Array.of_list
+            in
+            { txn; valuation; optional_satisfied })
+          grounded_txns
+      in
+      (* One atomic batch: every grounded transaction's updates in sequence
+         order, plus its pending-table deletion. *)
+      let ops =
+        List.concat_map
+          (fun txn ->
+            Rtxn.ops_under txn valuation
+            @ [ Database.Delete (pending_table_name, pending_row txn) ])
+          grounded_txns
+      in
+      (match Store.apply t.store ops with
+       | Ok () -> ()
+       | Error err ->
+         inconsistent "grounding batch failed: %s" (Database.op_error_to_string err));
+      t.metrics.Metrics.grounded <- t.metrics.Metrics.grounded + List.length grounded_txns;
+      Log.debug (fun m ->
+          m "grounded [%s] (%d left pending in partition %d)"
+            (String.concat "," (List.map (fun x -> x.Rtxn.label) grounded_txns))
+            (List.length remaining) p.Partition.pid);
+      (* Rebuild the partition over the remainder. *)
+      p.Partition.txns <- remaining;
+      p.Partition.formula <-
+        Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+          ~key_of:(key_resolver t.store) remaining;
+      let remaining_vars =
+        List.fold_left
+          (fun acc txn -> Term.Var_set.union acc (Rtxn.all_vars txn))
+          Term.Var_set.empty remaining
+      in
+      Solver.Cache.set_witness p.Partition.cache (Subst.restrict remaining_vars valuation);
+      ignore (Partition.resplit t.parts p);
+      (match t.ground_hook with
+       | Some hook -> List.iter hook groundings
+       | None -> ());
+      groundings
+  end
+
+let set_ground_hook t hook = t.ground_hook <- Some hook
+let clear_ground_hook t = t.ground_hook <- None
+
+let ground t id =
+  match Partition.find_txn t.parts id with
+  | None -> []
+  | Some (p, _) ->
+    Metrics.timed
+      (fun dt -> t.metrics.Metrics.time_ground <- t.metrics.Metrics.time_ground +. dt)
+      (fun () -> ground_in_partition t p [ id ])
+
+let ground_all t =
+  Metrics.timed
+    (fun dt -> t.metrics.Metrics.time_ground <- t.metrics.Metrics.time_ground +. dt)
+    (fun () ->
+      List.concat_map
+        (fun p -> ground_in_partition t p (List.map (fun x -> x.Rtxn.id) p.Partition.txns))
+        (Partition.partitions t.parts))
+
+(* -- Adaptive grounding (Section 6, phase transitions) -------------------- *)
+
+(* Constrainedness estimate of a partition: remaining resources per
+   pending delete, per relation.  When the minimum slack drops under the
+   configured threshold the problem is approaching its hard region and
+   the engine pre-emptively grounds the older half of the partition,
+   trading allocation quality for response time, as Section 6 suggests. *)
+let partition_slack t (p : Partition.partition) =
+  let database = db t in
+  let demand = Hashtbl.create 8 in
+  List.iter
+    (fun txn ->
+      List.iter
+        (fun d ->
+          let rel = d.Atom.rel in
+          Hashtbl.replace demand rel (1 + Option.value ~default:0 (Hashtbl.find_opt demand rel)))
+        (Rtxn.deletes txn))
+    p.Partition.txns;
+  Hashtbl.fold
+    (fun rel count slack ->
+      match Database.find_table database rel with
+      | None -> slack
+      | Some table ->
+        Float.min slack (float_of_int (Relational.Table.cardinality table) /. float_of_int count))
+    demand infinity
+
+let adapt_partition t (p : Partition.partition) =
+  if t.config.adaptive && List.length p.Partition.txns > 1 then begin
+    if partition_slack t p < t.config.adaptive_slack then begin
+      let n = List.length p.Partition.txns / 2 in
+      let oldest = List.filteri (fun i _ -> i < n) p.Partition.txns in
+      t.metrics.Metrics.forced_groundings <- t.metrics.Metrics.forced_groundings + List.length oldest;
+      ignore (ground_in_partition t p (List.map (fun x -> x.Rtxn.id) oldest))
+    end
+  end
+
+(* -- Submission (Section 3.2.1) ------------------------------------------- *)
+
+(* Ground pending partners eagerly: an entangled resource transaction is
+   executed as soon as its partner arrives (Section 5.1). *)
+let trigger_partners t committed =
+  let partner_of label txn =
+    match txn.Rtxn.trigger with
+    | Rtxn.On_partner p -> String.equal p label
+    | Rtxn.On_demand -> false
+  in
+  let waiting_for_me =
+    List.filter (partner_of committed.Rtxn.label) (Partition.all_pending t.parts)
+  in
+  let my_partner =
+    match committed.Rtxn.trigger with
+    | Rtxn.On_partner p ->
+      List.filter
+        (fun txn -> String.equal txn.Rtxn.label p && txn.Rtxn.id <> committed.Rtxn.id)
+        (Partition.all_pending t.parts)
+    | Rtxn.On_demand -> []
+  in
+  match waiting_for_me @ my_partner with
+  | [] -> []
+  | partners ->
+    (* Ground the committed transaction together with every partner that
+       was waiting; they share a partition by construction (their atoms
+       unify through the coordination constraint), but be defensive and
+       group by partition. *)
+    let ids = committed.Rtxn.id :: List.map (fun x -> x.Rtxn.id) partners in
+    let by_partition = Hashtbl.create 4 in
+    List.iter
+      (fun id ->
+        match Partition.find_txn t.parts id with
+        | Some (p, _) ->
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt by_partition p.Partition.pid)
+          in
+          Hashtbl.replace by_partition p.Partition.pid (id :: existing)
+        | None -> ())
+      ids;
+    Hashtbl.fold
+      (fun pid ids acc ->
+        let p =
+          List.find (fun p -> p.Partition.pid = pid) (Partition.partitions t.parts)
+        in
+        ground_in_partition t p ids @ acc)
+      by_partition []
+
+let rec admit t txn ~attempts =
+  let dependent, _ = Partition.split_dependent t.parts txn in
+  let prior, merged_formula = Partition.merged_view dependent in
+  (* k-bound (Section 4): force-ground the oldest pending transaction of
+     the would-be partition until the new one fits. *)
+  if List.length prior >= t.config.k && attempts < t.config.k + 1 then begin
+    match prior with
+    | [] -> assert false
+    | oldest :: _ ->
+      (match Partition.find_txn t.parts oldest.Rtxn.id with
+       | Some (p, _) ->
+         t.metrics.Metrics.forced_groundings <- t.metrics.Metrics.forced_groundings + 1;
+         ignore (ground_in_partition t p [ oldest.Rtxn.id ])
+       | None -> ());
+      admit t txn ~attempts:(attempts + 1)
+  end
+  else begin
+    if List.length dependent > 1 then
+      t.metrics.Metrics.partition_merges <- t.metrics.Metrics.partition_merges + 1;
+    let witness = Partition.merge_witnesses dependent in
+    let p = Partition.replace t.parts dependent prior merged_formula witness in
+    let new_clauses =
+      Compose.clauses_for ~check_inserts:t.config.check_inserts
+        ~key_of:(key_resolver t.store) prior txn
+    in
+    let full_formula = Formula.and_ [ merged_formula; new_clauses ] in
+    match check_admission t p ~new_clauses ~full_formula with
+    | Some _ ->
+      p.Partition.txns <- prior @ [ txn ];
+      p.Partition.formula <- full_formula;
+      (* Durability: record the pending transaction before acknowledging
+         (Section 4, Recovery). *)
+      (match
+         Store.apply t.store [ Database.Insert (pending_table_name, pending_row txn) ]
+       with
+       | Ok () -> ()
+       | Error err -> inconsistent "pending-table insert: %s" (Database.op_error_to_string err));
+      t.metrics.Metrics.committed <- t.metrics.Metrics.committed + 1;
+      Log.debug (fun m ->
+          m "committed %d:%s (partition of %d pending)" txn.Rtxn.id txn.Rtxn.label
+            (List.length prior + 1));
+      (* Multi-solution cache (Section 4's background-process strategy):
+         top the partition's witness pool back up after the state changed.
+         In this single-threaded engine the "background" work happens
+         inline on the commit path, tightly budgeted. *)
+      if t.config.cache_capacity > 1 then
+        ignore
+          (Solver.Cache.refill
+             ~node_limit:(max 1000 (t.config.node_limit / 256))
+             p.Partition.cache (db t) full_formula);
+      ignore (trigger_partners t txn);
+      adapt_partition t p;
+      Committed txn.Rtxn.id
+    | None ->
+      t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
+      Log.info (fun m -> m "rejected %s: no consistent grounding exists" txn.Rtxn.label);
+      Rejected
+        (Printf.sprintf "transaction %s: no consistent grounding exists" txn.Rtxn.label)
+  end
+
+let submit t txn =
+  t.metrics.Metrics.submitted <- t.metrics.Metrics.submitted + 1;
+  let txn = Rtxn.freshen txn in
+  let txn = { txn with Rtxn.id = t.next_id } in
+  Rtxn.validate txn;
+  t.next_id <- t.next_id + 1;
+  Metrics.timed
+    (fun dt -> t.metrics.Metrics.time_submit <- t.metrics.Metrics.time_submit +. dt)
+    (fun () -> admit t txn ~attempts:0)
+
+(* -- Reads (Section 3.2.2) ------------------------------------------------ *)
+
+(* Impacted pending transactions: the conservative unifiability criterion
+   — a query atom unifies with a pending update. *)
+let read_impact t (q : Solver.Query.t) =
+  List.filter
+    (fun txn ->
+      Unify.any_unifiable q.Solver.Query.body (List.map Rtxn.update_atom txn.Rtxn.updates))
+    (Partition.all_pending t.parts)
+
+(* Shadow database: current extensional state plus every pending
+   transaction's updates under the cached witnesses. *)
+let shadow_db t =
+  let shadow = Database.copy (db t) in
+  List.iter
+    (fun p ->
+      match Solver.Cache.witness p.Partition.cache with
+      | None -> ()
+      | Some w ->
+        List.iter
+          (fun txn ->
+            match Database.apply_ops shadow (Rtxn.ops_under txn w) with
+            | Ok () -> ()
+            | Error _ -> ())
+          p.Partition.txns)
+    (Partition.partitions t.parts);
+  shadow
+
+let read ?policy t q =
+  t.metrics.Metrics.reads <- t.metrics.Metrics.reads + 1;
+  Metrics.timed
+    (fun dt -> t.metrics.Metrics.time_read <- t.metrics.Metrics.time_read +. dt)
+    (fun () ->
+      match Option.value ~default:t.config.read_policy policy with
+      | Collapse ->
+        let impacted = read_impact t q in
+        List.iter
+          (fun txn ->
+            match Partition.find_txn t.parts txn.Rtxn.id with
+            | Some (p, _) ->
+              t.metrics.Metrics.forced_groundings <- t.metrics.Metrics.forced_groundings + 1;
+              ignore (ground_in_partition t p [ txn.Rtxn.id ])
+            | None -> () (* already grounded by an earlier impact in this read *))
+          impacted;
+        Solver.Query.all (db t) q
+      | Peek -> Solver.Query.all (shadow_db t) q
+      | Expose ->
+        (* Sample possible worlds: enumerate groundings per partition (a
+           bounded number) and union the answers over each resulting
+           world. *)
+        let worlds_limit = 32 in
+        let answers = Hashtbl.create 16 in
+        let rec explore parts world =
+          match parts with
+          | [] ->
+            List.iter
+              (fun tuple -> Hashtbl.replace answers tuple ())
+              (Solver.Query.all world q)
+          | p :: rest ->
+            let solutions =
+              Solver.Backtrack.solutions ~limit:worlds_limit (db t) p.Partition.formula
+            in
+            (match solutions with
+             | [] -> explore rest world
+             | _ ->
+               List.iter
+                 (fun w ->
+                   let forked = Database.copy world in
+                   let ok =
+                     List.for_all
+                       (fun txn ->
+                         match Database.apply_ops forked (Rtxn.ops_under txn w) with
+                         | Ok () -> true
+                         | Error _ -> false
+                         | exception Rtxn.Ill_formed _ -> false)
+                       p.Partition.txns
+                   in
+                   if ok then explore rest forked)
+                 solutions)
+        in
+        explore (Partition.partitions t.parts) (Database.copy (db t));
+        Hashtbl.fold (fun tuple () acc -> tuple :: acc) answers [])
+
+(* -- Blind writes (Section 3.2.2) ------------------------------------------ *)
+
+let write t ops =
+  t.metrics.Metrics.writes <- t.metrics.Metrics.writes + 1;
+  let database = db t in
+  let atoms_of_ops =
+    List.map
+      (fun op ->
+        match op with
+        | Database.Insert (rel, tuple) | Database.Delete (rel, tuple) ->
+          Atom.of_tuple rel tuple)
+      ops
+  in
+  let affected =
+    List.filter
+      (fun p ->
+        List.exists
+          (fun txn -> Unify.any_unifiable atoms_of_ops (Rtxn.all_atoms txn))
+          p.Partition.txns)
+      (Partition.partitions t.parts)
+  in
+  (* Apply tentatively, re-check every affected composed body, then either
+     keep (logging through the store) or roll back. *)
+  match Database.apply_ops database ops with
+  | Error err -> Error (Database.op_error_to_string err)
+  | Ok () ->
+    let still_ok =
+      List.for_all
+        (fun p ->
+          Solver.Cache.revalidate p.Partition.cache database p.Partition.formula
+          ||
+          match
+            Solver.Backtrack.solve ~node_limit:t.config.node_limit
+              ~stats:t.metrics.Metrics.solver_stats database p.Partition.formula
+          with
+          | Some w ->
+            Solver.Cache.set_witness p.Partition.cache w;
+            true
+          | None -> false)
+        affected
+    in
+    (* Roll back the tentative application; on acceptance re-apply through
+       the store so the WAL sees it. *)
+    List.iter (fun op -> Database.apply_op database (Database.invert op)) (List.rev ops);
+    if still_ok then begin
+      match Store.apply t.store ops with
+      | Ok () -> Ok ()
+      | Error err -> Error (Database.op_error_to_string err)
+    end
+    else begin
+      t.metrics.Metrics.writes_rejected <- t.metrics.Metrics.writes_rejected + 1;
+      Log.info (fun m -> m "blind write refused: conflicts with pending transactions");
+      Error "write conflicts with pending resource transactions"
+    end
+
+(* -- Invariant check (tests, possible-worlds cross-validation) ------------- *)
+
+let invariant_holds t =
+  List.for_all
+    (fun p ->
+      Solver.Backtrack.satisfiable ~node_limit:t.config.node_limit (db t) p.Partition.formula)
+    (Partition.partitions t.parts)
+
+(* -- Recovery (Section 4) -------------------------------------------------- *)
+
+(* Rebuild the quantum state from the pending-transactions table: parse
+   every recorded transaction, then recompose partitions in admission
+   order without re-running admission checks (they held before the crash
+   and the extensional state is exactly the pre-crash committed state). *)
+let recover ?(config = default_config) backend =
+  let store = Store.crash_and_recover backend in
+  let t = create ~config store in
+  let table = Store.table store pending_table_name in
+  let rows = List.sort Tuple.compare (Relational.Table.to_list table) in
+  let txns =
+    List.map
+      (fun row ->
+        match Tuple.to_list row with
+        | [ Value.Int id; Value.Str payload ] ->
+          let txn = Rtxn.of_sexp (Sexp.of_string payload) in
+          { txn with Rtxn.id }
+        | _ -> inconsistent "malformed pending-transactions row")
+      rows
+  in
+  List.iter
+    (fun txn ->
+      t.next_id <- max t.next_id (txn.Rtxn.id + 1);
+      let dependent, _ = Partition.split_dependent t.parts txn in
+      let prior, merged_formula = Partition.merged_view dependent in
+      let witness = Partition.merge_witnesses dependent in
+      let p = Partition.replace t.parts dependent prior merged_formula witness in
+      let new_clauses =
+        Compose.clauses_for ~check_inserts:config.check_inserts
+          ~key_of:(key_resolver store) prior txn
+      in
+      let full_formula = Formula.and_ [ merged_formula; new_clauses ] in
+      p.Partition.txns <- prior @ [ txn ];
+      p.Partition.formula <- full_formula;
+      (* Restore the witness invariant eagerly. *)
+      ignore
+        (Solver.Cache.extend_or_resolve ~node_limit:config.node_limit p.Partition.cache (db t)
+           ~new_clauses ~full_formula))
+    txns;
+  t

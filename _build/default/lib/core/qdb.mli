@@ -1,0 +1,112 @@
+(** The quantum database engine (paper Sections 3–4).
+
+    An extensional durable store plus an ordered set of pending resource
+    transactions in independent partitions, maintaining the invariant that
+    every partition's composed body is satisfiable — i.e. the set of
+    possible worlds is never empty. *)
+
+type serializability =
+  | Strict  (** ground in arrival order (classical serializability) *)
+  | Semantic  (** reorder-to-front when the reordered body stays satisfiable *)
+
+type read_policy =
+  | Collapse  (** fix impacted values at read time — the paper's default *)
+  | Peek  (** answer from the current witness, fixing nothing *)
+  | Expose  (** answers across a sample of possible worlds *)
+
+type solver_backend =
+  | Backtracking  (** dynamic-order search + solution cache (default) *)
+  | Limit_one_plan of int  (** static plans, bounded optimizer lookahead *)
+  | Sat_backend  (** CNF + DPLL, Section 6 ablation *)
+
+type config = {
+  k : int;  (** max pending transactions per partition (prototype: 61) *)
+  serializability : serializability;
+  read_policy : read_policy;
+  backend : solver_backend;
+  check_inserts : bool;  (** emit insert key-safety clauses *)
+  node_limit : int;
+  adaptive : bool;  (** phase-transition-aware pre-emptive grounding *)
+  adaptive_slack : float;
+  cache_capacity : int;
+      (** witnesses kept per partition — the multi-solution cache strategy
+          of Section 4 (the paper's prototype kept one) *)
+}
+
+val default_config : config
+val pending_table_name : string
+
+type t
+
+type commit_result =
+  | Committed of int  (** admission id; values still unassigned *)
+  | Rejected of string
+
+exception Inconsistent of string
+(** Internal invariant breach — never raised unless the store is mutated
+    behind the engine's back. *)
+
+val create : ?config:config -> Relational.Store.t -> t
+(** Wrap a store; creates the pending-transactions table when missing. *)
+
+val db : t -> Relational.Database.t
+val metrics : t -> Metrics.t
+val config : t -> config
+val pending_count : t -> int
+val pending : t -> Rtxn.t list
+val partition_count : t -> int
+val max_partition_size : t -> int
+
+val partition_stats : t -> (int * Logic.Formula.stats) list
+(** Per partition: pending count and composed-body statistics — the join
+    width a LIMIT-1 compilation would need (the prototype's MySQL ceiling
+    was 61 relations per query). *)
+
+val submit : t -> Rtxn.t -> commit_result
+(** Admission check (Section 3.2.1): freshen, merge dependent partitions,
+    enforce the k-bound by force-grounding the oldest, compose, check
+    satisfiability through the configured backend, and durably record the
+    pending transaction before acknowledging.  Entangled partners waiting
+    for this transaction's label are grounded together with it. *)
+
+type grounding = {
+  txn : Rtxn.t;
+  valuation : Logic.Subst.t;
+  optional_satisfied : bool array;  (** per soft unit of this transaction *)
+}
+
+val set_ground_hook : t -> (grounding -> unit) -> unit
+(** Observe every grounding, however triggered (explicit, read-induced,
+    partner arrival, k-pressure) — the optional second notification of the
+    paper's programming API ("values have now been assigned"). *)
+
+val clear_ground_hook : t -> unit
+
+val ground : t -> int -> grounding list
+(** Fix the values of one pending transaction (Section 3.2.3).  Under
+    [Strict] the whole arrival-order prefix grounds with it; under
+    [Semantic] it is moved to the front when the reordered body stays
+    satisfiable.  Returns every transaction grounded as a consequence. *)
+
+val ground_all : t -> grounding list
+
+val read : ?policy:read_policy -> t -> Solver.Query.t -> Relational.Tuple.t list
+(** Answer a query under the configured read policy (overridable per
+    read, as Section 3.2.2's application-specific discussion suggests);
+    [Collapse] first grounds every pending transaction whose updates unify
+    with a query atom (the conservative impact criterion). *)
+
+val read_impact : t -> Solver.Query.t -> Rtxn.t list
+val shadow_db : t -> Relational.Database.t
+
+val write : t -> Relational.Database.op list -> (unit, string) result
+(** Blind external write: admitted only when every affected partition's
+    composed body stays satisfiable afterwards. *)
+
+val invariant_holds : t -> bool
+(** Re-check satisfiability of every partition from scratch (test hook). *)
+
+val recover : ?config:config -> Relational.Wal.backend -> t
+(** Crash recovery (Section 4): replay the WAL, re-parse the
+    pending-transactions table and rebuild partitions, composed bodies and
+    witnesses. *)

@@ -1,0 +1,308 @@
+(* Resource transactions (Section 2).
+
+   In the Datalog-like notation a resource transaction is
+
+       U :-1 B
+
+   where U is the update portion (inserts [+R(...)], deletes [-R(...)])
+   and B the body: hard atoms, optional (underlined, here [?]-prefixed)
+   atoms, and residual (dis)equality constraints.  CHOOSE 1 is implicit:
+   exactly one grounding of the body is selected when values are fixed. *)
+
+module Sexp = Relational.Sexp
+open Logic
+
+type update =
+  | Ins of Atom.t
+  | Del of Atom.t
+
+(* When deferred value assignment should end (Section 5.1: application
+   logic decides how long a transaction stays in a quantum state). *)
+type trigger =
+  | On_demand (* grounded on read, k-pressure or explicit request *)
+  | On_partner of string (* grounded as soon as the named label commits *)
+
+type t = {
+  id : int; (* admission order; -1 before admission *)
+  label : string; (* client-side identity, e.g. the requesting user *)
+  hard : Atom.t list;
+  optional : Atom.t list;
+  constraints : Formula.t list; (* hard residual (dis)equalities *)
+  optional_constraints : Formula.t list;
+  updates : update list;
+  trigger : trigger;
+}
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun msg -> raise (Ill_formed msg)) fmt
+
+let update_atom = function
+  | Ins a -> a
+  | Del a -> a
+
+let inserts t = List.filter_map (function Ins a -> Some a | Del _ -> None) t.updates
+let deletes t = List.filter_map (function Del a -> Some a | Ins _ -> None) t.updates
+
+let body_vars t =
+  let constraint_vars =
+    List.fold_left
+      (fun acc f -> Term.Var_set.union acc (Formula.vars f))
+      Term.Var_set.empty t.constraints
+  in
+  List.fold_left
+    (fun acc a -> Term.Var_set.union acc (Atom.vars a))
+    constraint_vars t.hard
+
+let all_vars t =
+  let add_atoms set atoms =
+    List.fold_left (fun acc a -> Term.Var_set.union acc (Atom.vars a)) set atoms
+  in
+  let add_formulas set fs =
+    List.fold_left (fun acc f -> Term.Var_set.union acc (Formula.vars f)) set fs
+  in
+  add_formulas
+    (add_atoms
+       (add_atoms (add_atoms (body_vars t) t.optional) (List.map update_atom t.updates))
+       [])
+    t.optional_constraints
+
+(* Every atom of the transaction (conservative unifiability tests). *)
+let all_atoms t = t.hard @ t.optional @ List.map update_atom t.updates
+
+(* Atoms that create *hard* dependence between pending transactions: the
+   hard body and the updates.  Optional atoms are excluded — the only
+   invariant a committed resource transaction carries concerns its
+   non-optional atoms (Section 2), so two transactions whose only overlap
+   is through optional atoms (e.g. the flight-agnostic Adjacent relation)
+   may live in independent partitions, which is what lets the system
+   "correctly identify the independence of queries between different
+   flights" (Section 5.3). *)
+let dependence_atoms t = t.hard @ List.map update_atom t.updates
+
+let validate t =
+  if t.hard = [] && t.updates <> [] then
+    (* A pure write needs no CHOOSE; model it as a blind write instead. *)
+    ill_formed "transaction %s: updates without a body" t.label;
+  (* Range restriction (Section 2): update variables must appear in the
+     hard body — optional atoms may go unsatisfied, so a variable bound
+     only there could stay unassigned. *)
+  let bvars = body_vars t in
+  List.iter
+    (fun u ->
+      let a = update_atom u in
+      Term.Var_set.iter
+        (fun v ->
+          if not (Term.Var_set.mem v bvars) then
+            ill_formed "transaction %s: update variable %s_%d not range-restricted" t.label
+              v.Term.vname v.Term.vid)
+        (Atom.vars a))
+    t.updates;
+  (* Optional constraints may only mention body or optional-atom variables. *)
+  let known = all_vars t in
+  List.iter
+    (fun f ->
+      Term.Var_set.iter
+        (fun v ->
+          if not (Term.Var_set.mem v known) then
+            ill_formed "transaction %s: stray variable %s_%d" t.label v.Term.vname v.Term.vid)
+        (Formula.vars f))
+    t.optional_constraints
+
+let make ?(id = -1) ?(label = "txn") ?(optional = []) ?(constraints = [])
+    ?(optional_constraints = []) ?(trigger = On_demand) ~hard ~updates () =
+  let t =
+    { id; label; hard; optional; constraints; optional_constraints; updates; trigger }
+  in
+  validate t;
+  t
+
+(* Hard body as a formula (without composition context). *)
+let hard_formula t = Formula.and_ (List.map Formula.atom t.hard @ t.constraints)
+
+(* Optional obligations as soft units.  Optional atoms that share
+   variables express a single preference spread over several atoms (e.g.
+   Bookings(G, f, s2) ∧ Adjacent(s, s2): s2 is meaningless alone), so
+   they are grouped by variable-connectivity into all-or-nothing units;
+   independent optional atoms stay separate, preserving the paper's
+   maximize-the-number-of-satisfied-conditions rule across unrelated
+   preferences.  Optional constraints join every unit they share a
+   variable with (or form their own). *)
+let soft_formulas t =
+  let items =
+    List.map (fun a -> (Atom.vars a, Formula.atom a)) t.optional
+    @ List.map (fun f -> (Formula.vars f, f)) t.optional_constraints
+  in
+  (* Union by shared variables, preserving insertion order inside units. *)
+  let groups : (Term.Var_set.t * Formula.t list) list ref = ref [] in
+  List.iter
+    (fun (vars, f) ->
+      let linked, free =
+        List.partition
+          (fun (gvars, _) -> not (Term.Var_set.is_empty (Term.Var_set.inter vars gvars)))
+          !groups
+      in
+      let merged_vars =
+        List.fold_left (fun acc (gv, _) -> Term.Var_set.union acc gv) vars linked
+      in
+      let merged_fs = List.concat_map snd linked @ [ f ] in
+      groups := free @ [ (merged_vars, merged_fs) ])
+    items;
+  List.map (fun (_, fs) -> Formula.and_ fs) !groups
+
+(* Rename every variable to a fresh one; applied on admission so pending
+   transactions have pairwise-disjoint variables (assumed by Lemma 3.4). *)
+let freshen t =
+  let mapping = Hashtbl.create 16 in
+  let rename_var v =
+    match Hashtbl.find_opt mapping v.Term.vid with
+    | Some v' -> v'
+    | None ->
+      let v' = Term.fresh_var v.Term.vname in
+      Hashtbl.add mapping v.Term.vid v';
+      v'
+  in
+  let rename_term = function
+    | Term.V v -> Term.V (rename_var v)
+    | Term.C _ as c -> c
+  in
+  let rename_atom a = { a with Atom.args = Array.map rename_term a.Atom.args } in
+  let rec rename_formula f =
+    match f with
+    | Formula.True | Formula.False -> f
+    | Formula.Atom a -> Formula.Atom (rename_atom a)
+    | Formula.Not_atom a -> Formula.Not_atom (rename_atom a)
+    | Formula.Key_free a -> Formula.Key_free (rename_atom a)
+    | Formula.Eq (x, y) -> Formula.Eq (rename_term x, rename_term y)
+    | Formula.Neq (x, y) -> Formula.Neq (rename_term x, rename_term y)
+    | Formula.Lt (x, y) -> Formula.Lt (rename_term x, rename_term y)
+    | Formula.Le (x, y) -> Formula.Le (rename_term x, rename_term y)
+    | Formula.And fs -> Formula.And (List.map rename_formula fs)
+    | Formula.Or fs -> Formula.Or (List.map rename_formula fs)
+  in
+  let rename_update = function
+    | Ins a -> Ins (rename_atom a)
+    | Del a -> Del (rename_atom a)
+  in
+  {
+    t with
+    hard = List.map rename_atom t.hard;
+    optional = List.map rename_atom t.optional;
+    constraints = List.map rename_formula t.constraints;
+    optional_constraints = List.map rename_formula t.optional_constraints;
+    updates = List.map rename_update t.updates;
+  }
+
+(* Concrete update operations under a grounding valuation. *)
+let ops_under t subst =
+  List.map
+    (fun u ->
+      let a = Subst.apply_atom subst (update_atom u) in
+      if not (Atom.is_ground a) then
+        ill_formed "transaction %s: grounding left update %s open" t.label (Atom.to_string a);
+      match u with
+      | Ins _ -> Relational.Database.Insert (a.Atom.rel, Atom.to_tuple a)
+      | Del _ -> Relational.Database.Delete (a.Atom.rel, Atom.to_tuple a))
+    t.updates
+
+(* -- Pretty printing in the paper's notation ------------------------------ *)
+
+let pp_update fmt = function
+  | Ins a -> Format.fprintf fmt "+%a" Atom.pp a
+  | Del a -> Format.fprintf fmt "-%a" Atom.pp a
+
+let pp fmt t =
+  let sep fmt () = Format.fprintf fmt ",@ " in
+  Format.fprintf fmt "@[<hov 2>[%d:%s]@ %a :-1@ %a" t.id t.label
+    (Format.pp_print_list ~pp_sep:sep pp_update)
+    t.updates
+    (Format.pp_print_list ~pp_sep:sep Atom.pp)
+    t.hard;
+  List.iter (fun a -> Format.fprintf fmt ",@ ?%a" Atom.pp a) t.optional;
+  List.iter (fun f -> Format.fprintf fmt ",@ %a" Formula.pp f) t.constraints;
+  List.iter (fun f -> Format.fprintf fmt ",@ ?{%a}" Formula.pp f) t.optional_constraints;
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* -- Durable serialization (pending-transactions table, Section 4) -------- *)
+
+let rec formula_to_sexp f =
+  let open Sexp in
+  match f with
+  | Formula.True -> Atom "true"
+  | Formula.False -> Atom "false"
+  | Formula.Atom a -> List [ Atom "atom"; Logic.Atom.to_sexp a ]
+  | Formula.Not_atom a -> List [ Atom "natom"; Logic.Atom.to_sexp a ]
+  | Formula.Key_free a -> List [ Atom "keyfree"; Logic.Atom.to_sexp a ]
+  | Formula.Eq (x, y) -> List [ Atom "eq"; Term.to_sexp x; Term.to_sexp y ]
+  | Formula.Neq (x, y) -> List [ Atom "neq"; Term.to_sexp x; Term.to_sexp y ]
+  | Formula.Lt (x, y) -> List [ Atom "lt"; Term.to_sexp x; Term.to_sexp y ]
+  | Formula.Le (x, y) -> List [ Atom "le"; Term.to_sexp x; Term.to_sexp y ]
+  | Formula.And fs -> List (Atom "and" :: List.map formula_to_sexp fs)
+  | Formula.Or fs -> List (Atom "or" :: List.map formula_to_sexp fs)
+
+let rec formula_of_sexp s =
+  let open Sexp in
+  match s with
+  | Atom "true" -> Formula.True
+  | Atom "false" -> Formula.False
+  | List [ Atom "atom"; a ] -> Formula.Atom (Logic.Atom.of_sexp a)
+  | List [ Atom "natom"; a ] -> Formula.Not_atom (Logic.Atom.of_sexp a)
+  | List [ Atom "keyfree"; a ] -> Formula.Key_free (Logic.Atom.of_sexp a)
+  | List [ Atom "eq"; x; y ] -> Formula.Eq (Term.of_sexp x, Term.of_sexp y)
+  | List [ Atom "neq"; x; y ] -> Formula.Neq (Term.of_sexp x, Term.of_sexp y)
+  | List [ Atom "lt"; x; y ] -> Formula.Lt (Term.of_sexp x, Term.of_sexp y)
+  | List [ Atom "le"; x; y ] -> Formula.Le (Term.of_sexp x, Term.of_sexp y)
+  | List (Atom "and" :: fs) -> Formula.And (List.map formula_of_sexp fs)
+  | List (Atom "or" :: fs) -> Formula.Or (List.map formula_of_sexp fs)
+  | s -> raise (Sexp.Parse_error ("bad formula sexp: " ^ Sexp.to_string s))
+
+let update_to_sexp = function
+  | Ins a -> Sexp.List [ Sexp.Atom "+"; Atom.to_sexp a ]
+  | Del a -> Sexp.List [ Sexp.Atom "-"; Atom.to_sexp a ]
+
+let update_of_sexp = function
+  | Sexp.List [ Sexp.Atom "+"; a ] -> Ins (Atom.of_sexp a)
+  | Sexp.List [ Sexp.Atom "-"; a ] -> Del (Atom.of_sexp a)
+  | s -> raise (Sexp.Parse_error ("bad update sexp: " ^ Sexp.to_string s))
+
+let trigger_to_sexp = function
+  | On_demand -> Sexp.Atom "on-demand"
+  | On_partner p -> Sexp.List [ Sexp.Atom "on-partner"; Sexp.Atom p ]
+
+let trigger_of_sexp = function
+  | Sexp.Atom "on-demand" -> On_demand
+  | Sexp.List [ Sexp.Atom "on-partner"; Sexp.Atom p ] -> On_partner p
+  | s -> raise (Sexp.Parse_error ("bad trigger sexp: " ^ Sexp.to_string s))
+
+let to_sexp t =
+  let open Sexp in
+  List
+    [ Atom (string_of_int t.id);
+      Atom t.label;
+      List (List.map Atom.to_sexp t.hard);
+      List (List.map Atom.to_sexp t.optional);
+      List (List.map formula_to_sexp t.constraints);
+      List (List.map formula_to_sexp t.optional_constraints);
+      List (List.map update_to_sexp t.updates);
+      trigger_to_sexp t.trigger;
+    ]
+
+let of_sexp s =
+  let open Sexp in
+  match s with
+  | List
+      [ Atom id; Atom label; List hard; List optional; List constraints;
+        List optional_constraints; List updates; trigger ] ->
+    {
+      id = int_of_string id;
+      label;
+      hard = List.map Atom.of_sexp hard;
+      optional = List.map Atom.of_sexp optional;
+      constraints = List.map formula_of_sexp constraints;
+      optional_constraints = List.map formula_of_sexp optional_constraints;
+      updates = List.map update_of_sexp updates;
+      trigger = trigger_of_sexp trigger;
+    }
+  | s -> raise (Sexp.Parse_error ("bad rtxn sexp: " ^ Sexp.to_string s))

@@ -1,0 +1,84 @@
+(** Resource transactions (paper Section 2): [U :-1 B] — an update portion
+    of blind single-tuple writes, executed under a deferred CHOOSE-1
+    grounding of the body's hard atoms, with OPTIONAL soft preferences. *)
+
+(** Blind writes of the FOLLOWED BY block. *)
+type update =
+  | Ins of Logic.Atom.t
+  | Del of Logic.Atom.t
+
+(** When deferred value assignment should end (Section 5.1 leaves this to
+    application logic). *)
+type trigger =
+  | On_demand  (** grounded on read, k-pressure or explicit request *)
+  | On_partner of string  (** grounded as soon as the named label commits *)
+
+type t = {
+  id : int;  (** admission order; -1 before admission *)
+  label : string;  (** client-side identity, e.g. the requesting user *)
+  hard : Logic.Atom.t list;
+  optional : Logic.Atom.t list;
+  constraints : Logic.Formula.t list;  (** hard residual (dis)equalities *)
+  optional_constraints : Logic.Formula.t list;
+  updates : update list;
+  trigger : trigger;
+}
+
+exception Ill_formed of string
+
+val make :
+  ?id:int ->
+  ?label:string ->
+  ?optional:Logic.Atom.t list ->
+  ?constraints:Logic.Formula.t list ->
+  ?optional_constraints:Logic.Formula.t list ->
+  ?trigger:trigger ->
+  hard:Logic.Atom.t list ->
+  updates:update list ->
+  unit ->
+  t
+(** @raise Ill_formed on range-restriction violations: every update
+    variable must appear in the hard body (optional atoms may go
+    unsatisfied, so they cannot bind update variables). *)
+
+val validate : t -> unit
+val update_atom : update -> Logic.Atom.t
+val inserts : t -> Logic.Atom.t list
+val deletes : t -> Logic.Atom.t list
+val body_vars : t -> Logic.Term.Var_set.t
+val all_vars : t -> Logic.Term.Var_set.t
+
+val all_atoms : t -> Logic.Atom.t list
+(** Every atom, including optional ones. *)
+
+val dependence_atoms : t -> Logic.Atom.t list
+(** Hard body and update atoms only — the atoms that create hard
+    dependence between pending transactions.  Optional atoms carry no
+    invariant (Section 2), so optional-only overlap keeps partitions
+    independent (the flight-independence of Section 5.3). *)
+
+val hard_formula : t -> Logic.Formula.t
+
+val soft_formulas : t -> Logic.Formula.t list
+(** Optional obligations grouped by variable-connectivity into
+    all-or-nothing units (an adjacency preference is one unit); unrelated
+    optional atoms stay separate, preserving the paper's
+    maximize-satisfied-conditions rule. *)
+
+val freshen : t -> t
+(** Rename every variable to a fresh one; pending transactions must have
+    pairwise-disjoint variables (assumed by Lemma 3.4). *)
+
+val ops_under : t -> Logic.Subst.t -> Relational.Database.op list
+(** The concrete update batch under a grounding valuation.
+    @raise Ill_formed when the valuation leaves an update variable open. *)
+
+val pp_update : Format.formatter -> update -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val formula_to_sexp : Logic.Formula.t -> Relational.Sexp.t
+val formula_of_sexp : Relational.Sexp.t -> Logic.Formula.t
+val to_sexp : t -> Relational.Sexp.t
+val of_sexp : Relational.Sexp.t -> t
+(** Durable codec for the pending-transactions table (Section 4). *)

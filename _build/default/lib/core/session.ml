@@ -1,0 +1,165 @@
+(* Client sessions over a shared quantum database — the programming API of
+   Section 2's execution model.
+
+   The paper's contract: the application is notified when its resource
+   transaction *commits* (a guarantee that a suitable resource exists and
+   will exist when needed), and — optionally — a second time when values
+   are actually assigned ("such a second notification could in principle
+   be issued if desired").  This layer delivers both through per-client
+   mailboxes, routes value-assignment notifications to the transaction's
+   owner wherever the grounding was triggered (read, partner arrival,
+   k-pressure, explicit), and serializes concurrent clients with a mutex —
+   the engine itself is deliberately single-threaded middle-tier state, as
+   in the prototype.
+
+   Groundings can fire *inside* an engine call, before the caller has had
+   a chance to register ownership of a just-committed transaction (partner
+   arrival grounds both partners within submit).  The ground hook
+   therefore only buffers; every session operation flushes the buffer to
+   mailboxes after ownership bookkeeping is done. *)
+
+module Database = Relational.Database
+
+(** The paper's optional second notification: values have been assigned. *)
+type assignment = {
+  txn_id : int;
+  label : string;
+  ops : Database.op list;  (** the concrete writes that were executed *)
+  optionals_satisfied : int;
+  optionals_total : int;
+}
+
+type notification =
+  | Committed_ack of { txn_id : int; label : string }
+      (** the guarantee: a suitable resource exists and will exist *)
+  | Values_assigned of assignment
+  | Write_refused of string
+
+type t = {
+  qdb : Qdb.t;
+  lock : Mutex.t;
+  owners : (int, string) Hashtbl.t; (* txn id -> owning client *)
+  mailboxes : (string, notification Queue.t) Hashtbl.t;
+  buffered : Qdb.grounding Queue.t; (* groundings awaiting routing *)
+}
+
+type client = {
+  hub : t;
+  client_name : string;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let deliver t name note =
+  match Hashtbl.find_opt t.mailboxes name with
+  | Some q -> Queue.push note q
+  | None -> () (* owner disconnected: notification dropped *)
+
+(* Route buffered groundings to their owners.  Must run with the lock
+   held, after ownership for any just-committed transaction is recorded. *)
+let flush_groundings t =
+  Queue.iter
+    (fun (g : Qdb.grounding) ->
+      let txn = g.Qdb.txn in
+      match Hashtbl.find_opt t.owners txn.Rtxn.id with
+      | Some owner ->
+        Hashtbl.remove t.owners txn.Rtxn.id;
+        let satisfied =
+          Array.fold_left (fun n b -> if b then n + 1 else n) 0 g.Qdb.optional_satisfied
+        in
+        deliver t owner
+          (Values_assigned
+             {
+               txn_id = txn.Rtxn.id;
+               label = txn.Rtxn.label;
+               ops = Rtxn.ops_under txn g.Qdb.valuation;
+               optionals_satisfied = satisfied;
+               optionals_total = Array.length g.Qdb.optional_satisfied;
+             })
+      | None -> () (* ownerless transaction (submitted through Qdb directly) *))
+    t.buffered;
+  Queue.clear t.buffered
+
+let create ?config store =
+  let t =
+    {
+      qdb = Qdb.create ?config store;
+      lock = Mutex.create ();
+      owners = Hashtbl.create 64;
+      mailboxes = Hashtbl.create 8;
+      buffered = Queue.create ();
+    }
+  in
+  Qdb.set_ground_hook t.qdb (fun g -> Queue.push g t.buffered);
+  t
+
+let qdb t = t.qdb
+
+let connect t client_name =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.mailboxes client_name then
+        invalid_arg (Printf.sprintf "Session.connect: client %s already connected" client_name);
+      Hashtbl.add t.mailboxes client_name (Queue.create ());
+      { hub = t; client_name })
+
+let disconnect c =
+  with_lock c.hub (fun () -> Hashtbl.remove c.hub.mailboxes c.client_name)
+
+let submit c txn =
+  with_lock c.hub (fun () ->
+      match Qdb.submit c.hub.qdb txn with
+      | Qdb.Committed id as result ->
+        Hashtbl.replace c.hub.owners id c.client_name;
+        deliver c.hub c.client_name (Committed_ack { txn_id = id; label = txn.Rtxn.label });
+        flush_groundings c.hub;
+        result
+      | Qdb.Rejected _ as result ->
+        flush_groundings c.hub;
+        result)
+
+let read c q =
+  with_lock c.hub (fun () ->
+      let answers = Qdb.read c.hub.qdb q in
+      flush_groundings c.hub;
+      answers)
+
+let write c ops =
+  with_lock c.hub (fun () ->
+      match Qdb.write c.hub.qdb ops with
+      | Ok () ->
+        flush_groundings c.hub;
+        Ok ()
+      | Error reason ->
+        deliver c.hub c.client_name (Write_refused reason);
+        Error reason)
+
+let ground c id =
+  with_lock c.hub (fun () ->
+      let gs = Qdb.ground c.hub.qdb id in
+      flush_groundings c.hub;
+      gs)
+
+let ground_all c =
+  with_lock c.hub (fun () ->
+      let gs = Qdb.ground_all c.hub.qdb in
+      flush_groundings c.hub;
+      gs)
+
+let poll c =
+  with_lock c.hub (fun () ->
+      match Hashtbl.find_opt c.hub.mailboxes c.client_name with
+      | Some q ->
+        let notes = List.of_seq (Queue.to_seq q) in
+        Queue.clear q;
+        notes
+      | None -> [])
+
+let notification_to_string = function
+  | Committed_ack { txn_id; label } ->
+    Printf.sprintf "committed #%d (%s): a suitable resource is guaranteed" txn_id label
+  | Values_assigned { txn_id; label; ops; optionals_satisfied; optionals_total } ->
+    Printf.sprintf "values assigned for #%d (%s): %d write(s), %d/%d optional(s) satisfied"
+      txn_id label (List.length ops) optionals_satisfied optionals_total
+  | Write_refused reason -> Printf.sprintf "write refused: %s" reason

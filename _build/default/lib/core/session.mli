@@ -1,0 +1,44 @@
+(** Client sessions over a shared quantum database: the paper's programming
+    API, with commit acknowledgments (the resource guarantee) and the
+    optional second notification when values are actually assigned.
+    Mutex-serialized, so multiple threads may hold clients. *)
+
+(** The paper's optional second notification: values have been assigned. *)
+type assignment = {
+  txn_id : int;
+  label : string;
+  ops : Relational.Database.op list;
+  optionals_satisfied : int;
+  optionals_total : int;
+}
+
+type notification =
+  | Committed_ack of { txn_id : int; label : string }
+  | Values_assigned of assignment
+  | Write_refused of string
+
+type t
+type client
+
+val create : ?config:Qdb.config -> Relational.Store.t -> t
+val qdb : t -> Qdb.t
+
+val connect : t -> string -> client
+(** @raise Invalid_argument when the name is already connected. *)
+
+val disconnect : client -> unit
+
+val submit : client -> Rtxn.t -> Qdb.commit_result
+(** On commit the client receives [Committed_ack]; when the transaction's
+    values are later fixed — by a read, a partner arrival, k-pressure or
+    an explicit grounding — it receives [Values_assigned]. *)
+
+val read : client -> Solver.Query.t -> Relational.Tuple.t list
+val write : client -> Relational.Database.op list -> (unit, string) result
+val ground : client -> int -> Qdb.grounding list
+val ground_all : client -> Qdb.grounding list
+
+val poll : client -> notification list
+(** Drain this client's mailbox (oldest first). *)
+
+val notification_to_string : notification -> string

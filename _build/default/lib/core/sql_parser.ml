@@ -1,0 +1,532 @@
+(* Parser for the SQL-like resource-transaction surface of Figure 1:
+
+     SELECT 'Mickey', F.fno AS @f, A1.seat AS @s
+     FROM Flights F, Available A1, OPTIONAL Available A2, OPTIONAL Adjacent J
+     WHERE OPTIONAL ('Goofy', A2.fno, A2.seat) IN Bookings
+       AND F.dest = 'LA' AND A1.fno = F.fno
+       AND J.s1 = A1.seat AND J.s2 = A2.seat
+     CHOOSE 1
+     FOLLOWED BY (
+       DELETE (@f, @s) FROM Available;
+       INSERT ('Mickey', @f, @s) INTO Bookings; )
+
+   The paper's prototype accepted only the Datalog-like intermediate form;
+   this module implements the full surface and lowers it to {!Rtxn}:
+
+   - each FROM item becomes a relational atom with one fresh variable per
+     column (the relation's schema decides the arity, so the parser takes
+     a schema resolver);
+   - [Alias.col] and unqualified-but-unambiguous [col] references resolve
+     to those variables;
+   - [AS @x] names a term for reuse in FOLLOWED BY;
+   - OPTIONAL FROM items / conditions become the transaction's optional
+     atoms / optional constraints;
+   - [(... ) IN Rel] is atom membership (Figure 1's coordination idiom);
+   - FOLLOWED BY holds the blind writes.
+
+   Keywords are case-insensitive; string literals use single or double
+   quotes. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+open Logic
+
+exception Syntax_error of string
+
+let syntax_error fmt = Format.kasprintf (fun msg -> raise (Syntax_error msg)) fmt
+
+(* -- Lexer ---------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string (* original spelling *)
+  | KEYWORD of string (* uppercased known keyword *)
+  | AT_VAR of string (* @name *)
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "OPTIONAL"; "AND"; "CHOOSE"; "FOLLOWED"; "BY"; "DELETE";
+    "INSERT"; "INTO"; "IN"; "AS"; "TRUE"; "FALSE" ]
+
+let token_to_string = function
+  | IDENT s -> s
+  | KEYWORD s -> s
+  | AT_VAR s -> "@" ^ s
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "'%s'" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | SEMI -> ";"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if c = '-' && !i + 1 < n && is_digit input.[!i + 1] then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      emit (INT (-int_of_string (String.sub input start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (KEYWORD upper) else emit (IDENT word)
+    end
+    else if c = '@' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      if !i = start then syntax_error "expected a name after '@'";
+      emit (AT_VAR (String.sub input start (!i - start)))
+    end
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      incr i;
+      let buf = Buffer.create 16 in
+      while !i < n && input.[!i] <> quote do
+        Buffer.add_char buf input.[!i];
+        incr i
+      done;
+      if !i >= n then syntax_error "unterminated string literal";
+      incr i;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      (match c with
+       | '(' -> emit LPAREN
+       | ')' -> emit RPAREN
+       | ',' -> emit COMMA
+       | '.' -> emit DOT
+       | ';' -> emit SEMI
+       | '=' -> emit EQ
+       | '<' when !i + 1 < n && input.[!i + 1] = '>' ->
+         incr i;
+         emit NEQ
+       | '!' when !i + 1 < n && input.[!i + 1] = '=' ->
+         incr i;
+         emit NEQ
+       | '<' when !i + 1 < n && input.[!i + 1] = '=' ->
+         incr i;
+         emit LE
+       | '>' when !i + 1 < n && input.[!i + 1] = '=' ->
+         incr i;
+         emit GE
+       | '<' -> emit LT
+       | '>' -> emit GT
+       | c -> syntax_error "unexpected character '%c'" c);
+      incr i
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+(* -- Parser state ----------------------------------------------------------- *)
+
+type from_item = {
+  rel : string;
+  alias : string;
+  vars : Term.var array; (* one per column *)
+  fi_optional : bool;
+}
+
+type state = {
+  mutable toks : token list;
+  schema_of : string -> Schema.t option;
+  mutable froms : from_item list;
+  at_vars : (string, Term.t) Hashtbl.t; (* @x bindings from AS clauses *)
+}
+
+let peek st =
+  match st.toks with
+  | tok :: _ -> tok
+  | [] -> EOF
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else syntax_error "expected %s, found %s" (token_to_string tok) (token_to_string (peek st))
+
+let expect_kw st kw =
+  match peek st with
+  | KEYWORD k when k = kw -> advance st
+  | tok -> syntax_error "expected %s, found %s" kw (token_to_string tok)
+
+let schema st rel =
+  match st.schema_of rel with
+  | Some schema -> schema
+  | None -> syntax_error "unknown relation %s" rel
+
+(* Resolve [alias.col] or unambiguous bare [col] to a variable. *)
+let column_var st ?alias col =
+  let candidates =
+    List.filter_map
+      (fun fi ->
+        let matches_alias =
+          match alias with
+          | Some a -> String.equal a fi.alias
+          | None -> true
+        in
+        if not matches_alias then None
+        else
+          match Schema.column_index (schema st fi.rel) col with
+          | Some idx -> Some fi.vars.(idx)
+          | None -> None)
+      st.froms
+  in
+  match candidates, alias with
+  | [ v ], _ -> v
+  | [], Some a -> syntax_error "no column %s in alias %s" col a
+  | [], None -> syntax_error "no FROM item has a column %s" col
+  | _ :: _ :: _, None -> syntax_error "ambiguous column %s; qualify it" col
+  | _ :: _ :: _, Some a -> syntax_error "alias %s used more than once?" a
+
+(* An operand: literal, @var, Alias.col, bare col, TRUE/FALSE. *)
+let parse_operand st =
+  match peek st with
+  | INT n ->
+    advance st;
+    Term.int n
+  | STRING s ->
+    advance st;
+    Term.str s
+  | KEYWORD "TRUE" ->
+    advance st;
+    Term.bool true
+  | KEYWORD "FALSE" ->
+    advance st;
+    Term.bool false
+  | AT_VAR name ->
+    advance st;
+    (match Hashtbl.find_opt st.at_vars name with
+     | Some t -> t
+     | None -> syntax_error "@%s used before its AS binding" name)
+  | IDENT first ->
+    advance st;
+    (match peek st with
+     | DOT ->
+       advance st;
+       (match peek st with
+        | IDENT col ->
+          advance st;
+          Term.V (column_var st ~alias:first col)
+        | tok -> syntax_error "expected a column after '.', found %s" (token_to_string tok))
+     | _ -> Term.V (column_var st first))
+  | tok -> syntax_error "expected an operand, found %s" (token_to_string tok)
+
+let parse_operand_list st =
+  expect st LPAREN;
+  let rec items acc =
+    let t = parse_operand st in
+    match peek st with
+    | COMMA ->
+      advance st;
+      items (t :: acc)
+    | RPAREN ->
+      advance st;
+      List.rev (t :: acc)
+    | tok -> syntax_error "expected ',' or ')', found %s" (token_to_string tok)
+  in
+  items []
+
+(* -- Clause parsers ---------------------------------------------------------- *)
+
+(* SELECT list: operands, optionally bound with AS @x.  The list itself is
+   presentation; only the AS bindings matter for FOLLOWED BY. *)
+let parse_select st =
+  expect_kw st "SELECT";
+  let rec items () =
+    let t = parse_operand st in
+    (match peek st with
+     | KEYWORD "AS" ->
+       advance st;
+       (match peek st with
+        | AT_VAR name ->
+          advance st;
+          Hashtbl.replace st.at_vars name t
+        | tok -> syntax_error "expected @name after AS, found %s" (token_to_string tok))
+     | _ -> ());
+    match peek st with
+    | COMMA ->
+      advance st;
+      items ()
+    | _ -> ()
+  in
+  items ()
+
+let parse_from st =
+  expect_kw st "FROM";
+  let rec items () =
+    let fi_optional =
+      match peek st with
+      | KEYWORD "OPTIONAL" ->
+        advance st;
+        true
+      | _ -> false
+    in
+    (match peek st with
+     | IDENT rel ->
+       advance st;
+       let alias =
+         match peek st with
+         | IDENT a ->
+           advance st;
+           a
+         | _ -> rel
+       in
+       if List.exists (fun fi -> String.equal fi.alias alias) st.froms then
+         syntax_error "duplicate alias %s" alias;
+       let s = schema st rel in
+       let vars =
+         Array.map (fun name -> Term.fresh_var (alias ^ "." ^ name)) (Schema.column_names s)
+       in
+       st.froms <- st.froms @ [ { rel; alias; vars; fi_optional } ]
+     | tok -> syntax_error "expected a relation name, found %s" (token_to_string tok));
+    match peek st with
+    | COMMA ->
+      advance st;
+      items ()
+    | _ -> ()
+  in
+  items ()
+
+type cond =
+  | C_eq of Term.t * Term.t * bool (* optional? *)
+  | C_neq of Term.t * Term.t * bool
+  | C_cmp of Formula.t * bool (* Lt/Le leaf *)
+  | C_in of Term.t list * string * bool
+
+let parse_where st =
+  match peek st with
+  | KEYWORD "WHERE" ->
+    advance st;
+    let rec conds acc =
+      let optional =
+        match peek st with
+        | KEYWORD "OPTIONAL" ->
+          advance st;
+          true
+        | _ -> false
+      in
+      let cond =
+        match peek st with
+        | LPAREN ->
+          let terms = parse_operand_list st in
+          expect_kw st "IN";
+          (match peek st with
+           | IDENT rel ->
+             advance st;
+             C_in (terms, rel, optional)
+           | tok -> syntax_error "expected a relation after IN, found %s" (token_to_string tok))
+        | _ ->
+          let lhs = parse_operand st in
+          (match peek st with
+           | EQ ->
+             advance st;
+             C_eq (lhs, parse_operand st, optional)
+           | NEQ ->
+             advance st;
+             C_neq (lhs, parse_operand st, optional)
+           | LT ->
+             advance st;
+             C_cmp (Formula.lt lhs (parse_operand st), optional)
+           | LE ->
+             advance st;
+             C_cmp (Formula.le lhs (parse_operand st), optional)
+           | GT ->
+             advance st;
+             C_cmp (Formula.lt (parse_operand st) lhs, optional)
+           | GE ->
+             advance st;
+             C_cmp (Formula.le (parse_operand st) lhs, optional)
+           | tok ->
+             syntax_error "expected a comparison operator, found %s" (token_to_string tok))
+      in
+      match peek st with
+      | KEYWORD "AND" ->
+        advance st;
+        conds (cond :: acc)
+      | _ -> List.rev (cond :: acc)
+    in
+    conds []
+  | _ -> []
+
+let parse_followed_by st =
+  expect_kw st "FOLLOWED";
+  expect_kw st "BY";
+  expect st LPAREN;
+  let rec stmts acc =
+    match peek st with
+    | RPAREN ->
+      advance st;
+      List.rev acc
+    | KEYWORD "DELETE" ->
+      advance st;
+      let terms = parse_operand_list st in
+      expect_kw st "FROM";
+      (match peek st with
+       | IDENT rel ->
+         advance st;
+         let u = Rtxn.Del (Atom.make rel terms) in
+         if peek st = SEMI then advance st;
+         stmts (u :: acc)
+       | tok -> syntax_error "expected a relation after FROM, found %s" (token_to_string tok))
+    | KEYWORD "INSERT" ->
+      advance st;
+      let terms = parse_operand_list st in
+      expect_kw st "INTO";
+      (match peek st with
+       | IDENT rel ->
+         advance st;
+         let u = Rtxn.Ins (Atom.make rel terms) in
+         if peek st = SEMI then advance st;
+         stmts (u :: acc)
+       | tok -> syntax_error "expected a relation after INTO, found %s" (token_to_string tok))
+    | tok -> syntax_error "expected DELETE, INSERT or ')', found %s" (token_to_string tok)
+  in
+  stmts []
+
+(* -- Lowering ------------------------------------------------------------------ *)
+
+let parse_txn ?(label = "sql-txn") ~schema_of input =
+  let st = { toks = tokenize input; schema_of; froms = []; at_vars = Hashtbl.create 8 } in
+  (* FROM must be scanned before SELECT's operands can resolve, but SELECT
+     comes first textually: take two passes — skim to FROM, parse it, then
+     rewind and parse normally. *)
+  let all_tokens = st.toks in
+  let rec skim = function
+    | KEYWORD "FROM" :: _ as rest -> rest
+    | _ :: rest -> skim rest
+    | [] -> syntax_error "missing FROM clause"
+  in
+  st.toks <- skim all_tokens;
+  parse_from st;
+  let after_from = st.toks in
+  st.toks <- all_tokens;
+  parse_select st;
+  (* Skip the FROM clause we already handled. *)
+  st.toks <- after_from;
+  let conds = parse_where st in
+  expect_kw st "CHOOSE";
+  expect st (INT 1);
+  let updates = parse_followed_by st in
+  (match peek st with
+   | EOF -> ()
+   | tok -> syntax_error "trailing input at %s" (token_to_string tok));
+  (* Assemble the transaction. *)
+  let hard_atoms, optional_atoms =
+    List.partition_map
+      (fun fi ->
+        let atom = Atom.of_array fi.rel (Array.map (fun v -> Term.V v) fi.vars) in
+        if fi.fi_optional then Either.Right atom else Either.Left atom)
+      st.froms
+  in
+  (* A condition mentioning a variable of an OPTIONAL FROM item is part of
+     the soft preference even without an explicit OPTIONAL keyword: a hard
+     constraint over a variable the hard body never binds would be
+     ill-formed (and contradicts the intent of marking the item
+     OPTIONAL). *)
+  let optional_vars =
+    List.fold_left
+      (fun acc fi ->
+        if fi.fi_optional then
+          Array.fold_left (fun acc v -> Term.Var_set.add v acc) acc fi.vars
+        else acc)
+      Term.Var_set.empty st.froms
+  in
+  let touches_optional terms =
+    List.exists
+      (fun t ->
+        match t with
+        | Term.V v -> Term.Var_set.mem v optional_vars
+        | Term.C _ -> false)
+      terms
+  in
+  let constraints = ref [] and optional_constraints = ref [] in
+  let in_hard = ref [] and in_optional = ref [] in
+  List.iter
+    (fun cond ->
+      match cond with
+      | C_eq (a, b, opt) ->
+        if opt || touches_optional [ a; b ] then
+          optional_constraints := Formula.eq a b :: !optional_constraints
+        else constraints := Formula.eq a b :: !constraints
+      | C_neq (a, b, opt) ->
+        if opt || touches_optional [ a; b ] then
+          optional_constraints := Formula.neq a b :: !optional_constraints
+        else constraints := Formula.neq a b :: !constraints
+      | C_cmp (f, opt) ->
+        let terms =
+          match f with
+          | Formula.Lt (a, b) | Formula.Le (a, b) -> [ a; b ]
+          | _ -> []
+        in
+        if opt || touches_optional terms then
+          optional_constraints := f :: !optional_constraints
+        else constraints := f :: !constraints
+      | C_in (terms, rel, opt) ->
+        if opt || touches_optional terms then
+          in_optional := Atom.make rel terms :: !in_optional
+        else in_hard := Atom.make rel terms :: !in_hard)
+    conds;
+  (* Hard equalities are applied as a substitution where possible (they
+     come from join conditions), keeping bodies small; the remainder stay
+     as constraints. *)
+  Rtxn.make ~label
+    ~hard:(hard_atoms @ List.rev !in_hard)
+    ~optional:(optional_atoms @ List.rev !in_optional)
+    ~constraints:(List.rev !constraints)
+    ~optional_constraints:(List.rev !optional_constraints)
+    ~updates ()

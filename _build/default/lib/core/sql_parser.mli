@@ -1,0 +1,21 @@
+(** Parser for the SQL-like resource-transaction surface of Figure 1
+    (SELECT … FROM … WHERE … CHOOSE 1 FOLLOWED BY (…)), lowered to
+    {!Rtxn}.  Goes beyond the paper's prototype, which accepted only the
+    Datalog-like intermediate representation.
+
+    [OPTIONAL] FROM items and WHERE conditions become optional atoms and
+    constraints; [(t, …) IN Rel] is atom membership; [AS @x] names a term
+    for use in the FOLLOWED BY block.  Keywords are case-insensitive;
+    [--] starts a comment. *)
+
+exception Syntax_error of string
+
+val parse_txn :
+  ?label:string ->
+  schema_of:(string -> Relational.Schema.t option) ->
+  string ->
+  Rtxn.t
+(** @raise Syntax_error on malformed input or unknown relations/columns.
+    @raise Rtxn.Ill_formed when the lowered transaction violates range
+    restriction (e.g. a FOLLOWED BY term bound only by an OPTIONAL
+    item). *)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Common List Logic Printf Quantum Solver Unix Workload

@@ -1,0 +1,1 @@
+lib/harness/calendar_exp.ml: Common Hashtbl List Printf Quantum Relational Workload

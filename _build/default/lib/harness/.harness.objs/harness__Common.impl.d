@@ -1,0 +1,1 @@
+lib/harness/common.ml: Filename List Printf Quantum String Sys Workload

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Common List Printf Quantum Workload

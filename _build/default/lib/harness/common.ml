@@ -1,0 +1,125 @@
+(* Shared experiment infrastructure: scaled-vs-paper-sized parameter sets,
+   run averaging, and aligned table printing.
+
+   Absolute sizes default to a scaled-down configuration so the whole
+   suite regenerates in minutes on a laptop; [--full] switches to the
+   paper's sizes.  Shapes — who wins, slopes, crossovers — are preserved
+   at either scale (EXPERIMENTS.md records both paper and measured
+   numbers). *)
+
+module Qdb = Quantum.Qdb
+module Runner = Workload.Runner
+module Travel = Workload.Travel
+module Flights = Workload.Flights
+
+type scale = {
+  full : bool;
+  runs : int; (* independent seeds averaged per data point (paper: 5) *)
+}
+
+let default_scale = { full = false; runs = 3 }
+let paper_scale = { full = true; runs = 5 }
+
+let seeds scale = List.init scale.runs (fun i -> 1000 + (7 * i))
+
+let mean values =
+  match values with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+(* Average a float-valued measurement over the scale's seeds. *)
+let averaged scale f = mean (List.map f (seeds scale))
+
+(* -- Output ----------------------------------------------------------------- *)
+
+let section title =
+  Printf.printf "\n== %s ==\n%!" title
+
+let subsection title = Printf.printf "-- %s --\n%!" title
+
+(* When set (bench --csv DIR), experiments also dump their tables as CSV
+   files for external plotting. *)
+let csv_dir : string option ref = ref None
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv name ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    let line cells = output_string oc (String.concat "," (List.map csv_escape cells) ^ "\n") in
+    line header;
+    List.iter line rows;
+    close_out oc;
+    Printf.printf "(csv written to %s)\n%!" path
+
+let print_table ?csv ~header rows =
+  (match csv with
+   | Some name -> write_csv name ~header rows
+   | None -> ());
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    List.iter2 (fun w cell -> Printf.printf "%-*s  " w cell) widths row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let ms x = Printf.sprintf "%.1f" (x *. 1000.)
+
+(* -- Workload presets -------------------------------------------------------- *)
+
+(* Figures 5/6: one flight, 102 seats, 102 users, k = 61 (the prototype's
+   MySQL join ceiling).  Cheap enough to run at paper size always. *)
+let fig56_spec _scale order seed = { Runner.default_spec with order; seed }
+
+let fig56_config = { Qdb.default_config with k = 61 }
+
+(* Figure 7 / Table 2: flights sweep, full occupancy, random order.  The
+   per-flight load stays at the paper's size (150 seats, 75 couples) so
+   the k-effect of Table 2 is preserved; the reduced scale only sweeps
+   fewer flights. *)
+let fig7_flight_counts scale = if scale.full then [ 10; 25; 50; 75; 100 ] else [ 1; 2; 4; 6 ]
+let fig7_rows _scale = 50
+let fig7_pairs _scale = 75
+let fig7_ks = [ 20; 30; 40 ]
+
+let fig7_spec scale ~flights seed =
+  {
+    Runner.default_spec with
+    geometry = { Flights.flights; rows_per_flight = fig7_rows scale; dest = "LA" };
+    pairs_per_flight = fig7_pairs scale;
+    order = Travel.Random_order;
+    seed;
+  }
+
+(* Figures 8/9: fixed fleet, read fraction sweep. *)
+let fig89_flights scale = if scale.full then 40 else 2
+let fig89_read_fractions = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+
+let fig89_spec scale ~read_fraction seed =
+  {
+    Runner.geometry =
+      { Flights.flights = fig89_flights scale; rows_per_flight = fig7_rows scale; dest = "LA" };
+    pairs_per_flight = fig7_pairs scale;
+    order = Travel.Random_order;
+    read_fraction;
+    seed;
+  }
+
+let config_with_k k = { Qdb.default_config with k }

@@ -1,0 +1,1 @@
+lib/logic/atom.ml: Array Format Int List Printf Relational String Term

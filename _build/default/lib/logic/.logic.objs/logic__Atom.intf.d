@@ -1,0 +1,1 @@
+lib/logic/atom.mli: Format Relational Term

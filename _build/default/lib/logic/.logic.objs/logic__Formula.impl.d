@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Array Atom Format List Printf Relational Subst Term

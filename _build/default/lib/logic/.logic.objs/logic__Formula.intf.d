@@ -1,0 +1,1 @@
+lib/logic/formula.mli: Atom Format Relational Subst Term

@@ -1,0 +1,1 @@
+lib/logic/subst.ml: Array Atom Format List Term

@@ -1,0 +1,1 @@
+lib/logic/subst.mli: Atom Format Term

@@ -1,0 +1,1 @@
+lib/logic/unify.ml: Array Atom Formula List Option Relational String Subst Term

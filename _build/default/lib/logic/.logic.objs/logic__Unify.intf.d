@@ -1,0 +1,1 @@
+lib/logic/unify.mli: Atom Formula Subst Term

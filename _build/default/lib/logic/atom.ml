@@ -1,0 +1,82 @@
+(* Relational atoms: a relation name applied to terms, e.g.
+   Available(f1, s1) or Bookings("Goofy", f1, s2). *)
+
+type t = {
+  rel : string;
+  args : Term.t array;
+}
+
+let make rel args = { rel; args = Array.of_list args }
+let of_array rel args = { rel; args }
+let arity a = Array.length a.args
+
+let equal a b =
+  String.equal a.rel b.rel
+  && Array.length a.args = Array.length b.args
+  && Array.for_all2 Term.equal a.args b.args
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else begin
+    let la = Array.length a.args and lb = Array.length b.args in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else begin
+      let rec go i =
+        if i >= la then 0
+        else
+          let c = Term.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    end
+  end
+
+let vars a =
+  Array.fold_left
+    (fun acc t ->
+      match t with
+      | Term.V v -> Term.Var_set.add v acc
+      | Term.C _ -> acc)
+    Term.Var_set.empty a.args
+
+let is_ground a = Array.for_all (fun t -> not (Term.is_var t)) a.args
+
+(* A ground atom as a database tuple. *)
+let to_tuple a =
+  Array.map
+    (fun t ->
+      match t with
+      | Term.C v -> v
+      | Term.V v ->
+        invalid_arg (Printf.sprintf "Atom.to_tuple: unbound variable %s_%d" v.vname v.vid))
+    a.args
+
+let of_tuple rel tuple = { rel; args = Array.map (fun v -> Term.C v) tuple }
+
+(* The lookup pattern for the atom's constant positions: variables become
+   wildcards. *)
+let to_pattern a =
+  Array.map
+    (fun t ->
+      match t with
+      | Term.C v -> Some v
+      | Term.V _ -> None)
+    a.args
+
+let pp fmt a =
+  Format.fprintf fmt "%s(@[<h>%a@])" a.rel
+    (Format.pp_print_seq ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ") Term.pp)
+    (Array.to_seq a.args)
+
+let to_string a = Format.asprintf "%a" pp a
+
+let to_sexp a =
+  Relational.Sexp.List
+    (Relational.Sexp.Atom a.rel :: Array.to_list (Array.map Term.to_sexp a.args))
+
+let of_sexp = function
+  | Relational.Sexp.List (Relational.Sexp.Atom rel :: args) ->
+    { rel; args = Array.of_list (List.map Term.of_sexp args) }
+  | s -> raise (Relational.Sexp.Parse_error ("bad atom sexp: " ^ Relational.Sexp.to_string s))

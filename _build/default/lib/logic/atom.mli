@@ -1,0 +1,27 @@
+(** Relational atoms: a relation name applied to terms. *)
+
+type t = {
+  rel : string;
+  args : Term.t array;
+}
+
+val make : string -> Term.t list -> t
+val of_array : string -> Term.t array -> t
+val arity : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val vars : t -> Term.Var_set.t
+val is_ground : t -> bool
+
+val to_tuple : t -> Relational.Tuple.t
+(** @raise Invalid_argument when the atom has a variable. *)
+
+val of_tuple : string -> Relational.Tuple.t -> t
+
+val to_pattern : t -> Relational.Table.pattern
+(** Constants become equality bounds, variables wildcards. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_sexp : t -> Relational.Sexp.t
+val of_sexp : Relational.Sexp.t -> t

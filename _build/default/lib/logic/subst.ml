@@ -1,0 +1,52 @@
+(* Substitutions: finite maps from variables to terms.
+
+   Bindings may be in triangular form (a variable bound to another bound
+   variable); [resolve] chases chains, and all exported application
+   functions resolve fully, so callers always observe the idempotent
+   closure. *)
+
+type t = Term.t Term.Var_map.t
+
+let empty : t = Term.Var_map.empty
+let is_empty = Term.Var_map.is_empty
+let cardinal = Term.Var_map.cardinal
+let find v (s : t) = Term.Var_map.find_opt v s
+let bindings (s : t) = Term.Var_map.bindings s
+
+(* Chase variable chains to a fixpoint.  Chains are acyclic by construction
+   (unification only binds unresolved variables), so this terminates. *)
+let rec resolve (s : t) term =
+  match term with
+  | Term.C _ -> term
+  | Term.V v ->
+    (match Term.Var_map.find_opt v s with
+     | Some t -> resolve s t
+     | None -> term)
+
+let bind v term (s : t) : t = Term.Var_map.add v term s
+
+let apply_term s term = resolve s term
+let apply_atom s (a : Atom.t) = { a with Atom.args = Array.map (resolve s) a.Atom.args }
+
+(* Rebind every key directly to its resolved term, collapsing chains.
+   Restriction must flatten first or a kept variable could point at a
+   dropped intermediate variable. *)
+let flatten (s : t) : t = Term.Var_map.map (fun t -> resolve s t) s
+
+(* Restrict to a variable set (used when projecting cached solutions after a
+   transaction is grounded and leaves its partition). *)
+let restrict keep (s : t) : t =
+  Term.Var_map.filter (fun v _ -> Term.Var_set.mem v keep) (flatten s)
+
+let of_list l : t =
+  List.fold_left (fun acc (v, t) -> Term.Var_map.add v t acc) Term.Var_map.empty l
+
+let equations (s : t) = List.map (fun (v, t) -> (Term.V v, t)) (bindings s)
+
+let pp fmt (s : t) =
+  let pp_binding fmt (v, t) = Format.fprintf fmt "%a/%a" Term.pp_var v Term.pp t in
+  Format.fprintf fmt "{@[<h>%a@]}"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ") pp_binding)
+    (bindings s)
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,29 @@
+(** Substitutions: maps from variables to terms, applied to a fixpoint. *)
+
+type t = Term.t Term.Var_map.t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+val find : Term.var -> t -> Term.t option
+val bindings : t -> (Term.var * Term.t) list
+
+val resolve : t -> Term.t -> Term.t
+(** Chase variable chains until a constant or an unbound variable. *)
+
+val bind : Term.var -> Term.t -> t -> t
+val apply_term : t -> Term.t -> Term.t
+val apply_atom : t -> Atom.t -> Atom.t
+val flatten : t -> t
+(** Rebind every key directly to its fully resolved term. *)
+
+(** [restrict keep s] flattens [s], then keeps only bindings of [keep]. *)
+val restrict : Term.Var_set.t -> t -> t
+val of_list : (Term.var * Term.t) list -> t
+
+val equations : t -> (Term.t * Term.t) list
+(** The bindings as equality constraints — the raw material of a unification
+    predicate (Definition 3.3). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

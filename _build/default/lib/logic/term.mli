@@ -1,0 +1,38 @@
+(** Terms: variables and constants of the resource-transaction calculus. *)
+
+type var = {
+  vname : string;  (** user-facing name *)
+  vid : int;  (** globally unique id *)
+}
+
+type t =
+  | V of var
+  | C of Relational.Value.t
+
+val fresh_var : string -> var
+(** Mint a variable with a globally unique id. *)
+
+val var : var -> t
+val const : Relational.Value.t -> t
+val int : int -> t
+val str : string -> t
+val bool : bool -> t
+val is_var : t -> bool
+
+val compare_var : var -> var -> int
+val equal_var : var -> var -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp_var : Format.formatter -> var -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Var_map : Map.S with type key = var
+module Var_set : Set.S with type elt = var
+
+val to_sexp : t -> Relational.Sexp.t
+
+val of_sexp : Relational.Sexp.t -> t
+(** Also advances the fresh-variable counter past any deserialized id, so
+    recovery cannot re-mint a live id. *)

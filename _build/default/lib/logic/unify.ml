@@ -1,0 +1,45 @@
+(* Most general unifiers (Definition 3.2) and unification predicates
+   (Definition 3.3).
+
+   Atoms contain only variables and constants — no function symbols — so
+   unification is linear and needs no occurs check beyond skipping bindings
+   of a variable to itself. *)
+
+let unify_terms subst t1 t2 =
+  let r1 = Subst.resolve subst t1 and r2 = Subst.resolve subst t2 in
+  match r1, r2 with
+  | Term.C a, Term.C b -> if Relational.Value.equal a b then Some subst else None
+  | Term.V v, (Term.C _ as c) | (Term.C _ as c), Term.V v -> Some (Subst.bind v c subst)
+  | Term.V v1, Term.V v2 ->
+    if Term.equal_var v1 v2 then Some subst else Some (Subst.bind v1 (Term.V v2) subst)
+
+let mgu_terms t1 t2 = unify_terms Subst.empty t1 t2
+
+let mgu ?(subst = Subst.empty) (a : Atom.t) (b : Atom.t) =
+  if (not (String.equal a.Atom.rel b.Atom.rel)) || Atom.arity a <> Atom.arity b then None
+  else begin
+    let n = Atom.arity a in
+    let rec go i subst =
+      if i >= n then Some subst
+      else
+        match unify_terms subst a.Atom.args.(i) b.Atom.args.(i) with
+        | Some subst -> go (i + 1) subst
+        | None -> None
+    in
+    go 0 subst
+  end
+
+let unifiable a b = Option.is_some (mgu a b)
+
+(* The unification predicate ϕ(b1, b2): the mgu's bindings as equality
+   constraints, trivially false when no unifier exists and trivially true
+   when the mgu is empty (both atoms ground and equal). *)
+let predicate a b =
+  match mgu a b with
+  | None -> Formula.fls
+  | Some subst -> Formula.of_equations (Subst.equations subst)
+
+(* A conservative syntactic check used by partitioning and read-impact
+   analysis: do any two atoms drawn from the two sets unify? *)
+let any_unifiable atoms_a atoms_b =
+  List.exists (fun a -> List.exists (fun b -> unifiable a b) atoms_b) atoms_a

@@ -1,0 +1,19 @@
+(** Most general unifiers (Definition 3.2) and unification predicates
+    (Definition 3.3) over function-free atoms. *)
+
+val unify_terms : Subst.t -> Term.t -> Term.t -> Subst.t option
+val mgu_terms : Term.t -> Term.t -> Subst.t option
+
+val mgu : ?subst:Subst.t -> Atom.t -> Atom.t -> Subst.t option
+(** Most general unifier of two atoms, extending [subst] when given;
+    [None] when relation names, arities or constants clash. *)
+
+val unifiable : Atom.t -> Atom.t -> bool
+
+val predicate : Atom.t -> Atom.t -> Formula.t
+(** The unification predicate ϕ(b1, b2): conjunction of the mgu's equality
+    constraints; [False] without a unifier, [True] for an empty mgu. *)
+
+val any_unifiable : Atom.t list -> Atom.t list -> bool
+(** Conservative dependence test between two atom sets (partitioning and
+    read-impact analysis). *)

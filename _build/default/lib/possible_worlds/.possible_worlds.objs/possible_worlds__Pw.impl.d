@@ -1,0 +1,1 @@
+lib/possible_worlds/pw.ml: Hashtbl List Option Quantum Relational Solver String

@@ -1,0 +1,1 @@
+lib/possible_worlds/pw.mli: Quantum Relational Solver

@@ -1,0 +1,134 @@
+(* Extensional possible-worlds reference (Section 3.1, Figure 2).
+
+   The quantum database is an intensional representation of exactly this
+   object: the set of concrete databases reachable by grounding every
+   committed resource transaction in sequence.  Here the set is kept
+   explicitly — forked on each submission, pruned of worlds in which the
+   new transaction cannot ground — which is exponential and only usable at
+   test scale, precisely why the paper replaces it with the composed-body
+   representation.  The test suite cross-validates the engine against
+   this module: same accept/reject decisions, and every collapse lands on
+   a member world. *)
+
+module Database = Relational.Database
+module Table = Relational.Table
+module Tuple = Relational.Tuple
+module Wal = Relational.Wal
+module Sexp = Relational.Sexp
+
+exception Too_many_worlds of int
+
+type t = {
+  mutable worlds : Database.t list; (* nonempty unless the state is broken *)
+  max_worlds : int;
+}
+
+(* Canonical fingerprint for world deduplication: the checkpoint image
+   serializes tables sorted by name and rows sorted lexicographically. *)
+let fingerprint db = Sexp.to_string (Wal.database_to_sexp db)
+
+let dedup worlds =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun w ->
+      let fp = fingerprint w in
+      if Hashtbl.mem seen fp then false
+      else begin
+        Hashtbl.add seen fp ();
+        true
+      end)
+    worlds
+
+let create ?(max_worlds = 20_000) db = { worlds = [ Database.copy db ]; max_worlds }
+let worlds t = t.worlds
+let world_count t = List.length t.worlds
+
+(* All groundings of the hard body over one world; each yields a successor
+   world when the updates apply cleanly (a failing update — duplicate key
+   or missing delete — invalidates that grounding, the extensional
+   counterpart of the engine's insert-safety and delete-existence
+   clauses). *)
+let successors_in_world txn world =
+  let body = Quantum.Rtxn.hard_formula txn in
+  let groundings = Solver.Backtrack.solutions world body in
+  List.filter_map
+    (fun subst ->
+      match Quantum.Rtxn.ops_under txn subst with
+      | ops ->
+        let forked = Database.copy world in
+        (match Database.apply_ops forked ops with
+         | Ok () -> Some forked
+         | Error _ -> None)
+      | exception Quantum.Rtxn.Ill_formed _ -> None)
+    groundings
+
+let submit t txn =
+  let successors = List.concat_map (successors_in_world txn) t.worlds in
+  let successors = dedup successors in
+  if List.length successors > t.max_worlds then raise (Too_many_worlds (List.length successors));
+  match successors with
+  | [] -> `Rejected
+  | _ ->
+    t.worlds <- successors;
+    `Committed
+
+(* Would the transaction commit, without changing the state? *)
+let can_commit t txn = List.exists (fun w -> successors_in_world txn w <> []) t.worlds
+
+(* -- Reads ----------------------------------------------------------------- *)
+
+(* All answers across all worlds (the "expose uncertainty" read option). *)
+let read_all t q =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun w -> List.iter (fun tuple -> Hashtbl.replace seen tuple ()) (Solver.Query.all w q))
+    t.worlds;
+  Hashtbl.fold (fun tuple () acc -> tuple :: acc) seen []
+
+(* Collapse (the paper's read choice): pick the answer set preserving the
+   most worlds, retain exactly the consistent worlds. *)
+let read_collapse t q =
+  let grouped = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      let answers = List.sort Tuple.compare (Solver.Query.all w q) in
+      let key = String.concat ";" (List.map Tuple.to_string answers) in
+      let existing =
+        Option.value ~default:(answers, []) (Hashtbl.find_opt grouped key)
+      in
+      Hashtbl.replace grouped key (fst existing, w :: snd existing))
+    t.worlds;
+  let best =
+    Hashtbl.fold
+      (fun _ (answers, ws) best ->
+        match best with
+        | Some (_, best_ws) when List.length best_ws >= List.length ws -> best
+        | _ -> Some (answers, ws))
+      grouped None
+  in
+  match best with
+  | None -> []
+  | Some (answers, ws) ->
+    t.worlds <- ws;
+    answers
+
+(* Does some world equal [db] on the given relations?  The cross-check used
+   after the engine grounds everything. *)
+let contains_world t ?relations db =
+  let project source =
+    match relations with
+    | None -> Wal.database_to_sexp source
+    | Some rels ->
+      let tmp = Database.create () in
+      List.iter
+        (fun rel ->
+          match Database.find_table source rel with
+          | Some table ->
+            let copy = Database.create_table tmp (Table.schema table) in
+            Table.iter (fun row -> ignore (Table.insert copy row)) table
+          | None -> ())
+        rels;
+      Wal.database_to_sexp tmp
+  in
+  let target = Sexp.to_string (project db) in
+  List.exists (fun w -> String.equal (Sexp.to_string (project w)) target) t.worlds

@@ -1,0 +1,30 @@
+(** Extensional possible-worlds reference implementation (Figure 2): the
+    object a quantum database represents intensionally, materialized for
+    cross-validation at test scale. *)
+
+exception Too_many_worlds of int
+
+type t
+
+val create : ?max_worlds:int -> Relational.Database.t -> t
+(** Start from a single concrete world (a deep copy of [db]). *)
+
+val worlds : t -> Relational.Database.t list
+val world_count : t -> int
+
+val submit : t -> Quantum.Rtxn.t -> [ `Committed | `Rejected ]
+(** Fork every world on every grounding of the hard body; worlds in which
+    the transaction cannot ground are eliminated (Figure 2).  [`Rejected]
+    leaves the state unchanged.  @raise Too_many_worlds over the cap. *)
+
+val can_commit : t -> Quantum.Rtxn.t -> bool
+
+val read_all : t -> Solver.Query.t -> Relational.Tuple.t list
+(** Union of answers across worlds (the "expose uncertainty" option). *)
+
+val read_collapse : t -> Solver.Query.t -> Relational.Tuple.t list
+(** The paper's read semantics: return the answer set preserved by the
+    largest number of worlds and retain exactly the consistent worlds. *)
+
+val contains_world : t -> ?relations:string list -> Relational.Database.t -> bool
+(** Is [db] (restricted to [relations] when given) one of the worlds? *)

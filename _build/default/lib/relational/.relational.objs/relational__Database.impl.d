@@ -1,0 +1,1 @@
+lib/relational/database.ml: Format Hashtbl List Option Printf Schema Sexp String Table Tuple

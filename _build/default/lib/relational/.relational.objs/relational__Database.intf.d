@@ -1,0 +1,1 @@
+lib/relational/database.mli: Format Schema Sexp Table Tuple

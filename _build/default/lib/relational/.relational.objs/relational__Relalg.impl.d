@@ -1,0 +1,1 @@
+lib/relational/relalg.ml: Array Database Format Hashtbl List Schema Seq String Table Tuple Value

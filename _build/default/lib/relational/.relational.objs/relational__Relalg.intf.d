@@ -1,0 +1,1 @@
+lib/relational/relalg.mli: Database Seq Tuple Value

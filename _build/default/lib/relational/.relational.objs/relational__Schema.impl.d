@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Format Fun Hashtbl Int List Sexp String Tuple Value

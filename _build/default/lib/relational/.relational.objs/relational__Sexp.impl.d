@@ -1,0 +1,1 @@
+lib/relational/sexp.ml: Buffer Format List String

@@ -1,0 +1,1 @@
+lib/relational/sexp.mli: Format

@@ -1,0 +1,1 @@
+lib/relational/store.ml: Database Wal

@@ -1,0 +1,1 @@
+lib/relational/store.mli: Database Schema Table Wal

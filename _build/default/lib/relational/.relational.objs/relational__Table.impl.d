@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Format Hashtbl List Map Option Printf Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/table.mli: Format Schema Seq Tuple Value

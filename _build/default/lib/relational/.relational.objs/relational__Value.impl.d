@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Format Hashtbl Int Sexp String

@@ -1,0 +1,1 @@
+lib/relational/wal.ml: Database List Schema Sexp Sys Table Tuple

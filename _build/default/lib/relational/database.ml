@@ -1,0 +1,120 @@
+(* A named collection of tables plus atomic application of update batches.
+
+   Updates are the blind writes of resource transactions: inserts and deletes
+   of single tuples.  [apply_ops] is all-or-nothing — it undoes the applied
+   prefix when a later operation fails — which is what lets the quantum
+   engine treat a grounding execution as a classical transaction. *)
+
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+type op =
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+
+type op_error =
+  | No_such_table of string
+  | Duplicate of string * Tuple.t
+  | Missing of string * Tuple.t
+
+exception Error of op_error
+
+let op_error_to_string = function
+  | No_such_table rel -> Printf.sprintf "no such table: %s" rel
+  | Duplicate (rel, t) -> Printf.sprintf "duplicate key in %s: %s" rel (Tuple.to_string t)
+  | Missing (rel, t) -> Printf.sprintf "missing tuple in %s: %s" rel (Tuple.to_string t)
+
+let create () = { tables = Hashtbl.create 16 }
+
+let create_table t schema =
+  let name = schema.Schema.name in
+  if Hashtbl.mem t.tables name then
+    raise (Schema.Invalid (Printf.sprintf "table %s already exists" name));
+  let table = Table.create schema in
+  Hashtbl.add t.tables name table;
+  table
+
+let drop_table t name = Hashtbl.remove t.tables name
+let find_table t name = Hashtbl.find_opt t.tables name
+
+let table t name =
+  match find_table t name with
+  | Some table -> table
+  | None -> raise (Error (No_such_table name))
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort String.compare
+
+let mem_tuple t rel tuple = Table.mem (table t rel) tuple
+
+(* Does some row share the key of [tuple]?  Inserting [tuple] would then
+   violate set semantics even when the non-key columns differ. *)
+let key_occupied t rel tuple =
+  let table = table t rel in
+  let schema = Table.schema table in
+  Option.is_some (Table.find_by_key table (Schema.key_of_tuple schema tuple))
+
+let apply_op t op =
+  match op with
+  | Insert (rel, tuple) ->
+    (match Table.insert (table t rel) tuple with
+     | Table.Inserted -> ()
+     | Table.Duplicate_key -> raise (Error (Duplicate (rel, tuple))))
+  | Delete (rel, tuple) ->
+    if not (Table.delete (table t rel) tuple) then raise (Error (Missing (rel, tuple)))
+
+let invert = function
+  | Insert (rel, tuple) -> Delete (rel, tuple)
+  | Delete (rel, tuple) -> Insert (rel, tuple)
+
+let apply_ops t ops =
+  let rec go applied = function
+    | [] -> Ok ()
+    | op :: rest ->
+      (match apply_op t op with
+       | () -> go (op :: applied) rest
+       | exception Error err ->
+         (* Roll the applied prefix back, newest first. *)
+         List.iter (fun op -> apply_op t (invert op)) applied;
+         Error err)
+  in
+  go [] ops
+
+let can_apply_ops t ops =
+  match apply_ops t ops with
+  | Ok () ->
+    List.iter (fun op -> apply_op t (invert op)) (List.rev ops);
+    true
+  | Error _ -> false
+
+let copy t =
+  let fresh = { tables = Hashtbl.create (Hashtbl.length t.tables) } in
+  Hashtbl.iter (fun name table -> Hashtbl.add fresh.tables name (Table.copy table)) t.tables;
+  fresh
+
+let total_rows t = Hashtbl.fold (fun _ table acc -> acc + Table.cardinality table) t.tables 0
+
+(* Structural equality on contents: same tables, same rows.  Used by the
+   recovery tests and the possible-worlds reference. *)
+let equal a b =
+  let names x = table_names x in
+  names a = names b
+  && List.for_all
+       (fun name ->
+         let ta = table a name and tb = table b name in
+         Table.cardinality ta = Table.cardinality tb
+         && Table.fold (fun row ok -> ok && Table.mem tb row) ta true)
+       (names a)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun name -> Format.fprintf fmt "%a@," Table.pp (table t name)) (table_names t);
+  Format.fprintf fmt "@]"
+
+let op_to_sexp = function
+  | Insert (rel, tuple) -> Sexp.List [ Sexp.Atom "+"; Sexp.Atom rel; Tuple.to_sexp tuple ]
+  | Delete (rel, tuple) -> Sexp.List [ Sexp.Atom "-"; Sexp.Atom rel; Tuple.to_sexp tuple ]
+
+let op_of_sexp = function
+  | Sexp.List [ Sexp.Atom "+"; Sexp.Atom rel; tuple ] -> Insert (rel, Tuple.of_sexp tuple)
+  | Sexp.List [ Sexp.Atom "-"; Sexp.Atom rel; tuple ] -> Delete (rel, Tuple.of_sexp tuple)
+  | s -> raise (Sexp.Parse_error ("bad op sexp: " ^ Sexp.to_string s))

@@ -1,0 +1,55 @@
+(** A database: named tables plus atomic application of update batches. *)
+
+type t
+
+(** Blind single-tuple writes — the vocabulary of FOLLOWED BY blocks. *)
+type op =
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+
+type op_error =
+  | No_such_table of string
+  | Duplicate of string * Tuple.t
+  | Missing of string * Tuple.t
+
+exception Error of op_error
+
+val op_error_to_string : op_error -> string
+
+val create : unit -> t
+
+val create_table : t -> Schema.t -> Table.t
+(** @raise Schema.Invalid when the name is taken. *)
+
+val drop_table : t -> string -> unit
+val find_table : t -> string -> Table.t option
+
+val table : t -> string -> Table.t
+(** @raise Error ([No_such_table]) when absent. *)
+
+val table_names : t -> string list
+val mem_tuple : t -> string -> Tuple.t -> bool
+
+val key_occupied : t -> string -> Tuple.t -> bool
+(** Does some row share [tuple]'s key?  Inserting it would then violate
+    set semantics even when non-key columns differ. *)
+
+val apply_op : t -> op -> unit
+(** @raise Error on duplicate-key insert or missing-tuple delete. *)
+
+val invert : op -> op
+
+val apply_ops : t -> op list -> (unit, op_error) result
+(** Atomic: on failure the already-applied prefix is rolled back and the
+    database is unchanged. *)
+
+val can_apply_ops : t -> op list -> bool
+(** Dry run of [apply_ops]; always leaves the database unchanged. *)
+
+val copy : t -> t
+val total_rows : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val op_to_sexp : op -> Sexp.t
+val op_of_sexp : Sexp.t -> op

@@ -1,0 +1,268 @@
+(* Relational algebra over the in-memory engine.
+
+   This is the classical query layer of the substrate: scans, selections,
+   projections, renames, equi-joins (hash join), products, set operations
+   and LIMIT.  Rows flow as tuples with an accompanying column-name header;
+   evaluation is lazy where the operator allows it, and [Limit] cuts the
+   stream — the `LIMIT 1` shape the paper's satisfiability checks compile
+   to. *)
+
+type pred =
+  | Eq_col of string * string
+  | Neq_col of string * string
+  | Eq_const of string * Value.t
+  | Neq_const of string * Value.t
+  | Lt_const of string * Value.t
+  | Gt_const of string * Value.t
+  | And of pred list
+  | Or of pred list
+  | Not of pred
+
+(* Aggregate functions over a column (or rows, for Count). *)
+type agg =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+
+type expr =
+  | Scan of string
+  | Select of pred * expr
+  | Project of string list * expr
+  | Rename of (string * string) list * expr
+  | Join of expr * expr (* natural equi-join on shared column names *)
+  | Product of expr * expr
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Distinct of expr
+  | Limit of int * expr
+  | Aggregate of string list * (string * agg) list * expr
+    (* GROUP BY columns, named aggregates, input *)
+
+exception Eval_error of string
+
+let eval_error fmt = Format.kasprintf (fun msg -> raise (Eval_error msg)) fmt
+
+type result = {
+  header : string array;
+  rows : Tuple.t Seq.t;
+}
+
+let column_pos header name =
+  let n = Array.length header in
+  let rec go i =
+    if i >= n then eval_error "unknown column %s" name
+    else if String.equal header.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let rec eval_pred header pred (row : Tuple.t) =
+  match pred with
+  | Eq_col (a, b) -> Value.equal row.(column_pos header a) row.(column_pos header b)
+  | Neq_col (a, b) -> not (Value.equal row.(column_pos header a) row.(column_pos header b))
+  | Eq_const (a, v) -> Value.equal row.(column_pos header a) v
+  | Neq_const (a, v) -> not (Value.equal row.(column_pos header a) v)
+  | Lt_const (a, v) -> Value.compare row.(column_pos header a) v < 0
+  | Gt_const (a, v) -> Value.compare row.(column_pos header a) v > 0
+  | And ps -> List.for_all (fun p -> eval_pred header p row) ps
+  | Or ps -> List.exists (fun p -> eval_pred header p row) ps
+  | Not p -> not (eval_pred header p row)
+
+(* Force a sequence into a list so downstream multi-pass operators (hash
+   join build side, set ops) see a stable snapshot. *)
+let materialize rows = List.of_seq rows
+
+let shared_columns ha hb =
+  Array.to_list ha |> List.filter (fun c -> Array.exists (String.equal c) hb)
+
+let rec eval db expr =
+  match expr with
+  | Scan name ->
+    let table =
+      match Database.find_table db name with
+      | Some t -> t
+      | None -> eval_error "no such table: %s" name
+    in
+    (* Qualify nothing: scan exposes the schema's own column names. *)
+    { header = Schema.column_names (Table.schema table); rows = Table.to_seq table }
+  | Select (pred, e) ->
+    let r = eval db e in
+    { r with rows = Seq.filter (eval_pred r.header pred) r.rows }
+  | Project (cols, e) ->
+    let r = eval db e in
+    let positions = Array.of_list (List.map (column_pos r.header) cols) in
+    { header = Array.of_list cols; rows = Seq.map (Tuple.project positions) r.rows }
+  | Rename (renames, e) ->
+    let r = eval db e in
+    let header =
+      Array.map
+        (fun c ->
+          match List.assoc_opt c renames with
+          | Some c' -> c'
+          | None -> c)
+        r.header
+    in
+    { header; rows = r.rows }
+  | Join (a, b) ->
+    let ra = eval db a and rb = eval db b in
+    let shared = shared_columns ra.header rb.header in
+    if shared = [] then eval_error "natural join with no shared columns; use Product"
+    else hash_join ra rb shared
+  | Product (a, b) ->
+    let ra = eval db a and rb = eval db b in
+    let clash = shared_columns ra.header rb.header in
+    (match clash with
+     | c :: _ -> eval_error "product with shared column %s; rename first" c
+     | [] ->
+       let right = materialize rb.rows in
+       let rows =
+         Seq.concat_map
+           (fun ta -> List.to_seq (List.map (fun tb -> Array.append ta tb) right))
+           ra.rows
+       in
+       { header = Array.append ra.header rb.header; rows })
+  | Union (a, b) ->
+    let ra = eval db a and rb = eval db b in
+    if ra.header <> rb.header then eval_error "union headers differ";
+    let seen = Hashtbl.create 64 in
+    let keep row =
+      if Hashtbl.mem seen row then false
+      else begin
+        Hashtbl.add seen row ();
+        true
+      end
+    in
+    { ra with rows = Seq.filter keep (Seq.append ra.rows rb.rows) }
+  | Diff (a, b) ->
+    let ra = eval db a and rb = eval db b in
+    if ra.header <> rb.header then eval_error "difference headers differ";
+    let right = Hashtbl.create 64 in
+    List.iter (fun row -> Hashtbl.replace right row ()) (materialize rb.rows);
+    { ra with rows = Seq.filter (fun row -> not (Hashtbl.mem right row)) ra.rows }
+  | Distinct e ->
+    let r = eval db e in
+    let seen = Hashtbl.create 64 in
+    let keep row =
+      if Hashtbl.mem seen row then false
+      else begin
+        Hashtbl.add seen row ();
+        true
+      end
+    in
+    { r with rows = Seq.filter keep r.rows }
+  | Limit (n, e) ->
+    let r = eval db e in
+    { r with rows = Seq.take n r.rows }
+  | Aggregate (group_cols, aggs, e) ->
+    let r = eval db e in
+    let group_pos = Array.of_list (List.map (column_pos r.header) group_cols) in
+    let agg_col = function
+      | Count -> None
+      | Sum c | Min c | Max c -> Some (column_pos r.header c)
+    in
+    let agg_positions = List.map (fun (_, a) -> (a, agg_col a)) aggs in
+    let groups : (Tuple.t, Tuple.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    Seq.iter
+      (fun row ->
+        let key = Tuple.project group_pos row in
+        match Hashtbl.find_opt groups key with
+        | Some cell -> cell := row :: !cell
+        | None -> Hashtbl.add groups key (ref [ row ]))
+      r.rows;
+    let int_of = function
+      | Value.Int n -> n
+      | v -> eval_error "SUM over non-integer value %s" (Value.to_string v)
+    in
+    let compute rows (a, pos) =
+      match a, pos with
+      | Count, _ -> Value.Int (List.length rows)
+      | Sum _, Some p -> Value.Int (List.fold_left (fun acc row -> acc + int_of (Tuple.get row p)) 0 rows)
+      | Min _, Some p ->
+        (match rows with
+         | [] -> eval_error "MIN over empty group"
+         | first :: rest ->
+           List.fold_left
+             (fun acc row -> if Value.compare (Tuple.get row p) acc < 0 then Tuple.get row p else acc)
+             (Tuple.get first p) rest)
+      | Max _, Some p ->
+        (match rows with
+         | [] -> eval_error "MAX over empty group"
+         | first :: rest ->
+           List.fold_left
+             (fun acc row -> if Value.compare (Tuple.get row p) acc > 0 then Tuple.get row p else acc)
+             (Tuple.get first p) rest)
+      | (Sum _ | Min _ | Max _), None -> assert false
+    in
+    let header = Array.of_list (group_cols @ List.map fst aggs) in
+    let out =
+      Hashtbl.fold
+        (fun key rows acc ->
+          let agg_values = List.map (compute !rows) agg_positions in
+          Array.append key (Array.of_list agg_values) :: acc)
+        groups []
+    in
+    (* Aggregation over an empty ungrouped input yields one all-zero /
+       undefined row only for COUNT; follow SQL and emit a single row when
+       there are no GROUP BY columns. *)
+    let out =
+      if out = [] && group_cols = [] then
+        [ Array.of_list (List.map (fun (_, a) ->
+              match a with
+              | Count -> Value.Int 0
+              | Sum _ -> Value.Int 0
+              | Min _ | Max _ -> eval_error "MIN/MAX over empty input") aggs) ]
+      else out
+    in
+    { header; rows = List.to_seq out }
+
+(* Hash join on the shared column names: build on the right input, probe
+   with the left; the output header is left's columns followed by right's
+   non-shared columns (natural-join convention). *)
+and hash_join ra rb shared =
+  let left_pos = List.map (column_pos ra.header) shared in
+  let right_pos = List.map (column_pos rb.header) shared in
+  let right_keep =
+    (* positions of right columns not in the shared set *)
+    let shared_set = List.map (column_pos rb.header) shared in
+    Array.to_list rb.header
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (i, _) -> not (List.mem i shared_set))
+  in
+  let build = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let key = List.map (fun i -> row.(i)) right_pos in
+      let bucket = try Hashtbl.find build key with Not_found -> [] in
+      Hashtbl.replace build key (row :: bucket))
+    (materialize rb.rows);
+  let header =
+    Array.append ra.header (Array.of_list (List.map snd right_keep))
+  in
+  let rows =
+    Seq.concat_map
+      (fun la ->
+        let key = List.map (fun i -> la.(i)) left_pos in
+        match Hashtbl.find_opt build key with
+        | None -> Seq.empty
+        | Some matches ->
+          List.to_seq matches
+          |> Seq.map (fun rb_row ->
+            Array.append la (Array.of_list (List.map (fun (i, _) -> rb_row.(i)) right_keep))))
+      ra.rows
+  in
+  { header; rows }
+
+let run db expr =
+  let r = eval db expr in
+  (r.header, materialize r.rows)
+
+let run_first db expr =
+  let r = eval db (Limit (1, expr)) in
+  match Seq.uncons r.rows with
+  | Some (row, _) -> Some (r.header, row)
+  | None -> None
+
+let count db expr =
+  let r = eval db expr in
+  Seq.fold_left (fun n _ -> n + 1) 0 r.rows

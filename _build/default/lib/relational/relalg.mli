@@ -1,0 +1,50 @@
+(** Relational algebra over the in-memory engine: scans, selections,
+    projections, renames, natural hash joins, products, set operations,
+    DISTINCT and LIMIT — the classical query surface of the substrate. *)
+
+type pred =
+  | Eq_col of string * string
+  | Neq_col of string * string
+  | Eq_const of string * Value.t
+  | Neq_const of string * Value.t
+  | Lt_const of string * Value.t
+  | Gt_const of string * Value.t
+  | And of pred list
+  | Or of pred list
+  | Not of pred
+
+(** Aggregate functions. *)
+type agg =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+
+type expr =
+  | Scan of string
+  | Select of pred * expr
+  | Project of string list * expr
+  | Rename of (string * string) list * expr
+  | Join of expr * expr  (** natural equi-join on shared column names *)
+  | Product of expr * expr  (** headers must be disjoint *)
+  | Union of expr * expr  (** set union; headers must agree *)
+  | Diff of expr * expr
+  | Distinct of expr
+  | Limit of int * expr
+  | Aggregate of string list * (string * agg) list * expr
+      (** GROUP BY columns, (output name, aggregate) pairs, input.  With no
+          group columns and empty input, COUNT/SUM yield one zero row. *)
+
+exception Eval_error of string
+
+type result = {
+  header : string array;
+  rows : Tuple.t Seq.t;
+}
+
+val eval : Database.t -> expr -> result
+(** Lazy evaluation: [Limit] cuts the underlying stream. *)
+
+val run : Database.t -> expr -> string array * Tuple.t list
+val run_first : Database.t -> expr -> (string array * Tuple.t) option
+val count : Database.t -> expr -> int

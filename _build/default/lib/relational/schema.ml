@@ -1,0 +1,120 @@
+(* Relation schemas.  Every relation that can appear in the FOLLOWED BY
+   clause of a resource transaction must have a key (paper, Section 3.2.1);
+   we make that universal: every relation declares a key, defaulting to the
+   whole tuple, which gives set semantics. *)
+
+type column = {
+  col_name : string;
+  col_ty : Value.ty;
+}
+
+type t = {
+  name : string;
+  columns : column array;
+  key : int array; (* indices of key columns, sorted, nonempty *)
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun msg -> raise (Invalid msg)) fmt
+
+let column name ty = { col_name = name; col_ty = ty }
+
+let make ~name ~columns ?key () =
+  if columns = [] then invalid "schema %s: no columns" name;
+  let columns = Array.of_list columns in
+  let arity = Array.length columns in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c.col_name then
+        invalid "schema %s: duplicate column %s" name c.col_name;
+      Hashtbl.add seen c.col_name ())
+    columns;
+  let key =
+    match key with
+    | None -> Array.init arity Fun.id
+    | Some [] -> invalid "schema %s: empty key" name
+    | Some cols ->
+      let idx_of col =
+        let rec find i =
+          if i >= arity then invalid "schema %s: key column %s not found" name col
+          else if String.equal columns.(i).col_name col then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      let ids = List.map idx_of cols in
+      let sorted = List.sort_uniq Int.compare ids in
+      if List.length sorted <> List.length ids then
+        invalid "schema %s: duplicate key column" name;
+      Array.of_list sorted
+  in
+  { name; columns; key }
+
+let arity s = Array.length s.columns
+let column_names s = Array.map (fun c -> c.col_name) s.columns
+let column_types s = Array.map (fun c -> c.col_ty) s.columns
+let key_indices s = s.key
+let key_of_tuple s t = Tuple.project s.key t
+
+let column_index s col =
+  let rec find i =
+    if i >= arity s then None
+    else if String.equal s.columns.(i).col_name col then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let check_tuple s t =
+  if Tuple.arity t <> arity s then
+    invalid "relation %s: tuple arity %d, expected %d" s.name (Tuple.arity t) (arity s);
+  Array.iteri
+    (fun i v ->
+      if Value.type_of v <> s.columns.(i).col_ty then
+        invalid "relation %s: column %s expects %s, got %s" s.name s.columns.(i).col_name
+          (Value.ty_name s.columns.(i).col_ty)
+          (Value.ty_name (Value.type_of v)))
+    t
+
+let pp fmt s =
+  let pp_col fmt c = Format.fprintf fmt "%s:%s" c.col_name (Value.ty_name c.col_ty) in
+  Format.fprintf fmt "%s(@[<h>%a@])@ key=[%a]" s.name
+    (Format.pp_print_seq ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ") pp_col)
+    (Array.to_seq s.columns)
+    (Format.pp_print_seq ~pp_sep:(fun fmt () -> Format.fprintf fmt ";") Format.pp_print_int)
+    (Array.to_seq s.key)
+
+let to_sexp s =
+  let col c =
+    Sexp.List [ Sexp.Atom c.col_name; Sexp.Atom (Value.ty_name c.col_ty) ]
+  in
+  Sexp.List
+    [ Sexp.Atom s.name;
+      Sexp.List (Array.to_list (Array.map col s.columns));
+      Sexp.List
+        (Array.to_list (Array.map (fun i -> Sexp.Atom (string_of_int i)) s.key));
+    ]
+
+let of_sexp sexp =
+  match sexp with
+  | Sexp.List [ Sexp.Atom name; Sexp.List cols; Sexp.List key ] ->
+    let parse_col = function
+      | Sexp.List [ Sexp.Atom n; Sexp.Atom ty ] ->
+        (match Value.ty_of_name ty with
+         | Some ty -> { col_name = n; col_ty = ty }
+         | None -> raise (Sexp.Parse_error ("bad column type: " ^ ty)))
+      | s -> raise (Sexp.Parse_error ("bad column sexp: " ^ Sexp.to_string s))
+    in
+    let parse_idx = function
+      | Sexp.Atom i ->
+        (match int_of_string_opt i with
+         | Some i -> i
+         | None -> raise (Sexp.Parse_error ("bad key index: " ^ i)))
+      | s -> raise (Sexp.Parse_error ("bad key sexp: " ^ Sexp.to_string s))
+    in
+    { name;
+      columns = Array.of_list (List.map parse_col cols);
+      key = Array.of_list (List.map parse_idx key);
+    }
+  | s -> raise (Sexp.Parse_error ("bad schema sexp: " ^ Sexp.to_string s))

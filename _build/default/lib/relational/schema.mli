@@ -1,0 +1,39 @@
+(** Relation schemas with mandatory keys.
+
+    Every relation declares a primary key (defaulting to the whole tuple),
+    giving the set semantics that the paper's composition theorem assumes for
+    relations written by resource transactions. *)
+
+type column = {
+  col_name : string;
+  col_ty : Value.ty;
+}
+
+type t = private {
+  name : string;
+  columns : column array;
+  key : int array;  (** indices of key columns, sorted ascending *)
+}
+
+exception Invalid of string
+
+val column : string -> Value.ty -> column
+
+val make : name:string -> columns:column list -> ?key:string list -> unit -> t
+(** Build a schema.  [key] names the key columns; omitted means the whole
+    tuple is the key.  @raise Invalid on duplicate columns, unknown key
+    columns or an empty column list. *)
+
+val arity : t -> int
+val column_names : t -> string array
+val column_types : t -> Value.ty array
+val key_indices : t -> int array
+val key_of_tuple : t -> Tuple.t -> Tuple.t
+val column_index : t -> string -> int option
+
+val check_tuple : t -> Tuple.t -> unit
+(** @raise Invalid when the tuple does not match the schema's arity/types. *)
+
+val pp : Format.formatter -> t -> unit
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> t

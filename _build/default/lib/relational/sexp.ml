@@ -1,0 +1,174 @@
+(* Minimal s-expression representation used to serialize values, tuples and
+   pending resource transactions for durability.  We implement our own codec
+   because the sealed build environment provides no sexplib; the grammar is
+   the classic one: atoms (bare or double-quoted with escapes) and lists. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+let atom s = Atom s
+let list l = List l
+
+let rec equal a b =
+  match a, b with
+  | Atom x, Atom y -> String.equal x y
+  | List xs, List ys -> ( try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | Atom _, List _ | List _, Atom _ -> false
+
+(* An atom can be printed bare when it is nonempty and contains no character
+   that the reader would interpret as structure or whitespace. *)
+let bare_atom s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | '(' | ')' | '"' | ';' | ' ' | '\t' | '\n' | '\r' -> false
+         | _ -> true)
+       s
+
+let escape_atom s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_buffer buf = function
+  | Atom s -> Buffer.add_string buf (if bare_atom s then s else escape_atom s)
+  | List l ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char buf ' ';
+        to_buffer buf s)
+      l;
+    Buffer.add_char buf ')'
+
+let to_string s =
+  let buf = Buffer.create 128 in
+  to_buffer buf s;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun msg -> raise (Parse_error msg)) fmt
+
+(* A tiny recursive-descent reader over a string with an explicit cursor. *)
+type cursor = { input : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_space cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance cur;
+    skip_space cur
+  | Some ';' ->
+    (* Comment to end of line. *)
+    let rec to_eol () =
+      match peek cur with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance cur;
+        to_eol ()
+    in
+    to_eol ();
+    skip_space cur
+  | Some _ | None -> ()
+
+let read_quoted cur =
+  let buf = Buffer.create 16 in
+  advance cur;
+  (* opening quote *)
+  let rec loop () =
+    match peek cur with
+    | None -> parse_error "unterminated string at offset %d" cur.pos
+    | Some '"' ->
+      advance cur;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+       | Some 'n' -> Buffer.add_char buf '\n'
+       | Some 't' -> Buffer.add_char buf '\t'
+       | Some 'r' -> Buffer.add_char buf '\r'
+       | Some (('"' | '\\') as c) -> Buffer.add_char buf c
+       | Some c -> parse_error "bad escape '\\%c' at offset %d" c cur.pos
+       | None -> parse_error "unterminated escape at offset %d" cur.pos);
+      advance cur;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      loop ()
+  in
+  loop ()
+
+let read_bare cur =
+  let start = cur.pos in
+  let rec loop () =
+    match peek cur with
+    | Some ('(' | ')' | '"' | ';' | ' ' | '\t' | '\n' | '\r') | None -> ()
+    | Some _ ->
+      advance cur;
+      loop ()
+  in
+  loop ();
+  String.sub cur.input start (cur.pos - start)
+
+let rec read_sexp cur =
+  skip_space cur;
+  match peek cur with
+  | None -> parse_error "unexpected end of input"
+  | Some '(' ->
+    advance cur;
+    let rec items acc =
+      skip_space cur;
+      match peek cur with
+      | Some ')' ->
+        advance cur;
+        List (List.rev acc)
+      | None -> parse_error "unterminated list"
+      | Some _ -> items (read_sexp cur :: acc)
+    in
+    items []
+  | Some ')' -> parse_error "unexpected ')' at offset %d" cur.pos
+  | Some '"' -> Atom (read_quoted cur)
+  | Some _ -> Atom (read_bare cur)
+
+let of_string input =
+  let cur = { input; pos = 0 } in
+  let s = read_sexp cur in
+  skip_space cur;
+  (match peek cur with
+   | Some c -> parse_error "trailing input '%c' at offset %d" c cur.pos
+   | None -> ());
+  s
+
+let of_string_many input =
+  let cur = { input; pos = 0 } in
+  let rec loop acc =
+    skip_space cur;
+    match peek cur with
+    | None -> List.rev acc
+    | Some _ -> loop (read_sexp cur :: acc)
+  in
+  loop []
+
+let rec pp fmt = function
+  | Atom s -> Format.pp_print_string fmt (if bare_atom s then s else escape_atom s)
+  | List l ->
+    Format.fprintf fmt "@[<hov 1>(%a)@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      l

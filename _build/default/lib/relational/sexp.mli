@@ -1,0 +1,25 @@
+(** Minimal s-expressions for durable serialization (values, tuples, pending
+    resource transactions).  Atoms are printed bare when safe, double-quoted
+    with escapes otherwise; [;] starts a comment running to end of line. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+val atom : string -> t
+val list : t list -> t
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Render on a single line; inverse of {!of_string}. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse exactly one s-expression.  @raise Parse_error on malformed input or
+    trailing garbage. *)
+
+val of_string_many : string -> t list
+(** Parse a whole document of consecutive s-expressions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** Durable store: a live {!Database.t} with write-ahead logging.
+
+    The quantum middle tier's counterpart of MySQL/InnoDB: every schema
+    change and update batch is logged before it is applied, and
+    {!crash_and_recover} rebuilds the exact pre-crash committed state. *)
+
+type t
+
+val create : Wal.backend -> t
+(** Fresh empty store over a (possibly non-empty) backend; does not replay. *)
+
+val open_ : Wal.backend -> t
+(** Open an existing log and replay it. *)
+
+val db : t -> Database.t
+val create_table : t -> Schema.t -> Table.t
+val table : t -> string -> Table.t
+val find_table : t -> string -> Table.t option
+
+val apply : t -> Database.op list -> (unit, Database.op_error) result
+(** Validate, log ahead, then apply atomically. *)
+
+val checkpoint : t -> unit
+val crash_and_recover : Wal.backend -> t

@@ -1,0 +1,365 @@
+(* In-memory table with a primary key and optional secondary hash indexes.
+
+   Rows are stored in a hash table keyed by the primary-key projection, which
+   enforces set semantics.  Secondary indexes map a column projection to the
+   set of matching primary keys; they are maintained eagerly on insert and
+   delete, and are what keeps LIMIT-1 grounding searches fast under the
+   workloads of Section 5. *)
+
+type index = {
+  idx_cols : int array;
+  (* projection on idx_cols -> set of primary keys *)
+  idx_map : (Tuple.t, (Tuple.t, unit) Hashtbl.t) Hashtbl.t;
+}
+
+module Value_map = Map.Make (Value)
+
+(* Ordered secondary index on a single column: supports range scans in
+   value order.  Backed by a persistent map under a mutable cell (cheap
+   snapshots, O(log n) maintenance). *)
+type ordered_index = {
+  oi_col : int;
+  mutable oi_map : (Tuple.t, unit) Hashtbl.t Value_map.t; (* value -> pkeys *)
+}
+
+type t = {
+  schema : Schema.t;
+  rows : (Tuple.t, Tuple.t) Hashtbl.t; (* key projection -> full tuple *)
+  mutable indexes : index list;
+  mutable ordered_indexes : ordered_index list;
+}
+
+type insert_result =
+  | Inserted
+  | Duplicate_key
+
+let create schema =
+  { schema; rows = Hashtbl.create 64; indexes = []; ordered_indexes = [] }
+let schema t = t.schema
+let cardinality t = Hashtbl.length t.rows
+
+let index_add idx pkey row =
+  let proj = Tuple.project idx.idx_cols row in
+  let bucket =
+    match Hashtbl.find_opt idx.idx_map proj with
+    | Some b -> b
+    | None ->
+      let b = Hashtbl.create 4 in
+      Hashtbl.add idx.idx_map proj b;
+      b
+  in
+  Hashtbl.replace bucket pkey ()
+
+let index_remove idx pkey row =
+  let proj = Tuple.project idx.idx_cols row in
+  match Hashtbl.find_opt idx.idx_map proj with
+  | None -> ()
+  | Some bucket ->
+    Hashtbl.remove bucket pkey;
+    if Hashtbl.length bucket = 0 then Hashtbl.remove idx.idx_map proj
+
+let ordered_add oi pkey row =
+  let v = row.(oi.oi_col) in
+  let bucket =
+    match Value_map.find_opt v oi.oi_map with
+    | Some b -> b
+    | None ->
+      let b = Hashtbl.create 4 in
+      oi.oi_map <- Value_map.add v b oi.oi_map;
+      b
+  in
+  Hashtbl.replace bucket pkey ()
+
+let ordered_remove oi pkey row =
+  let v = row.(oi.oi_col) in
+  match Value_map.find_opt v oi.oi_map with
+  | None -> ()
+  | Some bucket ->
+    Hashtbl.remove bucket pkey;
+    if Hashtbl.length bucket = 0 then oi.oi_map <- Value_map.remove v oi.oi_map
+
+let create_index t cols =
+  let arity = Schema.arity t.schema in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= arity then
+        raise (Schema.Invalid (Printf.sprintf "index column %d out of range" c)))
+    cols;
+  let exists =
+    List.exists (fun idx -> idx.idx_cols = cols) t.indexes
+  in
+  if not exists then begin
+    let idx = { idx_cols = cols; idx_map = Hashtbl.create 64 } in
+    Hashtbl.iter (fun pkey row -> index_add idx pkey row) t.rows;
+    t.indexes <- idx :: t.indexes
+  end
+
+let create_ordered_index t col =
+  let arity = Schema.arity t.schema in
+  if col < 0 || col >= arity then
+    raise (Schema.Invalid (Printf.sprintf "ordered index column %d out of range" col));
+  if not (List.exists (fun oi -> oi.oi_col = col) t.ordered_indexes) then begin
+    let oi = { oi_col = col; oi_map = Value_map.empty } in
+    Hashtbl.iter (fun pkey row -> ordered_add oi pkey row) t.rows;
+    t.ordered_indexes <- oi :: t.ordered_indexes
+  end
+
+let create_ordered_index_on t col_name =
+  match Schema.column_index t.schema col_name with
+  | Some col -> create_ordered_index t col
+  | None ->
+    raise (Schema.Invalid (Printf.sprintf "no column %s in %s" col_name t.schema.Schema.name))
+
+let create_index_on t col_names =
+  let cols =
+    List.map
+      (fun name ->
+        match Schema.column_index t.schema name with
+        | Some i -> i
+        | None ->
+          raise (Schema.Invalid (Printf.sprintf "no column %s in %s" name t.schema.Schema.name)))
+      col_names
+  in
+  create_index t (Array.of_list cols)
+
+let insert t row =
+  Schema.check_tuple t.schema row;
+  let pkey = Schema.key_of_tuple t.schema row in
+  if Hashtbl.mem t.rows pkey then Duplicate_key
+  else begin
+    Hashtbl.add t.rows pkey row;
+    List.iter (fun idx -> index_add idx pkey row) t.indexes;
+    List.iter (fun oi -> ordered_add oi pkey row) t.ordered_indexes;
+    Inserted
+  end
+
+let find_by_key t pkey = Hashtbl.find_opt t.rows pkey
+
+let mem t row =
+  match find_by_key t (Schema.key_of_tuple t.schema row) with
+  | Some existing -> Tuple.equal existing row
+  | None -> false
+
+let delete t row =
+  let pkey = Schema.key_of_tuple t.schema row in
+  match Hashtbl.find_opt t.rows pkey with
+  | Some existing when Tuple.equal existing row ->
+    Hashtbl.remove t.rows pkey;
+    List.iter (fun idx -> index_remove idx pkey existing) t.indexes;
+    List.iter (fun oi -> ordered_remove oi pkey existing) t.ordered_indexes;
+    true
+  | Some _ | None -> false
+
+let delete_by_key t pkey =
+  match Hashtbl.find_opt t.rows pkey with
+  | Some existing ->
+    Hashtbl.remove t.rows pkey;
+    List.iter (fun idx -> index_remove idx pkey existing) t.indexes;
+    List.iter (fun oi -> ordered_remove oi pkey existing) t.ordered_indexes;
+    true
+  | None -> false
+
+let iter f t = Hashtbl.iter (fun _ row -> f row) t.rows
+let fold f t init = Hashtbl.fold (fun _ row acc -> f row acc) t.rows init
+let to_list t = fold (fun row acc -> row :: acc) t []
+let to_seq t = Hashtbl.to_seq_values t.rows
+
+(* -- Pattern lookups ----------------------------------------------------- *)
+
+type pattern = Value.t option array
+
+let pattern_matches pat row =
+  let n = Array.length pat in
+  let rec go i =
+    i >= n
+    ||
+    match pat.(i) with
+    | None -> go (i + 1)
+    | Some v -> Value.equal v row.(i) && go (i + 1)
+  in
+  go 0
+
+let bound_columns pat =
+  let cols = ref [] in
+  Array.iteri (fun i v -> if v <> None then cols := i :: !cols) pat;
+  Array.of_list (List.rev !cols)
+
+(* True when every column of [cols] is bound in [pat]. *)
+let covers pat cols = Array.for_all (fun c -> pat.(c) <> None) cols
+
+let key_probe t pat =
+  if covers pat (Schema.key_indices t.schema) then begin
+    let pkey =
+      Array.map
+        (fun i ->
+          match pat.(i) with
+          | Some v -> v
+          | None -> assert false)
+        (Schema.key_indices t.schema)
+    in
+    Some pkey
+  end
+  else None
+
+(* Pick the applicable secondary index with the widest projection: more
+   bound columns means smaller buckets. *)
+let best_index t pat =
+  List.fold_left
+    (fun best idx ->
+      if covers pat idx.idx_cols then
+        match best with
+        | Some b when Array.length b.idx_cols >= Array.length idx.idx_cols -> best
+        | _ -> Some idx
+      else best)
+    None t.indexes
+
+let index_bucket t idx pat =
+  let proj =
+    Array.map
+      (fun i ->
+        match pat.(i) with
+        | Some v -> v
+        | None -> assert false)
+      idx.idx_cols
+  in
+  match Hashtbl.find_opt idx.idx_map proj with
+  | None -> Seq.empty
+  | Some bucket ->
+    Seq.filter_map (fun pkey -> Hashtbl.find_opt t.rows pkey) (Hashtbl.to_seq_keys bucket)
+
+let lookup_seq t pat =
+  if Array.length pat <> Schema.arity t.schema then
+    raise (Schema.Invalid "pattern arity mismatch");
+  match key_probe t pat with
+  | Some pkey ->
+    (match Hashtbl.find_opt t.rows pkey with
+     | Some row when pattern_matches pat row -> Seq.return row
+     | Some _ | None -> Seq.empty)
+  | None ->
+    let candidates =
+      match best_index t pat with
+      | Some idx -> index_bucket t idx pat
+      | None -> to_seq t
+    in
+    Seq.filter (pattern_matches pat) candidates
+
+let lookup t pat = List.of_seq (lookup_seq t pat)
+let lookup_first t pat = Seq.uncons (lookup_seq t pat) |> Option.map fst
+let count_matches t pat = Seq.fold_left (fun n _ -> n + 1) 0 (lookup_seq t pat)
+
+(* Upper bound on matches without scanning rows: bucket sizes when an index
+   applies, table cardinality otherwise.  Used by the solver's MRV atom
+   ordering. *)
+let estimate_matches t pat =
+  match key_probe t pat with
+  | Some pkey -> if Hashtbl.mem t.rows pkey then 1 else 0
+  | None ->
+    (match best_index t pat with
+     | Some idx ->
+       let proj =
+         Array.map
+           (fun i ->
+             match pat.(i) with
+             | Some v -> v
+             | None -> assert false)
+           idx.idx_cols
+       in
+       (match Hashtbl.find_opt idx.idx_map proj with
+        | Some bucket -> Hashtbl.length bucket
+        | None -> 0)
+     | None -> cardinality t)
+
+(* Per-index statistics: (columns, number of distinct keys).  The join-order
+   planner divides cardinality by distinct keys to estimate bucket sizes. *)
+let index_stats t =
+  List.map (fun idx -> (idx.idx_cols, Hashtbl.length idx.idx_map)) t.indexes
+
+(* -- Range scans ---------------------------------------------------------- *)
+
+type bound =
+  | Unbounded
+  | Inclusive of Value.t
+  | Exclusive of Value.t
+
+let in_range lo hi v =
+  (match lo with
+   | Unbounded -> true
+   | Inclusive b -> Value.compare v b >= 0
+   | Exclusive b -> Value.compare v b > 0)
+  &&
+  match hi with
+  | Unbounded -> true
+  | Inclusive b -> Value.compare v b <= 0
+  | Exclusive b -> Value.compare v b < 0
+
+(* Rows whose [col] value falls within the bounds, in ascending value
+   order (ties in arbitrary order).  Uses an ordered index when one
+   exists, otherwise scans and sorts. *)
+let range t ~col ?(lo = Unbounded) ?(hi = Unbounded) () =
+  if col < 0 || col >= Schema.arity t.schema then
+    raise (Schema.Invalid "range column out of range");
+  match List.find_opt (fun oi -> oi.oi_col = col) t.ordered_indexes with
+  | Some oi ->
+    (* Persistent-map traversal in key order, filtered to the bounds. *)
+    Value_map.fold
+      (fun v bucket acc ->
+        if in_range lo hi v then
+          Hashtbl.fold
+            (fun pkey () acc ->
+              match Hashtbl.find_opt t.rows pkey with
+              | Some row -> row :: acc
+              | None -> acc)
+            bucket acc
+        else acc)
+      oi.oi_map []
+    |> List.rev
+  | None ->
+    fold (fun row acc -> if in_range lo hi row.(col) then row :: acc else acc) t []
+    |> List.sort (fun a b -> Value.compare a.(col) b.(col))
+
+let range_on t ~col_name ?lo ?hi () =
+  match Schema.column_index t.schema col_name with
+  | Some col -> range t ~col ?lo ?hi ()
+  | None ->
+    raise (Schema.Invalid (Printf.sprintf "no column %s in %s" col_name t.schema.Schema.name))
+
+let min_value t ~col =
+  match List.find_opt (fun oi -> oi.oi_col = col) t.ordered_indexes with
+  | Some oi -> Option.map fst (Value_map.min_binding_opt oi.oi_map)
+  | None ->
+    fold
+      (fun row acc ->
+        match acc with
+        | Some m when Value.compare m row.(col) <= 0 -> acc
+        | _ -> Some row.(col))
+      t None
+
+let max_value t ~col =
+  match List.find_opt (fun oi -> oi.oi_col = col) t.ordered_indexes with
+  | Some oi -> Option.map fst (Value_map.max_binding_opt oi.oi_map)
+  | None ->
+    fold
+      (fun row acc ->
+        match acc with
+        | Some m when Value.compare m row.(col) >= 0 -> acc
+        | _ -> Some row.(col))
+      t None
+
+let copy t =
+  let fresh =
+    { schema = t.schema; rows = Hashtbl.copy t.rows; indexes = []; ordered_indexes = [] }
+  in
+  List.iter (fun idx -> create_index fresh idx.idx_cols) t.indexes;
+  List.iter (fun oi -> create_ordered_index fresh oi.oi_col) t.ordered_indexes;
+  fresh
+
+let clear t =
+  Hashtbl.reset t.rows;
+  List.iter (fun idx -> Hashtbl.reset idx.idx_map) t.indexes;
+  List.iter (fun oi -> oi.oi_map <- Value_map.empty) t.ordered_indexes
+
+let pp fmt t =
+  let rows = List.sort Tuple.compare (to_list t) in
+  Format.fprintf fmt "@[<v 2>%s (%d rows)" t.schema.Schema.name (cardinality t);
+  List.iter (fun row -> Format.fprintf fmt "@,%a" Tuple.pp row) rows;
+  Format.fprintf fmt "@]"

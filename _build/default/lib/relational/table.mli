@@ -1,0 +1,86 @@
+(** In-memory tables with a primary key and secondary hash indexes.
+
+    Set semantics is enforced through the schema's key.  Secondary indexes
+    accelerate pattern lookups and drive the solver's candidate enumeration
+    during grounding searches. *)
+
+type t
+
+type insert_result =
+  | Inserted
+  | Duplicate_key
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val create_index : t -> int array -> unit
+(** Add a secondary hash index on the given column indices (idempotent).
+    Existing rows are indexed immediately. *)
+
+val create_index_on : t -> string list -> unit
+(** Same, naming columns.  @raise Schema.Invalid on unknown columns. *)
+
+val create_ordered_index : t -> int -> unit
+(** Add an ordered (range-scan) index on one column (idempotent). *)
+
+val create_ordered_index_on : t -> string -> unit
+
+val insert : t -> Tuple.t -> insert_result
+(** @raise Schema.Invalid when the tuple does not fit the schema. *)
+
+val find_by_key : t -> Tuple.t -> Tuple.t option
+val mem : t -> Tuple.t -> bool
+(** [mem t row] holds only when exactly [row] is stored (key present with the
+    same non-key columns). *)
+
+val delete : t -> Tuple.t -> bool
+(** Delete exactly [row]; [false] when absent or the stored row differs on
+    non-key columns. *)
+
+val delete_by_key : t -> Tuple.t -> bool
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+val to_seq : t -> Tuple.t Seq.t
+
+(** Selection patterns: [None] is a wildcard, [Some v] an equality bound. *)
+type pattern = Value.t option array
+
+val pattern_matches : pattern -> Tuple.t -> bool
+val bound_columns : pattern -> int array
+
+val lookup : t -> pattern -> Tuple.t list
+val lookup_seq : t -> pattern -> Tuple.t Seq.t
+val lookup_first : t -> pattern -> Tuple.t option
+val count_matches : t -> pattern -> int
+
+val estimate_matches : t -> pattern -> int
+(** Cheap upper bound on [count_matches] (index bucket size or table
+    cardinality); used for most-constrained-first atom ordering. *)
+
+(** Range bounds for ordered scans. *)
+type bound =
+  | Unbounded
+  | Inclusive of Value.t
+  | Exclusive of Value.t
+
+val range : t -> col:int -> ?lo:bound -> ?hi:bound -> unit -> Tuple.t list
+(** Rows with [col] in the bounds, ascending by that column (ties
+    arbitrary); uses an ordered index when present, else scan + sort. *)
+
+val range_on : t -> col_name:string -> ?lo:bound -> ?hi:bound -> unit -> Tuple.t list
+val min_value : t -> col:int -> Value.t option
+val max_value : t -> col:int -> Value.t option
+
+val index_stats : t -> (int array * int) list
+(** Per secondary index: its columns and the number of distinct keys; the
+    basis of the join-order planner's bucket-size estimates. *)
+
+val copy : t -> t
+(** Deep copy (rows and indexes); the possible-worlds reference forks states
+    with this. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(* Tuples are immutable value arrays.  By convention callers never mutate a
+   tuple after handing it to a table; [copy] exists for the rare cases where a
+   caller builds tuples incrementally. *)
+
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let arity = Array.length
+let get = Array.get
+let copy = Array.copy
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+(* Projection onto a list of column indices, used for key extraction and
+   secondary-index keys. *)
+let project indices t = Array.map (fun i -> t.(i)) indices
+
+let pp fmt t =
+  Format.fprintf fmt "(@[<h>%a@])"
+    (Format.pp_print_seq
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+       Value.pp)
+    (Array.to_seq t)
+
+let to_string t = Format.asprintf "%a" pp t
+let to_sexp t = Sexp.List (Array.to_list (Array.map Value.to_sexp t))
+
+let of_sexp = function
+  | Sexp.List items -> Array.of_list (List.map Value.of_sexp items)
+  | Sexp.Atom _ as s -> raise (Sexp.Parse_error ("bad tuple sexp: " ^ Sexp.to_string s))

@@ -1,0 +1,24 @@
+(** Immutable tuples of database values. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+val copy : t -> t
+
+val compare : t -> t -> int
+(** Lexicographic; shorter tuples sort first. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val project : int array -> t -> t
+(** [project indices t] extracts the listed columns in order; used for
+    primary-key and secondary-index keys. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> t

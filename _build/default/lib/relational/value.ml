@@ -1,0 +1,74 @@
+(* Database values.  The travel and calendar scenarios only need integers,
+   strings and booleans; keeping the universe closed lets unification and
+   grounding stay total and decidable. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+type ty =
+  | Tint
+  | Tstr
+  | Tbool
+
+let int n = Int n
+let str s = Str s
+let bool b = Bool b
+
+let type_of = function
+  | Int _ -> Tint
+  | Str _ -> Tstr
+  | Bool _ -> Tbool
+
+let ty_name = function
+  | Tint -> "int"
+  | Tstr -> "str"
+  | Tbool -> "bool"
+
+let ty_of_name = function
+  | "int" -> Some Tint
+  | "str" -> Some Tstr
+  | "bool" -> Some Tbool
+  | _ -> None
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Int _, (Str _ | Bool _) -> -1
+  | (Str _ | Bool _), Int _ -> 1
+  | Str _, Bool _ -> -1
+  | Bool _, Str _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int n -> Hashtbl.hash (0, n)
+  | Str s -> Hashtbl.hash (1, s)
+  | Bool b -> Hashtbl.hash (2, b)
+
+let pp fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Str s -> Format.fprintf fmt "%S" s
+  | Bool b -> Format.pp_print_bool fmt b
+
+let to_string v = Format.asprintf "%a" pp v
+
+let to_sexp = function
+  | Int n -> Sexp.List [ Sexp.Atom "i"; Sexp.Atom (string_of_int n) ]
+  | Str s -> Sexp.List [ Sexp.Atom "s"; Sexp.Atom s ]
+  | Bool b -> Sexp.List [ Sexp.Atom "b"; Sexp.Atom (string_of_bool b) ]
+
+let of_sexp = function
+  | Sexp.List [ Sexp.Atom "i"; Sexp.Atom n ] ->
+    (match int_of_string_opt n with
+     | Some n -> Int n
+     | None -> raise (Sexp.Parse_error ("bad int value: " ^ n)))
+  | Sexp.List [ Sexp.Atom "s"; Sexp.Atom s ] -> Str s
+  | Sexp.List [ Sexp.Atom "b"; Sexp.Atom b ] ->
+    (match bool_of_string_opt b with
+     | Some b -> Bool b
+     | None -> raise (Sexp.Parse_error ("bad bool value: " ^ b)))
+  | s -> raise (Sexp.Parse_error ("bad value sexp: " ^ Sexp.to_string s))

@@ -1,0 +1,34 @@
+(** Database values: the closed universe over which tuples, unification and
+    grounding operate. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+(** Column types. *)
+type ty =
+  | Tint
+  | Tstr
+  | Tbool
+
+val int : int -> t
+val str : string -> t
+val bool : bool -> t
+
+val type_of : t -> ty
+val ty_name : ty -> string
+val ty_of_name : string -> ty option
+
+val compare : t -> t -> int
+(** Total order: all ints before all strings before all booleans; natural
+    order within a type. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> t
+(** @raise Sexp.Parse_error on a sexp that does not encode a value. *)

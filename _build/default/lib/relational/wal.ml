@@ -1,0 +1,152 @@
+(* Write-ahead log with batch atomicity.
+
+   Each record is one s-expression per line.  A batch is bracketed by
+   [Begin n] and [Commit n]; replay applies only complete batches, so a
+   crash in the middle of a batch loses the batch but never tears it.
+   DDL ([Create_table]) and checkpoints are recorded inline: a [Checkpoint]
+   record carries a full database image and resets the replay baseline. *)
+
+type record =
+  | Create_table of Schema.t
+  | Begin of int
+  | Op of Database.op
+  | Commit of int
+  | Checkpoint of Sexp.t (* serialized database image *)
+
+type backend = {
+  append : string -> unit;
+  read_all : unit -> string list;
+  reset : unit -> unit;
+}
+
+let mem_backend () =
+  let lines = ref [] in
+  {
+    append = (fun line -> lines := line :: !lines);
+    read_all = (fun () -> List.rev !lines);
+    reset = (fun () -> lines := []);
+  }
+
+let file_backend path =
+  let append line =
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc
+  in
+  let read_all () =
+    if not (Sys.file_exists path) then []
+    else begin
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      go []
+    end
+  in
+  let reset () = if Sys.file_exists path then Sys.remove path in
+  { append; read_all; reset }
+
+let record_to_sexp = function
+  | Create_table schema -> Sexp.List [ Sexp.Atom "ddl"; Schema.to_sexp schema ]
+  | Begin n -> Sexp.List [ Sexp.Atom "begin"; Sexp.Atom (string_of_int n) ]
+  | Op op -> Sexp.List [ Sexp.Atom "op"; Database.op_to_sexp op ]
+  | Commit n -> Sexp.List [ Sexp.Atom "commit"; Sexp.Atom (string_of_int n) ]
+  | Checkpoint image -> Sexp.List [ Sexp.Atom "checkpoint"; image ]
+
+let record_of_sexp = function
+  | Sexp.List [ Sexp.Atom "ddl"; schema ] -> Create_table (Schema.of_sexp schema)
+  | Sexp.List [ Sexp.Atom "begin"; Sexp.Atom n ] -> Begin (int_of_string n)
+  | Sexp.List [ Sexp.Atom "op"; op ] -> Op (Database.op_of_sexp op)
+  | Sexp.List [ Sexp.Atom "commit"; Sexp.Atom n ] -> Commit (int_of_string n)
+  | Sexp.List [ Sexp.Atom "checkpoint"; image ] -> Checkpoint image
+  | s -> raise (Sexp.Parse_error ("bad wal record: " ^ Sexp.to_string s))
+
+type t = {
+  backend : backend;
+  mutable next_batch : int;
+}
+
+let create backend = { backend; next_batch = 0 }
+let log t record = t.backend.append (Sexp.to_string (record_to_sexp record))
+
+let log_batch t ops =
+  let id = t.next_batch in
+  t.next_batch <- id + 1;
+  log t (Begin id);
+  List.iter (fun op -> log t (Op op)) ops;
+  log t (Commit id);
+  id
+
+let records t = List.map (fun line -> record_of_sexp (Sexp.of_string line)) (t.backend.read_all ())
+
+(* -- Database images for checkpoints ------------------------------------- *)
+
+let database_to_sexp db =
+  let table_sexp name =
+    let table = Database.table db name in
+    Sexp.List
+      [ Schema.to_sexp (Table.schema table);
+        Sexp.List (List.map Tuple.to_sexp (List.sort Tuple.compare (Table.to_list table)));
+      ]
+  in
+  Sexp.List (List.map table_sexp (Database.table_names db))
+
+let database_of_sexp sexp =
+  let db = Database.create () in
+  (match sexp with
+   | Sexp.List tables ->
+     List.iter
+       (fun t ->
+         match t with
+         | Sexp.List [ schema; Sexp.List rows ] ->
+           let table = Database.create_table db (Schema.of_sexp schema) in
+           List.iter
+             (fun row ->
+               match Table.insert table (Tuple.of_sexp row) with
+               | Table.Inserted -> ()
+               | Table.Duplicate_key ->
+                 raise (Sexp.Parse_error "duplicate row in checkpoint image"))
+             rows
+         | s -> raise (Sexp.Parse_error ("bad table image: " ^ Sexp.to_string s)))
+       tables
+   | Sexp.Atom _ -> raise (Sexp.Parse_error "bad database image"));
+  db
+
+let checkpoint t db = log t (Checkpoint (database_to_sexp db))
+
+(* Replay the log into a fresh database.  Incomplete trailing batches are
+   dropped; a checkpoint record replaces everything seen so far. *)
+let replay t =
+  let db = ref (Database.create ()) in
+  let pending = ref None in
+  let max_batch = ref (-1) in
+  let apply_record = function
+    | Create_table schema -> ignore (Database.create_table !db schema)
+    | Checkpoint image ->
+      db := database_of_sexp image;
+      pending := None
+    | Begin n ->
+      max_batch := max !max_batch n;
+      pending := Some (n, [])
+    | Op op ->
+      (match !pending with
+       | Some (n, ops) -> pending := Some (n, op :: ops)
+       | None -> raise (Sexp.Parse_error "op outside batch in wal"))
+    | Commit n ->
+      (match !pending with
+       | Some (m, ops) when m = n ->
+         (match Database.apply_ops !db (List.rev ops) with
+          | Ok () -> ()
+          | Error err ->
+            raise (Sexp.Parse_error ("wal replay failed: " ^ Database.op_error_to_string err)));
+         pending := None
+       | Some _ | None -> raise (Sexp.Parse_error "mismatched commit in wal"))
+  in
+  List.iter apply_record (records t);
+  t.next_batch <- !max_batch + 1;
+  !db

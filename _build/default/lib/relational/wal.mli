@@ -1,0 +1,45 @@
+(** Write-ahead log with batch atomicity and checkpoints.
+
+    Records are one s-expression per line on a pluggable backend (in-memory
+    for tests and crash simulation, file for real persistence).  Replay
+    applies only complete [Begin]/[Commit] batches, so a crash mid-batch
+    never tears an update. *)
+
+type record =
+  | Create_table of Schema.t
+  | Begin of int
+  | Op of Database.op
+  | Commit of int
+  | Checkpoint of Sexp.t
+
+type backend = {
+  append : string -> unit;
+  read_all : unit -> string list;
+  reset : unit -> unit;
+}
+
+val mem_backend : unit -> backend
+val file_backend : string -> backend
+
+val record_to_sexp : record -> Sexp.t
+val record_of_sexp : Sexp.t -> record
+
+type t
+
+val create : backend -> t
+val log : t -> record -> unit
+
+val log_batch : t -> Database.op list -> int
+(** Bracket [ops] in a fresh batch; returns the batch id. *)
+
+val records : t -> record list
+
+val database_to_sexp : Database.t -> Sexp.t
+val database_of_sexp : Sexp.t -> Database.t
+
+val checkpoint : t -> Database.t -> unit
+(** Append a full database image; replay restarts from the latest one. *)
+
+val replay : t -> Database.t
+(** Rebuild the database from the log, dropping incomplete trailing batches,
+    and reposition the batch counter past the highest batch seen. *)

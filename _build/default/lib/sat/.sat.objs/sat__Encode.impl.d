@@ -1,0 +1,1 @@
+lib/sat/encode.ml: Array Atom Cnf Dpll Formula Hashtbl List Logic Option Relational Subst Term

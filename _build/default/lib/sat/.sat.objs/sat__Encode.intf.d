@@ -1,0 +1,1 @@
+lib/sat/encode.mli: Cnf Logic Relational

@@ -1,0 +1,59 @@
+(* CNF instances.  Variables are positive integers minted by the builder;
+   literals are nonzero integers (negative = negated), DIMACS style. *)
+
+type lit = int
+
+type t = {
+  mutable num_vars : int;
+  mutable clauses : lit array list;
+  mutable num_clauses : int;
+}
+
+let create () = { num_vars = 0; clauses = []; num_clauses = 0 }
+
+let fresh_var t =
+  t.num_vars <- t.num_vars + 1;
+  t.num_vars
+
+let var_of_lit l = abs l
+let neg l = -l
+
+exception Bad_literal of int
+
+let add_clause t lits =
+  List.iter
+    (fun l ->
+      if l = 0 || abs l > t.num_vars then raise (Bad_literal l))
+    lits;
+  (* Drop tautologies and duplicate literals. *)
+  let sorted = List.sort_uniq Int.compare lits in
+  let tautology = List.exists (fun l -> List.mem (-l) sorted) sorted in
+  if not tautology then begin
+    t.clauses <- Array.of_list sorted :: t.clauses;
+    t.num_clauses <- t.num_clauses + 1
+  end
+
+let add_at_most_one t lits =
+  let rec pairs = function
+    | [] -> ()
+    | l :: rest ->
+      List.iter (fun l' -> add_clause t [ -l; -l' ]) rest;
+      pairs rest
+  in
+  pairs lits
+
+let add_exactly_one t lits =
+  add_clause t lits;
+  add_at_most_one t lits
+
+let clauses t = t.clauses
+let num_vars t = t.num_vars
+let num_clauses t = t.num_clauses
+
+let pp fmt t =
+  Format.fprintf fmt "p cnf %d %d@." t.num_vars t.num_clauses;
+  List.iter
+    (fun clause ->
+      Array.iter (fun l -> Format.fprintf fmt "%d " l) clause;
+      Format.fprintf fmt "0@.")
+    (List.rev t.clauses)

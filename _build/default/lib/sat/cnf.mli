@@ -1,0 +1,27 @@
+(** CNF instances, DIMACS-style: positive-integer variables, signed-integer
+    literals. *)
+
+type lit = int
+
+type t
+
+val create : unit -> t
+val fresh_var : t -> lit
+val var_of_lit : lit -> int
+val neg : lit -> lit
+
+exception Bad_literal of int
+
+val add_clause : t -> lit list -> unit
+(** Deduplicates literals and drops tautologies.
+    @raise Bad_literal on zero or out-of-range literals. *)
+
+val add_at_most_one : t -> lit list -> unit
+(** Pairwise AMO encoding. *)
+
+val add_exactly_one : t -> lit list -> unit
+
+val clauses : t -> lit array list
+val num_vars : t -> int
+val num_clauses : t -> int
+val pp : Format.formatter -> t -> unit

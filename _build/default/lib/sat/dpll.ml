@@ -1,0 +1,235 @@
+(* DPLL SAT solver with two watched literals per clause, unit propagation,
+   activity-guided branching and chronological backtracking.
+
+   Section 6 of the paper proposes offloading composed-body satisfiability
+   to SAT/SMT solvers; this solver plus {!Encode} realizes that proposal as
+   an ablation backend.  CDCL clause learning is deliberately out of scope:
+   the instances the encoder produces at bench scale are small and heavily
+   structured, and the watched-literal DPLL already solves them in
+   microseconds. *)
+
+type result =
+  | Sat of bool array (* assignment indexed by variable (1-based; index 0 unused) *)
+  | Unsat
+
+type assignment =
+  | Unassigned
+  | True_at of int (* decision level *)
+  | False_at of int
+
+type state = {
+  num_vars : int;
+  clauses : int array array;
+  (* watches.(lit_index l) = clauses watching literal l *)
+  watches : int list array;
+  assign : assignment array;
+  mutable trail : (int * bool) list; (* (var, was_decision) newest first *)
+  mutable level : int;
+  activity : float array;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let lit_index num_vars l = if l > 0 then l else num_vars + -l
+
+let value st l =
+  match st.assign.(abs l) with
+  | Unassigned -> None
+  | True_at _ -> Some (l > 0)
+  | False_at _ -> Some (l < 0)
+
+let make num_vars clauses =
+  {
+    num_vars;
+    clauses = Array.of_list (List.map Array.copy clauses);
+    watches = Array.make ((2 * num_vars) + 1) [];
+    assign = Array.make (num_vars + 1) Unassigned;
+    trail = [];
+    level = 0;
+    activity = Array.make (num_vars + 1) 0.;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let watch st l ci = st.watches.(lit_index st.num_vars l) <- ci :: st.watches.(lit_index st.num_vars l)
+
+(* Move a satisfied or unassigned literal into watch position [wi] (0 or 1)
+   of clause [ci]; returns the new watched literal or None when none exists. *)
+let find_new_watch st ci wi =
+  let clause = st.clauses.(ci) in
+  let other = clause.(1 - wi) in
+  let n = Array.length clause in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let l = clause.(i) in
+      if l <> other && value st l <> Some false then begin
+        let tmp = clause.(wi) in
+        clause.(wi) <- l;
+        clause.(i) <- tmp;
+        Some l
+      end
+      else go (i + 1)
+    end
+  in
+  go 2
+
+let assign_lit st l ~decision =
+  let v = abs l in
+  st.assign.(v) <- (if l > 0 then True_at st.level else False_at st.level);
+  st.trail <- (v, decision) :: st.trail
+
+(* Propagate the consequences of literal [l] having become true.  Returns
+   false on conflict. *)
+let rec propagate st l =
+  st.propagations <- st.propagations + 1;
+  let falsified = -l in
+  let watching = st.watches.(lit_index st.num_vars falsified) in
+  st.watches.(lit_index st.num_vars falsified) <- [];
+  let rec process kept = function
+    | [] ->
+      st.watches.(lit_index st.num_vars falsified) <-
+        kept @ st.watches.(lit_index st.num_vars falsified);
+      true
+    | ci :: rest ->
+      let clause = st.clauses.(ci) in
+      let wi = if clause.(0) = falsified then 0 else 1 in
+      (match find_new_watch st ci wi with
+       | Some new_lit ->
+         watch st new_lit ci;
+         process kept rest
+       | None ->
+         let other = clause.(1 - wi) in
+         (match value st other with
+          | Some true -> process (ci :: kept) rest
+          | Some false ->
+            (* Conflict: restore remaining watches before reporting. *)
+            st.watches.(lit_index st.num_vars falsified) <-
+              (ci :: kept) @ rest @ st.watches.(lit_index st.num_vars falsified);
+            st.conflicts <- st.conflicts + 1;
+            false
+          | None ->
+            assign_lit st other ~decision:false;
+            if propagate st other then process (ci :: kept) rest
+            else begin
+              st.watches.(lit_index st.num_vars falsified) <-
+                (ci :: kept) @ rest @ st.watches.(lit_index st.num_vars falsified);
+              false
+            end))
+  in
+  process [] watching
+
+(* Undo trail entries down to and including the most recent decision;
+   returns that decision variable, or None at level 0. *)
+let backtrack st =
+  let rec undo = function
+    | [] ->
+      st.trail <- [];
+      None
+    | (v, decision) :: rest ->
+      let was_true =
+        match st.assign.(v) with
+        | True_at _ -> true
+        | False_at _ | Unassigned -> false
+      in
+      st.assign.(v) <- Unassigned;
+      if decision then begin
+        st.trail <- rest;
+        st.level <- st.level - 1;
+        Some (v, was_true)
+      end
+      else undo rest
+  in
+  undo st.trail
+
+let pick_branch_var st =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to st.num_vars do
+    if st.assign.(v) = Unassigned && st.activity.(v) > !best_act then begin
+      best := v;
+      best_act := st.activity.(v)
+    end
+  done;
+  if !best = 0 then None else Some !best
+
+let bump st clause = Array.iter (fun l -> st.activity.(abs l) <- st.activity.(abs l) +. 1.) clause
+
+let solve ?(num_vars = 0) clauses =
+  let num_vars =
+    List.fold_left (fun m c -> Array.fold_left (fun m l -> max m (abs l)) m c) num_vars clauses
+  in
+  (* Empty clause means immediate UNSAT; single-literal clauses become
+     level-0 assignments below. *)
+  if List.exists (fun c -> Array.length c = 0) clauses then Unsat
+  else begin
+    let multi, units = List.partition (fun c -> Array.length c >= 2) clauses in
+    let st = make num_vars multi in
+    Array.iteri
+      (fun ci clause ->
+        watch st clause.(0) ci;
+        watch st clause.(1) ci;
+        bump st clause)
+      st.clauses;
+    let conflict = ref false in
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let l = clause.(0) in
+          match value st l with
+          | Some true -> ()
+          | Some false -> conflict := true
+          | None ->
+            assign_lit st l ~decision:false;
+            if not (propagate st l) then conflict := true
+        end)
+      units;
+    if !conflict then Unsat
+    else begin
+      (* Main DPLL loop with chronological backtracking: try var=false
+         first (most encoder variables are "this candidate is unused"),
+         flip on conflict, backtrack when both polarities failed. *)
+      let rec decide () =
+        match pick_branch_var st with
+        | None ->
+          let model = Array.make (num_vars + 1) false in
+          for v = 1 to num_vars do
+            model.(v) <-
+              (match st.assign.(v) with
+               | True_at _ -> true
+               | False_at _ | Unassigned -> false)
+          done;
+          Sat model
+        | Some v ->
+          st.decisions <- st.decisions + 1;
+          st.level <- st.level + 1;
+          branch v false ~flipped:false
+      and branch v polarity ~flipped =
+        assign_lit st (if polarity then v else -v) ~decision:true;
+        if propagate st (if polarity then v else -v) then decide ()
+        else resolve_conflict v polarity ~flipped
+      and resolve_conflict _v _polarity ~flipped:_ =
+        (* Undo to the most recent decision; flip it when it was tried in
+           only one polarity, otherwise keep unwinding. *)
+        let rec unwind () =
+          match backtrack st with
+          | None -> Unsat
+          | Some (dv, was_true) ->
+            if was_true then unwind ()
+            else begin
+              st.level <- st.level + 1;
+              branch dv true ~flipped:true
+            end
+        in
+        unwind ()
+      in
+      decide ()
+    end
+  end
+
+let check_model clauses model =
+  List.for_all
+    (fun clause ->
+      Array.exists (fun l -> if l > 0 then model.(l) else not model.(-l)) clause)
+    clauses

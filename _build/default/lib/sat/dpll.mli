@@ -1,0 +1,15 @@
+(** DPLL SAT solver: two watched literals, unit propagation,
+    activity-guided branching, chronological backtracking.  Realizes the
+    paper's Section 6 proposal of offloading composed-body satisfiability
+    to a SAT solver (via {!Encode}). *)
+
+type result =
+  | Sat of bool array  (** model indexed by variable, 1-based *)
+  | Unsat
+
+val solve : ?num_vars:int -> int array list -> result
+(** Solve a clause list (DIMACS-style literals).  [num_vars] may be given
+    when it exceeds the largest literal. *)
+
+val check_model : int array list -> bool array -> bool
+(** Does the model satisfy every clause? *)

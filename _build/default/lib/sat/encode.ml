@@ -1,0 +1,378 @@
+(* Encoding composed-body satisfiability into CNF (the paper's Section 6
+   "SMT solver" direction, propositional fragment).
+
+   Shape of the encoding:
+   - Tseitin selectors mirror the and/or structure; the root is asserted.
+   - A selected positive atom must choose exactly one candidate tuple from
+     its table (candidates come from the atom's constant pattern).
+   - Choosing a tuple implies value literals e[v=c] for the atom's variable
+     positions; at-most-one over a variable's value literals enforces
+     functional consistency across atoms sharing the variable.
+   - (Dis)equality leaves become conditional conflicts over value literals;
+     a variable with no selected binding atom is unconstrained, matching
+     the vacuous-satisfiability semantics of the search solver.
+
+   The encoding is deliberately eager (no lazy theory propagation), so its
+   size grows with candidate counts; [Too_large] signals when the instance
+   budget is exceeded.  That cost profile is the point of the ablation —
+   at paper-workload scale the search solver wins, as Section 6
+   anticipates when it calls for a *specialized* background theory. *)
+
+module Value = Relational.Value
+module Table = Relational.Table
+module Database = Relational.Database
+open Logic
+
+exception Unsupported of string
+exception Too_large
+
+type budget = {
+  max_candidates_per_atom : int;
+  max_clauses : int;
+}
+
+let default_budget = { max_candidates_per_atom = 4000; max_clauses = 400_000 }
+
+type value_key = int * Value.t (* variable id, value *)
+
+type env = {
+  cnf : Cnf.t;
+  db : Database.t;
+  budget : budget;
+  (* value literal per (variable, value) *)
+  value_lits : (value_key, Cnf.lit) Hashtbl.t;
+  (* values minted per variable id, for pairwise exclusions *)
+  var_values : (int, Value.t list ref) Hashtbl.t;
+  (* chosen-tuple literals: (atom occurrence id, tuple) *)
+  mutable atom_choices : (Cnf.lit * Atom.t * Relational.Tuple.t) list;
+  (* equality bits per unordered variable pair (mini-EUF; see
+     [prepare_equality_theory]) *)
+  eq_bits : (int * int, Cnf.lit) Hashtbl.t;
+}
+
+let check_size env =
+  if Cnf.num_clauses env.cnf > env.budget.max_clauses then raise Too_large
+
+let value_lit env (v : Term.var) value =
+  let key = (v.Term.vid, value) in
+  match Hashtbl.find_opt env.value_lits key with
+  | Some l -> l
+  | None ->
+    let l = Cnf.fresh_var env.cnf in
+    Hashtbl.add env.value_lits key l;
+    let known =
+      match Hashtbl.find_opt env.var_values v.Term.vid with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add env.var_values v.Term.vid r;
+        r
+    in
+    (* A variable takes at most one value. *)
+    List.iter
+      (fun other ->
+        Cnf.add_clause env.cnf [ Cnf.neg l; Cnf.neg (Hashtbl.find env.value_lits (v.Term.vid, other)) ])
+      !known;
+    known := value :: !known;
+    check_size env;
+    l
+
+(* Selector for a positive atom leaf. *)
+let encode_atom env (a : Atom.t) =
+  let selector = Cnf.fresh_var env.cnf in
+  (match Database.find_table env.db a.Atom.rel with
+   | None ->
+     (* Unknown relation: the atom can never ground. *)
+     Cnf.add_clause env.cnf [ Cnf.neg selector ]
+   | Some table ->
+     let candidates = Table.lookup table (Atom.to_pattern a) in
+     if List.length candidates > env.budget.max_candidates_per_atom then raise Too_large;
+     let choice_lits =
+       List.map
+         (fun tuple ->
+           let b = Cnf.fresh_var env.cnf in
+           env.atom_choices <- (b, a, tuple) :: env.atom_choices;
+           Array.iteri
+             (fun i t ->
+               match t with
+               | Term.V v -> Cnf.add_clause env.cnf [ Cnf.neg b; value_lit env v tuple.(i) ]
+               | Term.C _ -> ())
+             a.Atom.args;
+           b)
+         candidates
+     in
+     (match choice_lits with
+      | [] -> Cnf.add_clause env.cnf [ Cnf.neg selector ]
+      | _ ->
+        Cnf.add_clause env.cnf (Cnf.neg selector :: choice_lits);
+        Cnf.add_at_most_one env.cnf choice_lits));
+  check_size env;
+  selector
+
+let values_of_var env (v : Term.var) =
+  match Hashtbl.find_opt env.var_values v.Term.vid with
+  | Some r -> !r
+  | None -> []
+
+(* Equality bit of an unordered variable pair; minted (with its value
+   bridging) by [prepare_equality_theory], which must have seen the pair. *)
+let eq_bit env (v1 : Term.var) (v2 : Term.var) =
+  let key = (min v1.Term.vid v2.Term.vid, max v1.Term.vid v2.Term.vid) in
+  match Hashtbl.find_opt env.eq_bits key with
+  | Some l -> l
+  | None ->
+    (* A pair outside every prepared class: its bit is fresh and only the
+       leaf selectors constrain it (both variables are value-free). *)
+    let l = Cnf.fresh_var env.cnf in
+    Hashtbl.add env.eq_bits key l;
+    l
+
+let encode_eq env t1 t2 =
+  let selector = Cnf.fresh_var env.cnf in
+  (match t1, t2 with
+   | Term.C a, Term.C b ->
+     if not (Value.equal a b) then Cnf.add_clause env.cnf [ Cnf.neg selector ]
+   | Term.V v, Term.C c | Term.C c, Term.V v ->
+     (* v = c: assert the value literal (so equality chains propagate even
+        for variables no atom binds) and exclude every other value. *)
+     Cnf.add_clause env.cnf [ Cnf.neg selector; value_lit env v c ];
+     List.iter
+       (fun value ->
+         if not (Value.equal value c) then
+           Cnf.add_clause env.cnf [ Cnf.neg selector; Cnf.neg (value_lit env v value) ])
+       (values_of_var env v)
+   | Term.V v1, Term.V v2 ->
+     if not (Term.equal_var v1 v2) then
+       Cnf.add_clause env.cnf [ Cnf.neg selector; eq_bit env v1 v2 ]);
+  check_size env;
+  selector
+
+let encode_neq env t1 t2 =
+  let selector = Cnf.fresh_var env.cnf in
+  (match t1, t2 with
+   | Term.C a, Term.C b ->
+     if Value.equal a b then Cnf.add_clause env.cnf [ Cnf.neg selector ]
+   | Term.V v, Term.C c | Term.C c, Term.V v ->
+     Cnf.add_clause env.cnf [ Cnf.neg selector; Cnf.neg (value_lit env v c) ]
+   | Term.V v1, Term.V v2 ->
+     if Term.equal_var v1 v2 then Cnf.add_clause env.cnf [ Cnf.neg selector ]
+     else Cnf.add_clause env.cnf [ Cnf.neg selector; Cnf.neg (eq_bit env v1 v2) ]);
+  check_size env;
+  selector
+
+(* Three passes: atoms first so every variable's candidate values exist;
+   then an equality-closure pass that equalizes domains across var-var
+   equality links (so transitive chains like v1=v2 ∧ v2=v3 propagate even
+   when the middle variable is bound by no atom); finally the structure
+   selectors. *)
+let rec mint_atoms env f acc =
+  match f with
+  | Formula.Atom a -> (f, encode_atom env a) :: acc
+  | Formula.And fs | Formula.Or fs -> List.fold_left (fun acc f -> mint_atoms env f acc) acc fs
+  | Formula.Not_atom _ | Formula.Key_free _ ->
+    raise (Unsupported "negative atoms are not SAT-encodable here")
+  | Formula.Lt _ | Formula.Le _ ->
+    raise (Unsupported "order constraints are not SAT-encodable here")
+  | Formula.True | Formula.False | Formula.Eq _ | Formula.Neq _ -> acc
+
+let equalize_domains env formula =
+  (* Collect var-const constraints (minting their value literals) and
+     var-var (dis)equality links from every leaf, regardless of Or context
+     — an over-approximation that only adds conditional clauses, never
+     spurious conflicts. *)
+  let links = ref [] in
+  let rec walk = function
+    | Formula.True | Formula.False | Formula.Atom _ | Formula.Not_atom _
+    | Formula.Key_free _ -> ()
+    | Formula.Eq (Term.V v, Term.C c) | Formula.Eq (Term.C c, Term.V v)
+    | Formula.Neq (Term.V v, Term.C c) | Formula.Neq (Term.C c, Term.V v) ->
+      ignore (value_lit env v c)
+    | Formula.Eq (Term.V v1, Term.V v2) | Formula.Neq (Term.V v1, Term.V v2) ->
+      if not (Term.equal_var v1 v2) then links := (v1, v2) :: !links
+    | Formula.Eq _ | Formula.Neq _ | Formula.Lt _ | Formula.Le _ -> ()
+    | Formula.And fs | Formula.Or fs -> List.iter walk fs
+  in
+  walk formula;
+  (* Union-find over equality links. *)
+  let parent = Hashtbl.create 16 in
+  let rec find v =
+    match Hashtbl.find_opt parent v with
+    | Some p when p <> v ->
+      let root = find p in
+      Hashtbl.replace parent v root;
+      root
+    | _ -> v
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  let vars_of_class = Hashtbl.create 16 in
+  List.iter
+    (fun ((v1 : Term.var), (v2 : Term.var)) ->
+      Hashtbl.replace parent v1.Term.vid (Option.value ~default:v1.Term.vid (Hashtbl.find_opt parent v1.Term.vid));
+      Hashtbl.replace parent v2.Term.vid (Option.value ~default:v2.Term.vid (Hashtbl.find_opt parent v2.Term.vid));
+      union v1.Term.vid v2.Term.vid)
+    !links;
+  List.iter
+    (fun ((v1 : Term.var), (v2 : Term.var)) ->
+      List.iter
+        (fun v ->
+          let root = find v.Term.vid in
+          let members = Option.value ~default:[] (Hashtbl.find_opt vars_of_class root) in
+          if not (List.exists (fun (m : Term.var) -> m.Term.vid = v.Term.vid) members) then
+            Hashtbl.replace vars_of_class root (v :: members))
+        [ v1; v2 ])
+    !links;
+  (* Equalize domains and build the equality theory per class: every
+     member gets every class value; every pair gets an equality bit with
+     value bridging (eq ∧ v1=a → v2=a, and same-value → eq); triples get
+     transitivity.  This is a small eager EUF fragment — sufficient
+     because classes are the leaves' own variable clusters. *)
+  Hashtbl.iter
+    (fun _root members ->
+      let all_values =
+        List.sort_uniq Value.compare (List.concat_map (values_of_var env) members)
+      in
+      List.iter
+        (fun v -> List.iter (fun value -> ignore (value_lit env v value)) all_values)
+        members;
+      let members = Array.of_list members in
+      let n = Array.length members in
+      if n > 16 then raise Too_large;
+      let bit i j =
+        let v1 = members.(i) and v2 = members.(j) in
+        let key = (min v1.Term.vid v2.Term.vid, max v1.Term.vid v2.Term.vid) in
+        match Hashtbl.find_opt env.eq_bits key with
+        | Some l -> l
+        | None ->
+          let l = Cnf.fresh_var env.cnf in
+          Hashtbl.add env.eq_bits key l;
+          l
+      in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let eq = bit i j in
+          List.iter
+            (fun a ->
+              let l1 = value_lit env members.(i) a and l2 = value_lit env members.(j) a in
+              (* eq ∧ (vi = a) → (vj = a), both directions. *)
+              Cnf.add_clause env.cnf [ Cnf.neg eq; Cnf.neg l1; l2 ];
+              Cnf.add_clause env.cnf [ Cnf.neg eq; Cnf.neg l2; l1 ];
+              (* same concrete value forces the bit. *)
+              Cnf.add_clause env.cnf [ Cnf.neg l1; Cnf.neg l2; eq ])
+            all_values
+        done
+      done;
+      (* Transitivity over every triple. *)
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          for k = j + 1 to n - 1 do
+            let ij = bit i j and jk = bit j k and ik = bit i k in
+            Cnf.add_clause env.cnf [ Cnf.neg ij; Cnf.neg jk; ik ];
+            Cnf.add_clause env.cnf [ Cnf.neg ij; Cnf.neg ik; jk ];
+            Cnf.add_clause env.cnf [ Cnf.neg jk; Cnf.neg ik; ij ]
+          done
+        done
+      done;
+      check_size env)
+    vars_of_class
+
+let rec encode_node env atom_selectors f =
+  match f with
+  | Formula.True ->
+    let l = Cnf.fresh_var env.cnf in
+    l
+  | Formula.False ->
+    let l = Cnf.fresh_var env.cnf in
+    Cnf.add_clause env.cnf [ Cnf.neg l ];
+    l
+  | Formula.Atom _ ->
+    (* Physical identity: every atom occurrence was minted exactly once. *)
+    let rec find = function
+      | [] -> assert false
+      | (g, l) :: rest -> if g == f then l else find rest
+    in
+    find atom_selectors
+  | Formula.Not_atom _ | Formula.Key_free _ ->
+    raise (Unsupported "negative atoms are not SAT-encodable here")
+  | Formula.Lt _ | Formula.Le _ ->
+    raise (Unsupported "order constraints are not SAT-encodable here")
+  | Formula.Eq (a, b) -> encode_eq env a b
+  | Formula.Neq (a, b) -> encode_neq env a b
+  | Formula.And fs ->
+    let selector = Cnf.fresh_var env.cnf in
+    List.iter
+      (fun f ->
+        let l = encode_node env atom_selectors f in
+        Cnf.add_clause env.cnf [ Cnf.neg selector; l ])
+      fs;
+    check_size env;
+    selector
+  | Formula.Or fs ->
+    let selector = Cnf.fresh_var env.cnf in
+    let lits = List.map (encode_node env atom_selectors) fs in
+    Cnf.add_clause env.cnf (Cnf.neg selector :: lits);
+    check_size env;
+    selector
+
+type encoded = {
+  cnf : Cnf.t;
+  decode : bool array -> Subst.t;
+}
+
+let encode ?(budget = default_budget) db formula =
+  let env =
+    {
+      cnf = Cnf.create ();
+      db;
+      budget;
+      value_lits = Hashtbl.create 256;
+      var_values = Hashtbl.create 64;
+      atom_choices = [];
+      eq_bits = Hashtbl.create 64;
+    }
+  in
+  let atom_selectors = mint_atoms env formula [] in
+  equalize_domains env formula;
+  let root = encode_node env atom_selectors formula in
+  Cnf.add_clause env.cnf [ root ];
+  let choices = env.atom_choices in
+  let value_lits = Hashtbl.fold (fun k l acc -> (k, l) :: acc) env.value_lits [] in
+  let decode model =
+    (* Recover bindings from the value literals; tuple-choice literals are
+       implied and need no separate walk. *)
+    let subst =
+      List.fold_left
+        (fun acc ((vid, value), l) ->
+          if model.(l) then
+            (* Reconstruct a variable with the right id; names are lost in
+               the key but irrelevant for identity. *)
+            Subst.bind { Term.vname = "x"; vid } (Term.C value) acc
+          else acc)
+        Subst.empty value_lits
+    in
+    ignore choices;
+    subst
+  in
+  { cnf = env.cnf; decode }
+
+let satisfiable ?budget db formula =
+  match formula with
+  | Formula.True -> Some true
+  | Formula.False -> Some false
+  | _ ->
+    (match encode ?budget db formula with
+     | { cnf; _ } ->
+       (match Dpll.solve (Cnf.clauses cnf) with
+        | Dpll.Sat _ -> Some true
+        | Dpll.Unsat -> Some false)
+     | exception Too_large -> None)
+
+let solve ?budget db formula =
+  match encode ?budget db formula with
+  | { cnf; decode } ->
+    (match Dpll.solve (Cnf.clauses cnf) with
+     | Dpll.Sat model -> Some (Some (decode model))
+     | Dpll.Unsat -> Some None)
+  | exception Too_large -> None

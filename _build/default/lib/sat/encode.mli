@@ -1,0 +1,34 @@
+(** CNF encoding of composed-body satisfiability — the ablation backend for
+    the paper's Section 6 SAT/SMT-offloading proposal. *)
+
+exception Unsupported of string
+(** Raised on formulas with negative atoms (not SAT-encodable eagerly). *)
+
+exception Too_large
+
+type budget = {
+  max_candidates_per_atom : int;
+  max_clauses : int;
+}
+
+val default_budget : budget
+
+type encoded = {
+  cnf : Cnf.t;
+  decode : bool array -> Logic.Subst.t;
+}
+
+val encode : ?budget:budget -> Relational.Database.t -> Logic.Formula.t -> encoded
+(** @raise Too_large when the instance exceeds the budget.
+    @raise Unsupported on negative atoms. *)
+
+val satisfiable : ?budget:budget -> Relational.Database.t -> Logic.Formula.t -> bool option
+(** [Some verdict], or [None] when the encoding exceeded its budget. *)
+
+val solve :
+  ?budget:budget ->
+  Relational.Database.t ->
+  Logic.Formula.t ->
+  Logic.Subst.t option option
+(** [Some (Some subst)] with a decoded witness, [Some None] when
+    unsatisfiable, [None] when over budget. *)

@@ -1,0 +1,1 @@
+lib/solver/backtrack.ml: Atom Formula List Logic Option Relational Seq Subst Term Unify

@@ -1,0 +1,1 @@
+lib/solver/backtrack.mli: Logic Relational

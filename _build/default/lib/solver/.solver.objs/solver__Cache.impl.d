@@ -1,0 +1,1 @@
+lib/solver/cache.ml: Backtrack Formula List Logic Subst Term

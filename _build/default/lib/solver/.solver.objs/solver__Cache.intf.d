@@ -1,0 +1,1 @@
+lib/solver/cache.mli: Backtrack Logic Relational

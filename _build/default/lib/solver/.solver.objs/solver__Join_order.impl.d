@@ -1,0 +1,1 @@
+lib/solver/join_order.ml: Array Atom Float List Logic Relational Term

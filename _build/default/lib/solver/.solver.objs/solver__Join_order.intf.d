@@ -1,0 +1,1 @@
+lib/solver/join_order.mli: Logic Relational

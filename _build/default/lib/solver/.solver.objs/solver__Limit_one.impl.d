@@ -1,0 +1,1 @@
+lib/solver/limit_one.ml: Atom Backtrack Formula Join_order List Logic Option Relational Seq Subst Term Unify

@@ -1,0 +1,1 @@
+lib/solver/limit_one.mli: Backtrack Logic Relational

@@ -1,0 +1,1 @@
+lib/solver/query.ml: Array Atom Backtrack Format Formula Hashtbl List Logic Option Relational Subst Term

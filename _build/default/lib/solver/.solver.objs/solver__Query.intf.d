@@ -1,0 +1,1 @@
+lib/solver/query.mli: Format Logic Relational

@@ -1,0 +1,1 @@
+lib/solver/soft.ml: Array Backtrack Formula Fun Int List Logic Option Subst

@@ -1,0 +1,1 @@
+lib/solver/soft.mli: Backtrack Logic Relational

@@ -1,0 +1,375 @@
+(* Grounding search: find a valuation of a composed-body formula over the
+   extensional database, or report that none exists.
+
+   This is the satisfiability checker at the heart of the quantum database
+   invariant (Section 3.2.1).  The paper's prototype compiles the composed
+   body to a LIMIT 1 SQL query; we search directly with the same effect —
+   an indexed nested-loop join that stops at the first answer:
+
+   - equalities are unified eagerly (union-find style via Subst),
+   - positive atoms are choice points enumerated through table indexes,
+     picked most-constrained-first (smallest candidate estimate),
+   - OR nodes (from unification predicates of inserts) are choice points
+     over branches,
+   - disequalities and negated atoms are deferred until ground, then
+     checked; constraints still non-ground when all atoms are placed are
+     vacuously satisfiable because the value universe is unbounded and the
+     remaining variables are otherwise unconstrained. *)
+
+module Value = Relational.Value
+module Table = Relational.Table
+module Database = Relational.Database
+open Logic
+
+type stats = {
+  mutable nodes : int; (* choice points expanded *)
+  mutable candidates : int; (* tuples / branches tried *)
+  mutable backtracks : int;
+  mutable propagations : int;
+}
+
+let fresh_stats () = { nodes = 0; candidates = 0; backtracks = 0; propagations = 0 }
+
+let add_stats ~into s =
+  into.nodes <- into.nodes + s.nodes;
+  into.candidates <- into.candidates + s.candidates;
+  into.backtracks <- into.backtracks + s.backtracks;
+  into.propagations <- into.propagations + s.propagations
+
+exception Too_many_nodes
+
+(* Internal goals after decomposing the conjunctive structure. *)
+type goal =
+  | G_atom of Atom.t
+  | G_or of Formula.t list
+  | G_neq of Term.t * Term.t
+  | G_not_atom of Atom.t
+  | G_key_free of Atom.t
+  | G_lt of Term.t * Term.t
+  | G_le of Term.t * Term.t
+
+(* Decompose a conjunction into goals, preserving formula order: ties in
+   the branching heuristic fall back to list order, so callers can put the
+   most conflict-prone obligations first (the grounding path relies on
+   this to keep failures shallow). *)
+let goals_of_formula f init =
+  let rec go f acc =
+    match f with
+    | Formula.True -> Some acc
+    | Formula.False -> None
+    | Formula.Atom a -> Some (G_atom a :: acc)
+    | Formula.Not_atom a -> Some (G_not_atom a :: acc)
+    | Formula.Key_free a -> Some (G_key_free a :: acc)
+    | Formula.Eq _ ->
+      (* Equalities are consumed by propagation before decomposition; keep
+         them as a one-branch Or so the generic path handles stragglers. *)
+      Some (G_or [ f ] :: acc)
+    | Formula.Neq (t1, t2) -> Some (G_neq (t1, t2) :: acc)
+    | Formula.Lt (t1, t2) -> Some (G_lt (t1, t2) :: acc)
+    | Formula.Le (t1, t2) -> Some (G_le (t1, t2) :: acc)
+    | Formula.And fs -> List.fold_left (fun acc f -> Option.bind acc (go f)) (Some acc) fs
+    | Formula.Or fs -> Some (G_or fs :: acc)
+  in
+  Option.map (fun gs -> List.rev_append gs init) (go f [])
+
+(* Simplify a formula under the current bindings; cheap and local. *)
+let simplify subst f = Formula.apply_subst subst f
+
+(* One propagation pass over the goal list.  Returns [None] on conflict,
+   otherwise the simplified remaining goals and the extended substitution.
+   [changed] reports whether anything was learned, so the caller can run to
+   a fixpoint. *)
+let propagate db stats subst goals =
+  let changed = ref false in
+  let rec go subst acc = function
+    | [] -> Some (subst, List.rev acc, !changed)
+    | G_atom a :: rest ->
+      let a = Subst.apply_atom subst a in
+      if Atom.is_ground a then begin
+        stats.propagations <- stats.propagations + 1;
+        changed := true;
+        if Database.mem_tuple db a.Atom.rel (Atom.to_tuple a) then go subst acc rest
+        else None
+      end
+      else go subst (G_atom a :: acc) rest
+    | G_neq (t1, t2) :: rest ->
+      (match Formula.neq (Subst.resolve subst t1) (Subst.resolve subst t2) with
+       | Formula.True ->
+         changed := true;
+         go subst acc rest
+       | Formula.False -> None
+       | Formula.Neq (t1, t2) -> go subst (G_neq (t1, t2) :: acc) rest
+       | _ -> assert false)
+    | G_lt (t1, t2) :: rest ->
+      (match Formula.lt (Subst.resolve subst t1) (Subst.resolve subst t2) with
+       | Formula.True ->
+         changed := true;
+         go subst acc rest
+       | Formula.False -> None
+       | Formula.Lt (t1, t2) -> go subst (G_lt (t1, t2) :: acc) rest
+       | _ -> assert false)
+    | G_le (t1, t2) :: rest ->
+      (match Formula.le (Subst.resolve subst t1) (Subst.resolve subst t2) with
+       | Formula.True ->
+         changed := true;
+         go subst acc rest
+       | Formula.False -> None
+       | Formula.Le (t1, t2) -> go subst (G_le (t1, t2) :: acc) rest
+       | _ -> assert false)
+    | G_not_atom a :: rest ->
+      let a = Subst.apply_atom subst a in
+      if Atom.is_ground a then begin
+        changed := true;
+        if Database.mem_tuple db a.Atom.rel (Atom.to_tuple a) then None else go subst acc rest
+      end
+      else go subst (G_not_atom a :: acc) rest
+    | G_key_free a :: rest ->
+      let a = Subst.apply_atom subst a in
+      if Atom.is_ground a then begin
+        changed := true;
+        if Database.key_occupied db a.Atom.rel (Atom.to_tuple a) then None
+        else go subst acc rest
+      end
+      else go subst (G_key_free a :: acc) rest
+    | G_or fs :: rest ->
+      let fs = List.map (simplify subst) fs in
+      (match Formula.or_ fs with
+       | Formula.True ->
+         changed := true;
+         go subst acc rest
+       | Formula.False -> None
+       | Formula.Eq (t1, t2) ->
+         (* The disjunction collapsed to a single equality: unify now. *)
+         changed := true;
+         (match Unify.unify_terms subst t1 t2 with
+          | Some subst -> go subst acc rest
+          | None -> None)
+       | Formula.And _ as f ->
+         (* Collapsed to one branch: splice its goals in. *)
+         changed := true;
+         (match goals_of_formula f [] with
+          | Some gs -> go subst acc (gs @ rest)
+          | None -> None)
+       | Formula.Atom a ->
+         changed := true;
+         go subst acc (G_atom a :: rest)
+       | Formula.Not_atom a ->
+         changed := true;
+         go subst acc (G_not_atom a :: rest)
+       | Formula.Key_free a ->
+         changed := true;
+         go subst acc (G_key_free a :: rest)
+       | Formula.Neq (t1, t2) ->
+         changed := true;
+         go subst acc (G_neq (t1, t2) :: rest)
+       | Formula.Lt (t1, t2) ->
+         changed := true;
+         go subst acc (G_lt (t1, t2) :: rest)
+       | Formula.Le (t1, t2) ->
+         changed := true;
+         go subst acc (G_le (t1, t2) :: rest)
+       | Formula.Or fs -> go subst (G_or fs :: acc) rest)
+  in
+  go subst [] goals
+
+let rec propagate_fix db stats subst goals =
+  match propagate db stats subst goals with
+  | None -> None
+  | Some (subst', goals', changed) ->
+    if changed then propagate_fix db stats subst' goals' else Some (subst', goals')
+
+(* Candidate estimate for branching choice. *)
+let atom_estimate db subst a =
+  let a = Subst.apply_atom subst a in
+  match Database.find_table db a.Atom.rel with
+  | None -> 0
+  | Some table -> Table.estimate_matches table (Atom.to_pattern a)
+
+(* Does any branch of the disjunction contain a positive atom?  Such OR
+   nodes are *generators* (e.g. ground-on-db vs ground-on-pending-insert
+   options) and are worth branching early; OR nodes made purely of
+   (dis)equalities are *constraints* (negated unification predicates) and
+   branching them first multiplies the search by 2^#pairs — they must be
+   left to propagation, which decides them as atoms ground. *)
+let rec formula_has_atom = function
+  | Formula.Atom _ -> true
+  | Formula.And fs | Formula.Or fs -> List.exists formula_has_atom fs
+  | Formula.True | Formula.False | Formula.Not_atom _ | Formula.Key_free _ | Formula.Eq _
+  | Formula.Neq _ | Formula.Lt _ | Formula.Le _ -> false
+
+(* Pick the goal to branch on: the positive atom or generator-OR node with
+   the fewest alternatives; constraint-OR nodes only when nothing else is
+   left.  Returns the goal and the list without it. *)
+let pick_branch db subst goals =
+  let best = ref None and fallback = ref None in
+  let consider cell goal cost =
+    match !cell with
+    | Some (_, c) when c <= cost -> ()
+    | _ -> cell := Some (goal, cost)
+  in
+  List.iter
+    (fun goal ->
+      match goal with
+      | G_atom a -> consider best goal (atom_estimate db subst a)
+      | G_or fs ->
+        if List.exists formula_has_atom fs then consider best goal (List.length fs)
+        else consider fallback goal (List.length fs)
+      | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> ())
+    goals;
+  let chosen =
+    match !best with
+    | Some _ as b -> b
+    | None -> !fallback
+  in
+  match chosen with
+  | None -> None
+  | Some (goal, _) ->
+    let removed = ref false in
+    let rest =
+      List.filter
+        (fun g ->
+          if (not !removed) && g == goal then begin
+            removed := true;
+            false
+          end
+          else true)
+        goals
+    in
+    Some (goal, rest)
+
+let default_node_limit = 2_000_000
+
+let solve_goals ?(node_limit = default_node_limit) db stats subst goals =
+  (* The budget is per call: [stats] may be a long-lived cumulative
+     counter shared across the engine's lifetime. *)
+  let node_ceiling = stats.nodes + node_limit in
+  let rec search subst goals =
+    if stats.nodes > node_ceiling then raise Too_many_nodes;
+    match propagate_fix db stats subst goals with
+    | None -> None
+    | Some (subst, goals) ->
+      (match pick_branch db subst goals with
+       | None ->
+         (* Only deferred Neq / Not_atom goals remain, all with at least one
+            unbound, otherwise-unconstrained variable: vacuously satisfiable
+            over an unbounded value universe. *)
+         Some subst
+       | Some (goal, rest) ->
+         stats.nodes <- stats.nodes + 1;
+         (match goal with
+          | G_atom a ->
+            let a = Subst.apply_atom subst a in
+            (match Database.find_table db a.Atom.rel with
+             | None -> None
+             | Some table ->
+               (* Sorted enumeration: deterministic, and it *packs*
+                  witnesses into the low end of each resource domain,
+                  which keeps contiguous resources (whole seat rows) free
+                  for later coordination constraints.  Measurably better
+                  than hash order for the seeded grounding solves. *)
+               let candidates =
+                 List.to_seq
+                   (List.sort Relational.Tuple.compare
+                      (Table.lookup table (Atom.to_pattern a)))
+               in
+               try_tuples a rest subst candidates)
+          | G_or fs -> try_branches rest subst fs
+          | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> assert false))
+  and try_tuples a rest subst candidates =
+    match Seq.uncons candidates with
+    | None ->
+      stats.backtracks <- stats.backtracks + 1;
+      None
+    | Some (tuple, more) ->
+      stats.candidates <- stats.candidates + 1;
+      let ground = Atom.of_tuple a.Atom.rel tuple in
+      (match Unify.mgu ~subst a ground with
+       | Some subst' ->
+         (match search subst' rest with
+          | Some _ as result -> result
+          | None -> try_tuples a rest subst more)
+       | None -> try_tuples a rest subst more)
+  and try_branches rest subst = function
+    | [] ->
+      stats.backtracks <- stats.backtracks + 1;
+      None
+    | branch :: more ->
+      stats.candidates <- stats.candidates + 1;
+      (match goals_of_formula (simplify subst branch) [] with
+       | Some branch_goals ->
+         (match search subst (branch_goals @ rest) with
+          | Some _ as result -> result
+          | None -> try_branches rest subst more)
+       | None -> try_branches rest subst more)
+  in
+  search subst goals
+
+let solve ?node_limit ?(seed = Subst.empty) ?stats db formula =
+  let stats =
+    match stats with
+    | Some s -> s
+    | None -> fresh_stats ()
+  in
+  match goals_of_formula (simplify seed formula) [] with
+  | None -> None
+  | Some goals -> solve_goals ?node_limit db stats seed goals
+
+let satisfiable ?node_limit ?seed ?stats db formula =
+  Option.is_some (solve ?node_limit ?seed ?stats db formula)
+
+(* -- All-solutions enumeration (read queries, possible-worlds checks) ----- *)
+
+let solutions ?(node_limit = default_node_limit) ?(seed = Subst.empty) ?stats ?(limit = max_int)
+    db formula =
+  let stats =
+    match stats with
+    | Some s -> s
+    | None -> fresh_stats ()
+  in
+  let results = ref [] in
+  let count = ref 0 in
+  let exception Done in
+  let emit subst =
+    results := subst :: !results;
+    incr count;
+    if !count >= limit then raise Done
+  in
+  let node_ceiling = stats.nodes + node_limit in
+  let rec search subst goals =
+    if stats.nodes > node_ceiling then raise Too_many_nodes;
+    match propagate_fix db stats subst goals with
+    | None -> ()
+    | Some (subst, goals) ->
+      (match pick_branch db subst goals with
+       | None -> emit subst
+       | Some (goal, rest) ->
+         stats.nodes <- stats.nodes + 1;
+         (match goal with
+          | G_atom a ->
+            let a = Subst.apply_atom subst a in
+            (match Database.find_table db a.Atom.rel with
+             | None -> ()
+             | Some table ->
+               Seq.iter
+                 (fun tuple ->
+                   stats.candidates <- stats.candidates + 1;
+                   match Unify.mgu ~subst a (Atom.of_tuple a.Atom.rel tuple) with
+                   | Some subst' -> search subst' rest
+                   | None -> ())
+                 (Table.lookup_seq table (Atom.to_pattern a)))
+          | G_or fs ->
+            List.iter
+              (fun branch ->
+                stats.candidates <- stats.candidates + 1;
+                match goals_of_formula (simplify subst branch) [] with
+                | Some branch_goals -> search subst (branch_goals @ rest)
+                | None -> ())
+              fs
+          | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> assert false))
+  in
+  (try
+     match goals_of_formula (simplify seed formula) [] with
+     | None -> ()
+     | Some goals -> search seed goals
+   with Done -> ());
+  List.rev !results

@@ -1,0 +1,52 @@
+(** Grounding search over composed-body formulas — the satisfiability
+    checker behind the quantum-database invariant.
+
+    Equivalent to the paper's LIMIT 1 compilation: an indexed
+    nested-loop-join search that stops at the first valuation, with eager
+    equality propagation, most-constrained-first atom selection and
+    deferred disequality / negated-atom checking. *)
+
+type stats = {
+  mutable nodes : int;
+  mutable candidates : int;
+  mutable backtracks : int;
+  mutable propagations : int;
+}
+
+val fresh_stats : unit -> stats
+val add_stats : into:stats -> stats -> unit
+
+exception Too_many_nodes
+
+val default_node_limit : int
+
+val solve :
+  ?node_limit:int ->
+  ?seed:Logic.Subst.t ->
+  ?stats:stats ->
+  Relational.Database.t ->
+  Logic.Formula.t ->
+  Logic.Subst.t option
+(** First satisfying valuation, or [None].  [seed] pre-binds variables —
+    the solution-cache extension path.  Variables constrained only by
+    deferred disequalities may stay unbound in the result (they are
+    vacuously satisfiable).  @raise Too_many_nodes past [node_limit]. *)
+
+val satisfiable :
+  ?node_limit:int ->
+  ?seed:Logic.Subst.t ->
+  ?stats:stats ->
+  Relational.Database.t ->
+  Logic.Formula.t ->
+  bool
+
+val solutions :
+  ?node_limit:int ->
+  ?seed:Logic.Subst.t ->
+  ?stats:stats ->
+  ?limit:int ->
+  Relational.Database.t ->
+  Logic.Formula.t ->
+  Logic.Subst.t list
+(** All satisfying valuations (up to [limit]); used by read queries and the
+    possible-worlds cross-checks. *)

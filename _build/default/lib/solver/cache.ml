@@ -1,0 +1,146 @@
+(* Solution cache (Section 4, "Solution Cache").
+
+   A quantum database must maintain at least one valid grounding per
+   composed transaction body.  Rather than recomputing it on every
+   admission check, the cache keeps current witness valuations and first
+   tries to *extend* one of them to cover a new transaction's clauses;
+   only when every extension fails does it fall back to a full re-solve
+   of the whole composed body.
+
+   The paper's prototype kept a single solution and notes: "A strategy to
+   avoid such recomputation is to increase the number of solutions
+   maintained in the cache.  Such additional solutions can be computed by
+   a background process...  Our current prototype does not implement this
+   strategy."  This cache implements it: [capacity] witnesses are kept in
+   LRU order, and [refill] computes additional diverse witnesses (the
+   role of the paper's background process; callers decide when to spend
+   the time).  Statistics record how often each path ran. *)
+
+open Logic
+
+type stats = {
+  mutable extensions : int;
+  mutable extension_hits : int;
+  mutable full_solves : int;
+  mutable invalidations : int;
+}
+
+let fresh_stats () = { extensions = 0; extension_hits = 0; full_solves = 0; invalidations = 0 }
+
+type t = {
+  mutable witnesses : Subst.t list; (* most recently useful first *)
+  capacity : int;
+  stats : stats;
+  solver_stats : Backtrack.stats;
+}
+
+let default_capacity = 1 (* the prototype's behaviour unless asked otherwise *)
+
+let create ?(stats = fresh_stats ()) ?(capacity = default_capacity) () =
+  {
+    witnesses = [];
+    capacity = max 1 capacity;
+    stats;
+    solver_stats = Backtrack.fresh_stats ();
+  }
+
+let witness t =
+  match t.witnesses with
+  | w :: _ -> Some w
+  | [] -> None
+
+let witnesses t = t.witnesses
+let stats t = t.stats
+let solver_stats t = t.solver_stats
+
+let invalidate t =
+  t.stats.invalidations <- t.stats.invalidations + 1;
+  t.witnesses <- []
+
+let truncate t ws =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | w :: rest -> w :: take (n - 1) rest
+  in
+  take t.capacity ws
+
+(* Authoritative witness (e.g. after a grounding re-solve): older
+   witnesses belonged to a different composed body and are dropped. *)
+let set_witness t subst = t.witnesses <- [ subst ]
+
+let store_witness t subst = t.witnesses <- truncate t (subst :: t.witnesses)
+
+(* Try to extend each cached witness over [new_clauses]; on a hit the
+   successful base moves to the front (LRU).  On miss, re-solve
+   [full_formula] from scratch.  Returns the new witness (and caches it)
+   or [None] when the full formula is unsatisfiable. *)
+let extend_or_resolve ?node_limit t db ~new_clauses ~full_formula =
+  let rec try_bases tried = function
+    | [] -> None
+    | seed :: rest ->
+      t.stats.extensions <- t.stats.extensions + 1;
+      (match Backtrack.solve ?node_limit ~seed ~stats:t.solver_stats db new_clauses with
+       | Some subst ->
+         t.stats.extension_hits <- t.stats.extension_hits + 1;
+         (* Promote the successful base; the extended valuation becomes
+            the primary witness. *)
+         t.witnesses <- truncate t (subst :: List.rev_append tried rest);
+         Some subst
+       | None -> try_bases (seed :: tried) rest
+       | exception Backtrack.Too_many_nodes -> try_bases (seed :: tried) rest)
+  in
+  match try_bases [] t.witnesses with
+  | Some _ as hit -> hit
+  | None ->
+    t.stats.full_solves <- t.stats.full_solves + 1;
+    (match Backtrack.solve ?node_limit ~stats:t.solver_stats db full_formula with
+     | Some subst ->
+       store_witness t subst;
+       Some subst
+     | None -> None)
+
+let witness_satisfies db formula subst =
+  let lookup v =
+    match Subst.resolve subst (Term.V v) with
+    | Term.C value -> Some value
+    | Term.V _ -> None
+  in
+  try Formula.eval db lookup formula with Formula.Unbound _ -> false
+
+(* Re-check the cached witnesses against the current database (after a
+   blind write); invalid ones are dropped.  [true] when at least one
+   witness survives. *)
+let revalidate t db formula =
+  let surviving = List.filter (witness_satisfies db formula) t.witnesses in
+  if surviving = [] then begin
+    if t.witnesses <> [] then invalidate t;
+    false
+  end
+  else begin
+    t.witnesses <- surviving;
+    true
+  end
+
+(* Compute additional diverse witnesses for [formula] up to capacity —
+   the paper's background-process role, invoked at the caller's leisure.
+   Returns how many witnesses the cache now holds. *)
+let refill ?node_limit t db formula =
+  let missing = t.capacity - List.length t.witnesses in
+  if missing > 0 then begin
+    let fresh =
+      try
+        Backtrack.solutions ?node_limit ~stats:t.solver_stats
+          ~limit:(t.capacity + List.length t.witnesses) db formula
+      with Backtrack.Too_many_nodes -> []
+    in
+    (* Keep distinct ones, existing first. *)
+    let known = t.witnesses in
+    let distinct =
+      List.filter
+        (fun w -> not (List.exists (fun k -> Subst.bindings k = Subst.bindings w) known))
+        fresh
+    in
+    t.witnesses <- truncate t (known @ distinct)
+  end;
+  List.length t.witnesses

@@ -1,0 +1,51 @@
+(** Solution cache (paper Section 4): keeps witness groundings of a
+    composed transaction body and amortizes admission checks by extending
+    them instead of re-solving.
+
+    Implements the multi-solution strategy the paper describes but left
+    unimplemented in its prototype: up to [capacity] witnesses in LRU
+    order, plus {!refill} for computing spares out of the critical path. *)
+
+type stats = {
+  mutable extensions : int;
+  mutable extension_hits : int;
+  mutable full_solves : int;
+  mutable invalidations : int;
+}
+
+val fresh_stats : unit -> stats
+
+type t
+
+val default_capacity : int
+(** 1 — the paper prototype's behaviour. *)
+
+val create : ?stats:stats -> ?capacity:int -> unit -> t
+val witness : t -> Logic.Subst.t option
+val witnesses : t -> Logic.Subst.t list
+val stats : t -> stats
+val solver_stats : t -> Backtrack.stats
+val invalidate : t -> unit
+
+val set_witness : t -> Logic.Subst.t -> unit
+(** Authoritative witness for a new composed body; spares are dropped. *)
+
+val extend_or_resolve :
+  ?node_limit:int ->
+  t ->
+  Relational.Database.t ->
+  new_clauses:Logic.Formula.t ->
+  full_formula:Logic.Formula.t ->
+  Logic.Subst.t option
+(** Try to extend each cached witness over [new_clauses] (successful base
+    promoted, LRU); on miss re-solve [full_formula].  Caches and returns
+    the resulting witness; [None] means the composed body is
+    unsatisfiable and admission must be refused. *)
+
+val revalidate : t -> Relational.Database.t -> Logic.Formula.t -> bool
+(** After an external write: drop witnesses the current database no
+    longer supports; [true] when at least one survives. *)
+
+val refill : ?node_limit:int -> t -> Relational.Database.t -> Logic.Formula.t -> int
+(** Top the cache up to capacity with distinct witnesses (the paper's
+    background-process role); returns the number now held. *)

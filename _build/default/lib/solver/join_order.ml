@@ -1,0 +1,110 @@
+(* Join-order planning with bounded search depth.
+
+   The paper's prototype leans on MySQL's optimizer, whose plan search is
+   exhaustive by default and bounded by `optimizer_search_depth`; the
+   evaluation section sets that parameter to 3 and later attributes latency
+   anomalies to bad plans.  This module reproduces the mechanism: a
+   depth-[d] lookahead over atom orderings with a textbook cardinality
+   model — exhaustive when [search_depth >= number of atoms], greedy
+   committing one atom at a time otherwise. *)
+
+module Table = Relational.Table
+module Database = Relational.Database
+open Logic
+
+(* Estimated result size of probing [atom] when the variables in [bound]
+   already have values.  Constants and bound variables both count as bound
+   columns; an index on a superset-of-bound column set gives
+   cardinality / distinct-keys, a primary key fully covered gives 1. *)
+let estimate db bound (atom : Atom.t) =
+  match Database.find_table db atom.Atom.rel with
+  | None -> 0.
+  | Some table ->
+    let schema = Table.schema table in
+    let card = float_of_int (Table.cardinality table) in
+    if card = 0. then 0.
+    else begin
+      let bound_cols =
+        let cols = ref [] in
+        Array.iteri
+          (fun i t ->
+            match t with
+            | Term.C _ -> cols := i :: !cols
+            | Term.V v -> if Term.Var_set.mem v bound then cols := i :: !cols)
+          atom.Atom.args;
+        !cols
+      in
+      let covered idx_cols = Array.for_all (fun c -> List.mem c bound_cols) idx_cols in
+      if covered (Relational.Schema.key_indices schema) then 1.
+      else begin
+        let best =
+          List.fold_left
+            (fun acc (cols, distinct) ->
+              if covered cols && distinct > 0 then Float.min acc (card /. float_of_int distinct)
+              else acc)
+            card (Table.index_stats table)
+        in
+        (* Unindexed bound columns still filter; assume independence with a
+           fixed selectivity per extra bound column. *)
+        let indexed_cols =
+          List.fold_left
+            (fun acc (cols, _) -> if covered cols then max acc (Array.length cols) else acc)
+            0 (Table.index_stats table)
+        in
+        let extra = max 0 (List.length bound_cols - indexed_cols) in
+        Float.max 1. (best *. (0.1 ** float_of_int extra))
+      end
+    end
+
+let atom_bound_vars bound (atom : Atom.t) = Term.Var_set.union bound (Atom.vars atom)
+
+(* Cost of evaluating [order]: the sum of estimated intermediate result
+   sizes, the classical left-deep nested-loop model. *)
+let cost_of_order db atoms =
+  let _, _, total =
+    List.fold_left
+      (fun (bound, rows, total) atom ->
+        let est = estimate db bound atom in
+        let rows = Float.max 1. (rows *. est) in
+        (atom_bound_vars bound atom, rows, total +. rows))
+      (Term.Var_set.empty, 1., 0.)
+      atoms
+  in
+  total
+
+(* Best next prefix of length <= depth, explored exhaustively. *)
+let rec best_extension db bound rows depth remaining =
+  if depth = 0 || remaining = [] then (0., [])
+  else begin
+    let try_first best atom =
+      let others = List.filter (fun a -> a != atom) remaining in
+      let est = estimate db bound atom in
+      let rows' = Float.max 1. (rows *. est) in
+      let sub_cost, sub_order =
+        best_extension db (atom_bound_vars bound atom) rows' (depth - 1) others
+      in
+      let cost = rows' +. sub_cost in
+      match best with
+      | Some (c, _) when c <= cost -> best
+      | _ -> Some (cost, atom :: sub_order)
+    in
+    match List.fold_left try_first None remaining with
+    | Some (cost, order) -> (cost, order)
+    | None -> (0., [])
+  end
+
+let plan ?(search_depth = max_int) db atoms =
+  let rec commit bound rows acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let depth = min search_depth (List.length remaining) in
+      (match best_extension db bound rows depth remaining with
+       | _, [] -> List.rev_append acc remaining
+       | _, first :: _ ->
+         let est = estimate db bound first in
+         let rows' = Float.max 1. (rows *. est) in
+         let remaining' = List.filter (fun a -> a != first) remaining in
+         commit (atom_bound_vars bound first) rows' (first :: acc) remaining')
+  in
+  commit Term.Var_set.empty 1. [] atoms

@@ -1,0 +1,16 @@
+(** Join-order planning with bounded lookahead — the reproduction of
+    MySQL's [optimizer_search_depth] that the paper's evaluation tunes. *)
+
+val estimate :
+  Relational.Database.t -> Logic.Term.Var_set.t -> Logic.Atom.t -> float
+(** Estimated matches for probing an atom when [bound] variables already
+    have values: 1 for a covered key, cardinality/distinct-keys for a
+    covered index, with a fixed per-extra-column selectivity otherwise. *)
+
+val cost_of_order : Relational.Database.t -> Logic.Atom.t list -> float
+(** Sum of estimated intermediate sizes under the left-deep nested-loop
+    model. *)
+
+val plan : ?search_depth:int -> Relational.Database.t -> Logic.Atom.t list -> Logic.Atom.t list
+(** Reorder atoms for evaluation.  Exhaustive when [search_depth] covers all
+    atoms (the MySQL default), greedy with depth-[d] lookahead otherwise. *)

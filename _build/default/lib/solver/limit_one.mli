@@ -1,0 +1,27 @@
+(** LIMIT-1 compilation path: the paper prototype's architecture, where each
+    satisfiability check becomes a statically-planned first-answer join
+    query.  Slower and plan-sensitive by design — the ablation counterpart
+    of {!Backtrack}. *)
+
+exception Formula_too_large
+
+val default_max_disjuncts : int
+
+val solve :
+  ?search_depth:int ->
+  ?max_disjuncts:int ->
+  ?seed:Logic.Subst.t ->
+  ?stats:Backtrack.stats ->
+  Relational.Database.t ->
+  Logic.Formula.t ->
+  Logic.Subst.t option
+(** @raise Formula_too_large when DNF expansion exceeds [max_disjuncts]. *)
+
+val satisfiable :
+  ?search_depth:int ->
+  ?max_disjuncts:int ->
+  ?seed:Logic.Subst.t ->
+  ?stats:Backtrack.stats ->
+  Relational.Database.t ->
+  Logic.Formula.t ->
+  bool

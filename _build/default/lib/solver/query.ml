@@ -1,0 +1,70 @@
+(* Conjunctive read queries: the SELECT surface clients use against a
+   quantum database.  A query has a head (the returned terms), body atoms
+   and residual constraints; answers are the distinct head tuples of all
+   satisfying valuations. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+open Logic
+
+type t = {
+  head : Term.t list;
+  body : Atom.t list;
+  constraints : Formula.t list; (* equalities / disequalities *)
+}
+
+let make ?(constraints = []) ~head ~body () = { head; body; constraints }
+
+let formula q = Formula.and_ (List.map Formula.atom q.body @ q.constraints)
+
+let vars q =
+  List.fold_left (fun acc a -> Term.Var_set.union acc (Atom.vars a)) Term.Var_set.empty q.body
+
+(* Range restriction: every head variable must occur in the body, otherwise
+   answers would be infinite. *)
+let well_formed q =
+  let bvars = vars q in
+  List.for_all
+    (fun t ->
+      match t with
+      | Term.C _ -> true
+      | Term.V v -> Term.Var_set.mem v bvars)
+    q.head
+
+exception Not_range_restricted
+
+let head_tuple subst q =
+  Array.of_list
+    (List.map
+       (fun t ->
+         match Subst.resolve subst t with
+         | Term.C v -> v
+         | Term.V _ -> raise Not_range_restricted)
+       q.head)
+
+let all ?limit db q =
+  if not (well_formed q) then raise Not_range_restricted;
+  let solutions = Backtrack.solutions ?limit db (formula q) in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun subst ->
+      let tuple = head_tuple subst q in
+      if Hashtbl.mem seen tuple then None
+      else begin
+        Hashtbl.add seen tuple ();
+        Some tuple
+      end)
+    solutions
+
+let first db q =
+  if not (well_formed q) then raise Not_range_restricted;
+  Backtrack.solve db (formula q) |> Option.map (fun subst -> head_tuple subst q)
+
+let exists db q = Option.is_some (Backtrack.solve db (formula q))
+
+let pp fmt q =
+  Format.fprintf fmt "@[<hov 2>(%a) :-@ %a@]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ") Term.pp)
+    q.head
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ") Atom.pp)
+    q.body

@@ -1,0 +1,29 @@
+(** Conjunctive read queries: head terms, body atoms, residual constraints.
+    The SELECT surface of the quantum database API. *)
+
+type t = {
+  head : Logic.Term.t list;
+  body : Logic.Atom.t list;
+  constraints : Logic.Formula.t list;
+}
+
+val make :
+  ?constraints:Logic.Formula.t list ->
+  head:Logic.Term.t list ->
+  body:Logic.Atom.t list ->
+  unit ->
+  t
+
+val formula : t -> Logic.Formula.t
+val vars : t -> Logic.Term.Var_set.t
+val well_formed : t -> bool
+
+exception Not_range_restricted
+
+val all : ?limit:int -> Relational.Database.t -> t -> Relational.Tuple.t list
+(** Distinct head tuples of all satisfying valuations.
+    @raise Not_range_restricted when a head variable misses from the body. *)
+
+val first : Relational.Database.t -> t -> Relational.Tuple.t option
+val exists : Relational.Database.t -> t -> bool
+val pp : Format.formatter -> t -> unit

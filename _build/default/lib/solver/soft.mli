@@ -1,0 +1,24 @@
+(** Soft (OPTIONAL) constraint maximization: find a valuation of the hard
+    formula satisfying as many optional formulas as possible — the
+    preference rule of Sections 2 and 3.1. *)
+
+type outcome = {
+  valuation : Logic.Subst.t;
+  satisfied : bool array;  (** per optional formula, in input order *)
+}
+
+val exact_threshold : int
+(** Up to this many optionals the subset sweep is exhaustive (optimal);
+    beyond it a greedy drop-one descent is used. *)
+
+val solve :
+  ?node_limit:int ->
+  ?seed:Logic.Subst.t ->
+  ?stats:Backtrack.stats ->
+  Relational.Database.t ->
+  hard:Logic.Formula.t ->
+  soft:Logic.Formula.t list ->
+  outcome option
+(** [None] only when the hard formula itself is unsatisfiable. *)
+
+val satisfied_count : outcome -> int

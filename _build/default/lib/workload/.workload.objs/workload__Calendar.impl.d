@@ -1,0 +1,1 @@
+lib/workload/calendar.ml: Atom Formula List Logic Quantum Relational Solver Term

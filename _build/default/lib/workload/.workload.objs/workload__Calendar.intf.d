@@ -1,0 +1,1 @@
+lib/workload/calendar.mli: Quantum Relational Solver

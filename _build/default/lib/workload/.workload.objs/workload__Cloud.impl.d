@@ -1,0 +1,1 @@
+lib/workload/cloud.ml: Array Atom Formula List Logic Quantum Relational String Term

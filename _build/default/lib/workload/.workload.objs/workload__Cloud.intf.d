@@ -1,0 +1,1 @@
+lib/workload/cloud.mli: Quantum Relational

@@ -1,0 +1,1 @@
+lib/workload/flights.ml: List Relational

@@ -1,0 +1,1 @@
+lib/workload/flights.mli: Relational

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Flights Float List Prng Quantum Relational Solver Travel Unix

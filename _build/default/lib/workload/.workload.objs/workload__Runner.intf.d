@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Flights Prng Quantum Travel

@@ -1,0 +1,1 @@
+lib/workload/travel.ml: Array Atom Flights Formula Fun Hashtbl Int List Logic Option Printf Prng Quantum Relational Solver String Term

@@ -1,0 +1,1 @@
+lib/workload/travel.mli: Flights Prng Quantum Relational Solver

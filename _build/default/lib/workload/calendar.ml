@@ -1,0 +1,98 @@
+(* The calendar-management scenario of Section 1: meetings whose time
+   slots stay quantum until shortly before they happen, so a
+   higher-priority meeting arriving late displaces them without any human
+   rescheduling.
+
+   Relations:
+     Free(person, slot)    — the person is free in the slot
+     Meeting(mid, slot)    — the meeting is fixed in the slot (after
+                             grounding; pending meetings keep it open)
+
+   A meeting request for participants p1..pn is the resource transaction
+
+     -Free(p1,s), ..., -Free(pn,s), +Meeting(m, s)
+        :-1 Free(p1,s), ..., Free(pn,s) [, preferences]
+
+   CHOOSE 1 picks a common slot; deferral keeps it unpicked until a read
+   (someone checks the calendar) or an explicit grounding. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Table = Relational.Table
+module Database = Relational.Database
+module Store = Relational.Store
+module Rtxn = Quantum.Rtxn
+open Logic
+
+let free_schema =
+  Schema.make ~name:"Free"
+    ~columns:[ Schema.column "person" Value.Tstr; Schema.column "slot" Value.Tint ]
+    ~key:[ "person"; "slot" ] ()
+
+let meeting_schema =
+  Schema.make ~name:"Meeting"
+    ~columns:[ Schema.column "mid" Value.Tstr; Schema.column "slot" Value.Tint ]
+    ~key:[ "mid" ] ()
+
+(* A working week of [days] × [hours_per_day] slots, everyone free. *)
+let fresh_store ?(backend = Relational.Wal.mem_backend ()) ~people ~days ~hours_per_day () =
+  let store = Store.create backend in
+  ignore (Store.create_table store free_schema);
+  ignore (Store.create_table store meeting_schema);
+  let ops = ref [] in
+  List.iter
+    (fun person ->
+      for slot = 0 to (days * hours_per_day) - 1 do
+        ops := Database.Insert ("Free", Tuple.of_list [ Value.Str person; Value.Int slot ]) :: !ops
+      done)
+    people;
+  (match Store.apply store (List.rev !ops) with
+   | Ok () -> ()
+   | Error err -> failwith (Database.op_error_to_string err));
+  Table.create_index_on (Store.table store "Free") [ "person" ];
+  Table.create_index_on (Store.table store "Free") [ "slot" ];
+  store
+
+(* Meeting request: any slot where all participants are free, with an
+   optional preference window [prefer_before] (e.g. "this week"). *)
+let meeting_txn ?prefer_before ~mid ~participants () =
+  let s = Term.V (Term.fresh_var "slot") in
+  let hard = List.map (fun p -> Atom.make "Free" [ Term.str p; s ]) participants in
+  let deletes = List.map (fun p -> Rtxn.Del (Atom.make "Free" [ Term.str p; s ])) participants in
+  let optional_constraints =
+    match prefer_before with
+    | Some bound -> [ Formula.lt s (Term.int bound) ]
+    | None -> []
+  in
+  Rtxn.make ~label:mid ~hard ~optional_constraints
+    ~updates:(deletes @ [ Rtxn.Ins (Atom.make "Meeting" [ Term.str mid; s ]) ])
+    ()
+
+(* A fixed-time meeting (the short-notice CEO meeting): hard slot. *)
+let fixed_meeting_txn ~mid ~participants ~slot () =
+  let s = Term.V (Term.fresh_var "slot") in
+  let hard =
+    List.map (fun p -> Atom.make "Free" [ Term.str p; s ]) participants
+    @ []
+  in
+  Rtxn.make ~label:mid ~hard
+    ~constraints:[ Formula.eq s (Term.int slot) ]
+    ~updates:
+      (List.map (fun p -> Rtxn.Del (Atom.make "Free" [ Term.str p; s ])) participants
+      @ [ Rtxn.Ins (Atom.make "Meeting" [ Term.str mid; s ]) ])
+    ()
+
+(* Where is the meeting?  Forces grounding under the Collapse policy. *)
+let slot_query mid =
+  let s = Term.V (Term.fresh_var "slot") in
+  Solver.Query.make ~head:[ s ] ~body:[ Atom.make "Meeting" [ Term.str mid; s ] ] ()
+
+let meeting_slot db mid =
+  let meetings = Database.table db "Meeting" in
+  match Table.lookup_first meetings [| Some (Value.Str mid); None |] with
+  | Some row ->
+    (match Tuple.to_list row with
+     | [ _; Value.Int slot ] -> Some slot
+     | _ -> None)
+  | None -> None

@@ -1,0 +1,27 @@
+(** The calendar-management scenario of the paper's introduction: meeting
+    slots stay quantum until observed, so late high-priority meetings
+    displace flexible ones without human rescheduling. *)
+
+val free_schema : Relational.Schema.t
+val meeting_schema : Relational.Schema.t
+
+val fresh_store :
+  ?backend:Relational.Wal.backend ->
+  people:string list ->
+  days:int ->
+  hours_per_day:int ->
+  unit ->
+  Relational.Store.t
+(** Everyone free over a [days] × [hours_per_day] slot grid. *)
+
+val meeting_txn :
+  ?prefer_before:int -> mid:string -> participants:string list -> unit -> Quantum.Rtxn.t
+(** Any slot where all participants are free; [prefer_before] adds an
+    OPTIONAL early-window preference. *)
+
+val fixed_meeting_txn :
+  mid:string -> participants:string list -> slot:int -> unit -> Quantum.Rtxn.t
+(** A hard-slot meeting (the short-notice high-priority case). *)
+
+val slot_query : string -> Solver.Query.t
+val meeting_slot : Relational.Database.t -> string -> int option

@@ -1,0 +1,106 @@
+(* Cloud-instance allocation — the EC2 scenario from the paper's
+   introduction: tenants lease "some instance with at least C cores",
+   optionally preferring a region.  Deferring the binding lets the
+   provider keep large instances free for tenants that actually need
+   them, exactly the Mickey's-window-seat effect on a different resource.
+
+   Relations:
+     Spec(iid, cores, region)   — the catalog (immutable)
+     Free(iid)                  — instances currently unleased
+     Leased(iid, tenant)        — allocations (after grounding)
+
+   A lease request is the resource transaction
+
+     -Free(i), +Leased(i, tenant)
+        :-1 Free(i), Spec(i, c, r), min_cores <= c [, ?{ r = region }] *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Table = Relational.Table
+module Database = Relational.Database
+module Store = Relational.Store
+module Rtxn = Quantum.Rtxn
+open Logic
+
+let spec_schema =
+  Schema.make ~name:"Spec"
+    ~columns:
+      [ Schema.column "iid" Value.Tint; Schema.column "cores" Value.Tint;
+        Schema.column "region" Value.Tstr ]
+    ~key:[ "iid" ] ()
+
+let free_schema =
+  Schema.make ~name:"Free" ~columns:[ Schema.column "iid" Value.Tint ] ~key:[ "iid" ] ()
+
+let leased_schema =
+  Schema.make ~name:"Leased"
+    ~columns:[ Schema.column "iid" Value.Tint; Schema.column "tenant" Value.Tstr ]
+    ~key:[ "iid" ] ()
+
+type instance = {
+  cores : int;
+  region : string;
+}
+
+(* A fleet: instance [i] gets [fleet.(i)]'s spec; everything starts free. *)
+let fresh_store ?(backend = Relational.Wal.mem_backend ()) fleet =
+  let store = Store.create backend in
+  ignore (Store.create_table store spec_schema);
+  ignore (Store.create_table store free_schema);
+  ignore (Store.create_table store leased_schema);
+  let ops = ref [] in
+  Array.iteri
+    (fun i inst ->
+      ops :=
+        Database.Insert
+          ("Spec", Tuple.of_list [ Value.Int i; Value.Int inst.cores; Value.Str inst.region ])
+        :: Database.Insert ("Free", Tuple.of_list [ Value.Int i ])
+        :: !ops)
+    fleet;
+  (match Store.apply store (List.rev !ops) with
+   | Ok () -> ()
+   | Error err -> failwith (Database.op_error_to_string err));
+  Table.create_index_on (Store.table store "Spec") [ "region" ];
+  Table.create_ordered_index_on (Store.table store "Spec") "cores";
+  store
+
+(* Lease request: any free instance with at least [min_cores], optionally
+   preferring [prefer_region]. *)
+let lease_txn ?prefer_region ~tenant ~min_cores () =
+  let i = Term.V (Term.fresh_var "i") in
+  let c = Term.V (Term.fresh_var "c") and r = Term.V (Term.fresh_var "r") in
+  let optional_constraints =
+    match prefer_region with
+    | Some region -> [ Formula.eq r (Term.str region) ]
+    | None -> []
+  in
+  Rtxn.make ~label:tenant
+    ~hard:[ Atom.make "Free" [ i ]; Atom.make "Spec" [ i; c; r ] ]
+    ~constraints:[ Formula.le (Term.int min_cores) c ]
+    ~optional_constraints
+    ~updates:
+      [ Rtxn.Del (Atom.make "Free" [ i ]);
+        Rtxn.Ins (Atom.make "Leased" [ i; Term.str tenant ]) ]
+    ()
+
+let lease_of db tenant =
+  let leased = Database.table db "Leased" in
+  Table.fold
+    (fun row acc ->
+      match acc, Tuple.to_list row with
+      | None, [ Value.Int iid; Value.Str t ] when String.equal t tenant -> Some iid
+      | acc, _ -> acc)
+    leased None
+
+let instance_spec db iid =
+  match Table.find_by_key (Database.table db "Spec") (Tuple.of_list [ Value.Int iid ]) with
+  | Some row ->
+    (match Tuple.to_list row with
+     | [ _; Value.Int cores; Value.Str region ] -> Some { cores; region }
+     | _ -> None)
+  | None -> None
+
+(* A mixed fleet: [counts] pairs of (how many, spec). *)
+let fleet counts =
+  Array.of_list (List.concat_map (fun (n, inst) -> List.init n (fun _ -> inst)) counts)

@@ -1,0 +1,27 @@
+(** Cloud-instance allocation: the EC2 scenario of the paper's
+    introduction — "some instance with at least C cores", optionally in a
+    preferred region, bound as late as possible. *)
+
+val spec_schema : Relational.Schema.t
+val free_schema : Relational.Schema.t
+val leased_schema : Relational.Schema.t
+
+type instance = {
+  cores : int;
+  region : string;
+}
+
+val fresh_store : ?backend:Relational.Wal.backend -> instance array -> Relational.Store.t
+
+val lease_txn :
+  ?prefer_region:string -> tenant:string -> min_cores:int -> unit -> Quantum.Rtxn.t
+(** [-Free(i), +Leased(i, tenant) :-1 Free(i), Spec(i,c,r), min_cores <= c]
+    with an OPTIONAL region preference. *)
+
+val lease_of : Relational.Database.t -> string -> int option
+(** The instance a tenant holds, if leased. *)
+
+val instance_spec : Relational.Database.t -> int -> instance option
+
+val fleet : (int * instance) list -> instance array
+(** Expand (count, spec) pairs into a concrete fleet. *)

@@ -1,0 +1,131 @@
+(* The travel-application database of Section 5.2.
+
+   Flights with seats arranged in rows of three; the [Adjacent] relation
+   holds the four ordered within-row pairs per row ((A,B),(B,A),(B,C),
+   (C,B)), so one coordinated couple occupies two of the four and at most
+   one couple fits per row — which is why a flight with R rows can host at
+   most 2R coordinated users, the paper's "ten rows, twenty coordination
+   requests" arithmetic. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Table = Relational.Table
+module Database = Relational.Database
+module Store = Relational.Store
+
+let flights_schema =
+  Schema.make ~name:"Flights"
+    ~columns:[ Schema.column "fno" Value.Tint; Schema.column "dest" Value.Tstr ]
+    ~key:[ "fno" ] ()
+
+let available_schema =
+  Schema.make ~name:"Available"
+    ~columns:[ Schema.column "fno" Value.Tint; Schema.column "seat" Value.Tint ]
+    ~key:[ "fno"; "seat" ] ()
+
+let bookings_schema =
+  Schema.make ~name:"Bookings"
+    ~columns:
+      [ Schema.column "user" Value.Tstr;
+        Schema.column "fno" Value.Tint;
+        Schema.column "seat" Value.Tint;
+      ]
+    ~key:[ "fno"; "seat" ] ()
+
+let adjacent_schema =
+  Schema.make ~name:"Adjacent"
+    ~columns:[ Schema.column "s1" Value.Tint; Schema.column "s2" Value.Tint ]
+    ~key:[ "s1"; "s2" ] ()
+
+type geometry = {
+  flights : int;
+  rows_per_flight : int;
+  dest : string;
+}
+
+let seats_per_flight g = 3 * g.rows_per_flight
+let total_seats g = g.flights * seats_per_flight g
+
+(* Ordered adjacent seat pairs within each row of three. *)
+let adjacent_pairs g =
+  List.concat
+    (List.init g.rows_per_flight (fun r ->
+         let a = 3 * r and b = (3 * r) + 1 and c = (3 * r) + 2 in
+         [ (a, b); (b, a); (b, c); (c, b) ]))
+
+(* Populate [db] (tables are created if missing) and build the secondary
+   indexes the grounding searches rely on. *)
+let populate_database db g =
+  let ensure schema =
+    match Database.find_table db schema.Schema.name with
+    | Some table -> table
+    | None -> Database.create_table db schema
+  in
+  let flights = ensure flights_schema in
+  let available = ensure available_schema in
+  let bookings = ensure bookings_schema in
+  let adjacent = ensure adjacent_schema in
+  Table.create_index_on available [ "fno" ];
+  Table.create_index_on bookings [ "user" ];
+  Table.create_index_on bookings [ "fno" ];
+  Table.create_index_on adjacent [ "s1" ];
+  Table.create_index_on adjacent [ "s2" ];
+  for f = 0 to g.flights - 1 do
+    ignore (Table.insert flights (Tuple.of_list [ Value.Int f; Value.Str g.dest ]));
+    for s = 0 to seats_per_flight g - 1 do
+      ignore (Table.insert available (Tuple.of_list [ Value.Int f; Value.Int s ]))
+    done
+  done;
+  List.iter
+    (fun (s1, s2) ->
+      ignore (Table.insert adjacent (Tuple.of_list [ Value.Int s1; Value.Int s2 ])))
+    (adjacent_pairs g)
+
+(* A fresh durable store holding the generated travel database. *)
+let fresh_store ?(backend = Relational.Wal.mem_backend ()) g =
+  let store = Store.create backend in
+  ignore (Store.create_table store flights_schema);
+  ignore (Store.create_table store available_schema);
+  ignore (Store.create_table store bookings_schema);
+  ignore (Store.create_table store adjacent_schema);
+  (* Rows go through the WAL so recovery reproduces the initial state. *)
+  let ops = ref [] in
+  for f = 0 to g.flights - 1 do
+    ops := Database.Insert ("Flights", Tuple.of_list [ Value.Int f; Value.Str g.dest ]) :: !ops;
+    for s = 0 to seats_per_flight g - 1 do
+      ops := Database.Insert ("Available", Tuple.of_list [ Value.Int f; Value.Int s ]) :: !ops
+    done
+  done;
+  List.iter
+    (fun (s1, s2) ->
+      ops := Database.Insert ("Adjacent", Tuple.of_list [ Value.Int s1; Value.Int s2 ]) :: !ops)
+    (adjacent_pairs g);
+  (match Store.apply store (List.rev !ops) with
+   | Ok () -> ()
+   | Error err -> failwith (Database.op_error_to_string err));
+  let db = Store.db store in
+  Table.create_index_on (Database.table db "Available") [ "fno" ];
+  Table.create_index_on (Database.table db "Bookings") [ "user" ];
+  Table.create_index_on (Database.table db "Bookings") [ "fno" ];
+  Table.create_index_on (Database.table db "Adjacent") [ "s1" ];
+  Table.create_index_on (Database.table db "Adjacent") [ "s2" ];
+  store
+
+(* -- Inspection helpers ---------------------------------------------------- *)
+
+let booking_of db user =
+  let bookings = Database.table db "Bookings" in
+  let pattern = [| Some (Value.Str user); None; None |] in
+  match Table.lookup_first bookings pattern with
+  | Some row ->
+    (match Tuple.to_list row with
+     | [ _; Value.Int f; Value.Int s ] -> Some (f, s)
+     | _ -> None)
+  | None -> None
+
+let seats_adjacent db s1 s2 =
+  Database.mem_tuple db "Adjacent" (Tuple.of_list [ Value.Int s1; Value.Int s2 ])
+
+let available_count db fno =
+  Table.count_matches (Database.table db "Available") [| Some (Value.Int fno); None |]

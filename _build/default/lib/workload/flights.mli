@@ -1,0 +1,31 @@
+(** The travel-application database of the paper's evaluation: flights,
+    per-flight seats in rows of three, and the ordered [Adjacent] relation
+    (four pairs per row, one coordinated couple per row). *)
+
+val flights_schema : Relational.Schema.t
+val available_schema : Relational.Schema.t
+val bookings_schema : Relational.Schema.t
+val adjacent_schema : Relational.Schema.t
+
+type geometry = {
+  flights : int;
+  rows_per_flight : int;
+  dest : string;
+}
+
+val seats_per_flight : geometry -> int
+val total_seats : geometry -> int
+val adjacent_pairs : geometry -> (int * int) list
+
+val populate_database : Relational.Database.t -> geometry -> unit
+(** Create (if missing), fill, and index the four travel tables. *)
+
+val fresh_store : ?backend:Relational.Wal.backend -> geometry -> Relational.Store.t
+(** A durable store with the generated database; initial rows go through
+    the WAL so crash recovery reproduces them. *)
+
+val booking_of : Relational.Database.t -> string -> (int * int) option
+(** The (flight, seat) a user currently holds, if any. *)
+
+val seats_adjacent : Relational.Database.t -> int -> int -> bool
+val available_count : Relational.Database.t -> int -> int

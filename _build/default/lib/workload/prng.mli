@@ -1,0 +1,16 @@
+(** Deterministic splitmix64 PRNG for reproducible workloads. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument on non-positive bound. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit
+val shuffle_list : t -> 'a list -> 'a list
+val pick : t -> 'a list -> 'a

@@ -1,0 +1,149 @@
+(* Workload runner: drives a generated operation stream against either the
+   quantum engine or the Intelligent Social baseline, collecting the
+   measurements the paper's figures report — cumulative per-operation
+   time, read/update time split, coordination percentage, and the maximum
+   number of pending transactions observed. *)
+
+module Store = Relational.Store
+module Qdb = Quantum.Qdb
+
+type engine =
+  | Quantum_engine of Qdb.config
+  | Intelligent_social
+
+type spec = {
+  geometry : Flights.geometry;
+  order : Travel.order;
+  seed : int;
+  read_fraction : float; (* fraction of the op stream that is reads *)
+  pairs_per_flight : int;
+}
+
+let default_spec =
+  {
+    geometry = { Flights.flights = 1; rows_per_flight = 34; dest = "LA" };
+    order = Travel.Random_order;
+    seed = 42;
+    read_fraction = 0.;
+    pairs_per_flight = 51; (* 102 users for 102 seats, as in Figures 5/6 *)
+  }
+
+type op =
+  | Book of Travel.user
+  | Read_seat of Travel.user
+
+type outcome = {
+  cumulative_ms : float array; (* wall-clock after each operation *)
+  total_time_s : float;
+  committed : int;
+  rejected : int;
+  coordinated : int;
+  max_possible : int;
+  coordination_pct : float;
+  max_pending : int;
+  time_reads_s : float;
+  time_updates_s : float;
+  ops : int;
+}
+
+(* Build the operation stream: the ordered bookings with reads injected at
+   random positions; each read targets a user who already booked. *)
+let build_ops spec rng =
+  let users = Travel.make_users ~flights:spec.geometry.Flights.flights
+      ~pairs_per_flight:spec.pairs_per_flight
+  in
+  let ordered = Travel.order_users spec.order rng users in
+  let n_books = List.length ordered in
+  let n_reads =
+    if spec.read_fraction <= 0. then 0
+    else begin
+      (* reads are a fraction of the total op count: total = books + reads,
+         reads/total = f  =>  reads = books * f / (1 - f) *)
+      let f = Float.min spec.read_fraction 0.95 in
+      int_of_float (Float.round (float_of_int n_books *. f /. (1. -. f)))
+    end
+  in
+  let ops = ref [] in
+  let issued = ref [] in
+  let pending_reads = ref n_reads in
+  let remaining_books = ref n_books in
+  List.iter
+    (fun user ->
+      ops := Book user :: !ops;
+      issued := user :: !issued;
+      decr remaining_books;
+      (* Interleave reads proportionally to the remaining stream. *)
+      let reads_now =
+        if !remaining_books = 0 then !pending_reads
+        else begin
+          let per_book =
+            float_of_int !pending_reads /. float_of_int (!remaining_books + 1)
+          in
+          let base = int_of_float per_book in
+          base + (if Prng.float rng < per_book -. float_of_int base then 1 else 0)
+        end
+      in
+      for _ = 1 to min reads_now !pending_reads do
+        ops := Read_seat (Prng.pick rng !issued) :: !ops;
+        decr pending_reads
+      done)
+    ordered;
+  (List.rev !ops, ordered)
+
+let run engine spec =
+  let rng = Prng.create spec.seed in
+  let store = Flights.fresh_store spec.geometry in
+  let ops, users = build_ops spec rng in
+  let n = List.length ops in
+  let cumulative_ms = Array.make n 0. in
+  let committed = ref 0 and rejected = ref 0 in
+  let max_pending = ref 0 in
+  let time_reads = ref 0. and time_updates = ref 0. in
+  let qdb =
+    match engine with
+    | Quantum_engine config -> Some (Qdb.create ~config store)
+    | Intelligent_social -> None
+  in
+  let start = Unix.gettimeofday () in
+  List.iteri
+    (fun i op ->
+      let op_start = Unix.gettimeofday () in
+      (match op, qdb with
+       | Book user, Some qdb ->
+         (match Qdb.submit qdb (Travel.entangled_txn user) with
+          | Qdb.Committed _ -> incr committed
+          | Qdb.Rejected _ -> incr rejected);
+         max_pending := max !max_pending (Qdb.pending_count qdb)
+       | Book user, None -> if Travel.is_book store user then incr committed else incr rejected
+       | Read_seat user, Some qdb -> ignore (Qdb.read qdb (Travel.seat_query user))
+       | Read_seat user, None ->
+         ignore (Solver.Query.all (Store.db store) (Travel.seat_query user)));
+      let dt = Unix.gettimeofday () -. op_start in
+      (match op with
+       | Book _ -> time_updates := !time_updates +. dt
+       | Read_seat _ -> time_reads := !time_reads +. dt);
+      cumulative_ms.(i) <- (Unix.gettimeofday () -. start) *. 1000.)
+    ops;
+  (* Deferred assignments that never collapsed are fixed at the end (the
+     travellers eventually check in). *)
+  (match qdb with
+   | Some qdb -> ignore (Qdb.ground_all qdb)
+   | None -> ());
+  let total_time_s = Unix.gettimeofday () -. start in
+  let db = Store.db store in
+  let coordinated = Travel.coordinated_users db users in
+  let max_possible = Travel.max_coordination spec.geometry users in
+  {
+    cumulative_ms;
+    total_time_s;
+    committed = !committed;
+    rejected = !rejected;
+    coordinated;
+    max_possible;
+    coordination_pct =
+      (if max_possible = 0 then 0. else 100. *. float_of_int coordinated /. float_of_int max_possible);
+    max_pending = !max_pending;
+    time_reads_s = !time_reads;
+    time_updates_s = !time_updates;
+    ops = n;
+  }

@@ -1,0 +1,44 @@
+(** Workload runner: the measurement loop behind Figures 5–9 and Tables
+    1–2 — drives one generated operation stream against the quantum engine
+    or the Intelligent Social baseline on identical substrates. *)
+
+type engine =
+  | Quantum_engine of Quantum.Qdb.config
+  | Intelligent_social
+
+type spec = {
+  geometry : Flights.geometry;
+  order : Travel.order;
+  seed : int;
+  read_fraction : float;  (** reads as a fraction of all operations *)
+  pairs_per_flight : int;
+}
+
+val default_spec : spec
+(** The Figure 5/6 setting: one flight, 34 rows (102 seats), 102 users. *)
+
+type op =
+  | Book of Travel.user
+  | Read_seat of Travel.user
+
+type outcome = {
+  cumulative_ms : float array;
+  total_time_s : float;
+  committed : int;
+  rejected : int;
+  coordinated : int;
+  max_possible : int;
+  coordination_pct : float;
+  max_pending : int;
+  time_reads_s : float;
+  time_updates_s : float;
+  ops : int;
+}
+
+val build_ops : spec -> Prng.t -> op list * Travel.user list
+(** The operation stream (bookings in arrival order with reads injected)
+    and the users issuing bookings. *)
+
+val run : engine -> spec -> outcome
+(** Execute the stream; for the quantum engine, any transaction still
+    pending at the end is grounded before coordination is measured. *)

@@ -1,0 +1,285 @@
+(* The social-travel workload of Section 5: pairs of users who want to fly
+   on the same flight and sit in adjacent seats, issued either as
+   entangled resource transactions (through the quantum database) or as
+   "intelligent social" bookings (the paper's non-quantum baseline). *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Table = Relational.Table
+module Database = Relational.Database
+module Store = Relational.Store
+module Rtxn = Quantum.Rtxn
+open Logic
+
+type user = {
+  name : string;
+  partner : string;
+  flight : int;
+}
+
+(* 2×pairs_per_flight users per flight, listed pair-by-pair:
+   [a0; b0; a1; b1; ...]. *)
+let make_users ~flights ~pairs_per_flight =
+  List.concat
+    (List.init flights (fun f ->
+         List.concat
+           (List.init pairs_per_flight (fun p ->
+                let a = Printf.sprintf "u%d_%da" f p and b = Printf.sprintf "u%d_%db" f p in
+                [ { name = a; partner = b; flight = f };
+                  { name = b; partner = a; flight = f };
+                ]))))
+
+(* The entangled resource transaction of Section 5.1 (Figure 1 in Datalog
+   form): book any available seat on the user's flight, with an OPTIONAL
+   request to sit adjacent to the partner; deferred until the partner
+   arrives. *)
+let entangled_txn user =
+  let s = Term.var (Term.fresh_var "s") and s2 = Term.var (Term.fresh_var "s2") in
+  let f = Term.int user.flight in
+  let name = Term.str user.name and partner = Term.str user.partner in
+  Rtxn.make ~label:user.name ~trigger:(Rtxn.On_partner user.partner)
+    ~hard:[ Atom.make "Available" [ f; s ] ]
+    ~optional:
+      [ Atom.make "Bookings" [ partner; f; s2 ]; Atom.make "Adjacent" [ s; s2 ] ]
+    ~updates:
+      [ Rtxn.Del (Atom.make "Available" [ f; s ]);
+        Rtxn.Ins (Atom.make "Bookings" [ name; f; s ]);
+      ]
+    ()
+
+(* A plain (non-entangled) resource transaction: any seat, no preference. *)
+let plain_txn user =
+  let s = Term.var (Term.fresh_var "s") in
+  let f = Term.int user.flight in
+  Rtxn.make ~label:user.name
+    ~hard:[ Atom.make "Available" [ f; s ] ]
+    ~updates:
+      [ Rtxn.Del (Atom.make "Available" [ f; s ]);
+        Rtxn.Ins (Atom.make "Bookings" [ Term.str user.name; f; s ]);
+      ]
+    ()
+
+(* Group coordination (the enmeshed-queries direction the paper cites):
+   one transaction books a seat for every group member, with an OPTIONAL
+   all-adjacent preference — a family of three asking for a full row.
+   The members' seats form an adjacency chain s1-s2-...-sk with all seats
+   pairwise distinct (distinctness is already forced by the hard body's
+   set semantics on Available, but the chain alone would allow s1 = s3 via
+   the two orientations of one pair, so the chain is stated on distinct
+   seats explicitly). *)
+let group_txn ?(trigger = Rtxn.On_demand) ~members ~flight () =
+  match members with
+  | [] -> invalid_arg "group_txn: empty group"
+  | leader :: _ ->
+    let f = Term.int flight in
+    let seats = List.map (fun m -> (m, Term.V (Term.fresh_var ("s_" ^ m)))) members in
+    let hard = List.map (fun (_, s) -> Atom.make "Available" [ f; s ]) seats in
+    let updates =
+      List.concat_map
+        (fun (m, s) ->
+          [ Rtxn.Del (Atom.make "Available" [ f; s ]);
+            Rtxn.Ins (Atom.make "Bookings" [ Term.str m; f; s ]);
+          ])
+        seats
+    in
+    let rec chain = function
+      | (_, s1) :: ((_, s2) :: _ as rest) ->
+        Formula.atom (Atom.make "Adjacent" [ s1; s2 ]) :: chain rest
+      | _ -> []
+    in
+    let rec distinct = function
+      | (_, s1) :: rest ->
+        List.map (fun (_, s2) -> Formula.neq s1 s2) rest @ distinct rest
+      | [] -> []
+    in
+    let optional_constraints =
+      match seats with
+      | [ _ ] -> []
+      | _ -> chain seats @ distinct seats
+    in
+    Rtxn.make ~label:leader ~trigger ~hard ~optional_constraints ~updates ()
+
+(* Did the whole group end up seated in one adjacency chain? *)
+let group_coordinated db members =
+  let seats =
+    List.map
+      (fun m ->
+        match Flights.booking_of db m with
+        | Some (f, s) -> Some (f, s)
+        | None -> None)
+      members
+  in
+  if List.exists Option.is_none seats then false
+  else begin
+    let seats = List.filter_map Fun.id seats in
+    let flights = List.map fst seats in
+    let same_flight = List.for_all (fun f -> f = List.hd flights) flights in
+    let sorted = List.sort Int.compare (List.map snd seats) in
+    let rec chained = function
+      | s1 :: (s2 :: _ as rest) -> Flights.seats_adjacent db s1 s2 && chained rest
+      | _ -> true
+    in
+    same_flight && chained sorted
+  end
+
+(* The read a traveller issues to learn the assigned seat; on a quantum
+   database this forces grounding of the traveller's pending booking. *)
+let seat_query user =
+  let f = Term.var (Term.fresh_var "f") and s = Term.var (Term.fresh_var "s") in
+  Solver.Query.make ~head:[ f; s ]
+    ~body:[ Atom.make "Bookings" [ Term.str user.name; f; s ] ]
+    ()
+
+(* -- Arrival orders (Table 1) ---------------------------------------------- *)
+
+type order =
+  | Alternate (* T_i entangles with T_{i+1} *)
+  | Random_order (* T_i entangles with some T_j, random *)
+  | In_order (* T_i entangles with T_{i+N/2} *)
+  | Reverse_order (* T_i entangles with T_{N-i} *)
+
+let order_to_string = function
+  | Alternate -> "Alternate"
+  | Random_order -> "Random"
+  | In_order -> "In Order"
+  | Reverse_order -> "Reverse Order"
+
+(* Reorder a pair-by-pair user list according to the arrival order.  The
+   per-flight structure is preserved: orders interleave within each
+   flight, then flights are interleaved round-robin (arrival order across
+   flights does not affect coordination, since flights are independent). *)
+let order_users order rng users =
+  let by_flight = Hashtbl.create 8 in
+  List.iter
+    (fun u ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_flight u.flight) in
+      Hashtbl.replace by_flight u.flight (u :: existing))
+    users;
+  let flights = Hashtbl.fold (fun f _ acc -> f :: acc) by_flight [] |> List.sort Int.compare in
+  let per_flight =
+    List.map
+      (fun f ->
+        let pair_list = List.rev (Hashtbl.find by_flight f) in
+        (* pair_list is [a0; b0; a1; b1; ...] *)
+        let firsts = List.filteri (fun i _ -> i mod 2 = 0) pair_list in
+        let seconds = List.filteri (fun i _ -> i mod 2 = 1) pair_list in
+        match order with
+        | Alternate -> pair_list
+        | In_order -> firsts @ seconds
+        | Reverse_order -> firsts @ List.rev seconds
+        | Random_order -> Prng.shuffle_list rng pair_list)
+      flights
+  in
+  (* Round-robin across flights so every arrival order exercises partition
+     independence the same way. *)
+  let queues = Array.of_list (List.map Array.of_list per_flight) in
+  let cursors = Array.make (Array.length queues) 0 in
+  let out = ref [] in
+  let remaining = ref (List.length users) in
+  while !remaining > 0 do
+    Array.iteri
+      (fun qi queue ->
+        if cursors.(qi) < Array.length queue then begin
+          out := queue.(cursors.(qi)) :: !out;
+          cursors.(qi) <- cursors.(qi) + 1;
+          decr remaining
+        end)
+      queues
+  done;
+  List.rev !out
+
+(* -- The Intelligent Social baseline (Section 5.2) -------------------------- *)
+
+(* An IS user books immediately: first check whether the partner already
+   holds a seat and grab a free adjacent one; otherwise take a seat whose
+   neighbour is still free (so the partner can later join); otherwise any
+   seat.  All through the same durable store as the quantum engine, so
+   timing comparisons are substrate-fair.  Seat choices scan in ascending
+   seat order for determinism. *)
+
+let free_seats db fno =
+  Table.lookup (Database.table db "Available") [| Some (Value.Int fno); None |]
+  |> List.filter_map (fun row ->
+    match Tuple.to_list row with
+    | [ _; Value.Int s ] -> Some s
+    | _ -> None)
+  |> List.sort Int.compare
+
+let adjacent_seats db s =
+  Table.lookup (Database.table db "Adjacent") [| Some (Value.Int s); None |]
+  |> List.filter_map (fun row ->
+    match Tuple.to_list row with
+    | [ _; Value.Int s2 ] -> Some s2
+    | _ -> None)
+  |> List.sort Int.compare
+
+let book store user seat =
+  let ops =
+    [ Database.Delete ("Available", Tuple.of_list [ Value.Int user.flight; Value.Int seat ]);
+      Database.Insert
+        ( "Bookings",
+          Tuple.of_list [ Value.Str user.name; Value.Int user.flight; Value.Int seat ] );
+    ]
+  in
+  match Store.apply store ops with
+  | Ok () -> true
+  | Error _ -> false
+
+let is_book store user =
+  let db = Store.db store in
+  let free = free_seats db user.flight in
+  let is_free s = List.mem s free in
+  let next_to_partner =
+    match Flights.booking_of db user.partner with
+    | Some (f, ps) when f = user.flight ->
+      List.find_opt is_free (adjacent_seats db ps)
+    | Some _ | None -> None
+  in
+  let chosen =
+    match next_to_partner with
+    | Some s -> Some s
+    | None ->
+      (* A seat with a free neighbour, to keep the pair viable. *)
+      (match
+         List.find_opt (fun s -> List.exists is_free (adjacent_seats db s)) free
+       with
+       | Some s -> Some s
+       | None ->
+         (match free with
+          | s :: _ -> Some s
+          | [] -> None))
+  in
+  match chosen with
+  | Some s -> book store user s
+  | None -> false
+
+(* -- Coordination accounting ------------------------------------------------ *)
+
+(* Users sitting adjacent to their partner, counted once per user. *)
+let coordinated_users db users =
+  List.length
+    (List.filter
+       (fun u ->
+         match Flights.booking_of db u.name, Flights.booking_of db u.partner with
+         | Some (f1, s1), Some (f2, s2) -> f1 = f2 && Flights.seats_adjacent db s1 s2
+         | _ -> false)
+       users)
+
+(* Upper bound on coordinated users: one couple per row, per flight,
+   limited by the couples that actually issued both bookings. *)
+let max_coordination geometry users =
+  let present = Hashtbl.create 64 in
+  List.iter (fun u -> Hashtbl.replace present u.name ()) users;
+  let pairs_per_flight = Hashtbl.create 8 in
+  List.iter
+    (fun u ->
+      if String.compare u.name u.partner < 0 && Hashtbl.mem present u.partner then begin
+        let existing =
+          Option.value ~default:0 (Hashtbl.find_opt pairs_per_flight u.flight)
+        in
+        Hashtbl.replace pairs_per_flight u.flight (existing + 1)
+      end)
+    users;
+  Hashtbl.fold
+    (fun _ pairs acc -> acc + (2 * min pairs geometry.Flights.rows_per_flight))
+    pairs_per_flight 0

@@ -1,0 +1,53 @@
+(** The social-travel workload of the paper's evaluation: entangled
+    adjacent-seat bookings, the four arrival orders of Table 1, and the
+    Intelligent Social baseline. *)
+
+type user = {
+  name : string;
+  partner : string;
+  flight : int;
+}
+
+val make_users : flights:int -> pairs_per_flight:int -> user list
+(** Pair-by-pair list: [[a0; b0; a1; b1; ...]] per flight. *)
+
+val entangled_txn : user -> Quantum.Rtxn.t
+(** Book any available seat on the user's flight with an OPTIONAL
+    adjacent-to-partner condition; grounds when the partner arrives. *)
+
+val plain_txn : user -> Quantum.Rtxn.t
+
+val group_txn :
+  ?trigger:Quantum.Rtxn.trigger -> members:string list -> flight:int -> unit -> Quantum.Rtxn.t
+(** One transaction booking a seat per group member, with an OPTIONAL
+    all-adjacent (full row) preference — group coordination in the style
+    of the enmeshed queries the paper cites. *)
+
+val group_coordinated : Relational.Database.t -> string list -> bool
+(** All members booked on one flight in one adjacency chain. *)
+
+val seat_query : user -> Solver.Query.t
+
+type order =
+  | Alternate
+  | Random_order
+  | In_order
+  | Reverse_order
+
+val order_to_string : order -> string
+
+val order_users : order -> Prng.t -> user list -> user list
+(** Arrange arrivals per Table 1, interleaving flights round-robin. *)
+
+val free_seats : Relational.Database.t -> int -> int list
+val adjacent_seats : Relational.Database.t -> int -> int list
+val book : Relational.Store.t -> user -> int -> bool
+
+val is_book : Relational.Store.t -> user -> bool
+(** One Intelligent Social booking: adjacent to the partner when already
+    booked, else a seat with a free neighbour, else any seat. *)
+
+val coordinated_users : Relational.Database.t -> user list -> int
+val max_coordination : Flights.geometry -> user list -> int
+(** One couple per row per flight, over couples with both partners
+    present in [users]. *)

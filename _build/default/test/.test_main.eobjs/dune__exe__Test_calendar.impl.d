@@ -1,0 +1,1 @@
+test/test_calendar.ml: Alcotest List Printf Quantum Relational Workload

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Atom Formula Gen List Logic Possible_worlds Printf QCheck QCheck_alcotest Quantum Relational Solver String Term Test

@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Gen List QCheck QCheck_alcotest Relational Result Test

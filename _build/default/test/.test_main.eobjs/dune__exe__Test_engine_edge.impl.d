@@ -1,0 +1,1 @@
+test/test_engine_edge.ml: Alcotest Atom Formula List Logic Option Printf Quantum Relational Result Term Workload

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Array Atom Formula Gen List Logic Printf QCheck QCheck_alcotest Relational Seq Term Test

@@ -1,0 +1,1 @@
+test/test_join_order.ml: Alcotest Atom Formula List Logic Relational Solver Term

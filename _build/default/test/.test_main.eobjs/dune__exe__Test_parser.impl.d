@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Atom List Logic Quantum Solver Term Workload

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Atom Formula Gen List Logic Printf QCheck QCheck_alcotest Quantum Relational Solver String Term Test Unify Workload

@@ -1,0 +1,1 @@
+test/test_possible_worlds.ml: Alcotest Array Atom Gen List Logic Possible_worlds Printf QCheck QCheck_alcotest Quantum Relational String Term Test Workload

@@ -1,0 +1,1 @@
+test/test_qdb.ml: Alcotest Atom List Logic Printf Quantum Relational Result Term Workload

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Atom Formula List Logic Relational Solver Term

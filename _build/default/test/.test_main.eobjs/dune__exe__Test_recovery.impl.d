@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest List Quantum Relational String Workload

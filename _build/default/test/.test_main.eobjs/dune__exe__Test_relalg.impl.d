@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array List Option Relational String

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest List Mutex Printf Quantum Relational Result Thread Workload

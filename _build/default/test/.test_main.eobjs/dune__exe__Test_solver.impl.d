@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Atom Formula Hashtbl List Logic Option Printf QCheck QCheck_alcotest Relational Sat Solver Subst Term

@@ -1,0 +1,1 @@
+test/test_sql_parser.ml: Alcotest Array Atom List Logic Option Quantum Relational Term Workload

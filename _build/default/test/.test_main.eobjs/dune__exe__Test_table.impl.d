@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Gen List QCheck QCheck_alcotest Relational Test

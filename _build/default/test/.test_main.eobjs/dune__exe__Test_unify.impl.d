@@ -1,0 +1,1 @@
+test/test_unify.ml: Alcotest Array Atom Formula Gen List Logic Option Printf QCheck QCheck_alcotest Relational Subst Term Unify

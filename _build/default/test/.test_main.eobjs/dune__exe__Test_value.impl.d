@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Gen List QCheck QCheck_alcotest Relational

@@ -1,0 +1,1 @@
+test/test_wal_file.ml: Alcotest Filename Fun Quantum Relational Sys Workload

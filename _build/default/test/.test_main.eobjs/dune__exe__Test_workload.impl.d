@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Fun Int List Quantum Relational String Workload

@@ -1,0 +1,116 @@
+(* Tests for the cloud-allocation domain: order constraints over instance
+   capacities, region preferences, and the headline deferred-assignment
+   win — small tenants must not strand big-instance demand. *)
+
+module Qdb = Quantum.Qdb
+module Cloud = Workload.Cloud
+
+let small = { Cloud.cores = 2; region = "us-east" }
+let medium = { Cloud.cores = 8; region = "us-east" }
+let big = { Cloud.cores = 32; region = "eu-west" }
+
+let fresh fleet = Qdb.create (Cloud.fresh_store (Cloud.fleet fleet))
+
+let cores_of qdb tenant =
+  match Cloud.lease_of (Qdb.db qdb) tenant with
+  | Some iid ->
+    (match Cloud.instance_spec (Qdb.db qdb) iid with
+     | Some spec -> Some spec.Cloud.cores
+     | None -> None)
+  | None -> None
+
+let test_capacity_constraint () =
+  let qdb = fresh [ (2, small); (1, big) ] in
+  (* A 16-core request can only land on the big instance. *)
+  (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"heavy" ~min_cores:16 ()) with
+   | Qdb.Committed id -> ignore (Qdb.ground qdb id)
+   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+  Alcotest.(check (option int)) "got 32 cores" (Some 32) (cores_of qdb "heavy");
+  (* A second 16-core request has nowhere to go. *)
+  (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"heavy2" ~min_cores:16 ()) with
+   | Qdb.Rejected _ -> ()
+   | Qdb.Committed _ -> Alcotest.fail "no big instance left");
+  (* Small requests still fit. *)
+  (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"light" ~min_cores:1 ()) with
+   | Qdb.Committed _ -> ()
+   | Qdb.Rejected r -> Alcotest.failf "light rejected: %s" r)
+
+let test_deferred_assignment_protects_big_instances () =
+  (* One small + one big instance.  A flexible tenant (any size) commits
+     first; a 16-core tenant arrives later.  With deferred assignment both
+     fit: the flexible one is steered onto the small instance. *)
+  let qdb = fresh [ (1, small); (1, big) ] in
+  (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"flexible" ~min_cores:1 ()) with
+   | Qdb.Committed _ -> ()
+   | Qdb.Rejected r -> Alcotest.failf "flexible rejected: %s" r);
+  (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"heavy" ~min_cores:16 ()) with
+   | Qdb.Committed _ -> ()
+   | Qdb.Rejected r -> Alcotest.failf "heavy rejected — deferral failed: %s" r);
+  ignore (Qdb.ground_all qdb);
+  Alcotest.(check (option int)) "flexible on small" (Some 2) (cores_of qdb "flexible");
+  Alcotest.(check (option int)) "heavy on big" (Some 32) (cores_of qdb "heavy")
+
+let test_eager_baseline_strands_demand () =
+  (* The counterfactual: grounding the flexible tenant immediately (an
+     eager client) may burn the big instance. *)
+  let qdb = fresh [ (1, small); (1, big) ] in
+  (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"flexible" ~min_cores:1 ()) with
+   | Qdb.Committed id -> ignore (Qdb.ground qdb id) (* eager: fix immediately *)
+   | Qdb.Rejected r -> Alcotest.failf "flexible rejected: %s" r);
+  match Qdb.submit qdb (Cloud.lease_txn ~tenant:"heavy" ~min_cores:16 ()) with
+  | Qdb.Rejected _ ->
+    (* The eager grounding happened to take the big instance: stranded. *)
+    Alcotest.(check (option int)) "flexible sits on big" (Some 32) (cores_of qdb "flexible")
+  | Qdb.Committed _ ->
+    (* The eager grounding happened to pick the small instance — lucky;
+       either way the test documents that eagerness gives up the
+       guarantee deferral provides. *)
+    ()
+
+let test_region_preference () =
+  let qdb = fresh [ (1, small); (1, { Cloud.cores = 2; region = "eu-west" }) ] in
+  (match Qdb.submit qdb (Cloud.lease_txn ~prefer_region:"eu-west" ~tenant:"eu" ~min_cores:1 ()) with
+   | Qdb.Committed id -> ignore (Qdb.ground qdb id)
+   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+  (match Cloud.lease_of (Qdb.db qdb) "eu" with
+   | Some iid ->
+     (match Cloud.instance_spec (Qdb.db qdb) iid with
+      | Some spec -> Alcotest.(check string) "preferred region honoured" "eu-west" spec.Cloud.region
+      | None -> Alcotest.fail "missing spec")
+   | None -> Alcotest.fail "not leased");
+  (* When the preferred region is exhausted the lease still succeeds. *)
+  (match Qdb.submit qdb (Cloud.lease_txn ~prefer_region:"eu-west" ~tenant:"eu2" ~min_cores:1 ()) with
+   | Qdb.Committed id ->
+     ignore (Qdb.ground qdb id);
+     (match Cloud.lease_of (Qdb.db qdb) "eu2" with
+      | Some iid ->
+        (match Cloud.instance_spec (Qdb.db qdb) iid with
+         | Some spec -> Alcotest.(check string) "degraded region" "us-east" spec.Cloud.region
+         | None -> Alcotest.fail "missing spec")
+      | None -> Alcotest.fail "not leased")
+   | Qdb.Rejected r -> Alcotest.failf "preference must not reject: %s" r)
+
+let test_fleet_exhaustion_and_recovery () =
+  let backend = Relational.Wal.mem_backend () in
+  let store = Cloud.fresh_store ~backend (Cloud.fleet [ (2, medium) ]) in
+  let qdb = Qdb.create store in
+  ignore (Qdb.submit qdb (Cloud.lease_txn ~tenant:"t1" ~min_cores:4 ()));
+  ignore (Qdb.submit qdb (Cloud.lease_txn ~tenant:"t2" ~min_cores:4 ()));
+  (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"t3" ~min_cores:4 ()) with
+   | Qdb.Rejected _ -> ()
+   | Qdb.Committed _ -> Alcotest.fail "fleet is logically exhausted");
+  (* Pending leases survive a crash. *)
+  let qdb' = Qdb.recover backend in
+  Alcotest.(check int) "two pending after recovery" 2 (Qdb.pending_count qdb');
+  ignore (Qdb.ground_all qdb');
+  Alcotest.(check bool) "t1 leased" true (Cloud.lease_of (Qdb.db qdb') "t1" <> None);
+  Alcotest.(check bool) "t2 leased" true (Cloud.lease_of (Qdb.db qdb') "t2" <> None)
+
+let suite =
+  [ Alcotest.test_case "capacity constraint" `Quick test_capacity_constraint;
+    Alcotest.test_case "deferral protects big instances" `Quick
+      test_deferred_assignment_protects_big_instances;
+    Alcotest.test_case "eager baseline strands demand" `Quick test_eager_baseline_strands_demand;
+    Alcotest.test_case "region preference" `Quick test_region_preference;
+    Alcotest.test_case "exhaustion and recovery" `Quick test_fleet_exhaustion_and_recovery;
+  ]

@@ -1,0 +1,240 @@
+(* Tests for resource transactions and composition (Lemma 3.4,
+   Theorem 3.5, Figure 3), cross-validated against the extensional
+   possible-worlds semantics. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Database = Relational.Database
+module Rtxn = Quantum.Rtxn
+module Compose = Quantum.Compose
+open Logic
+
+(* Schemas of the paper's running example: A = Available(f,s),
+   B = Bookings(user,f,s). *)
+let setup rows_a rows_b =
+  let db = Database.create () in
+  let a =
+    Database.create_table db
+      (Schema.make ~name:"A"
+         ~columns:[ Schema.column "f" Value.Tint; Schema.column "s" Value.Tint ]
+         ())
+  in
+  let b =
+    Database.create_table db
+      (Schema.make ~name:"B"
+         ~columns:
+           [ Schema.column "u" Value.Tstr; Schema.column "f" Value.Tint;
+             Schema.column "s" Value.Tint ]
+         ~key:[ "f"; "s" ] ())
+  in
+  List.iter (fun (f, s) -> ignore (Relational.Table.insert a (Tuple.of_list [ Value.Int f; Value.Int s ]))) rows_a;
+  List.iter
+    (fun (u, f, s) ->
+      ignore (Relational.Table.insert b (Tuple.of_list [ Value.Str u; Value.Int f; Value.Int s ])))
+    rows_b;
+  db
+
+(* Book a seat on flight [f] for [u]: -A(f,s), +B(u,f,s) :-1 A(f,s). *)
+let booking u f =
+  let s = Term.V (Term.fresh_var "s") in
+  let fc = Term.int f in
+  Rtxn.make ~label:u
+    ~hard:[ Atom.make "A" [ fc; s ] ]
+    ~updates:[ Rtxn.Del (Atom.make "A" [ fc; s ]); Rtxn.Ins (Atom.make "B" [ Term.str u; fc; s ]) ]
+    ()
+
+(* Cancellation (Figure 3's T1): -B(u,f,s), +A(f,s) :-1 B(u,f,s). *)
+let cancellation u f =
+  let s = Term.V (Term.fresh_var "s") in
+  let fc = Term.int f in
+  Rtxn.make ~label:(u ^ "-cancel")
+    ~hard:[ Atom.make "B" [ Term.str u; fc; s ] ]
+    ~updates:[ Rtxn.Del (Atom.make "B" [ Term.str u; fc; s ]); Rtxn.Ins (Atom.make "A" [ fc; s ]) ]
+    ()
+
+(* Unconstrained booking (Figure 3's T2): flight is a variable. *)
+let booking_any u =
+  let f = Term.V (Term.fresh_var "f") and s = Term.V (Term.fresh_var "s") in
+  Rtxn.make ~label:u
+    ~hard:[ Atom.make "A" [ f; s ] ]
+    ~updates:[ Rtxn.Del (Atom.make "A" [ f; s ]); Rtxn.Ins (Atom.make "B" [ Term.str u; f; s ]) ]
+    ()
+
+let test_rtxn_validation () =
+  let s = Term.V (Term.fresh_var "s") in
+  Alcotest.(check bool) "unrestricted update var" true
+    (match
+       Rtxn.make ~hard:[] ~updates:[ Rtxn.Ins (Atom.make "B" [ Term.str "x"; Term.int 1; s ]) ] ()
+     with
+     | exception Rtxn.Ill_formed _ -> true
+     | _ -> false);
+  (* Variable bound only by an optional atom cannot drive an update. *)
+  Alcotest.(check bool) "optional-only var in update" true
+    (match
+       Rtxn.make
+         ~hard:[ Atom.make "A" [ Term.int 1; Term.int 2 ] ]
+         ~optional:[ Atom.make "A" [ Term.int 1; s ] ]
+         ~updates:[ Rtxn.Del (Atom.make "A" [ Term.int 1; s ]) ]
+         ()
+     with
+     | exception Rtxn.Ill_formed _ -> true
+     | _ -> false)
+
+let test_rtxn_freshen_and_roundtrip () =
+  let t = booking "M" 1 in
+  let t' = Rtxn.freshen t in
+  let vars_of t = Term.Var_set.elements (Rtxn.all_vars t) in
+  Alcotest.(check bool) "freshen renames" true
+    (List.for_all
+       (fun v -> not (List.exists (Term.equal_var v) (vars_of t')))
+       (vars_of t));
+  let encoded = Relational.Sexp.to_string (Rtxn.to_sexp t) in
+  let decoded = Rtxn.of_sexp (Relational.Sexp.of_string encoded) in
+  Alcotest.(check string) "serialization roundtrip" (Rtxn.to_string t) (Rtxn.to_string decoded)
+
+(* Lemma 3.4, delete case: after T1 deletes what B2 would ground on,
+   composition forbids it. *)
+let test_lemma_delete_case () =
+  let db = setup [ (1, 5) ] [] in
+  let t1 = booking "M" 1 in
+  let t2 = booking "D" 1 in
+  (* One seat: T1 alone satisfiable, T1;T2 not. *)
+  Alcotest.(check bool) "t1 alone sat" true
+    (Solver.Backtrack.satisfiable db (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db) [ t1 ]));
+  Alcotest.(check bool) "t1;t2 unsat on one seat" false
+    (Solver.Backtrack.satisfiable db (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db) [ t1; t2 ]));
+  (* Two seats: both fit. *)
+  let db2 = setup [ (1, 5); (1, 6) ] [] in
+  Alcotest.(check bool) "t1;t2 sat on two seats" true
+    (Solver.Backtrack.satisfiable db2
+       (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db2) [ t1; t2 ]))
+
+(* Lemma 3.4, insert case: a later body atom may ground on an earlier
+   pending insert. *)
+let test_lemma_insert_case () =
+  (* Empty A; Mickey cancels (inserting into A), Donald books. *)
+  let db = setup [] [ ("M", 1, 5) ] in
+  let t1 = cancellation "M" 1 in
+  let t2 = booking "D" 1 in
+  Alcotest.(check bool) "t2 alone unsat (no seats)" false
+    (Solver.Backtrack.satisfiable db (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db) [ t2 ]));
+  Alcotest.(check bool) "cancel then book sat" true
+    (Solver.Backtrack.satisfiable db (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db) [ t1; t2 ]))
+
+(* Figure 3 exactly: T1 cancel on flight 1, T2 unconstrained booking,
+   T3 booking on flight 2. *)
+let test_figure3 () =
+  let t1 = cancellation "M" 1 in
+  let t2 = booking_any "D" in
+  let t3 = booking "G" 2 in
+  (* Shape check on T12: the T2 atom clause must be a disjunction between
+     grounding on A and unifying with T1's insert. *)
+  let clause = Compose.clause_for_atom [ t1 ] (List.hd t2.Rtxn.hard) in
+  (match clause with
+   | Formula.Or [ _; _ ] -> ()
+   | f -> Alcotest.failf "expected 2-way disjunction, got %s" (Formula.to_string f));
+  (* Semantics: B(M,1,5) present, A empty, one seat on flight 2 free...
+     after the cancel, D can take Mickey's freed seat and G needs A(2,s3). *)
+  let db = setup [ (2, 7) ] [ ("M", 1, 5) ] in
+  Alcotest.(check bool) "T123 satisfiable" true
+    (Solver.Backtrack.satisfiable db (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db) [ t1; t2; t3 ]));
+  (* Remove flight-2 availability: T3 has no seat (T2 will consume the
+     freed seat or the freed seat is on flight 1 — either way T3 fails). *)
+  let db2 = setup [] [ ("M", 1, 5) ] in
+  Alcotest.(check bool) "T123 unsat without flight-2 seat" false
+    (Solver.Backtrack.satisfiable db2
+       (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db2) [ t1; t2; t3 ]));
+  (* D takes the freed seat; G must not be able to take it too. *)
+  let db3 = setup [] [ ("M", 2, 7) ] in
+  let t1' = cancellation "M" 2 in
+  Alcotest.(check bool) "freed seat usable once" true
+    (Solver.Backtrack.satisfiable db3
+       (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db3) [ t1'; t2 ]));
+  Alcotest.(check bool) "freed seat not usable twice" false
+    (Solver.Backtrack.satisfiable db3
+       (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db3) [ t1'; t2; t3 ]))
+
+(* Insert key-safety: booking the same (f,s) key twice via inserts. *)
+let test_insert_safety () =
+  let db = setup [ (1, 5) ] [ ("X", 1, 6) ] in
+  (* Bookings has key (f,s); inserting B(M,1,6) collides with X's row. *)
+  let t =
+    Rtxn.make ~label:"M"
+      ~hard:[ Atom.make "A" [ Term.int 1; Term.int 5 ] ]
+      ~updates:[ Rtxn.Ins (Atom.make "B" [ Term.str "M"; Term.int 1; Term.int 6 ]) ]
+      ()
+  in
+  Alcotest.(check bool) "key collision unsat" false
+    (Solver.Backtrack.satisfiable db (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db) [ t ]));
+  Alcotest.(check bool) "without check_inserts it would pass" true
+    (Solver.Backtrack.satisfiable db (Compose.body_of_sequence ~check_inserts:false ~key_of:(Compose.resolver_of_db db) [ t ]));
+  (* But a pending delete of the colliding row makes it legal again. *)
+  let cancel_x =
+    Rtxn.make ~label:"X-cancel"
+      ~hard:[ Atom.make "B" [ Term.str "X"; Term.int 1; Term.int 6 ] ]
+      ~updates:[ Rtxn.Del (Atom.make "B" [ Term.str "X"; Term.int 1; Term.int 6 ]) ]
+      ()
+  in
+  Alcotest.(check bool) "delete-then-insert sat" true
+    (Solver.Backtrack.satisfiable db (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db) [ cancel_x; t ]))
+
+(* Property: composed-body satisfiability = possible-worlds reachability,
+   on random small booking/cancellation sequences. *)
+let prop_composition_equals_possible_worlds =
+  let open QCheck in
+  let txn_gen =
+    Gen.map
+      (fun (kind, who, f) ->
+        let user = Printf.sprintf "u%d" (who mod 3) in
+        let flight = f mod 2 in
+        (kind mod 3, user, flight))
+      Gen.(triple small_nat small_nat small_nat)
+  in
+  Test.make ~name:"Thm 3.5 sequence = possible worlds" ~count:150
+    (make
+       (Gen.list_size (Gen.int_range 1 5) txn_gen)
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (k, u, f) -> Printf.sprintf "%d:%s:%d" k u f) l)))
+    (fun specs ->
+      let txns =
+        List.map
+          (fun (kind, user, flight) ->
+            match kind with
+            | 0 -> booking user flight
+            | 1 -> cancellation user flight
+            | _ -> booking_any user)
+          specs
+      in
+      let db = setup [ (0, 0); (0, 1); (1, 0) ] [ ("u0", 1, 9) ] in
+      let pw = Possible_worlds.Pw.create db in
+      (* Feed transactions one by one; compare reachability at each prefix. *)
+      let rec go accepted = function
+        | [] -> true
+        | txn :: rest ->
+          let txn = Rtxn.freshen txn in
+          let intensional =
+            Solver.Backtrack.satisfiable db
+              (Compose.body_of_sequence ~key_of:(Compose.resolver_of_db db)
+                 (List.rev (txn :: accepted)))
+          in
+          let extensional = Possible_worlds.Pw.can_commit pw txn in
+          if intensional <> extensional then false
+          else if intensional then begin
+            ignore (Possible_worlds.Pw.submit pw txn);
+            go (txn :: accepted) rest
+          end
+          else go accepted rest
+      in
+      go [] txns)
+
+let suite =
+  [ Alcotest.test_case "rtxn validation" `Quick test_rtxn_validation;
+    Alcotest.test_case "rtxn freshen and serialization" `Quick test_rtxn_freshen_and_roundtrip;
+    Alcotest.test_case "Lemma 3.4 delete case" `Quick test_lemma_delete_case;
+    Alcotest.test_case "Lemma 3.4 insert case" `Quick test_lemma_insert_case;
+    Alcotest.test_case "Figure 3 composition" `Quick test_figure3;
+    Alcotest.test_case "insert key-safety" `Quick test_insert_safety;
+    QCheck_alcotest.to_alcotest prop_composition_equals_possible_worlds;
+  ]

@@ -1,0 +1,142 @@
+(* Tests for the database layer: DDL, atomic update batches, WAL replay,
+   checkpoints and the durable store. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Table = Relational.Table
+module Database = Relational.Database
+module Wal = Relational.Wal
+module Store = Relational.Store
+
+let schema_r =
+  Schema.make ~name:"R" ~columns:[ Schema.column "a" Value.Tint; Schema.column "b" Value.Tint ]
+    ~key:[ "a" ] ()
+
+let schema_s =
+  Schema.make ~name:"S" ~columns:[ Schema.column "x" Value.Tstr ] ()
+
+let r a b = Tuple.of_list [ Value.Int a; Value.Int b ]
+let s x = Tuple.of_list [ Value.Str x ]
+
+let test_ddl () =
+  let db = Database.create () in
+  ignore (Database.create_table db schema_r);
+  Alcotest.(check bool) "duplicate table" true
+    (match Database.create_table db schema_r with
+     | exception Schema.Invalid _ -> true
+     | _ -> false);
+  Alcotest.(check (list string)) "names" [ "R" ] (Database.table_names db)
+
+let test_atomic_batches () =
+  let db = Database.create () in
+  ignore (Database.create_table db schema_r);
+  ignore (Database.create_table db schema_s);
+  (* Successful batch. *)
+  let ok =
+    Database.apply_ops db [ Database.Insert ("R", r 1 10); Database.Insert ("S", s "a") ]
+  in
+  Alcotest.(check bool) "batch ok" true (ok = Ok ());
+  (* Failing batch rolls back the applied prefix. *)
+  let failing =
+    Database.apply_ops db
+      [ Database.Insert ("R", r 2 20);
+        Database.Delete ("S", s "missing");
+        Database.Insert ("R", r 3 30);
+      ]
+  in
+  Alcotest.(check bool) "batch failed" true (Result.is_error failing);
+  Alcotest.(check bool) "prefix rolled back" false (Database.mem_tuple db "R" (r 2 20));
+  Alcotest.(check int) "state preserved" 2 (Database.total_rows db);
+  (* Duplicate-key insert fails. *)
+  let dup = Database.apply_ops db [ Database.Insert ("R", r 1 99) ] in
+  Alcotest.(check bool) "dup key rejected" true (Result.is_error dup)
+
+let test_can_apply_leaves_unchanged () =
+  let db = Database.create () in
+  ignore (Database.create_table db schema_r);
+  ignore (Database.apply_ops db [ Database.Insert ("R", r 1 10) ]);
+  Alcotest.(check bool) "dry-run ok" true
+    (Database.can_apply_ops db [ Database.Delete ("R", r 1 10); Database.Insert ("R", r 2 2) ]);
+  Alcotest.(check bool) "unchanged after dry-run" true (Database.mem_tuple db "R" (r 1 10));
+  Alcotest.(check int) "row count stable" 1 (Database.total_rows db)
+
+let test_wal_replay () =
+  let backend = Wal.mem_backend () in
+  let wal = Wal.create backend in
+  Wal.log wal (Wal.Create_table schema_r);
+  ignore (Wal.log_batch wal [ Database.Insert ("R", r 1 10); Database.Insert ("R", r 2 20) ]);
+  ignore (Wal.log_batch wal [ Database.Delete ("R", r 1 10) ]);
+  let db = Wal.replay wal in
+  Alcotest.(check bool) "replayed delete" false (Database.mem_tuple db "R" (r 1 10));
+  Alcotest.(check bool) "replayed insert" true (Database.mem_tuple db "R" (r 2 20))
+
+let test_wal_torn_batch () =
+  let backend = Wal.mem_backend () in
+  let wal = Wal.create backend in
+  Wal.log wal (Wal.Create_table schema_r);
+  ignore (Wal.log_batch wal [ Database.Insert ("R", r 1 10) ]);
+  (* A torn batch: Begin + op without Commit — the crash case. *)
+  Wal.log wal (Wal.Begin 99);
+  Wal.log wal (Wal.Op (Database.Insert ("R", r 2 20)));
+  let db = Wal.replay (Wal.create backend) in
+  Alcotest.(check bool) "committed batch survives" true (Database.mem_tuple db "R" (r 1 10));
+  Alcotest.(check bool) "torn batch dropped" false (Database.mem_tuple db "R" (r 2 20))
+
+let test_checkpoint () =
+  let backend = Wal.mem_backend () in
+  let wal = Wal.create backend in
+  Wal.log wal (Wal.Create_table schema_r);
+  ignore (Wal.log_batch wal [ Database.Insert ("R", r 1 10) ]);
+  let db = Wal.replay wal in
+  Wal.checkpoint wal db;
+  ignore (Wal.log_batch wal [ Database.Insert ("R", r 2 20) ]);
+  let db' = Wal.replay (Wal.create backend) in
+  Alcotest.(check bool) "pre-checkpoint row" true (Database.mem_tuple db' "R" (r 1 10));
+  Alcotest.(check bool) "post-checkpoint row" true (Database.mem_tuple db' "R" (r 2 20))
+
+let test_store_recovery () =
+  let backend = Wal.mem_backend () in
+  let store = Store.create backend in
+  ignore (Store.create_table store schema_r);
+  Alcotest.(check bool) "apply" true
+    (Store.apply store [ Database.Insert ("R", r 1 10); Database.Insert ("R", r 2 20) ] = Ok ());
+  Alcotest.(check bool) "reject bad batch" true
+    (Result.is_error (Store.apply store [ Database.Insert ("R", r 1 99) ]));
+  let before = Database.copy (Store.db store) in
+  let recovered = Store.crash_and_recover backend in
+  Alcotest.(check bool) "recovered state equals pre-crash" true
+    (Database.equal before (Store.db recovered))
+
+let prop_wal_replay_equals_state =
+  (* Random applicable batches: replay must reproduce the live database. *)
+  let open QCheck in
+  let op_gen =
+    Gen.map (fun (ins, a, b) -> (ins, a mod 8, b mod 8)) (Gen.triple Gen.bool Gen.small_nat Gen.small_nat)
+  in
+  Test.make ~name:"wal replay reproduces live state" ~count:100
+    (make (Gen.list_size (Gen.int_range 0 50) op_gen))
+    (fun ops ->
+      let backend = Wal.mem_backend () in
+      let store = Store.create backend in
+      ignore (Store.create_table store schema_r);
+      List.iter
+        (fun (ins, a, b) ->
+          let op =
+            if ins then Database.Insert ("R", r a b) else Database.Delete ("R", r a b)
+          in
+          ignore (Store.apply store [ op ]))
+        ops;
+      let recovered = Store.crash_and_recover backend in
+      Database.equal (Store.db store) (Store.db recovered))
+
+let suite =
+  [ Alcotest.test_case "ddl" `Quick test_ddl;
+    Alcotest.test_case "atomic batches" `Quick test_atomic_batches;
+    Alcotest.test_case "dry run" `Quick test_can_apply_leaves_unchanged;
+    Alcotest.test_case "wal replay" `Quick test_wal_replay;
+    Alcotest.test_case "wal torn batch" `Quick test_wal_torn_batch;
+    Alcotest.test_case "checkpoint" `Quick test_checkpoint;
+    Alcotest.test_case "store recovery" `Quick test_store_recovery;
+    QCheck_alcotest.to_alcotest prop_wal_replay_equals_state;
+  ]

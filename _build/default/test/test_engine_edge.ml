@@ -1,0 +1,250 @@
+(* Edge cases of the engine: order constraints end to end, entanglement
+   chains and pathologies, reads with constraints, mixed write batches,
+   cancellation flows, and Expose reads across partitions. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Database = Relational.Database
+module Qdb = Quantum.Qdb
+module Rtxn = Quantum.Rtxn
+module P = Quantum.Datalog_parser
+module Flights = Workload.Flights
+module Travel = Workload.Travel
+open Logic
+
+let geometry rows flights = { Flights.flights; rows_per_flight = rows; dest = "LA" }
+
+let fresh_qdb ?config ?(rows = 2) ?(flights = 1) () =
+  Qdb.create ?config (Flights.fresh_store (geometry rows flights))
+
+let user name partner flight = { Travel.name; partner; flight }
+
+let test_order_constraint_txn () =
+  let qdb = fresh_qdb ~rows:2 () in
+  (* Hard constraint: a seat in the first row (s < 3). *)
+  let txn =
+    P.parse_txn ~label:"fr"
+      {|-Available(f, s), +Bookings("fr", f, s) :-1 Available(f, s), s < 3|}
+  in
+  (match Qdb.submit qdb txn with
+   | Qdb.Committed id -> ignore (Qdb.ground qdb id)
+   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+  (match Flights.booking_of (Qdb.db qdb) "fr" with
+   | Some (_, s) -> Alcotest.(check bool) "front row" true (s < 3)
+   | None -> Alcotest.fail "not booked");
+  (* Fill the front row; a fourth front-row request must be refused while
+     back-row requests still pass. *)
+  List.iter
+    (fun n ->
+      ignore
+        (Qdb.submit qdb
+           (P.parse_txn ~label:n
+              (Printf.sprintf
+                 {|-Available(f, s), +Bookings("%s", f, s) :-1 Available(f, s), s <= 2|} n))))
+    [ "fr2"; "fr3" ];
+  (match
+     Qdb.submit qdb
+       (P.parse_txn ~label:"fr4"
+          {|-Available(f, s), +Bookings("fr4", f, s) :-1 Available(f, s), s < 3|})
+   with
+   | Qdb.Rejected _ -> ()
+   | Qdb.Committed _ -> Alcotest.fail "front row is logically full");
+  (match
+     Qdb.submit qdb
+       (P.parse_txn ~label:"back"
+          {|-Available(f, s), +Bookings("back", f, s) :-1 Available(f, s), s >= 3|})
+   with
+   | Qdb.Committed _ -> ()
+   | Qdb.Rejected r -> Alcotest.failf "back row should fit: %s" r)
+
+let test_optional_order_constraint () =
+  let qdb = fresh_qdb ~rows:2 () in
+  (* OPTIONAL preference for the front row, honoured while possible. *)
+  let prefer_front n =
+    P.parse_txn ~label:n
+      (Printf.sprintf
+         {|-Available(f, s), +Bookings("%s", f, s) :-1 Available(f, s), ?{ s < 3 }|} n)
+  in
+  (match Qdb.submit qdb (prefer_front "a") with
+   | Qdb.Committed id ->
+     ignore (Qdb.ground qdb id);
+     (match Flights.booking_of (Qdb.db qdb) "a" with
+      | Some (_, s) -> Alcotest.(check bool) "preference honoured" true (s < 3)
+      | None -> Alcotest.fail "not booked")
+   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+  (* Take the rest of the front row externally; the preference must yield,
+     not fail the transaction. *)
+  List.iter
+    (fun s ->
+      ignore
+        (Qdb.write qdb [ Database.Delete ("Available", Tuple.of_list [ Value.Int 0; Value.Int s ]) ]))
+    [ 1; 2 ];
+  (match Qdb.submit qdb (prefer_front "b") with
+   | Qdb.Committed id ->
+     ignore (Qdb.ground qdb id);
+     (match Flights.booking_of (Qdb.db qdb) "b" with
+      | Some (_, s) -> Alcotest.(check bool) "degraded to back row" true (s >= 3)
+      | None -> Alcotest.fail "not booked")
+   | Qdb.Rejected r -> Alcotest.failf "optional must not reject: %s" r)
+
+let test_entanglement_chain () =
+  (* a waits for b; b itself waits for c.  b's arrival IS a's partner
+     arriving, so a and b ground together immediately (Section 5.1 —
+     deferral ends when the partner is in the system), with b's own
+     c-preference necessarily unsatisfied. *)
+  let qdb = fresh_qdb ~rows:2 () in
+  ignore (Qdb.submit qdb (Travel.entangled_txn (user "a" "b" 0)));
+  Alcotest.(check int) "a waits" 1 (Qdb.pending_count qdb);
+  ignore (Qdb.submit qdb (Travel.entangled_txn (user "b" "c" 0)));
+  Alcotest.(check int) "a and b grounded together" 0 (Qdb.pending_count qdb);
+  ignore (Qdb.submit qdb (Travel.plain_txn (user "c" "-" 0)));
+  ignore (Qdb.ground_all qdb);
+  let db = Qdb.db qdb in
+  let seat n = Option.map snd (Flights.booking_of db n) in
+  (match seat "a", seat "b", seat "c" with
+   | Some sa, Some sb, Some _ ->
+     Alcotest.(check bool) "a adjacent b" true (Flights.seats_adjacent db sa sb)
+   | _ -> Alcotest.fail "all three should be booked")
+
+let test_partner_never_arrives () =
+  let qdb = fresh_qdb ~rows:1 () in
+  ignore (Qdb.submit qdb (Travel.entangled_txn (user "lonely" "ghost" 0)));
+  Alcotest.(check int) "still pending" 1 (Qdb.pending_count qdb);
+  (* The seat is still guaranteed: a read collapses it without a partner. *)
+  let answers = Qdb.read qdb (Travel.seat_query (user "lonely" "ghost" 0)) in
+  Alcotest.(check int) "one seat" 1 (List.length answers);
+  Alcotest.(check int) "grounded" 0 (Qdb.pending_count qdb)
+
+let test_read_with_constraint () =
+  let qdb = fresh_qdb ~rows:2 () in
+  List.iter
+    (fun n -> ignore (Qdb.submit qdb (Travel.plain_txn (user n "-" 0))))
+    [ "a"; "b" ];
+  ignore (Qdb.ground_all qdb);
+  (* Read only back-row bookings. *)
+  let q = P.parse_query {|(u, s) :- Bookings(u, f, s), s >= 3|} in
+  let back = Qdb.read qdb q in
+  List.iter
+    (fun t ->
+      match Tuple.to_list t with
+      | [ _; Value.Int s ] -> Alcotest.(check bool) "back row only" true (s >= 3)
+      | _ -> Alcotest.fail "bad tuple")
+    back
+
+let test_cancellation_flow () =
+  (* Book, ground, cancel via a resource transaction, book again on the
+     freed seat. *)
+  let qdb = fresh_qdb ~rows:1 () in
+  List.iter
+    (fun n -> ignore (Qdb.submit qdb (Travel.plain_txn (user n "-" 0))))
+    [ "a"; "b"; "c" ];
+  ignore (Qdb.ground_all qdb);
+  (match
+     Qdb.submit qdb
+       (P.parse_txn ~label:"a-cancel"
+          {|-Bookings("a", f, s), +Available(f, s) :-1 Bookings("a", f, s)|})
+   with
+   | Qdb.Committed _ -> ()
+   | Qdb.Rejected r -> Alcotest.failf "cancel rejected: %s" r);
+  (* The freed seat is usable by a new booking even while the cancel is
+     still pending (Lemma 3.4's insert case). *)
+  (match Qdb.submit qdb (Travel.plain_txn (user "d" "-" 0)) with
+   | Qdb.Committed _ -> ()
+   | Qdb.Rejected r -> Alcotest.failf "rebooking rejected: %s" r);
+  ignore (Qdb.ground_all qdb);
+  Alcotest.(check bool) "a gone" true (Flights.booking_of (Qdb.db qdb) "a" = None);
+  Alcotest.(check bool) "d seated" true (Flights.booking_of (Qdb.db qdb) "d" <> None);
+  Alcotest.(check int) "plane exactly full" 0
+    (Relational.Table.cardinality (Database.table (Qdb.db qdb) "Available"))
+
+let test_mixed_write_batch () =
+  let qdb = fresh_qdb ~rows:1 () in
+  ignore (Qdb.submit qdb (Travel.plain_txn (user "a" "-" 0)));
+  (* An external swap: retire seat 0, open seat 77 — one atomic batch. *)
+  let swap =
+    [ Database.Delete ("Available", Tuple.of_list [ Value.Int 0; Value.Int 0 ]);
+      Database.Insert ("Available", Tuple.of_list [ Value.Int 0; Value.Int 77 ]);
+    ]
+  in
+  Alcotest.(check bool) "swap accepted" true (Qdb.write qdb swap = Ok ());
+  (* Removing two of the three remaining seats leaves one for the pending
+     booking; removing the last must be refused. *)
+  let remove s =
+    Qdb.write qdb [ Database.Delete ("Available", Tuple.of_list [ Value.Int 0; Value.Int s ]) ]
+  in
+  Alcotest.(check bool) "remove 1" true (remove 1 = Ok ());
+  Alcotest.(check bool) "remove 2" true (remove 2 = Ok ());
+  Alcotest.(check bool) "last seat protected" true (Result.is_error (remove 77));
+  ignore (Qdb.ground_all qdb);
+  (match Flights.booking_of (Qdb.db qdb) "a" with
+   | Some (_, 77) -> ()
+   | Some (_, s) -> Alcotest.failf "expected seat 77, got %d" s
+   | None -> Alcotest.fail "a should be booked")
+
+let test_expose_across_partitions () =
+  let config = { Qdb.default_config with read_policy = Qdb.Expose } in
+  let qdb = fresh_qdb ~config ~rows:1 ~flights:2 () in
+  (* One flight-agnostic pending booking: possible seats span both
+     flights. *)
+  let f = Term.V (Term.fresh_var "f") and s = Term.V (Term.fresh_var "s") in
+  let any =
+    Rtxn.make ~label:"w"
+      ~hard:[ Atom.make "Available" [ f; s ] ]
+      ~updates:
+        [ Rtxn.Del (Atom.make "Available" [ f; s ]);
+          Rtxn.Ins (Atom.make "Bookings" [ Term.str "w"; f; s ]) ]
+      ()
+  in
+  ignore (Qdb.submit qdb any);
+  let answers = Qdb.read qdb (Travel.seat_query (user "w" "-" 0)) in
+  Alcotest.(check int) "six possible seats across two flights" 6 (List.length answers);
+  Alcotest.(check int) "nothing fixed" 1 (Qdb.pending_count qdb)
+
+let test_group_with_order_preference () =
+  (* Group booking constrained to the front row via hard Lt. *)
+  let qdb = fresh_qdb ~rows:2 () in
+  let s1 = Term.V (Term.fresh_var "s1") and s2 = Term.V (Term.fresh_var "s2") in
+  let txn =
+    Rtxn.make ~label:"duo"
+      ~hard:
+        [ Atom.make "Available" [ Term.int 0; s1 ]; Atom.make "Available" [ Term.int 0; s2 ] ]
+      ~constraints:[ Formula.lt s1 s2; Formula.lt s2 (Term.int 3) ]
+      ~updates:
+        [ Rtxn.Del (Atom.make "Available" [ Term.int 0; s1 ]);
+          Rtxn.Del (Atom.make "Available" [ Term.int 0; s2 ]);
+          Rtxn.Ins (Atom.make "Bookings" [ Term.str "d1"; Term.int 0; s1 ]);
+          Rtxn.Ins (Atom.make "Bookings" [ Term.str "d2"; Term.int 0; s2 ]);
+        ]
+      ()
+  in
+  (match Qdb.submit qdb txn with
+   | Qdb.Committed id -> ignore (Qdb.ground qdb id)
+   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+  (match Flights.booking_of (Qdb.db qdb) "d1", Flights.booking_of (Qdb.db qdb) "d2" with
+   | Some (_, a), Some (_, b) ->
+     Alcotest.(check bool) "ordered" true (a < b);
+     Alcotest.(check bool) "front row" true (b < 3)
+   | _ -> Alcotest.fail "both should be booked")
+
+let test_per_read_policy_override () =
+  (* Config says Collapse, but a Peek-override read must fix nothing. *)
+  let qdb = fresh_qdb ~rows:2 () in
+  ignore (Qdb.submit qdb (Travel.plain_txn (user "a" "-" 0)));
+  let q = Travel.seat_query (user "a" "-" 0) in
+  ignore (Qdb.read ~policy:Qdb.Peek qdb q);
+  Alcotest.(check int) "peek fixed nothing" 1 (Qdb.pending_count qdb);
+  ignore (Qdb.read qdb q);
+  Alcotest.(check int) "default collapse fixed it" 0 (Qdb.pending_count qdb)
+
+let suite =
+  [ Alcotest.test_case "hard order constraint" `Quick test_order_constraint_txn;
+    Alcotest.test_case "optional order constraint" `Quick test_optional_order_constraint;
+    Alcotest.test_case "entanglement chain" `Quick test_entanglement_chain;
+    Alcotest.test_case "partner never arrives" `Quick test_partner_never_arrives;
+    Alcotest.test_case "read with constraint" `Quick test_read_with_constraint;
+    Alcotest.test_case "cancellation flow" `Quick test_cancellation_flow;
+    Alcotest.test_case "mixed write batch" `Quick test_mixed_write_batch;
+    Alcotest.test_case "expose across partitions" `Quick test_expose_across_partitions;
+    Alcotest.test_case "group with order preference" `Quick test_group_with_order_preference;
+    Alcotest.test_case "per-read policy override" `Quick test_per_read_policy_override;
+  ]

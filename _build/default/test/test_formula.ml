@@ -1,0 +1,198 @@
+(* Tests for the formula AST: smart-constructor simplification, negation,
+   and evaluation semantics. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Database = Relational.Database
+open Logic
+
+let db_with_r rows =
+  let db = Database.create () in
+  let table =
+    Database.create_table db
+      (Schema.make ~name:"R"
+         ~columns:[ Schema.column "a" Value.Tint; Schema.column "b" Value.Tint ]
+         ())
+  in
+  List.iter
+    (fun (a, b) ->
+      ignore (Relational.Table.insert table (Tuple.of_list [ Value.Int a; Value.Int b ])))
+    rows;
+  db
+
+let test_smart_constructors () =
+  let x = Term.V (Term.fresh_var "x") in
+  Alcotest.(check bool) "eq same term" true (Formula.eq x x = Formula.True);
+  Alcotest.(check bool) "eq consts equal" true (Formula.eq (Term.int 1) (Term.int 1) = Formula.True);
+  Alcotest.(check bool) "eq consts differ" true (Formula.eq (Term.int 1) (Term.int 2) = Formula.False);
+  Alcotest.(check bool) "neq same term" true (Formula.neq x x = Formula.False);
+  Alcotest.(check bool) "and drops true" true
+    (Formula.and_ [ Formula.True; Formula.Eq (x, Term.int 1) ] = Formula.Eq (x, Term.int 1));
+  Alcotest.(check bool) "and short-circuits false" true
+    (Formula.and_ [ Formula.Eq (x, Term.int 1); Formula.False ] = Formula.False);
+  Alcotest.(check bool) "or drops false" true
+    (Formula.or_ [ Formula.False; Formula.Eq (x, Term.int 1) ] = Formula.Eq (x, Term.int 1));
+  Alcotest.(check bool) "or short-circuits true" true
+    (Formula.or_ [ Formula.Eq (x, Term.int 1); Formula.True ] = Formula.True);
+  Alcotest.(check bool) "empty and" true (Formula.and_ [] = Formula.True);
+  Alcotest.(check bool) "empty or" true (Formula.or_ [] = Formula.False);
+  (* Nested conjunctions flatten. *)
+  (match Formula.and_ [ Formula.And [ Formula.Eq (x, Term.int 1); Formula.Eq (x, Term.int 2) ];
+                        Formula.Neq (x, Term.int 3) ] with
+   | Formula.And fs -> Alcotest.(check int) "flattened" 3 (List.length fs)
+   | f -> Alcotest.failf "expected And, got %s" (Formula.to_string f))
+
+let test_negate_involution_shape () =
+  let x = Term.V (Term.fresh_var "x") in
+  let a = Atom.make "R" [ x; Term.int 1 ] in
+  let f =
+    Formula.And
+      [ Formula.Atom a; Formula.Or [ Formula.Eq (x, Term.int 1); Formula.Neq (x, Term.int 2) ] ]
+  in
+  (* Double negation restores semantics (checked by eval below) and shape
+     here for simple cases. *)
+  Alcotest.(check bool) "negate atom" true (Formula.negate (Formula.Atom a) = Formula.Not_atom a);
+  Alcotest.(check bool) "negate not_atom" true
+    (Formula.negate (Formula.Not_atom a) = Formula.Atom a);
+  let db = db_with_r [ (1, 1) ] in
+  let valuation v = if v.Term.vname = "x" then Some (Value.Int 1) else None in
+  Alcotest.(check bool) "negate flips eval" true
+    (Formula.eval db valuation f <> Formula.eval db valuation (Formula.negate f));
+  Alcotest.(check bool) "double negation restores eval" true
+    (Formula.eval db valuation f = Formula.eval db valuation (Formula.negate (Formula.negate f)))
+
+let test_eval_atoms () =
+  let db = db_with_r [ (1, 2); (3, 4) ] in
+  let x = Term.fresh_var "x" in
+  let valuation v = if Term.equal_var v x then Some (Value.Int 1) else None in
+  let present = Formula.Atom (Atom.make "R" [ Term.V x; Term.int 2 ]) in
+  let absent = Formula.Atom (Atom.make "R" [ Term.V x; Term.int 9 ]) in
+  Alcotest.(check bool) "present" true (Formula.eval db valuation present);
+  Alcotest.(check bool) "absent" false (Formula.eval db valuation absent);
+  Alcotest.(check bool) "not_atom" true
+    (Formula.eval db valuation (Formula.Not_atom (Atom.make "R" [ Term.V x; Term.int 9 ])));
+  Alcotest.(check bool) "unbound raises" true
+    (match Formula.eval db (fun _ -> None) present with
+     | exception Formula.Unbound _ -> true
+     | _ -> false)
+
+let test_order_constructors () =
+  let x = Term.V (Term.fresh_var "x") in
+  Alcotest.(check bool) "lt const fold true" true (Formula.lt (Term.int 1) (Term.int 2) = Formula.True);
+  Alcotest.(check bool) "lt const fold false" true (Formula.lt (Term.int 2) (Term.int 2) = Formula.False);
+  Alcotest.(check bool) "le reflexive" true (Formula.le x x = Formula.True);
+  Alcotest.(check bool) "lt irreflexive" true (Formula.lt x x = Formula.False);
+  (* Negation duals: ¬(a<b) = b<=a. *)
+  Alcotest.(check bool) "negate lt" true
+    (Formula.negate (Formula.Lt (x, Term.int 3)) = Formula.Le (Term.int 3, x));
+  Alcotest.(check bool) "negate le" true
+    (Formula.negate (Formula.Le (x, Term.int 3)) = Formula.Lt (Term.int 3, x));
+  (* Eval semantics. *)
+  let db = db_with_r [] in
+  let valuation v = if v.Term.vname = "x" then Some (Value.Int 2) else None in
+  Alcotest.(check bool) "2 < 3" true (Formula.eval db valuation (Formula.Lt (x, Term.int 3)));
+  Alcotest.(check bool) "2 <= 2" true (Formula.eval db valuation (Formula.Le (x, Term.int 2)));
+  Alcotest.(check bool) "not 2 < 2" false (Formula.eval db valuation (Formula.Lt (x, Term.int 2)))
+
+let test_stats () =
+  let x = Term.V (Term.fresh_var "x") in
+  let a = Atom.make "R" [ x; Term.int 1 ] in
+  let f =
+    Formula.And
+      [ Formula.Atom a; Formula.Not_atom a;
+        Formula.Or [ Formula.Eq (x, Term.int 1); Formula.Neq (x, Term.int 2) ] ]
+  in
+  let s = Formula.stats f in
+  Alcotest.(check int) "atoms" 1 s.Formula.atoms;
+  Alcotest.(check int) "neg atoms" 1 s.Formula.negative_atoms;
+  Alcotest.(check int) "eqs" 1 s.Formula.equalities;
+  Alcotest.(check int) "neqs" 1 s.Formula.disequalities;
+  Alcotest.(check int) "or nodes" 1 s.Formula.or_nodes;
+  Alcotest.(check int) "or branches" 2 s.Formula.or_branches;
+  Alcotest.(check int) "vars" 1 s.Formula.variables
+
+(* -- Property: smart constructors preserve evaluation --------------------- *)
+
+(* Random formulas over vars q0..q3 and relation R; compare raw-AST
+   evaluation with the smart-constructed equivalent. *)
+let pool = Array.init 4 (fun i -> Term.fresh_var (Printf.sprintf "f%d" i))
+
+let formula_gen =
+  let open QCheck.Gen in
+  let term_gen =
+    oneof [ map (fun i -> Term.V pool.(i mod 4)) small_nat; map (fun n -> Term.int (n mod 3)) small_nat ]
+  in
+  let atom_gen =
+    let* t1 = term_gen and* t2 = term_gen in
+    return (Atom.make "R" [ t1; t2 ])
+  in
+  let rec gen depth =
+    if depth = 0 then
+      oneof
+        [ return Formula.True; return Formula.False;
+          map (fun a -> Formula.Atom a) atom_gen;
+          map (fun a -> Formula.Not_atom a) atom_gen;
+          (let* t1 = term_gen and* t2 = term_gen in
+           return (Formula.Eq (t1, t2)));
+          (let* t1 = term_gen and* t2 = term_gen in
+           return (Formula.Neq (t1, t2)));
+          (let* t1 = term_gen and* t2 = term_gen in
+           return (Formula.Lt (t1, t2)));
+          (let* t1 = term_gen and* t2 = term_gen in
+           return (Formula.Le (t1, t2)));
+        ]
+    else
+      frequency
+        [ (2, gen 0);
+          (1, map (fun fs -> Formula.And fs) (list_size (int_range 0 3) (gen (depth - 1))));
+          (1, map (fun fs -> Formula.Or fs) (list_size (int_range 0 3) (gen (depth - 1))));
+        ]
+  in
+  gen 3
+
+(* Rebuild the formula through smart constructors. *)
+let rec smart = function
+  | Formula.True -> Formula.tru
+  | Formula.False -> Formula.fls
+  | Formula.Atom a -> Formula.atom a
+  | Formula.Not_atom a -> Formula.not_atom a
+  | Formula.Key_free a -> Formula.key_free a
+  | Formula.Eq (a, b) -> Formula.eq a b
+  | Formula.Neq (a, b) -> Formula.neq a b
+  | Formula.Lt (a, b) -> Formula.lt a b
+  | Formula.Le (a, b) -> Formula.le a b
+  | Formula.And fs -> Formula.and_ (List.map smart fs)
+  | Formula.Or fs -> Formula.or_ (List.map smart fs)
+
+let eval_with db vals f =
+  let valuation v =
+    Array.to_seq pool
+    |> Seq.mapi (fun i p -> (p, vals.(i)))
+    |> Seq.find_map (fun (p, value) -> if Term.equal_var p v then Some (Value.Int value) else None)
+  in
+  Formula.eval db valuation f
+
+let prop_smart_preserves_semantics =
+  let open QCheck in
+  let case = pair (make formula_gen ~print:Formula.to_string) (array_of_size (Gen.return 4) (int_range 0 2)) in
+  Test.make ~name:"smart constructors preserve semantics" ~count:1000 case (fun (f, vals) ->
+      let db = db_with_r [ (0, 0); (1, 2); (2, 1) ] in
+      eval_with db vals f = eval_with db vals (smart f))
+
+let prop_negate_flips_semantics =
+  let open QCheck in
+  let case = pair (make formula_gen ~print:Formula.to_string) (array_of_size (Gen.return 4) (int_range 0 2)) in
+  Test.make ~name:"negate flips semantics" ~count:1000 case (fun (f, vals) ->
+      let db = db_with_r [ (0, 0); (1, 2); (2, 1) ] in
+      eval_with db vals f <> eval_with db vals (Formula.negate f))
+
+let suite =
+  [ Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "negation" `Quick test_negate_involution_shape;
+    Alcotest.test_case "eval atoms" `Quick test_eval_atoms;
+    Alcotest.test_case "order constructors" `Quick test_order_constructors;
+    Alcotest.test_case "stats" `Quick test_stats;
+    QCheck_alcotest.to_alcotest prop_smart_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_negate_flips_semantics;
+  ]

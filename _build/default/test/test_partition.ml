@@ -1,0 +1,181 @@
+(* Tests for the partition manager: dependence, merge exactness, resplit
+   after groundings, soft-unit grouping, and the adaptive policy knob. *)
+
+module Value = Relational.Value
+module Database = Relational.Database
+module Qdb = Quantum.Qdb
+module Rtxn = Quantum.Rtxn
+module Partition = Quantum.Partition
+module Compose = Quantum.Compose
+module Flights = Workload.Flights
+module Travel = Workload.Travel
+open Logic
+
+let booking ?(id = -1) user flight =
+  let s = Term.V (Term.fresh_var "s") in
+  let fc = Term.int flight in
+  {
+    (Rtxn.make ~label:user
+       ~hard:[ Atom.make "Available" [ fc; s ] ]
+       ~updates:
+         [ Rtxn.Del (Atom.make "Available" [ fc; s ]);
+           Rtxn.Ins (Atom.make "Bookings" [ Term.str user; fc; s ]) ]
+       ())
+    with
+    Rtxn.id = id;
+  }
+
+let test_dependence () =
+  let parts = Partition.create () in
+  ignore parts;
+  let t0 = booking ~id:0 "a" 0 in
+  let t1 = booking ~id:1 "b" 1 in
+  let t2 = booking ~id:2 "c" 0 in
+  (* Same flight constant unifies; different flight constants do not. *)
+  Alcotest.(check bool) "same flight unifies" true
+    (Unify.any_unifiable (Rtxn.all_atoms t0) (Rtxn.all_atoms t2));
+  Alcotest.(check bool) "different flights independent" false
+    (Unify.any_unifiable (Rtxn.all_atoms t0) (Rtxn.all_atoms t1))
+
+(* Merged-partition formula must be equisatisfiable with a from-scratch
+   recomposition of the combined sequence (the conjunction-exactness claim
+   in partition.ml). *)
+let test_merge_exactness () =
+  let store = Flights.fresh_store { Flights.flights = 2; rows_per_flight = 1; dest = "LA" } in
+  let db = Relational.Store.db store in
+  let key_of = Compose.resolver_of_db db in
+  let t0 = Rtxn.freshen (booking ~id:0 "a" 0) in
+  let t1 = Rtxn.freshen (booking ~id:1 "b" 1) in
+  let f0 = Compose.body_of_sequence ~key_of [ { t0 with Rtxn.id = 0 } ] in
+  let f1 = Compose.body_of_sequence ~key_of [ { t1 with Rtxn.id = 1 } ] in
+  let conjoined = Formula.and_ [ f0; f1 ] in
+  let from_scratch =
+    Compose.body_of_sequence ~key_of [ { t0 with Rtxn.id = 0 }; { t1 with Rtxn.id = 1 } ]
+  in
+  Alcotest.(check bool) "conjoined sat" true (Solver.Backtrack.satisfiable db conjoined);
+  Alcotest.(check bool) "agree" true
+    (Solver.Backtrack.satisfiable db conjoined
+     = Solver.Backtrack.satisfiable db from_scratch)
+
+let test_resplit_after_grounding () =
+  (* A flight-agnostic bridging transaction merges two flight partitions;
+     grounding it must let them split apart again. *)
+  let store = Flights.fresh_store { Flights.flights = 2; rows_per_flight = 2; dest = "LA" } in
+  let qdb = Qdb.create store in
+  ignore (Qdb.submit qdb (Travel.plain_txn { Travel.name = "a"; partner = "-"; flight = 0 }));
+  ignore (Qdb.submit qdb (Travel.plain_txn { Travel.name = "b"; partner = "-"; flight = 1 }));
+  let f = Term.V (Term.fresh_var "f") and s = Term.V (Term.fresh_var "s") in
+  let bridging =
+    Rtxn.make ~label:"bridge"
+      ~hard:[ Atom.make "Available" [ f; s ] ]
+      ~updates:
+        [ Rtxn.Del (Atom.make "Available" [ f; s ]);
+          Rtxn.Ins (Atom.make "Bookings" [ Term.str "bridge"; f; s ]) ]
+      ()
+  in
+  let id =
+    match Qdb.submit qdb bridging with
+    | Qdb.Committed id -> id
+    | Qdb.Rejected r -> Alcotest.failf "bridge rejected: %s" r
+  in
+  Alcotest.(check int) "merged" 1 (Qdb.partition_count qdb);
+  ignore (Qdb.ground qdb id);
+  Alcotest.(check int) "split after grounding the bridge" 2 (Qdb.partition_count qdb);
+  Alcotest.(check bool) "invariant" true (Qdb.invariant_holds qdb)
+
+let test_soft_unit_grouping () =
+  (* Optional atoms sharing a variable form one unit; independent optional
+     atoms stay separate. *)
+  let s = Term.V (Term.fresh_var "s") and s2 = Term.V (Term.fresh_var "s2") in
+  let w = Term.V (Term.fresh_var "w") in
+  let txn =
+    Rtxn.make ~label:"g"
+      ~hard:[ Atom.make "Available" [ Term.int 0; s ] ]
+      ~optional:
+        [ Atom.make "Bookings" [ Term.str "p"; Term.int 0; s2 ];
+          Atom.make "Adjacent" [ s; s2 ];
+          Atom.make "Flights" [ w; Term.str "LA" ];
+        ]
+      ~updates:[ Rtxn.Del (Atom.make "Available" [ Term.int 0; s ]) ]
+      ()
+  in
+  Alcotest.(check int) "two units" 2 (List.length (Rtxn.soft_formulas txn));
+  (* Optional constraints join their unit. *)
+  let txn2 =
+    Rtxn.make ~label:"g2"
+      ~hard:[ Atom.make "Available" [ Term.int 0; s ] ]
+      ~optional:[ Atom.make "Bookings" [ Term.str "p"; Term.int 0; s2 ] ]
+      ~optional_constraints:[ Formula.eq s s2 ]
+      ~updates:[]
+      ()
+  in
+  Alcotest.(check int) "constraint joins unit" 1 (List.length (Rtxn.soft_formulas txn2))
+
+let test_adaptive_policy () =
+  (* With adaptive grounding on and a generous slack threshold, pending
+     transactions are pre-emptively fixed as seats run low. *)
+  let config = { Qdb.default_config with adaptive = true; adaptive_slack = 10. } in
+  let store = Flights.fresh_store { Flights.flights = 1; rows_per_flight = 2; dest = "LA" } in
+  let qdb = Qdb.create ~config store in
+  List.iter
+    (fun n -> ignore (Qdb.submit qdb (Travel.plain_txn { Travel.name = n; partner = "-"; flight = 0 })))
+    [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check bool) "adaptive grounded pre-emptively" true
+    ((Qdb.metrics qdb).Quantum.Metrics.grounded > 0);
+  Alcotest.(check bool) "invariant" true (Qdb.invariant_holds qdb);
+  (* Without the policy nothing is grounded. *)
+  let store2 = Flights.fresh_store { Flights.flights = 1; rows_per_flight = 2; dest = "LA" } in
+  let qdb2 = Qdb.create store2 in
+  List.iter
+    (fun n -> ignore (Qdb.submit qdb2 (Travel.plain_txn { Travel.name = n; partner = "-"; flight = 0 })))
+    [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check int) "no grounding without policy" 0 (Qdb.metrics qdb2).Quantum.Metrics.grounded
+
+(* Robustness property: random interleavings of submissions, reads,
+   writes and explicit groundings never break the invariant or crash. *)
+let prop_invariant_under_mixed_ops =
+  let open QCheck in
+  let op_gen = Gen.map (fun (k, who) -> (k mod 5, who mod 4)) (Gen.pair Gen.small_nat Gen.small_nat) in
+  Test.make ~name:"invariant holds under random mixed operations" ~count:40
+    (make (Gen.list_size (Gen.int_range 1 15) op_gen)
+       ~print:(fun ops -> String.concat ";" (List.map (fun (k, w) -> Printf.sprintf "%d/%d" k w) ops)))
+    (fun ops ->
+      let store = Flights.fresh_store { Flights.flights = 2; rows_per_flight = 1; dest = "LA" } in
+      let qdb = Qdb.create store in
+      let users = [| "a"; "b"; "c"; "d" |] in
+      let counter = ref 0 in
+      List.iter
+        (fun (kind, who) ->
+          incr counter;
+          let name = Printf.sprintf "%s%d" users.(who) !counter in
+          match kind with
+          | 0 | 1 ->
+            ignore
+              (Qdb.submit qdb
+                 (Travel.plain_txn { Travel.name; partner = "-"; flight = who mod 2 }))
+          | 2 ->
+            ignore
+              (Qdb.read qdb
+                 (Travel.seat_query { Travel.name = users.(who) ^ "1"; partner = "-"; flight = 0 }))
+          | 3 ->
+            let tuple =
+              Relational.Tuple.of_list [ Value.Int (who mod 2); Value.Int (who mod 3) ]
+            in
+            ignore (Qdb.write qdb [ Database.Delete ("Available", tuple) ])
+          | _ ->
+            (match Qdb.pending qdb with
+             | txn :: _ -> ignore (Qdb.ground qdb txn.Rtxn.id)
+             | [] -> ()))
+        ops;
+      let ok = Qdb.invariant_holds qdb in
+      ignore (Qdb.ground_all qdb);
+      ok && Qdb.pending_count qdb = 0)
+
+let suite =
+  [ Alcotest.test_case "dependence" `Quick test_dependence;
+    Alcotest.test_case "merge exactness" `Quick test_merge_exactness;
+    Alcotest.test_case "resplit after grounding" `Quick test_resplit_after_grounding;
+    Alcotest.test_case "soft unit grouping" `Quick test_soft_unit_grouping;
+    Alcotest.test_case "adaptive policy" `Quick test_adaptive_policy;
+    QCheck_alcotest.to_alcotest prop_invariant_under_mixed_ops;
+  ]

@@ -1,0 +1,126 @@
+(* Tests for the extensional possible-worlds reference, including the
+   paper's Figure 2 scenario, and the headline equivalence property: the
+   quantum engine accepts/rejects exactly like the explicit worlds, and
+   collapsing always lands inside the world set. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Database = Relational.Database
+module Qdb = Quantum.Qdb
+module Rtxn = Quantum.Rtxn
+module Pw = Possible_worlds.Pw
+module Flights = Workload.Flights
+module Travel = Workload.Travel
+
+let geometry rows = { Flights.flights = 1; rows_per_flight = rows; dest = "LA" }
+let user name partner = { Travel.name; partner; flight = 0 }
+
+(* Figure 2: one flight, one row (3 seats).  Mickey books any seat (3
+   worlds), Donald books any seat (6 worlds), Minnie requests a seat next
+   to Mickey — worlds where that is impossible are eliminated. *)
+let test_figure2 () =
+  let store = Flights.fresh_store (geometry 1) in
+  let pw = Pw.create (Relational.Store.db store) in
+  Alcotest.(check int) "initial single world" 1 (Pw.world_count pw);
+  Alcotest.(check bool) "mickey commits" true
+    (Pw.submit pw (Travel.plain_txn (user "mickey" "-")) = `Committed);
+  Alcotest.(check int) "three worlds" 3 (Pw.world_count pw);
+  Alcotest.(check bool) "donald commits" true
+    (Pw.submit pw (Travel.plain_txn (user "donald" "-")) = `Committed);
+  Alcotest.(check int) "six worlds" 6 (Pw.world_count pw);
+  (* Minnie insists (hard) on sitting next to Mickey. *)
+  let minnie =
+    let open Logic in
+    let s = Term.V (Term.fresh_var "s") and s2 = Term.V (Term.fresh_var "s2") in
+    Rtxn.make ~label:"minnie"
+      ~hard:
+        [ Atom.make "Available" [ Term.int 0; s ];
+          Atom.make "Bookings" [ Term.str "mickey"; Term.int 0; s2 ];
+          Atom.make "Adjacent" [ s; s2 ];
+        ]
+      ~updates:
+        [ Rtxn.Del (Atom.make "Available" [ Term.int 0; s ]);
+          Rtxn.Ins (Atom.make "Bookings" [ Term.str "minnie"; Term.int 0; s ]);
+        ]
+      ()
+  in
+  Alcotest.(check bool) "minnie commits" true (Pw.submit pw minnie = `Committed);
+  (* Each surviving world seats all three with minnie next to mickey; with
+     3 seats in a row, mickey cannot hold the row's only... enumerate:
+     arrangements of 3 people in 3 seats with minnie adjacent to mickey:
+     seats (A,B,C): adjacent pairs {A,B},{B,C}.  minnie-mickey in a pair,
+     donald takes the rest: pairs 2 × orders 2 = 4 worlds. *)
+  Alcotest.(check int) "four worlds survive" 4 (Pw.world_count pw);
+  (* A fourth passenger cannot fit. *)
+  Alcotest.(check bool) "no seat left" true
+    (Pw.submit pw (Travel.plain_txn (user "goofy" "-")) = `Rejected);
+  Alcotest.(check int) "rejection preserves worlds" 4 (Pw.world_count pw)
+
+let test_read_collapse_picks_majority_world_set () =
+  let store = Flights.fresh_store (geometry 1) in
+  let pw = Pw.create (Relational.Store.db store) in
+  ignore (Pw.submit pw (Travel.plain_txn (user "mickey" "-")));
+  Alcotest.(check int) "3 worlds" 3 (Pw.world_count pw);
+  let answers = Pw.read_collapse pw (Travel.seat_query (user "mickey" "-")) in
+  Alcotest.(check int) "one concrete answer" 1 (List.length answers);
+  (* All remaining worlds agree on the read. *)
+  let answers2 = Pw.read_all pw (Travel.seat_query (user "mickey" "-")) in
+  Alcotest.(check int) "worlds agree after collapse" 1 (List.length answers2)
+
+(* The headline cross-validation: run the same random transaction stream
+   through the engine (strict mode, unbounded k) and the explicit worlds;
+   decisions must coincide, and after grounding everything the engine's
+   concrete database must be one of the reference worlds. *)
+let prop_engine_matches_worlds =
+  let open QCheck in
+  let spec_gen =
+    Gen.list_size (Gen.int_range 1 7)
+      (Gen.map (fun (w, e) -> (w mod 5, e)) (Gen.pair Gen.small_nat Gen.bool))
+  in
+  Test.make ~name:"engine decisions = possible worlds; collapse lands in set" ~count:60
+    (make spec_gen ~print:(fun l ->
+         String.concat ";" (List.map (fun (w, e) -> Printf.sprintf "%d%c" w (if e then 'e' else 'p')) l)))
+    (fun specs ->
+      let store = Flights.fresh_store (geometry 1) in
+      let config =
+        { Qdb.default_config with serializability = Qdb.Strict; k = 1000 }
+      in
+      let qdb = Qdb.create ~config store in
+      let pw = Pw.create (Relational.Store.db store) in
+      let users = [| "a"; "b"; "c"; "d"; "e" |] in
+      let agree = ref true in
+      List.iteri
+        (fun i (who, entangled) ->
+          if !agree then begin
+            let name = Printf.sprintf "%s%d" users.(who) i in
+            let partner = users.((who + 1) mod 5) in
+            let u = { Travel.name; partner; flight = 0 } in
+            (* Entangled txns only add optional atoms — the hard body is the
+               same; both sides must agree regardless. *)
+            let txn = if entangled then Travel.entangled_txn u else Travel.plain_txn u in
+            let txn = { txn with Rtxn.trigger = Rtxn.On_demand } in
+            let engine_ok =
+              match Qdb.submit qdb txn with
+              | Qdb.Committed _ -> true
+              | Qdb.Rejected _ -> false
+            in
+            let worlds_ok = Pw.submit pw txn = `Committed in
+            if engine_ok <> worlds_ok then agree := false
+          end)
+        specs;
+      if not !agree then false
+      else begin
+        ignore (Qdb.ground_all qdb);
+        (* The grounded database must be a member world (travel relations
+           only; the engine's store also has the pending table). *)
+        Pw.contains_world pw
+          ~relations:[ "Flights"; "Available"; "Bookings"; "Adjacent" ]
+          (Qdb.db qdb)
+      end)
+
+let suite =
+  [ Alcotest.test_case "Figure 2 evolution" `Quick test_figure2;
+    Alcotest.test_case "collapse retains majority worlds" `Quick
+      test_read_collapse_picks_majority_world_set;
+    QCheck_alcotest.to_alcotest prop_engine_matches_worlds;
+  ]

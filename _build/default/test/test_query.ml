@@ -1,0 +1,107 @@
+(* Tests for conjunctive read queries (Solver.Query). *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Database = Relational.Database
+open Logic
+
+let setup () =
+  let db = Database.create () in
+  let edge =
+    Database.create_table db
+      (Schema.make ~name:"Edge"
+         ~columns:[ Schema.column "src" Value.Tint; Schema.column "dst" Value.Tint ]
+         ())
+  in
+  List.iter
+    (fun (a, b) -> ignore (Relational.Table.insert edge (Tuple.of_list [ Value.Int a; Value.Int b ])))
+    [ (1, 2); (2, 3); (3, 1); (2, 4) ];
+  db
+
+let v name = Term.V (Term.fresh_var name)
+
+let test_all_and_first () =
+  let db = setup () in
+  let x = v "x" and y = v "y" in
+  let q = Solver.Query.make ~head:[ x; y ] ~body:[ Atom.make "Edge" [ x; y ] ] () in
+  Alcotest.(check int) "all edges" 4 (List.length (Solver.Query.all db q));
+  Alcotest.(check bool) "first exists" true (Solver.Query.first db q <> None);
+  Alcotest.(check int) "limit" 2 (List.length (Solver.Query.all ~limit:2 db q))
+
+let test_join_query () =
+  let db = setup () in
+  let x = v "x" and y = v "y" and z = v "z" in
+  (* Two-hop paths. *)
+  let q =
+    Solver.Query.make ~head:[ x; z ]
+      ~body:[ Atom.make "Edge" [ x; y ]; Atom.make "Edge" [ y; z ] ]
+      ()
+  in
+  (* 1->2->3, 1->2->4, 2->3->1, 3->1->2. *)
+  Alcotest.(check int) "two-hop paths" 4 (List.length (Solver.Query.all db q))
+
+let test_projection_dedup () =
+  let db = setup () in
+  let x = v "x" and y = v "y" in
+  (* Project only sources: 2 appears twice but must be returned once. *)
+  let q = Solver.Query.make ~head:[ x ] ~body:[ Atom.make "Edge" [ x; y ] ] () in
+  Alcotest.(check int) "distinct sources" 3 (List.length (Solver.Query.all db q))
+
+let test_constraints () =
+  let db = setup () in
+  let x = v "x" and y = v "y" in
+  let q =
+    Solver.Query.make
+      ~constraints:[ Formula.neq x (Term.int 2) ]
+      ~head:[ x; y ]
+      ~body:[ Atom.make "Edge" [ x; y ] ]
+      ()
+  in
+  Alcotest.(check int) "filtered" 2 (List.length (Solver.Query.all db q));
+  let q2 =
+    Solver.Query.make
+      ~constraints:[ Formula.eq y (Term.int 4) ]
+      ~head:[ x ]
+      ~body:[ Atom.make "Edge" [ x; y ] ]
+      ()
+  in
+  Alcotest.(check bool) "eq constraint" true
+    (match Solver.Query.all db q2 with
+     | [ t ] -> Value.equal (Tuple.get t 0) (Value.Int 2)
+     | _ -> false)
+
+let test_constant_head_and_exists () =
+  let db = setup () in
+  let x = v "x" in
+  let q =
+    Solver.Query.make ~head:[ Term.str "found"; x ]
+      ~body:[ Atom.make "Edge" [ Term.int 1; x ] ]
+      ()
+  in
+  (match Solver.Query.all db q with
+   | [ t ] -> Alcotest.(check bool) "constant col" true (Value.equal (Tuple.get t 0) (Value.Str "found"))
+   | _ -> Alcotest.fail "one row expected");
+  Alcotest.(check bool) "exists" true (Solver.Query.exists db q);
+  let none =
+    Solver.Query.make ~head:[ x ] ~body:[ Atom.make "Edge" [ Term.int 9; x ] ] ()
+  in
+  Alcotest.(check bool) "not exists" false (Solver.Query.exists db none)
+
+let test_range_restriction () =
+  let db = setup () in
+  let x = v "x" and free = v "free" in
+  let q = Solver.Query.make ~head:[ free ] ~body:[ Atom.make "Edge" [ x; x ] ] () in
+  Alcotest.(check bool) "head var not in body" true
+    (match Solver.Query.all db q with
+     | exception Solver.Query.Not_range_restricted -> true
+     | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "all and first" `Quick test_all_and_first;
+    Alcotest.test_case "join query" `Quick test_join_query;
+    Alcotest.test_case "projection dedup" `Quick test_projection_dedup;
+    Alcotest.test_case "constraints" `Quick test_constraints;
+    Alcotest.test_case "constant head / exists" `Quick test_constant_head_and_exists;
+    Alcotest.test_case "range restriction" `Quick test_range_restriction;
+  ]

@@ -1,0 +1,152 @@
+(* Tests for the relational-algebra query layer. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Database = Relational.Database
+module Relalg = Relational.Relalg
+
+let setup () =
+  let db = Database.create () in
+  let emp =
+    Database.create_table db
+      (Schema.make ~name:"Emp"
+         ~columns:
+           [ Schema.column "eid" Value.Tint; Schema.column "name" Value.Tstr;
+             Schema.column "dept" Value.Tint ]
+         ~key:[ "eid" ] ())
+  in
+  let dept =
+    Database.create_table db
+      (Schema.make ~name:"Dept"
+         ~columns:[ Schema.column "dept" Value.Tint; Schema.column "dname" Value.Tstr ]
+         ~key:[ "dept" ] ())
+  in
+  let e i n d = Tuple.of_list [ Value.Int i; Value.Str n; Value.Int d ] in
+  let d i n = Tuple.of_list [ Value.Int i; Value.Str n ] in
+  List.iter (fun t -> ignore (Relational.Table.insert emp t))
+    [ e 1 "ann" 10; e 2 "bob" 10; e 3 "cat" 20; e 4 "dan" 30 ];
+  List.iter (fun t -> ignore (Relational.Table.insert dept t)) [ d 10 "eng"; d 20 "ops" ];
+  db
+
+let rows db expr = snd (Relalg.run db expr)
+
+let test_scan_select () =
+  let db = setup () in
+  Alcotest.(check int) "scan all" 4 (List.length (rows db (Relalg.Scan "Emp")));
+  let q = Relalg.Select (Relalg.Eq_const ("dept", Value.Int 10), Relalg.Scan "Emp") in
+  Alcotest.(check int) "select dept 10" 2 (List.length (rows db q));
+  let q2 = Relalg.Select (Relalg.Neq_const ("dept", Value.Int 10), Relalg.Scan "Emp") in
+  Alcotest.(check int) "select others" 2 (List.length (rows db q2))
+
+let test_project_rename () =
+  let db = setup () in
+  let header, result = Relalg.run db (Relalg.Project ([ "name" ], Relalg.Scan "Emp")) in
+  Alcotest.(check (array string)) "header" [| "name" |] header;
+  Alcotest.(check int) "rows" 4 (List.length result);
+  let header, _ =
+    Relalg.run db (Relalg.Rename ([ ("name", "who") ], Relalg.Scan "Emp"))
+  in
+  Alcotest.(check bool) "renamed" true (Array.exists (String.equal "who") header)
+
+let test_join () =
+  let db = setup () in
+  let joined = Relalg.Join (Relalg.Scan "Emp", Relalg.Scan "Dept") in
+  let header, result = Relalg.run db joined in
+  (* dan's dept 30 has no Dept row: inner join drops him. *)
+  Alcotest.(check int) "join rows" 3 (List.length result);
+  Alcotest.(check int) "join header width" 4 (Array.length header);
+  (* Join then select gives the expected employee set. *)
+  let q =
+    Relalg.Project
+      ([ "name" ], Relalg.Select (Relalg.Eq_const ("dname", Value.Str "eng"), joined))
+  in
+  let names =
+    rows db q |> List.map (fun t -> Tuple.get t 0) |> List.sort Value.compare
+  in
+  Alcotest.(check int) "eng members" 2 (List.length names)
+
+let test_product_requires_disjoint () =
+  let db = setup () in
+  Alcotest.(check bool) "product clash" true
+    (match Relalg.run db (Relalg.Product (Relalg.Scan "Emp", Relalg.Scan "Emp")) with
+     | exception Relalg.Eval_error _ -> true
+     | _ -> false);
+  let renamed =
+    Relalg.Rename
+      ([ ("eid", "eid2"); ("name", "name2"); ("dept", "dept2") ], Relalg.Scan "Emp")
+  in
+  let _, result = Relalg.run db (Relalg.Product (Relalg.Scan "Emp", renamed)) in
+  Alcotest.(check int) "product size" 16 (List.length result)
+
+let test_set_ops () =
+  let db = setup () in
+  let eng = Relalg.Select (Relalg.Eq_const ("dept", Value.Int 10), Relalg.Scan "Emp") in
+  let ops = Relalg.Select (Relalg.Eq_const ("dept", Value.Int 20), Relalg.Scan "Emp") in
+  Alcotest.(check int) "union" 3 (List.length (rows db (Relalg.Union (eng, ops))));
+  Alcotest.(check int) "union dedup" 2 (List.length (rows db (Relalg.Union (eng, eng))));
+  Alcotest.(check int) "diff" 2 (List.length (rows db (Relalg.Diff (Relalg.Scan "Emp", ops)) |> List.filter (fun t -> Value.equal (Tuple.get t 2) (Value.Int 10))));
+  Alcotest.(check int) "distinct" 1
+    (List.length (rows db (Relalg.Distinct (Relalg.Project ([ "dept" ], eng)))))
+
+let test_limit_lazy () =
+  let db = setup () in
+  Alcotest.(check int) "limit 2" 2 (List.length (rows db (Relalg.Limit (2, Relalg.Scan "Emp"))));
+  Alcotest.(check bool) "run_first" true
+    (Option.is_some (Relalg.run_first db (Relalg.Scan "Emp")));
+  Alcotest.(check bool) "run_first empty" true
+    (Relalg.run_first db (Relalg.Select (Relalg.Eq_const ("dept", Value.Int 99), Relalg.Scan "Emp"))
+     = None)
+
+let test_aggregates () =
+  let db = setup () in
+  (* COUNT per department. *)
+  let q =
+    Relalg.Aggregate ([ "dept" ], [ ("n", Relalg.Count) ], Relalg.Scan "Emp")
+  in
+  let _, result = Relalg.run db q in
+  Alcotest.(check int) "three groups" 3 (List.length result);
+  let count_of dept =
+    List.find_map
+      (fun t ->
+        if Value.equal (Tuple.get t 0) (Value.Int dept) then
+          match Tuple.get t 1 with
+          | Value.Int n -> Some n
+          | _ -> None
+        else None)
+      result
+  in
+  Alcotest.(check (option int)) "dept 10 has 2" (Some 2) (count_of 10);
+  Alcotest.(check (option int)) "dept 30 has 1" (Some 1) (count_of 30);
+  (* Global SUM / MIN / MAX without grouping. *)
+  let q2 =
+    Relalg.Aggregate
+      ( [],
+        [ ("total", Relalg.Sum "eid"); ("lo", Relalg.Min "eid"); ("hi", Relalg.Max "eid") ],
+        Relalg.Scan "Emp" )
+  in
+  (match snd (Relalg.run db q2) with
+   | [ t ] ->
+     Alcotest.(check bool) "sum" true (Value.equal (Tuple.get t 0) (Value.Int 10));
+     Alcotest.(check bool) "min" true (Value.equal (Tuple.get t 1) (Value.Int 1));
+     Alcotest.(check bool) "max" true (Value.equal (Tuple.get t 2) (Value.Int 4))
+   | _ -> Alcotest.fail "single row expected");
+  (* COUNT over empty input yields a zero row. *)
+  let q3 =
+    Relalg.Aggregate
+      ([], [ ("n", Relalg.Count) ],
+       Relalg.Select (Relalg.Eq_const ("dept", Value.Int 99), Relalg.Scan "Emp"))
+  in
+  (match snd (Relalg.run db q3) with
+   | [ t ] -> Alcotest.(check bool) "zero" true (Value.equal (Tuple.get t 0) (Value.Int 0))
+   | _ -> Alcotest.fail "single zero row expected")
+
+let suite =
+  [ Alcotest.test_case "scan and select" `Quick test_scan_select;
+    Alcotest.test_case "project and rename" `Quick test_project_rename;
+    Alcotest.test_case "natural join" `Quick test_join;
+    Alcotest.test_case "product" `Quick test_product_requires_disjoint;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "limit" `Quick test_limit_lazy;
+    Alcotest.test_case "aggregates" `Quick test_aggregates;
+  ]

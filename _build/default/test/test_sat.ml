@@ -1,0 +1,103 @@
+(* Tests for the DPLL SAT solver and the CNF builder. *)
+
+let test_trivial () =
+  Alcotest.(check bool) "empty instance sat" true
+    (match Sat.Dpll.solve [] with
+     | Sat.Dpll.Sat _ -> true
+     | Sat.Dpll.Unsat -> false);
+  Alcotest.(check bool) "empty clause unsat" true (Sat.Dpll.solve [ [||] ] = Sat.Dpll.Unsat);
+  Alcotest.(check bool) "unit sat" true
+    (match Sat.Dpll.solve [ [| 1 |] ] with
+     | Sat.Dpll.Sat m -> m.(1)
+     | Sat.Dpll.Unsat -> false);
+  Alcotest.(check bool) "conflicting units unsat" true
+    (Sat.Dpll.solve [ [| 1 |]; [| -1 |] ] = Sat.Dpll.Unsat)
+
+let test_small_instances () =
+  (* (x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (x1 ∨ ¬x2): forces x1=x2=true. *)
+  (match Sat.Dpll.solve [ [| 1; 2 |]; [| -1; 2 |]; [| 1; -2 |] ] with
+   | Sat.Dpll.Sat m ->
+     Alcotest.(check bool) "x1" true m.(1);
+     Alcotest.(check bool) "x2" true m.(2)
+   | Sat.Dpll.Unsat -> Alcotest.fail "should be sat");
+  (* All four binary clauses over two vars: unsat. *)
+  Alcotest.(check bool) "full binary unsat" true
+    (Sat.Dpll.solve [ [| 1; 2 |]; [| -1; 2 |]; [| 1; -2 |]; [| -1; -2 |] ] = Sat.Dpll.Unsat)
+
+let test_pigeonhole () =
+  (* PHP(3,2): 3 pigeons, 2 holes — classically unsat.  Var p_{i,h} = 2i+h+1. *)
+  let var i h = (2 * i) + h + 1 in
+  let clauses =
+    (* each pigeon in some hole *)
+    List.init 3 (fun i -> [| var i 0; var i 1 |])
+    @ (* no two pigeons share a hole *)
+    List.concat_map
+      (fun h ->
+        [ [| -var 0 h; -var 1 h |]; [| -var 0 h; -var 2 h |]; [| -var 1 h; -var 2 h |] ])
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "php(3,2) unsat" true (Sat.Dpll.solve clauses = Sat.Dpll.Unsat)
+
+let test_cnf_builder () =
+  let cnf = Sat.Cnf.create () in
+  let a = Sat.Cnf.fresh_var cnf and b = Sat.Cnf.fresh_var cnf and c = Sat.Cnf.fresh_var cnf in
+  Sat.Cnf.add_exactly_one cnf [ a; b; c ];
+  (* ALO(1) + AMO(3 pairs) = 4 clauses *)
+  Alcotest.(check int) "exactly-one clause count" 4 (Sat.Cnf.num_clauses cnf);
+  Sat.Cnf.add_clause cnf [ a; Sat.Cnf.neg a ];
+  Alcotest.(check int) "tautology dropped" 4 (Sat.Cnf.num_clauses cnf);
+  Alcotest.(check bool) "bad literal" true
+    (match Sat.Cnf.add_clause cnf [ 99 ] with
+     | exception Sat.Cnf.Bad_literal _ -> true
+     | _ -> false);
+  (match Sat.Dpll.solve (Sat.Cnf.clauses cnf) with
+   | Sat.Dpll.Sat m ->
+     let count = List.length (List.filter (fun v -> m.(v)) [ a; b; c ]) in
+     Alcotest.(check int) "exactly one true" 1 count
+   | Sat.Dpll.Unsat -> Alcotest.fail "exactly-one should be sat")
+
+(* Brute-force reference: try all assignments. *)
+let brute_force num_vars clauses =
+  let rec go v model =
+    if v > num_vars then Sat.Dpll.check_model clauses model
+    else begin
+      model.(v) <- false;
+      go (v + 1) model
+      ||
+      (model.(v) <- true;
+       go (v + 1) model)
+    end
+  in
+  go 1 (Array.make (num_vars + 1) false)
+
+let clause_gen num_vars =
+  let open QCheck.Gen in
+  let lit_gen =
+    let* v = int_range 1 num_vars in
+    let* sign = bool in
+    return (if sign then v else -v)
+  in
+  list_size (int_range 0 20) (map Array.of_list (list_size (int_range 1 4) lit_gen))
+
+let prop_dpll_agrees_with_brute_force =
+  QCheck.Test.make ~name:"dpll = brute force on random 3-sat-ish" ~count:500
+    (QCheck.make (clause_gen 6)
+       ~print:(fun cs ->
+         String.concat " "
+           (List.map
+              (fun c ->
+                "(" ^ String.concat "," (List.map string_of_int (Array.to_list c)) ^ ")")
+              cs)))
+    (fun clauses ->
+      let brute = brute_force 6 clauses in
+      match Sat.Dpll.solve ~num_vars:6 clauses with
+      | Sat.Dpll.Sat model -> brute && Sat.Dpll.check_model clauses model
+      | Sat.Dpll.Unsat -> not brute)
+
+let suite =
+  [ Alcotest.test_case "trivial cases" `Quick test_trivial;
+    Alcotest.test_case "small instances" `Quick test_small_instances;
+    Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole;
+    Alcotest.test_case "cnf builder" `Quick test_cnf_builder;
+    QCheck_alcotest.to_alcotest prop_dpll_agrees_with_brute_force;
+  ]

@@ -1,0 +1,143 @@
+(* Tests for the session layer: commit acknowledgments, the second
+   (values-assigned) notification across every grounding trigger, mailbox
+   isolation, and thread-safety. *)
+
+module Qdb = Quantum.Qdb
+module Session = Quantum.Session
+module Flights = Workload.Flights
+module Travel = Workload.Travel
+
+let geometry rows = { Flights.flights = 1; rows_per_flight = rows; dest = "LA" }
+let fresh ?config ?(rows = 2) () = Session.create ?config (Flights.fresh_store (geometry rows))
+let user name partner = { Travel.name; partner; flight = 0 }
+
+let acks notes =
+  List.filter (function Session.Committed_ack _ -> true | _ -> false) notes
+
+let assignments notes =
+  List.filter_map
+    (function Session.Values_assigned v -> Some v | _ -> None)
+    notes
+
+let test_commit_ack () =
+  let hub = fresh () in
+  let mickey = Session.connect hub "mickey" in
+  (match Session.submit mickey (Travel.plain_txn (user "mickey" "-")) with
+   | Qdb.Committed _ -> ()
+   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+  let notes = Session.poll mickey in
+  Alcotest.(check int) "one ack" 1 (List.length (acks notes));
+  Alcotest.(check int) "no assignment yet (deferred)" 0 (List.length (assignments notes));
+  Alcotest.(check int) "mailbox drained" 0 (List.length (Session.poll mickey))
+
+let test_second_notification_on_read () =
+  let hub = fresh () in
+  let mickey = Session.connect hub "mickey" in
+  ignore (Session.submit mickey (Travel.plain_txn (user "mickey" "-")));
+  ignore (Session.poll mickey);
+  (* The read collapses the booking: the owner gets Values_assigned. *)
+  ignore (Session.read mickey (Travel.seat_query (user "mickey" "-")));
+  (match assignments (Session.poll mickey) with
+   | [ v ] ->
+     Alcotest.(check int) "two concrete writes" 2 (List.length v.Session.ops)
+   | _ -> Alcotest.fail "expected exactly one Values_assigned")
+
+let test_second_notification_on_partner_arrival () =
+  let hub = fresh () in
+  let a = Session.connect hub "a" and b = Session.connect hub "b" in
+  ignore (Session.submit a (Travel.entangled_txn (user "a" "b")));
+  Alcotest.(check int) "a not assigned yet" 0 (List.length (assignments (Session.poll a)));
+  (* b's submission grounds both partners: each owner hears about it. *)
+  ignore (Session.submit b (Travel.entangled_txn (user "b" "a")));
+  (match assignments (Session.poll a) with
+   | [ v ] -> Alcotest.(check bool) "a's optionals satisfied" true (v.Session.optionals_satisfied >= 1)
+   | _ -> Alcotest.fail "a expected its assignment");
+  (match assignments (Session.poll b) with
+   | [ _ ] -> ()
+   | _ -> Alcotest.fail "b expected its assignment")
+
+let test_second_notification_on_other_clients_read () =
+  let hub = fresh () in
+  let a = Session.connect hub "a" and nosy = Session.connect hub "nosy" in
+  ignore (Session.submit a (Travel.plain_txn (user "a" "-")));
+  ignore (Session.poll a);
+  (* Someone ELSE reads the whole Bookings table, collapsing a's booking:
+     the assignment notice still goes to a, not to the reader. *)
+  let q = Quantum.Datalog_parser.parse_query "(u, f, s) :- Bookings(u, f, s)" in
+  ignore (Session.read nosy q);
+  Alcotest.(check int) "owner notified" 1 (List.length (assignments (Session.poll a)));
+  Alcotest.(check int) "reader not notified" 0 (List.length (assignments (Session.poll nosy)))
+
+let test_write_refused_notification () =
+  let hub = fresh ~rows:1 () in
+  let a = Session.connect hub "a" in
+  List.iter
+    (fun n -> ignore (Session.submit a (Travel.plain_txn (user n "-"))))
+    [ "a1"; "a2"; "a3" ];
+  let steal =
+    [ Relational.Database.Delete
+        ("Available", Relational.Tuple.of_list [ Relational.Value.Int 0; Relational.Value.Int 0 ]) ]
+  in
+  Alcotest.(check bool) "refused" true (Result.is_error (Session.write a steal));
+  let refused =
+    List.exists
+      (function Session.Write_refused _ -> true | _ -> false)
+      (Session.poll a)
+  in
+  Alcotest.(check bool) "refusal notified" true refused
+
+let test_duplicate_connect_rejected () =
+  let hub = fresh () in
+  ignore (Session.connect hub "x");
+  Alcotest.(check bool) "duplicate refused" true
+    (match Session.connect hub "x" with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  (* Disconnect frees the name. *)
+  let c = Session.connect hub "y" in
+  Session.disconnect c;
+  ignore (Session.connect hub "y")
+
+let test_concurrent_clients () =
+  (* Several threads booking through their own clients: the mutex must
+     keep the engine consistent, and everyone gets acked + assigned. *)
+  let hub = fresh ~rows:4 () in
+  let n_threads = 4 and per_thread = 3 in
+  let results_lock = Mutex.create () in
+  let results = ref [] in
+  let threads =
+    List.init n_threads (fun ti ->
+        Thread.create
+          (fun () ->
+            let c = Session.connect hub (Printf.sprintf "client%d" ti) in
+            for j = 0 to per_thread - 1 do
+              let name = Printf.sprintf "t%d_%d" ti j in
+              ignore (Session.submit c (Travel.plain_txn (user name "-")))
+            done;
+            ignore (Session.ground_all c);
+            let notes = Session.poll c in
+            Mutex.lock results_lock;
+            results := notes :: !results;
+            Mutex.unlock results_lock)
+          ())
+  in
+  List.iter Thread.join threads;
+  let results = !results in
+  let total_acks = List.fold_left (fun n notes -> n + List.length (acks notes)) 0 results in
+  Alcotest.(check int) "all acked" (n_threads * per_thread) total_acks;
+  Alcotest.(check bool) "engine consistent" true (Qdb.invariant_holds (Session.qdb hub));
+  Alcotest.(check int) "all seated" (n_threads * per_thread)
+    (Relational.Table.cardinality
+       (Relational.Database.table (Qdb.db (Session.qdb hub)) "Bookings"))
+
+let suite =
+  [ Alcotest.test_case "commit ack" `Quick test_commit_ack;
+    Alcotest.test_case "assignment on read" `Quick test_second_notification_on_read;
+    Alcotest.test_case "assignment on partner arrival" `Quick
+      test_second_notification_on_partner_arrival;
+    Alcotest.test_case "assignment on another client's read" `Quick
+      test_second_notification_on_other_clients_read;
+    Alcotest.test_case "write refusal notification" `Quick test_write_refused_notification;
+    Alcotest.test_case "duplicate connect" `Quick test_duplicate_connect_rejected;
+    Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+  ]

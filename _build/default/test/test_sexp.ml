@@ -1,0 +1,73 @@
+(* Tests for the s-expression codec. *)
+
+module Sexp = Relational.Sexp
+
+let check_roundtrip name s =
+  Alcotest.(check string) name (Sexp.to_string s) (Sexp.to_string (Sexp.of_string (Sexp.to_string s)))
+
+let test_atoms () =
+  check_roundtrip "bare" (Sexp.atom "hello");
+  check_roundtrip "spaces" (Sexp.atom "hello world");
+  check_roundtrip "quotes" (Sexp.atom "say \"hi\"");
+  check_roundtrip "escapes" (Sexp.atom "line1\nline2\ttab\\slash");
+  check_roundtrip "empty" (Sexp.atom "");
+  check_roundtrip "parens" (Sexp.atom "a(b)c")
+
+let test_lists () =
+  check_roundtrip "empty list" (Sexp.list []);
+  check_roundtrip "nested"
+    (Sexp.list [ Sexp.atom "a"; Sexp.list [ Sexp.atom "b"; Sexp.list [] ]; Sexp.atom "c" ])
+
+let test_parse_basics () =
+  Alcotest.(check bool) "atom" true (Sexp.equal (Sexp.of_string "abc") (Sexp.atom "abc"));
+  Alcotest.(check bool)
+    "list" true
+    (Sexp.equal (Sexp.of_string "(a b c)") (Sexp.list [ Sexp.atom "a"; Sexp.atom "b"; Sexp.atom "c" ]));
+  Alcotest.(check bool)
+    "whitespace" true
+    (Sexp.equal (Sexp.of_string "  ( a\n\tb )  ") (Sexp.list [ Sexp.atom "a"; Sexp.atom "b" ]));
+  Alcotest.(check bool)
+    "comments" true
+    (Sexp.equal (Sexp.of_string "(a ; comment\n b)") (Sexp.list [ Sexp.atom "a"; Sexp.atom "b" ]))
+
+let test_parse_many () =
+  let docs = Sexp.of_string_many "a (b c) d" in
+  Alcotest.(check int) "three documents" 3 (List.length docs)
+
+let test_parse_errors () =
+  let fails input =
+    match Sexp.of_string input with
+    | exception Sexp.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unterminated list" true (fails "(a b");
+  Alcotest.(check bool) "stray paren" true (fails ")");
+  Alcotest.(check bool) "unterminated string" true (fails "\"abc");
+  Alcotest.(check bool) "trailing garbage" true (fails "(a) b");
+  Alcotest.(check bool) "empty input" true (fails "")
+
+let qcheck_sexp_gen =
+  let open QCheck in
+  let atom_gen = Gen.map Sexp.atom (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 8)) in
+  let rec sexp_gen depth =
+    if depth = 0 then atom_gen
+    else
+      Gen.frequency
+        [ (3, atom_gen);
+          (1, Gen.map Sexp.list (Gen.list_size (Gen.int_range 0 4) (sexp_gen (depth - 1))));
+        ]
+  in
+  make (sexp_gen 3) ~print:Sexp.to_string
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:500 qcheck_sexp_gen (fun s ->
+      Sexp.equal s (Sexp.of_string (Sexp.to_string s)))
+
+let suite =
+  [ Alcotest.test_case "atoms roundtrip" `Quick test_atoms;
+    Alcotest.test_case "lists roundtrip" `Quick test_lists;
+    Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "parse many" `Quick test_parse_many;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

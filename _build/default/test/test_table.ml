@@ -1,0 +1,185 @@
+(* Tests for schemas, tables, keys, and secondary indexes. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Table = Relational.Table
+
+let seats_schema =
+  Schema.make ~name:"Seats"
+    ~columns:
+      [ Schema.column "fno" Value.Tint; Schema.column "seat" Value.Tint;
+        Schema.column "class" Value.Tstr ]
+    ~key:[ "fno"; "seat" ] ()
+
+let row f s c = Tuple.of_list [ Value.Int f; Value.Int s; Value.Str c ]
+
+let test_schema_validation () =
+  let fails f =
+    match f () with
+    | exception Schema.Invalid _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "duplicate column" true
+    (fails (fun () ->
+         Schema.make ~name:"T" ~columns:[ Schema.column "a" Value.Tint; Schema.column "a" Value.Tint ] ()));
+  Alcotest.(check bool) "unknown key column" true
+    (fails (fun () ->
+         Schema.make ~name:"T" ~columns:[ Schema.column "a" Value.Tint ] ~key:[ "b" ] ()));
+  Alcotest.(check bool) "no columns" true
+    (fails (fun () -> Schema.make ~name:"T" ~columns:[] ()));
+  Alcotest.(check bool) "empty key" true
+    (fails (fun () -> Schema.make ~name:"T" ~columns:[ Schema.column "a" Value.Tint ] ~key:[] ()))
+
+let test_insert_and_key () =
+  let t = Table.create seats_schema in
+  Alcotest.(check bool) "first insert" true (Table.insert t (row 1 1 "econ") = Table.Inserted);
+  Alcotest.(check bool) "duplicate key" true (Table.insert t (row 1 1 "biz") = Table.Duplicate_key);
+  Alcotest.(check bool) "different key" true (Table.insert t (row 1 2 "econ") = Table.Inserted);
+  Alcotest.(check int) "cardinality" 2 (Table.cardinality t);
+  Alcotest.(check bool) "mem exact" true (Table.mem t (row 1 1 "econ"));
+  Alcotest.(check bool) "mem wrong non-key" false (Table.mem t (row 1 1 "biz"))
+
+let test_type_checking () =
+  let t = Table.create seats_schema in
+  let bad = Tuple.of_list [ Value.Str "x"; Value.Int 1; Value.Str "econ" ] in
+  Alcotest.(check bool) "type error" true
+    (match Table.insert t bad with
+     | exception Schema.Invalid _ -> true
+     | _ -> false);
+  let wrong_arity = Tuple.of_list [ Value.Int 1 ] in
+  Alcotest.(check bool) "arity error" true
+    (match Table.insert t wrong_arity with
+     | exception Schema.Invalid _ -> true
+     | _ -> false)
+
+let test_delete () =
+  let t = Table.create seats_schema in
+  ignore (Table.insert t (row 1 1 "econ"));
+  Alcotest.(check bool) "delete wrong non-key fails" false (Table.delete t (row 1 1 "biz"));
+  Alcotest.(check bool) "delete exact" true (Table.delete t (row 1 1 "econ"));
+  Alcotest.(check bool) "delete absent" false (Table.delete t (row 1 1 "econ"));
+  Alcotest.(check int) "empty" 0 (Table.cardinality t)
+
+let fill t n =
+  for f = 0 to n - 1 do
+    for s = 0 to 9 do
+      ignore (Table.insert t (row f s (if s mod 2 = 0 then "econ" else "biz")))
+    done
+  done
+
+let test_pattern_lookup () =
+  let t = Table.create seats_schema in
+  fill t 5;
+  let pat_flight2 = [| Some (Value.Int 2); None; None |] in
+  Alcotest.(check int) "scan match count" 10 (List.length (Table.lookup t pat_flight2));
+  let pat_biz = [| None; None; Some (Value.Str "biz") |] in
+  Alcotest.(check int) "biz seats" 25 (List.length (Table.lookup t pat_biz));
+  let pat_key = [| Some (Value.Int 3); Some (Value.Int 4); None |] in
+  Alcotest.(check int) "key probe" 1 (List.length (Table.lookup t pat_key));
+  let pat_none = [| Some (Value.Int 99); None; None |] in
+  Alcotest.(check int) "no match" 0 (List.length (Table.lookup t pat_none))
+
+let test_secondary_index () =
+  let t = Table.create seats_schema in
+  fill t 50;
+  Table.create_index_on t [ "fno" ];
+  let pat = [| Some (Value.Int 7); None; None |] in
+  Alcotest.(check int) "indexed lookup" 10 (List.length (Table.lookup t pat));
+  Alcotest.(check int) "estimate via index" 10 (Table.estimate_matches t pat);
+  (* Index stays correct across mutation. *)
+  ignore (Table.delete t (row 7 0 "econ"));
+  Alcotest.(check int) "after delete" 9 (List.length (Table.lookup t pat));
+  ignore (Table.insert t (row 7 0 "econ"));
+  Alcotest.(check int) "after reinsert" 10 (List.length (Table.lookup t pat));
+  (* Index created after rows exist covers them (tested by construction),
+     and index_stats reports distinct keys. *)
+  let stats = Table.index_stats t in
+  Alcotest.(check int) "one index" 1 (List.length stats);
+  Alcotest.(check int) "distinct flights" 50 (snd (List.hd stats))
+
+let test_copy_isolation () =
+  let t = Table.create seats_schema in
+  fill t 3;
+  Table.create_index_on t [ "fno" ];
+  let c = Table.copy t in
+  ignore (Table.delete t (row 0 0 "econ"));
+  Alcotest.(check int) "copy unaffected" 30 (Table.cardinality c);
+  Alcotest.(check int) "original changed" 29 (Table.cardinality t);
+  let pat = [| Some (Value.Int 0); None; None |] in
+  Alcotest.(check int) "copy index works" 10 (List.length (Table.lookup c pat))
+
+let test_ordered_index_range () =
+  let t = Table.create seats_schema in
+  fill t 10;
+  Table.create_ordered_index_on t "fno";
+  let range ?lo ?hi () = Table.range_on t ~col_name:"fno" ?lo ?hi () in
+  Alcotest.(check int) "full range" 100 (List.length (range ()));
+  Alcotest.(check int) "lo inclusive" 30
+    (List.length (range ~lo:(Table.Inclusive (Value.Int 7)) ()));
+  Alcotest.(check int) "lo exclusive" 20
+    (List.length (range ~lo:(Table.Exclusive (Value.Int 7)) ()));
+  Alcotest.(check int) "window" 30
+    (List.length (range ~lo:(Table.Inclusive (Value.Int 3)) ~hi:(Table.Exclusive (Value.Int 6)) ()));
+  (* Ascending order on the indexed column. *)
+  let flights = List.map (fun row -> Tuple.get row 0) (range ()) in
+  Alcotest.(check bool) "ascending" true
+    (List.sort Value.compare flights = flights);
+  (* Maintained under mutation. *)
+  ignore (Table.delete t (row 5 0 "econ"));
+  Alcotest.(check int) "after delete" 9
+    (List.length (range ~lo:(Table.Inclusive (Value.Int 5)) ~hi:(Table.Inclusive (Value.Int 5)) ()));
+  Alcotest.(check bool) "min" true (Table.min_value t ~col:0 = Some (Value.Int 0));
+  Alcotest.(check bool) "max" true (Table.max_value t ~col:0 = Some (Value.Int 9))
+
+let test_range_without_index_agrees () =
+  let indexed = Table.create seats_schema and plain = Table.create seats_schema in
+  fill indexed 6;
+  fill plain 6;
+  Table.create_ordered_index_on indexed "seat";
+  let get t = Table.range_on t ~col_name:"seat" ~lo:(Table.Inclusive (Value.Int 3)) () in
+  let key_sorted rows = List.sort Relational.Tuple.compare rows in
+  Alcotest.(check bool) "indexed = scan" true
+    (List.equal Relational.Tuple.equal (key_sorted (get indexed)) (key_sorted (get plain)))
+
+let prop_lookup_agrees_with_scan =
+  (* Random inserts/deletes; pattern lookup must equal a naive filter. *)
+  let open QCheck in
+  let op_gen =
+    Gen.map
+      (fun (ins, f, s) -> (ins, f mod 4, s mod 4))
+      (Gen.triple Gen.bool Gen.small_nat Gen.small_nat)
+  in
+  Test.make ~name:"indexed lookup = naive scan" ~count:200
+    (make (Gen.list_size (Gen.int_range 0 40) op_gen))
+    (fun ops ->
+      let t = Table.create seats_schema in
+      Table.create_index_on t [ "fno" ];
+      List.iter
+        (fun (ins, f, s) ->
+          if ins then ignore (Table.insert t (row f s "econ"))
+          else ignore (Table.delete t (row f s "econ")))
+        ops;
+      List.for_all
+        (fun f ->
+          let pat = [| Some (Value.Int f); None; None |] in
+          let indexed = List.sort Relational.Tuple.compare (Table.lookup t pat) in
+          let naive =
+            List.sort Relational.Tuple.compare
+              (List.filter (Table.pattern_matches pat) (Table.to_list t))
+          in
+          List.equal Relational.Tuple.equal indexed naive)
+        [ 0; 1; 2; 3 ])
+
+let suite =
+  [ Alcotest.test_case "schema validation" `Quick test_schema_validation;
+    Alcotest.test_case "insert and key" `Quick test_insert_and_key;
+    Alcotest.test_case "type checking" `Quick test_type_checking;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "pattern lookup" `Quick test_pattern_lookup;
+    Alcotest.test_case "secondary index" `Quick test_secondary_index;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+    Alcotest.test_case "ordered index range" `Quick test_ordered_index_range;
+    Alcotest.test_case "range without index" `Quick test_range_without_index_agrees;
+    QCheck_alcotest.to_alcotest prop_lookup_agrees_with_scan;
+  ]

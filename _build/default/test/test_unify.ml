@@ -1,0 +1,119 @@
+(* Tests for terms, substitutions, most general unifiers (Definition 3.2)
+   and unification predicates (Definition 3.3). *)
+
+module Value = Relational.Value
+open Logic
+
+let v name = Term.fresh_var name
+
+let test_subst_resolve_chains () =
+  let a = v "a" and b = v "b" in
+  let s = Subst.bind a (Term.V b) (Subst.bind b (Term.int 5) Subst.empty) in
+  Alcotest.(check bool) "chain resolves" true (Term.equal (Subst.resolve s (Term.V a)) (Term.int 5));
+  let flat = Subst.flatten s in
+  Alcotest.(check bool) "flattened direct" true
+    (match Subst.find a flat with
+     | Some t -> Term.equal t (Term.int 5)
+     | None -> false)
+
+let test_restrict_flattens () =
+  let a = v "a" and b = v "b" in
+  let s = Subst.bind a (Term.V b) (Subst.bind b (Term.int 7) Subst.empty) in
+  let restricted = Subst.restrict (Term.Var_set.singleton a) s in
+  Alcotest.(check bool) "kept var resolves to constant" true
+    (Term.equal (Subst.resolve restricted (Term.V a)) (Term.int 7))
+
+let test_mgu_paper_example () =
+  (* R(1, v1, v2) and R(v3, 2, v4): mgu = {v1/2, v2/v4, v3/1}. *)
+  let v1 = v "v1" and v2 = v "v2" and v3 = v "v3" and v4 = v "v4" in
+  let a = Atom.make "R" [ Term.int 1; Term.V v1; Term.V v2 ] in
+  let b = Atom.make "R" [ Term.V v3; Term.int 2; Term.V v4 ] in
+  match Unify.mgu a b with
+  | None -> Alcotest.fail "expected a unifier"
+  | Some s ->
+    Alcotest.(check bool) "v1 = 2" true (Term.equal (Subst.resolve s (Term.V v1)) (Term.int 2));
+    Alcotest.(check bool) "v3 = 1" true (Term.equal (Subst.resolve s (Term.V v3)) (Term.int 1));
+    Alcotest.(check bool) "v2 ~ v4" true
+      (Term.equal (Subst.resolve s (Term.V v2)) (Subst.resolve s (Term.V v4)));
+    (* ϕ = (v1=2) ∧ (v2=v4) ∧ (v3=1): three equalities. *)
+    (match Unify.predicate a b with
+     | Formula.And fs -> Alcotest.(check int) "three equalities" 3 (List.length fs)
+     | f -> Alcotest.failf "unexpected predicate %s" (Formula.to_string f))
+
+let test_mgu_failures () =
+  let x = v "x" in
+  Alcotest.(check bool) "relation mismatch" true
+    (Unify.mgu (Atom.make "R" [ Term.V x ]) (Atom.make "S" [ Term.V x ]) = None);
+  Alcotest.(check bool) "arity mismatch" true
+    (Unify.mgu (Atom.make "R" [ Term.V x ]) (Atom.make "R" [ Term.V x; Term.V x ]) = None);
+  Alcotest.(check bool) "constant clash" true
+    (Unify.mgu (Atom.make "R" [ Term.int 1 ]) (Atom.make "R" [ Term.int 2 ]) = None);
+  Alcotest.(check bool) "predicate trivially false" true
+    (Unify.predicate (Atom.make "R" [ Term.int 1 ]) (Atom.make "R" [ Term.int 2 ]) = Formula.False)
+
+let test_ground_identical_atoms () =
+  let a = Atom.make "R" [ Term.int 1; Term.str "x" ] in
+  Alcotest.(check bool) "empty mgu" true
+    (match Unify.mgu a a with
+     | Some s -> Subst.is_empty s
+     | None -> false);
+  Alcotest.(check bool) "predicate trivially true" true (Unify.predicate a a = Formula.True)
+
+let test_repeated_var () =
+  (* R(x, x) with R(1, 2) must fail; with R(3, 3) must succeed. *)
+  let x = v "x" in
+  let a = Atom.make "R" [ Term.V x; Term.V x ] in
+  Alcotest.(check bool) "x=1 and x=2 clash" true
+    (Unify.mgu a (Atom.make "R" [ Term.int 1; Term.int 2 ]) = None);
+  Alcotest.(check bool) "x=3 twice ok" true
+    (Option.is_some (Unify.mgu a (Atom.make "R" [ Term.int 3; Term.int 3 ])))
+
+(* -- Properties ------------------------------------------------------------ *)
+
+(* Generator of random atoms over a small vocabulary with shared variables. *)
+let atom_pair_gen =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let* rel = oneofl [ "R"; "S" ] in
+    let* arity = int_range 1 3 in
+    (* A pool of shared variables so unifiers are nontrivial. *)
+    let pool = Array.init 4 (fun i -> Term.fresh_var (Printf.sprintf "q%d" i)) in
+    let term_gen =
+      oneof
+        [ map (fun i -> Term.V pool.(i mod 4)) small_nat;
+          map (fun n -> Term.int (n mod 3)) small_nat;
+        ]
+    in
+    let* args1 = list_size (return arity) term_gen in
+    let* args2 = list_size (return arity) term_gen in
+    return (Atom.make rel args1, Atom.make rel args2)
+  in
+  make gen ~print:(fun (a, b) -> Atom.to_string a ^ " ~ " ^ Atom.to_string b)
+
+let prop_mgu_is_unifier =
+  QCheck.Test.make ~name:"mgu output unifies the atoms" ~count:1000 atom_pair_gen
+    (fun (a, b) ->
+      match Unify.mgu a b with
+      | None -> true
+      | Some s -> Atom.equal (Subst.apply_atom s a) (Subst.apply_atom s b))
+
+let prop_mgu_symmetric =
+  QCheck.Test.make ~name:"unifiability is symmetric" ~count:1000 atom_pair_gen (fun (a, b) ->
+      Unify.unifiable a b = Unify.unifiable b a)
+
+let prop_predicate_false_iff_no_unifier =
+  QCheck.Test.make ~name:"predicate is False exactly when no unifier" ~count:1000 atom_pair_gen
+    (fun (a, b) -> Unify.unifiable a b = (Unify.predicate a b <> Formula.False))
+
+let suite =
+  [ Alcotest.test_case "subst chains" `Quick test_subst_resolve_chains;
+    Alcotest.test_case "restrict flattens" `Quick test_restrict_flattens;
+    Alcotest.test_case "mgu paper example" `Quick test_mgu_paper_example;
+    Alcotest.test_case "mgu failures" `Quick test_mgu_failures;
+    Alcotest.test_case "ground identical atoms" `Quick test_ground_identical_atoms;
+    Alcotest.test_case "repeated variable" `Quick test_repeated_var;
+    QCheck_alcotest.to_alcotest prop_mgu_is_unifier;
+    QCheck_alcotest.to_alcotest prop_mgu_symmetric;
+    QCheck_alcotest.to_alcotest prop_predicate_false_iff_no_unifier;
+  ]

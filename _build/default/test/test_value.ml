@@ -1,0 +1,75 @@
+(* Tests for values and tuples. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+
+let test_ordering () =
+  Alcotest.(check bool) "int < str" true (Value.compare (Value.Int 5) (Value.Str "a") < 0);
+  Alcotest.(check bool) "str < bool" true (Value.compare (Value.Str "z") (Value.Bool false) < 0);
+  Alcotest.(check bool) "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  Alcotest.(check bool) "bool order" true (Value.compare (Value.Bool false) (Value.Bool true) < 0);
+  Alcotest.(check bool) "equal ints" true (Value.equal (Value.Int 7) (Value.Int 7))
+
+let test_value_sexp_roundtrip () =
+  List.iter
+    (fun v ->
+      let v' = Value.of_sexp (Value.to_sexp v) in
+      Alcotest.(check bool) (Value.to_string v) true (Value.equal v v'))
+    [ Value.Int 0; Value.Int (-42); Value.Int max_int; Value.Str ""; Value.Str "hello world";
+      Value.Str "with \"quotes\""; Value.Bool true; Value.Bool false ]
+
+let test_tuple_compare () =
+  let t1 = Tuple.of_list [ Value.Int 1; Value.Str "a" ] in
+  let t2 = Tuple.of_list [ Value.Int 1; Value.Str "b" ] in
+  let t3 = Tuple.of_list [ Value.Int 1 ] in
+  Alcotest.(check bool) "lex order" true (Tuple.compare t1 t2 < 0);
+  Alcotest.(check bool) "prefix first" true (Tuple.compare t3 t1 < 0);
+  Alcotest.(check bool) "reflexive" true (Tuple.equal t1 t1)
+
+let test_tuple_project () =
+  let t = Tuple.of_list [ Value.Int 10; Value.Int 20; Value.Int 30 ] in
+  let p = Tuple.project [| 2; 0 |] t in
+  Alcotest.(check bool)
+    "projection order" true
+    (Tuple.equal p (Tuple.of_list [ Value.Int 30; Value.Int 10 ]))
+
+let test_tuple_sexp_roundtrip () =
+  let t = Tuple.of_list [ Value.Int 1; Value.Str "x y"; Value.Bool true ] in
+  Alcotest.(check bool) "roundtrip" true (Tuple.equal t (Tuple.of_sexp (Tuple.to_sexp t)))
+
+let value_gen =
+  let open QCheck in
+  let gen =
+    Gen.oneof
+      [ Gen.map Value.int Gen.small_signed_int;
+        Gen.map Value.str (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 6));
+        Gen.map Value.bool Gen.bool;
+      ]
+  in
+  make gen ~print:Value.to_string
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"value compare is antisymmetric" ~count:500
+    (QCheck.pair value_gen value_gen) (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0))
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal values hash equally" ~count:500 (QCheck.pair value_gen value_gen)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let prop_value_sexp =
+  QCheck.Test.make ~name:"value sexp roundtrip" ~count:500 value_gen (fun v ->
+      Value.equal v (Value.of_sexp (Value.to_sexp v)))
+
+let suite =
+  [ Alcotest.test_case "value ordering" `Quick test_ordering;
+    Alcotest.test_case "value sexp roundtrip" `Quick test_value_sexp_roundtrip;
+    Alcotest.test_case "tuple compare" `Quick test_tuple_compare;
+    Alcotest.test_case "tuple project" `Quick test_tuple_project;
+    Alcotest.test_case "tuple sexp roundtrip" `Quick test_tuple_sexp_roundtrip;
+    QCheck_alcotest.to_alcotest prop_compare_total_order;
+    QCheck_alcotest.to_alcotest prop_hash_consistent;
+    QCheck_alcotest.to_alcotest prop_value_sexp;
+  ]

@@ -1,0 +1,146 @@
+(* Tests for the workload layer: PRNG determinism, flight geometry,
+   arrival orders (Table 1's pending bounds), the IS baseline and the
+   runner. *)
+
+module Flights = Workload.Flights
+module Travel = Workload.Travel
+module Prng = Workload.Prng
+module Runner = Workload.Runner
+module Qdb = Quantum.Qdb
+
+let geometry rows flights = { Flights.flights; rows_per_flight = rows; dest = "LA" }
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys;
+  let c = Prng.create 8 in
+  let zs = List.init 20 (fun _ -> Prng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_prng_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let n = Prng.int rng 7 in
+    if n < 0 || n >= 7 then Alcotest.fail "out of range"
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float rng in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of range"
+  done
+
+let test_shuffle_permutes () =
+  let rng = Prng.create 5 in
+  let l = List.init 30 Fun.id in
+  let s = Prng.shuffle_list rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort Int.compare s);
+  Alcotest.(check bool) "actually shuffled" true (s <> l)
+
+let test_geometry () =
+  let g = geometry 10 1 in
+  Alcotest.(check int) "seats" 30 (Flights.seats_per_flight g);
+  (* 4 ordered adjacent pairs per row. *)
+  Alcotest.(check int) "adjacent pairs" 40 (List.length (Flights.adjacent_pairs g));
+  (* Adjacency is symmetric and within-row. *)
+  List.iter
+    (fun (s1, s2) ->
+      Alcotest.(check bool) "symmetric" true (List.mem (s2, s1) (Flights.adjacent_pairs g));
+      Alcotest.(check int) "same row" (s1 / 3) (s2 / 3))
+    (Flights.adjacent_pairs g)
+
+let test_store_population () =
+  let g = geometry 4 3 in
+  let store = Flights.fresh_store g in
+  let db = Relational.Store.db store in
+  Alcotest.(check int) "availability" 36
+    (Relational.Table.cardinality (Relational.Database.table db "Available"));
+  Alcotest.(check int) "flights" 3
+    (Relational.Table.cardinality (Relational.Database.table db "Flights"));
+  Alcotest.(check int) "per-flight availability" 12 (Flights.available_count db 1)
+
+let max_pending_for order =
+  let g = geometry 6 1 in
+  let spec =
+    { Runner.default_spec with geometry = g; pairs_per_flight = 6; order; seed = 11 }
+  in
+  let out = Runner.run (Runner.Quantum_engine Qdb.default_config) spec in
+  out.Runner.max_pending
+
+(* Table 1: Alternate leaves at most 1 pending; In Order and Reverse
+   Order peak at N/2 (= number of pairs). *)
+let test_table1_pending_bounds () =
+  Alcotest.(check int) "Alternate max pending" 1 (max_pending_for Travel.Alternate);
+  Alcotest.(check int) "In Order max pending" 6 (max_pending_for Travel.In_order);
+  Alcotest.(check int) "Reverse Order max pending" 6 (max_pending_for Travel.Reverse_order);
+  let random = max_pending_for Travel.Random_order in
+  Alcotest.(check bool) "Random between 1 and N/2" true (random >= 1 && random <= 6)
+
+let test_orders_preserve_users () =
+  let users = Travel.make_users ~flights:2 ~pairs_per_flight:3 in
+  let rng = Prng.create 1 in
+  List.iter
+    (fun order ->
+      let ordered = Travel.order_users order rng users in
+      let names l = List.sort String.compare (List.map (fun u -> u.Travel.name) l) in
+      Alcotest.(check (list string))
+        (Travel.order_to_string order) (names users) (names ordered))
+    [ Travel.Alternate; Travel.Random_order; Travel.In_order; Travel.Reverse_order ]
+
+let test_is_baseline_books_everyone () =
+  let g = geometry 4 1 in
+  let store = Flights.fresh_store g in
+  let users = Travel.make_users ~flights:1 ~pairs_per_flight:6 in
+  List.iter (fun u -> Alcotest.(check bool) u.Travel.name true (Travel.is_book store u)) users;
+  let db = Relational.Store.db store in
+  Alcotest.(check int) "all seated" 12
+    (Relational.Table.cardinality (Relational.Database.table db "Bookings"));
+  (* Alternate-order IS achieves full coordination. *)
+  let coordinated = Travel.coordinated_users db users in
+  Alcotest.(check int) "alternate IS coordinates all (bounded by rows)" 8 coordinated
+
+let test_quantum_beats_is_on_random () =
+  let spec =
+    { Runner.default_spec with
+      geometry = geometry 6 1;
+      pairs_per_flight = 9;
+      order = Travel.Random_order;
+      seed = 123;
+    }
+  in
+  let q = Runner.run (Runner.Quantum_engine Qdb.default_config) spec in
+  let is = Runner.run Runner.Intelligent_social spec in
+  Alcotest.(check bool) "quantum reaches max coordination" true
+    (q.Runner.coordinated = q.Runner.max_possible);
+  Alcotest.(check bool) "IS strictly below quantum" true (is.Runner.coordinated < q.Runner.coordinated);
+  Alcotest.(check int) "same ops" q.Runner.ops is.Runner.ops
+
+let test_reads_reduce_coordination () =
+  let base =
+    { Runner.default_spec with
+      geometry = geometry 6 1;
+      pairs_per_flight = 9;
+      order = Travel.Random_order;
+      seed = 7;
+    }
+  in
+  let no_reads = Runner.run (Runner.Quantum_engine Qdb.default_config) base in
+  let heavy_reads =
+    Runner.run (Runner.Quantum_engine Qdb.default_config) { base with read_fraction = 0.8 }
+  in
+  Alcotest.(check bool) "ops grow with reads" true (heavy_reads.Runner.ops > no_reads.Runner.ops);
+  Alcotest.(check bool) "coordination does not improve under reads" true
+    (heavy_reads.Runner.coordination_pct <= no_reads.Runner.coordination_pct)
+
+let suite =
+  [ Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "seat geometry" `Quick test_geometry;
+    Alcotest.test_case "store population" `Quick test_store_population;
+    Alcotest.test_case "Table 1 pending bounds" `Quick test_table1_pending_bounds;
+    Alcotest.test_case "orders preserve users" `Quick test_orders_preserve_users;
+    Alcotest.test_case "IS baseline" `Quick test_is_baseline_books_everyone;
+    Alcotest.test_case "quantum beats IS (random order)" `Quick test_quantum_beats_is_on_random;
+    Alcotest.test_case "reads reduce coordination" `Quick test_reads_reduce_coordination;
+  ]
