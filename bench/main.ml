@@ -88,6 +88,8 @@ module Micro = struct
                (List.filteri (fun i _ -> i < 5) users)));
     ]
 
+  (* Runs the benches, prints the table, and returns the per-operation
+     ns/run estimates so main can export them as registry gauges. *)
   let run () =
     Common.section "Micro-benchmarks (Bechamel)";
     let open Bechamel in
@@ -99,18 +101,20 @@ module Micro = struct
     let grouped = Test.make_grouped ~name:"core" (tests ()) in
     let raw = Benchmark.all cfg [ instance ] grouped in
     let analyzed = Analyze.all ols instance raw in
-    let rows =
+    let estimates =
       Hashtbl.fold
         (fun name ols acc ->
-          let ns =
-            match Analyze.OLS.estimates ols with
-            | Some [ est ] -> Printf.sprintf "%.1f ns/run" est
-            | Some _ | None -> "n/a"
-          in
-          [ name; ns ] :: acc)
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> (name, est) :: acc
+          | Some _ | None -> acc)
         analyzed []
     in
-    Common.print_table ~header:[ "operation"; "time" ] (List.sort compare rows)
+    let rows =
+      List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f ns/run" ns ])
+        (List.sort compare estimates)
+    in
+    Common.print_table ~header:[ "operation"; "time" ] rows;
+    estimates
 end
 
 let () =
@@ -133,5 +137,13 @@ let () =
     ignore (Ablation.run_cache_stats scale);
     ignore (Ablation.run_formula_growth scale)
   end;
-  if wanted only "micro" then Micro.run ();
+  let micro_estimates = if wanted only "micro" then Micro.run () else [] in
+  (* Telemetry export: every quantum run above merged its engine metrics
+     into the workload runner's sink; snapshot it — plus any micro-bench
+     estimates as gauges — into metrics.json next to the CSVs. *)
+  let registry = Quantum.Metrics.snapshot Workload.Runner.metrics_sink in
+  List.iter
+    (fun (name, ns) -> Obs.Registry.set_gauge registry ("bench.micro." ^ name ^ ".ns_per_run") ns)
+    micro_estimates;
+  ignore (Common.write_metrics registry);
   Printf.printf "\nAll benches complete.\n"

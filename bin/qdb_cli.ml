@@ -6,6 +6,10 @@
      shell  — interactive session: submit resource transactions in the
               Datalog-like notation, read/peek, inspect read impact,
               ground, print tables
+     stats  — run a travel workload and print the engine's telemetry
+              registry (pretty, prometheus or json)
+   Every non-interactive subcommand takes --trace FILE to capture a
+   Chrome trace_event JSON of the engine's spans.
    (micro-benchmarks live in bench/main.exe) *)
 
 module Qdb = Quantum.Qdb
@@ -17,6 +21,31 @@ module Experiments = Harness.Experiments
 module Ablation = Harness.Ablation
 
 open Cmdliner
+
+(* -- tracing ------------------------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record engine trace events and write them to $(docv) as Chrome \
+                 trace_event JSON (loadable in chrome://tracing or Perfetto).")
+
+let with_trace file f =
+  match file with
+  | None -> f ()
+  | Some path ->
+    (* Fail before the run, not after: a --full experiment shouldn't spend
+       minutes only to lose its trace to an unwritable path. *)
+    (try close_out (open_out path)
+     with Sys_error msg ->
+       Printf.eprintf "qdb: cannot write trace file: %s\n" msg;
+       exit 1);
+    Obs.Trace.enable ();
+    Fun.protect f ~finally:(fun () ->
+        Obs.Export.write_chrome_trace path (Obs.Trace.events ());
+        Printf.printf "(trace written to %s: %d event(s), %d overwritten)\n%!" path
+          (Obs.Trace.recorded ()) (Obs.Trace.dropped ());
+        Obs.Trace.disable ())
 
 (* -- exp --------------------------------------------------------------------- *)
 
@@ -32,7 +61,8 @@ let exp_arg =
   Arg.(required & pos 0 (some (enum (List.map (fun n -> (n, n)) exp_names))) None
        & info [] ~docv:"EXPERIMENT" ~doc)
 
-let run_exp name full =
+let run_exp name full trace =
+  with_trace trace @@ fun () ->
   let scale = if full then Common.paper_scale else Common.default_scale in
   let pick wanted = name = "all" || name = wanted in
   if pick "table1" then ignore (Experiments.run_table1 scale);
@@ -52,11 +82,12 @@ let run_exp name full =
 
 let exp_cmd =
   let doc = "Regenerate a table or figure of the paper's evaluation." in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run_exp $ exp_arg $ full_flag)
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run_exp $ exp_arg $ full_flag $ trace_arg)
 
 (* -- demo --------------------------------------------------------------------- *)
 
-let run_demo () =
+let run_demo trace =
+  with_trace trace @@ fun () ->
   let geometry = { Flights.flights = 1; rows_per_flight = 2; dest = "LA" } in
   let store = Flights.fresh_store geometry in
   let qdb = Qdb.create store in
@@ -103,7 +134,82 @@ let run_demo () =
 
 let demo_cmd =
   let doc = "Walk through the paper's Mickey/Goofy scenario." in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(const run_demo $ const ())
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run_demo $ trace_arg)
+
+(* -- stats -------------------------------------------------------------------- *)
+
+(* Drive a travel workload against one engine instance, then print its
+   telemetry registry (counters, latency histograms, live gauges, WAL
+   counters) in the chosen format.  With --trace, the same run also yields
+   a Chrome trace of every span the engine emitted. *)
+
+let pp_registry registry =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, value) ->
+      match value with
+      | Obs.Registry.Counter n -> Buffer.add_string b (Printf.sprintf "%-28s %d\n" name n)
+      | Obs.Registry.Gauge g -> Buffer.add_string b (Printf.sprintf "%-28s %g\n" name g)
+      | Obs.Registry.Histogram h ->
+        let module H = Obs.Histogram in
+        if H.count h = 0 then Buffer.add_string b (Printf.sprintf "%-28s (empty)\n" name)
+        else
+          Buffer.add_string b
+            (Printf.sprintf "%-28s count=%d p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n"
+               name (H.count h)
+               (H.quantile h 0.5 *. 1e6) (H.quantile h 0.9 *. 1e6)
+               (H.quantile h 0.99 *. 1e6) (H.max_value h *. 1e6)))
+    (Obs.Registry.items registry);
+  print_string (Buffer.contents b)
+
+let run_stats format trace flights rows read_fraction =
+  with_trace trace @@ fun () ->
+  let geometry = { Flights.flights; rows_per_flight = rows; dest = "LA" } in
+  (* Users sized to seat capacity, as in Figures 5/6 (2 users per pair,
+     3 seats per row). *)
+  let spec =
+    { Workload.Runner.default_spec with
+      geometry;
+      read_fraction;
+      order = Travel.Random_order;
+      pairs_per_flight = 3 * rows / 2;
+    }
+  in
+  let store = Flights.fresh_store geometry in
+  let qdb = Qdb.create store in
+  let rng = Workload.Prng.create spec.Workload.Runner.seed in
+  let ops, _ = Workload.Runner.build_ops spec rng in
+  List.iter
+    (fun op ->
+      match op with
+      | Workload.Runner.Book u -> ignore (Qdb.submit qdb (Travel.entangled_txn u))
+      | Workload.Runner.Read_seat u -> ignore (Qdb.read qdb (Travel.seat_query u)))
+    ops;
+  ignore (Qdb.ground_all qdb);
+  let registry = Qdb.registry qdb in
+  match format with
+  | `Pretty ->
+    Printf.printf "telemetry after %d operation(s) on %d flight(s) x %d seats:\n\n"
+      (List.length ops) flights (3 * rows);
+    pp_registry registry
+  | `Prometheus -> print_string (Obs.Export.prometheus registry)
+  | `Json -> print_endline (Obs.Export.json_snapshot_string registry)
+
+let stats_cmd =
+  let doc = "Run a travel workload and print the engine's telemetry registry." in
+  let format_arg =
+    let formats = [ ("pretty", `Pretty); ("prometheus", `Prometheus); ("json", `Json) ] in
+    Arg.(value & opt (enum formats) `Pretty
+         & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: pretty, prometheus or json.")
+  in
+  let read_fraction_arg =
+    Arg.(value & opt float 0.2
+         & info [ "read-fraction" ] ~doc:"Fraction of the op stream that is reads.")
+  in
+  let rows_arg = Arg.(value & opt int 17 & info [ "rows" ] ~doc:"Seat rows per flight.") in
+  let flights_arg = Arg.(value & opt int 2 & info [ "flights" ] ~doc:"Number of flights.") in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run_stats $ format_arg $ trace_arg $ flights_arg $ rows_arg $ read_fraction_arg)
 
 (* -- shell --------------------------------------------------------------------- *)
 
@@ -232,4 +338,4 @@ let shell_cmd =
 let () =
   let doc = "Quantum databases: late-binding resource transactions (CIDR 2013 reproduction)." in
   let info = Cmd.info "qdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ exp_cmd; demo_cmd; shell_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ exp_cmd; demo_cmd; shell_cmd; stats_cmd ]))

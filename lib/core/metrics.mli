@@ -1,5 +1,9 @@
-(** Engine-level counters and wall-clock accumulators — the raw material of
-    the experiment harness (Figures 5, 7, 8). *)
+(** Engine-level counters and latency histograms — the raw material of
+    the experiment harness (Figures 5, 7, 8) and the telemetry exporters.
+
+    Latencies are per-operation log-bucketed histograms timed on the
+    monotonic clock; the old flat accumulators survive as the derived
+    sums {!time_submit}/{!time_ground}/{!time_read}. *)
 
 type t = {
   mutable submitted : int;
@@ -11,17 +15,37 @@ type t = {
   mutable writes : int;
   mutable writes_rejected : int;
   mutable partition_merges : int;
-  mutable time_submit : float;  (** seconds *)
-  mutable time_ground : float;
-  mutable time_read : float;
+  submit_latency : Obs.Histogram.t;  (** seconds, one observation per submit *)
+  ground_latency : Obs.Histogram.t;  (** per grounding call *)
+  read_latency : Obs.Histogram.t;  (** per read *)
   cache_stats : Solver.Cache.stats;
   solver_stats : Solver.Backtrack.stats;
 }
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Zero every counter, histogram and solver/cache stat in place. *)
+
 val timed : (float -> unit) -> (unit -> 'a) -> 'a
-(** [timed accumulate f] runs [f], passing its wall-clock duration to
-    [accumulate] even when [f] raises. *)
+(** [timed accumulate f] runs [f], passing its monotonic-clock duration in
+    seconds to [accumulate] even when [f] raises. *)
+
+val observe : Obs.Histogram.t -> (unit -> 'a) -> 'a
+(** [observe h f] times [f] into histogram [h] (even when [f] raises). *)
+
+val time_submit : t -> float
+(** Total seconds spent in [submit] — the sum of {!t.submit_latency}. *)
+
+val time_ground : t -> float
+val time_read : t -> float
+
+val merge : into:t -> t -> unit
+(** Fold counters, histograms and solver/cache stats of one engine's
+    metrics into another — the harness's per-run aggregation. *)
+
+val snapshot : t -> Obs.Registry.t
+(** Registry view for {!Obs.Export}: counters copied, histograms shared
+    by reference. *)
 
 val pp : Format.formatter -> t -> unit

@@ -104,6 +104,10 @@ let remove_partition t p = t.partitions <- List.filter (fun q -> not (q == p)) t
    the only bridge between two groups). *)
 let resplit t p =
   remove_partition t p;
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"qdb"
+      ~args:[ ("partition", Obs.Trace.Int p.pid); ("txns", Obs.Trace.Int (List.length p.txns)) ]
+      "qdb.partition_resplit";
   let groups : Rtxn.t list list ref = ref [] in
   List.iter
     (fun txn ->

@@ -203,7 +203,7 @@ let soft_units sequence grounded =
    units, applies the grounded transactions' updates (and pending-table
    deletions) in one atomic batch, then recomposes and re-splits the
    remainder. *)
-let ground_in_partition t (p : Partition.partition) target_ids =
+let ground_partition_body t (p : Partition.partition) target_ids =
   let database = db t in
   let is_target txn = List.mem txn.Rtxn.id target_ids in
   let arrival = p.Partition.txns in
@@ -354,6 +354,23 @@ let ground_in_partition t (p : Partition.partition) target_ids =
       groundings
   end
 
+(* Every grounding call — explicit, read-induced, partner arrival or
+   k-pressure — funnels through here, so one span covers the whole
+   collapse step of the lifecycle. *)
+let ground_in_partition t (p : Partition.partition) target_ids =
+  let grounded = ref [] in
+  Obs.Trace.span ~cat:"qdb"
+    ~args:(fun () ->
+      [ ("partition", Obs.Trace.Int p.Partition.pid);
+        ("targets", Obs.Trace.Int (List.length target_ids));
+        ("grounded", Obs.Trace.Int (List.length !grounded));
+      ])
+    "qdb.ground"
+    (fun () ->
+      let gs = ground_partition_body t p target_ids in
+      grounded := gs;
+      gs)
+
 let set_ground_hook t hook = t.ground_hook <- Some hook
 let clear_ground_hook t = t.ground_hook <- None
 
@@ -361,14 +378,10 @@ let ground t id =
   match Partition.find_txn t.parts id with
   | None -> []
   | Some (p, _) ->
-    Metrics.timed
-      (fun dt -> t.metrics.Metrics.time_ground <- t.metrics.Metrics.time_ground +. dt)
-      (fun () -> ground_in_partition t p [ id ])
+    Metrics.observe t.metrics.Metrics.ground_latency (fun () -> ground_in_partition t p [ id ])
 
 let ground_all t =
-  Metrics.timed
-    (fun dt -> t.metrics.Metrics.time_ground <- t.metrics.Metrics.time_ground +. dt)
-    (fun () ->
+  Metrics.observe t.metrics.Metrics.ground_latency (fun () ->
       List.concat_map
         (fun p -> ground_in_partition t p (List.map (fun x -> x.Rtxn.id) p.Partition.txns))
         (Partition.partitions t.parts))
@@ -405,6 +418,13 @@ let adapt_partition t (p : Partition.partition) =
       let n = List.length p.Partition.txns / 2 in
       let oldest = List.filteri (fun i _ -> i < n) p.Partition.txns in
       t.metrics.Metrics.forced_groundings <- t.metrics.Metrics.forced_groundings + List.length oldest;
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~cat:"qdb"
+          ~args:
+            [ ("txns", Obs.Trace.Int (List.length oldest));
+              ("reason", Obs.Trace.Str "adaptive");
+            ]
+          "qdb.forced_ground";
       ignore (ground_in_partition t p (List.map (fun x -> x.Rtxn.id) oldest))
     end
   end
@@ -433,6 +453,13 @@ let trigger_partners t committed =
   match waiting_for_me @ my_partner with
   | [] -> []
   | partners ->
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"qdb"
+        ~args:
+          [ ("label", Obs.Trace.Str committed.Rtxn.label);
+            ("partners", Obs.Trace.Int (List.length partners));
+          ]
+        "qdb.partner_trigger";
     (* Ground the committed transaction together with every partner that
        was waiting; they share a partition by construction (their atoms
        unify through the coordination constraint), but be defensive and
@@ -469,13 +496,25 @@ let rec admit t txn ~attempts =
       (match Partition.find_txn t.parts oldest.Rtxn.id with
        | Some (p, _) ->
          t.metrics.Metrics.forced_groundings <- t.metrics.Metrics.forced_groundings + 1;
+         if Obs.Trace.on () then
+           Obs.Trace.instant ~cat:"qdb"
+             ~args:
+               [ ("txn", Obs.Trace.Int oldest.Rtxn.id);
+                 ("reason", Obs.Trace.Str "k_pressure");
+               ]
+             "qdb.forced_ground";
          ignore (ground_in_partition t p [ oldest.Rtxn.id ])
        | None -> ());
       admit t txn ~attempts:(attempts + 1)
   end
   else begin
-    if List.length dependent > 1 then
+    if List.length dependent > 1 then begin
       t.metrics.Metrics.partition_merges <- t.metrics.Metrics.partition_merges + 1;
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~cat:"qdb"
+          ~args:[ ("partitions", Obs.Trace.Int (List.length dependent)) ]
+          "qdb.partition_merge"
+    end;
     let witness = Partition.merge_witnesses dependent in
     let p = Partition.replace t.parts dependent prior merged_formula witness in
     let new_clauses =
@@ -523,9 +562,22 @@ let submit t txn =
   let txn = { txn with Rtxn.id = t.next_id } in
   Rtxn.validate txn;
   t.next_id <- t.next_id + 1;
-  Metrics.timed
-    (fun dt -> t.metrics.Metrics.time_submit <- t.metrics.Metrics.time_submit +. dt)
-    (fun () -> admit t txn ~attempts:0)
+  let outcome = ref "exception" in
+  Metrics.observe t.metrics.Metrics.submit_latency (fun () ->
+      Obs.Trace.span ~cat:"qdb"
+        ~args:(fun () ->
+          [ ("id", Obs.Trace.Int txn.Rtxn.id);
+            ("label", Obs.Trace.Str txn.Rtxn.label);
+            ("outcome", Obs.Trace.Str !outcome);
+          ])
+        "qdb.submit"
+        (fun () ->
+          let result = admit t txn ~attempts:0 in
+          (outcome :=
+             match result with
+             | Committed _ -> "committed"
+             | Rejected _ -> "rejected");
+          result))
 
 (* -- Reads (Section 3.2.2) ------------------------------------------------ *)
 
@@ -557,10 +609,23 @@ let shadow_db t =
 
 let read ?policy t q =
   t.metrics.Metrics.reads <- t.metrics.Metrics.reads + 1;
-  Metrics.timed
-    (fun dt -> t.metrics.Metrics.time_read <- t.metrics.Metrics.time_read +. dt)
+  let policy = Option.value ~default:t.config.read_policy policy in
+  let policy_name =
+    match policy with
+    | Collapse -> "collapse"
+    | Peek -> "peek"
+    | Expose -> "expose"
+  in
+  let n_answers = ref 0 in
+  Metrics.observe t.metrics.Metrics.read_latency @@ fun () ->
+  Obs.Trace.span ~cat:"qdb"
+    ~args:(fun () ->
+      [ ("policy", Obs.Trace.Str policy_name); ("answers", Obs.Trace.Int !n_answers) ])
+    "qdb.read"
+  @@ fun () ->
+  let result =
     (fun () ->
-      match Option.value ~default:t.config.read_policy policy with
+      match policy with
       | Collapse ->
         let impacted = read_impact t q in
         List.iter
@@ -568,6 +633,10 @@ let read ?policy t q =
             match Partition.find_txn t.parts txn.Rtxn.id with
             | Some (p, _) ->
               t.metrics.Metrics.forced_groundings <- t.metrics.Metrics.forced_groundings + 1;
+              if Obs.Trace.on () then
+                Obs.Trace.instant ~cat:"qdb"
+                  ~args:[ ("txn", Obs.Trace.Int txn.Rtxn.id); ("reason", Obs.Trace.Str "read") ]
+                  "qdb.collapse";
               ignore (ground_in_partition t p [ txn.Rtxn.id ])
             | None -> () (* already grounded by an earlier impact in this read *))
           impacted;
@@ -609,11 +678,27 @@ let read ?policy t q =
         in
         explore (Partition.partitions t.parts) (Database.copy (db t));
         Hashtbl.fold (fun tuple () acc -> tuple :: acc) answers [])
+      ()
+  in
+  n_answers := List.length result;
+  result
 
 (* -- Blind writes (Section 3.2.2) ------------------------------------------ *)
 
 let write t ops =
   t.metrics.Metrics.writes <- t.metrics.Metrics.writes + 1;
+  let accepted = ref false in
+  Obs.Trace.span ~cat:"qdb"
+    ~args:(fun () ->
+      [ ("ops", Obs.Trace.Int (List.length ops)); ("accepted", Obs.Trace.Bool !accepted) ])
+    "qdb.write"
+  @@ fun () ->
+  let record result =
+    accepted := Result.is_ok result;
+    result
+  in
+  record
+  @@
   let database = db t in
   let atoms_of_ops =
     List.map
@@ -664,6 +749,24 @@ let write t ops =
       Log.info (fun m -> m "blind write refused: conflicts with pending transactions");
       Error "write conflicts with pending resource transactions"
     end
+
+(* -- Telemetry ------------------------------------------------------------- *)
+
+(* Full registry view of this engine: metrics counters and latency
+   histograms, plus live gauges (pending set, partitions) and the durable
+   store's WAL counters.  This is what the CLI's `stats` subcommand and
+   the bench harness export. *)
+let registry t =
+  let reg = Metrics.snapshot t.metrics in
+  Obs.Registry.set_gauge reg "qdb.pending" (float_of_int (pending_count t));
+  Obs.Registry.set_gauge reg "qdb.partitions" (float_of_int (partition_count t));
+  Obs.Registry.set_gauge reg "qdb.max_partition_size" (float_of_int (max_partition_size t));
+  let ws = Store.wal_stats t.store in
+  Obs.Registry.set_counter reg "wal.records" ws.Relational.Wal.records;
+  Obs.Registry.set_counter reg "wal.batches" ws.Relational.Wal.batches;
+  Obs.Registry.set_counter reg "wal.checkpoints" ws.Relational.Wal.checkpoints;
+  Obs.Registry.set_counter reg "wal.bytes" ws.Relational.Wal.bytes;
+  reg
 
 (* -- Invariant check (tests, possible-worlds cross-validation) ------------- *)
 

@@ -51,6 +51,12 @@ val create : ?config:config -> Relational.Store.t -> t
 
 val db : t -> Relational.Database.t
 val metrics : t -> Metrics.t
+
+val registry : t -> Obs.Registry.t
+(** Telemetry snapshot for {!Obs.Export}: metrics counters and latency
+    histograms plus live gauges (pending set, partition count, max
+    partition size) and the store's WAL counters. *)
+
 val config : t -> config
 val pending_count : t -> int
 val pending : t -> Rtxn.t list

@@ -48,13 +48,23 @@ type client = {
   client_name : string;
 }
 
-let with_lock t f =
+(* Lock acquisition is timed into the span of the operation that waited
+   (the [name] span wraps both the wait and the engine call), so client
+   contention is visible in traces. *)
+let with_lock ?(name = "session.op") ?(client = "") t f =
+  Obs.Trace.span ~cat:"session"
+    ~args:(fun () -> if client = "" then [] else [ ("client", Obs.Trace.Str client) ])
+    name
+  @@ fun () ->
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let deliver t name note =
   match Hashtbl.find_opt t.mailboxes name with
-  | Some q -> Queue.push note q
+  | Some q ->
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"session" ~args:[ ("client", Obs.Trace.Str name) ] "session.notify";
+    Queue.push note q
   | None -> () (* owner disconnected: notification dropped *)
 
 (* Route buffered groundings to their owners.  Must run with the lock
@@ -108,7 +118,7 @@ let disconnect c =
   with_lock c.hub (fun () -> Hashtbl.remove c.hub.mailboxes c.client_name)
 
 let submit c txn =
-  with_lock c.hub (fun () ->
+  with_lock ~name:"session.submit" ~client:c.client_name c.hub (fun () ->
       match Qdb.submit c.hub.qdb txn with
       | Qdb.Committed id as result ->
         Hashtbl.replace c.hub.owners id c.client_name;
@@ -120,13 +130,13 @@ let submit c txn =
         result)
 
 let read c q =
-  with_lock c.hub (fun () ->
+  with_lock ~name:"session.read" ~client:c.client_name c.hub (fun () ->
       let answers = Qdb.read c.hub.qdb q in
       flush_groundings c.hub;
       answers)
 
 let write c ops =
-  with_lock c.hub (fun () ->
+  with_lock ~name:"session.write" ~client:c.client_name c.hub (fun () ->
       match Qdb.write c.hub.qdb ops with
       | Ok () ->
         flush_groundings c.hub;
@@ -136,13 +146,13 @@ let write c ops =
         Error reason)
 
 let ground c id =
-  with_lock c.hub (fun () ->
+  with_lock ~name:"session.ground" ~client:c.client_name c.hub (fun () ->
       let gs = Qdb.ground c.hub.qdb id in
       flush_groundings c.hub;
       gs)
 
 let ground_all c =
-  with_lock c.hub (fun () ->
+  with_lock ~name:"session.ground_all" ~client:c.client_name c.hub (fun () ->
       let gs = Qdb.ground_all c.hub.qdb in
       flush_groundings c.hub;
       gs)

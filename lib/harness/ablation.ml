@@ -116,7 +116,7 @@ let run_cache_capacity_ablation scale =
         let qdb = Qdb.create ~config store in
         let rng = Workload.Prng.create seed in
         let ops, _ = Runner.build_ops { (small_spec scale seed) with Runner.read_fraction = 0.2 } rng in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Mclock.now_ns () in
         List.iter
           (fun op ->
             match op with
@@ -124,7 +124,7 @@ let run_cache_capacity_ablation scale =
             | Runner.Read_seat u -> ignore (Qdb.read qdb (Travel.seat_query u)))
           ops;
         ignore (Qdb.ground_all qdb);
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Obs.Mclock.elapsed_s t0 in
         let cs = (Qdb.metrics qdb).Quantum.Metrics.cache_stats in
         let rate =
           if cs.Solver.Cache.extensions = 0 then 0.

@@ -59,6 +59,21 @@ let write_csv name ~header rows =
     close_out oc;
     Printf.printf "(csv written to %s)\n%!" path
 
+(* Machine-readable telemetry: the registry snapshot (engine counters,
+   latency histograms, micro-bench gauges) written as JSON next to the
+   CSVs — or under results/ when no --csv dir was given, so automation
+   (scripts/ci.sh) always has a stable place to look. *)
+let metrics_path () =
+  let dir = Option.value ~default:"results" !csv_dir in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Filename.concat dir "metrics.json"
+
+let write_metrics registry =
+  let path = metrics_path () in
+  Obs.Export.write_json_snapshot path registry;
+  Printf.printf "(metrics written to %s)\n%!" path;
+  path
+
 let print_table ?csv ~header rows =
   (match csv with
    | Some name -> write_csv name ~header rows

@@ -1,0 +1,25 @@
+(** Telemetry exporters: Chrome [trace_event] JSON for the span ring,
+    Prometheus text exposition and a JSON snapshot for the registry. *)
+
+val chrome_trace : Trace.event list -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}] — loadable in
+    chrome://tracing and Perfetto.  Spans become complete ("X") events,
+    instants become "i" events; timestamps are microseconds. *)
+
+val chrome_trace_string : Trace.event list -> string
+
+val prometheus : Registry.t -> string
+(** Text exposition: counters and gauges as single samples, histograms as
+    cumulative [_bucket{le="..."}] samples plus [_sum] and [_count].
+    Names are sanitized to [[A-Za-z0-9_]]. *)
+
+val json_snapshot : Registry.t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
+    count/sum/min/mean/p50/p90/p99/max per histogram (seconds) — the
+    format [results/metrics.json] is written in. *)
+
+val json_snapshot_string : Registry.t -> string
+
+val write_file : string -> string -> unit
+val write_chrome_trace : string -> Trace.event list -> unit
+val write_json_snapshot : string -> Registry.t -> unit

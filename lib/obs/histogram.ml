@@ -1,0 +1,111 @@
+(* Log-bucketed latency histogram.
+
+   Buckets grow geometrically — [per_decade] buckets per power of ten —
+   covering 1 ns to 1000 s, plus an underflow and an overflow bucket.
+   With 20 buckets per decade the relative width of a bucket is
+   10^(1/20) - 1 ≈ 12%, which bounds the quantile estimation error; count,
+   sum, min and max are tracked exactly.  Observations are in seconds. *)
+
+let lo = 1e-9 (* lower bound of the first regular bucket *)
+let per_decade = 20
+let decades = 12 (* 1e-9 .. 1e3 s *)
+let regular = per_decade * decades
+let nbuckets = regular + 2 (* + underflow, + overflow *)
+let hi = lo *. (10. ** float_of_int decades)
+
+type t = {
+  counts : int array; (* counts.(0) underflow, counts.(nbuckets-1) overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; count = 0; sum = 0.; min = infinity; max = neg_infinity }
+
+let reset t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.min <- infinity;
+  t.max <- neg_infinity
+
+(* Bucket index of value [v]: underflow is 0, regular buckets are
+   1..regular (bucket i covers [lo*r^(i-1), lo*r^i) with r = 10^(1/20)),
+   overflow is nbuckets-1. *)
+let index v =
+  if v < lo then 0
+  else if v >= hi then nbuckets - 1
+  else begin
+    let i = 1 + int_of_float (Float.log10 (v /. lo) *. float_of_int per_decade) in
+    (* log10 rounding can push a value sitting exactly on a boundary one
+       bucket either way; clamp into the regular range. *)
+    if i < 1 then 1 else if i > regular then regular else i
+  end
+
+(* Upper bound of bucket [i] (1-based regular buckets). *)
+let bucket_upper i =
+  if i <= 0 then lo
+  else if i >= nbuckets - 1 then infinity
+  else lo *. (10. ** (float_of_int i /. float_of_int per_decade))
+
+let bucket_lower i = if i <= 1 then 0. else bucket_upper (i - 1)
+
+let observe t v =
+  let v = if Float.is_nan v || v < 0. then 0. else v in
+  t.counts.(index v) <- t.counts.(index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0. else t.min
+let max_value t = if t.count = 0 then 0. else t.max
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+(* Quantile estimate: find the bucket holding the rank-[q] observation and
+   return its geometric midpoint, clamped into the exact [min, max]
+   envelope (so p100 = max and quantiles of single-observation histograms
+   are exact). *)
+let quantile t q =
+  if t.count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = int_of_float (Float.round (q *. float_of_int (t.count - 1))) + 1 in
+    let rec find i seen =
+      if i >= nbuckets then nbuckets - 1
+      else begin
+        let seen = seen + t.counts.(i) in
+        if seen >= rank then i else find (i + 1) seen
+      end
+    in
+    let i = find 0 0 in
+    let estimate =
+      if i = 0 then t.min
+      else if i = nbuckets - 1 then t.max
+      else sqrt (Float.max lo (bucket_lower i) *. bucket_upper i)
+    in
+    Float.max t.min (Float.min t.max estimate)
+  end
+
+let merge ~into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.count > 0 then begin
+    if src.min < into.min then into.min <- src.min;
+    if src.max > into.max then into.max <- src.max
+  end
+
+(* Non-empty buckets as (upper_bound_seconds, count); the overflow bucket
+   reports an infinite upper bound.  Exporters build cumulative
+   Prometheus-style `le` buckets from this. *)
+let nonempty_buckets t =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_upper i, t.counts.(i)) :: !acc
+  done;
+  !acc

@@ -1,0 +1,46 @@
+(** Log-bucketed latency histogram (observations in seconds).
+
+    Geometric buckets — 20 per decade, 1 ns to 1000 s, plus underflow and
+    overflow — bound the relative quantile-estimation error at
+    10^(1/20) - 1 ≈ 12%; count, sum, min and max are exact.  Negative and
+    NaN observations clamp to zero rather than raising: telemetry must
+    never take the engine down. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val observe : t -> float -> unit
+(** Record one observation, in seconds. *)
+
+val count : t -> int
+val sum : t -> float
+
+val min_value : t -> float
+(** Exact minimum; [0.] when empty. *)
+
+val max_value : t -> float
+(** Exact maximum; [0.] when empty. *)
+
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1] (clamped): the geometric midpoint of
+    the bucket holding the rank-[q] observation, clamped into the exact
+    [min, max] envelope.  [0.] when empty. *)
+
+val merge : into:t -> t -> unit
+(** Add [src]'s buckets and moments into [into]. *)
+
+val nonempty_buckets : t -> (float * int) list
+(** Non-empty buckets as [(upper_bound_seconds, count)], ascending; the
+    overflow bucket's upper bound is [infinity]. *)
+
+(**/**)
+
+val index : float -> int
+(** Bucket index of a value — exposed for boundary tests. *)
+
+val bucket_upper : int -> float
+val bucket_lower : int -> float

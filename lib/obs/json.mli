@@ -1,0 +1,36 @@
+(** Minimal JSON tree, printer and parser for the telemetry exporters.
+
+    Deliberately dependency-free: the observability layer sits under every
+    other library in the repo, so it cannot pull in an external JSON
+    package.  The parser exists so tests (and tooling) can read exporter
+    output back instead of string-matching it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite numbers print as [null];
+    integral values print without a fractional part. *)
+
+val number_to_string : float -> string
+(** The number formatting [to_string] uses, for non-JSON emitters that
+    want identical rendering. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing key or non-object. *)
+
+val to_list : t -> t list
+(** Elements of a [List]; [[]] for any other constructor. *)
+
+val to_number : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,12 @@
+(* Monotonic time source, shared with the Bechamel micro-benchmarks (both
+   sit on the same clock_gettime(CLOCK_MONOTONIC) stub).  Wall-clock time
+   (Unix.gettimeofday) is not robust to NTP adjustments and must not be
+   used for latency measurement anywhere in the engine. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns since = Int64.sub (now_ns ()) since
+
+let ns_to_s ns = Int64.to_float ns *. 1e-9
+
+let elapsed_s since = ns_to_s (elapsed_ns since)

@@ -1,0 +1,13 @@
+(** Monotonic time source — the same [clock_gettime(CLOCK_MONOTONIC)] stub
+    Bechamel's micro-benchmarks measure with.  All engine timing goes
+    through this module; wall-clock time is not robust to clock
+    adjustments and is never used for durations. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; strictly non-decreasing. *)
+
+val elapsed_ns : int64 -> int64
+(** [elapsed_ns t0] is [now_ns () - t0]. *)
+
+val ns_to_s : int64 -> float
+val elapsed_s : int64 -> float

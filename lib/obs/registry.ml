@@ -1,0 +1,54 @@
+(* Metrics registry: a flat namespace of counters, gauges and histograms.
+
+   Metric names are dotted paths ("qdb.submit.latency", "solver.nodes");
+   exporters sanitize them per format.  Histograms can be created here or
+   installed by reference, so long-lived engine histograms (Metrics.t)
+   appear in snapshots without copying. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.t
+
+type t = { tbl : (string, value) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let set_counter t name v = Hashtbl.replace t.tbl name (Counter v)
+let set_gauge t name v = Hashtbl.replace t.tbl name (Gauge v)
+let set_histogram t name h = Hashtbl.replace t.tbl name (Histogram h)
+
+let incr_counter ?(by = 1) t name =
+  let current =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Counter v) -> v
+    | Some (Gauge _) | Some (Histogram _) | None -> 0
+  in
+  Hashtbl.replace t.tbl name (Counter (current + by))
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> h
+  | Some (Counter _) | Some (Gauge _) | None ->
+    let h = Histogram.create () in
+    Hashtbl.replace t.tbl name (Histogram h);
+    h
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let items t =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge ~into src =
+  List.iter
+    (fun (name, v) ->
+      match v, find into name with
+      | Counter c, Some (Counter c') -> set_counter into name (c + c')
+      | Histogram h, Some (Histogram h') -> Histogram.merge ~into:h' h
+      | Histogram h, _ ->
+        let fresh = Histogram.create () in
+        Histogram.merge ~into:fresh h;
+        set_histogram into name fresh
+      | (Counter _ | Gauge _), _ -> Hashtbl.replace into.tbl name v)
+    (items src)

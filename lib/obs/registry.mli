@@ -1,0 +1,34 @@
+(** Metrics registry: a flat namespace of counters, gauges and
+    log-bucketed latency histograms, consumed by {!Export}.
+
+    Names are dotted paths (["qdb.submit.latency"]); exporters sanitize
+    them per output format. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.t
+
+type t
+
+val create : unit -> t
+
+val set_counter : t -> string -> int -> unit
+val incr_counter : ?by:int -> t -> string -> unit
+val set_gauge : t -> string -> float -> unit
+
+val set_histogram : t -> string -> Histogram.t -> unit
+(** Install an existing histogram by reference — long-lived engine
+    histograms appear in snapshots without copying. *)
+
+val histogram : t -> string -> Histogram.t
+(** Get-or-create. *)
+
+val find : t -> string -> value option
+
+val items : t -> (string * value) list
+(** Sorted by name. *)
+
+val merge : into:t -> t -> unit
+(** Sum counters, merge histograms (into fresh copies when absent from
+    [into]), and overwrite gauges. *)

@@ -1,0 +1,83 @@
+(* Structured trace layer: a fixed-capacity ring of span / instant events
+   covering the resource-transaction lifecycle (submit → admission →
+   pending → ground/collapse) plus the layers underneath it (solver
+   search, solution cache, partitions, WAL).
+
+   Tracing is process-global and off by default.  The fast path when
+   disabled is a single flag test — instrumentation sites either call
+   [span]/[instant] (whose first instruction is that test) or guard bigger
+   argument computations behind [on ()].  When the ring wraps, the oldest
+   events are overwritten; [dropped ()] reports how many. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type phase =
+  | Span (* complete event: start timestamp + duration *)
+  | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_ns : int64; (* monotonic start time *)
+  dur_ns : int64; (* 0 for instants *)
+  args : (string * arg) list;
+}
+
+let default_capacity = 65536
+
+let enabled = ref false
+let ring : event array ref = ref [||]
+let total = ref 0 (* events ever recorded since [enable]/[clear] *)
+
+let on () = !enabled
+
+let enable ?(capacity = default_capacity) () =
+  let capacity = max 16 capacity in
+  let dummy = { name = ""; cat = ""; ph = Instant; ts_ns = 0L; dur_ns = 0L; args = [] } in
+  ring := Array.make capacity dummy;
+  total := 0;
+  enabled := true
+
+let disable () = enabled := false
+
+let clear () = total := 0
+
+let capacity () = Array.length !ring
+let recorded () = !total
+let dropped () = max 0 (!total - Array.length !ring)
+
+let record ev =
+  let r = !ring in
+  if Array.length r > 0 then begin
+    r.(!total mod Array.length r) <- ev;
+    incr total
+  end
+
+let instant ?(cat = "engine") ?(args = []) name =
+  if !enabled then
+    record { name; cat; ph = Instant; ts_ns = Mclock.now_ns (); dur_ns = 0L; args }
+
+(* [args] is a thunk evaluated after [f] returns, so sites can report
+   results (and pay nothing when tracing is off).  The span is recorded
+   even when [f] raises — a rejected admission still shows up. *)
+let span ?(cat = "engine") ?(args = fun () -> []) name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Mclock.now_ns () in
+    let finally () =
+      record { name; cat; ph = Span; ts_ns = t0; dur_ns = Mclock.elapsed_ns t0; args = args () }
+    in
+    Fun.protect ~finally f
+  end
+
+(* Chronological event list, oldest surviving event first. *)
+let events () =
+  let r = !ring in
+  let cap = Array.length r in
+  let n = min !total cap in
+  List.init n (fun i -> r.((!total - n + i) mod cap))

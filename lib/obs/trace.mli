@@ -1,0 +1,58 @@
+(** Ring-buffered structured tracing for the engine.
+
+    Process-global and off by default; when disabled, [span] and [instant]
+    cost one flag test.  When enabled, events land in a fixed-capacity
+    ring — wraparound overwrites the oldest events, so a trace is always
+    bounded-memory no matter how long the engine runs. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type phase =
+  | Span  (** complete event: start timestamp plus duration *)
+  | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_ns : int64;  (** monotonic start time *)
+  dur_ns : int64;  (** 0 for instants *)
+  args : (string * arg) list;
+}
+
+val default_capacity : int
+
+val enable : ?capacity:int -> unit -> unit
+(** Allocate a fresh ring (clearing any previous events) and turn tracing
+    on.  [capacity] is clamped to at least 16. *)
+
+val disable : unit -> unit
+(** Stop recording; already-captured events remain readable. *)
+
+val clear : unit -> unit
+
+val on : unit -> bool
+(** True when tracing is enabled — guard for instrumentation sites whose
+    argument computation is not free. *)
+
+val span : ?cat:string -> ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], recording a complete event with its monotonic
+    start time and duration.  [args] is evaluated after [f] returns, so
+    sites can report results; the span is recorded even when [f] raises.
+    When tracing is disabled this is exactly [f ()]. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+val events : unit -> event list
+(** Chronological, oldest surviving event first. *)
+
+val capacity : unit -> int
+val recorded : unit -> int
+(** Events recorded since [enable]/[clear], including overwritten ones. *)
+
+val dropped : unit -> int
+(** How many events the ring has overwritten. *)

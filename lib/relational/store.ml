@@ -29,7 +29,13 @@ let find_table t name = Database.find_table t.db name
    a failing batch would also fail identically on replay — to keep replay
    total we instead validate first with a dry run and only log when the
    batch is applicable. *)
+let wal_stats t = Wal.stats t.wal
+
 let apply t ops =
+  Obs.Trace.span ~cat:"store"
+    ~args:(fun () -> [ ("ops", Obs.Trace.Int (List.length ops)) ])
+    "store.apply"
+  @@ fun () ->
   if Database.can_apply_ops t.db ops then begin
     ignore (Wal.log_batch t.wal ops);
     match Database.apply_ops t.db ops with

@@ -20,5 +20,8 @@ val find_table : t -> string -> Table.t option
 val apply : t -> Database.op list -> (unit, Database.op_error) result
 (** Validate, log ahead, then apply atomically. *)
 
+val wal_stats : t -> Wal.stats
+(** Write-side WAL telemetry (records, batches, checkpoints, bytes). *)
+
 val checkpoint : t -> unit
 val crash_and_recover : Wal.backend -> t

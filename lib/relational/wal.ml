@@ -66,20 +66,46 @@ let record_of_sexp = function
   | Sexp.List [ Sexp.Atom "checkpoint"; image ] -> Checkpoint image
   | s -> raise (Sexp.Parse_error ("bad wal record: " ^ Sexp.to_string s))
 
+(* Cheap write-side telemetry: how much the log has absorbed since this
+   handle was created (replayed history is not counted). *)
+type stats = {
+  mutable records : int;
+  mutable batches : int;
+  mutable checkpoints : int;
+  mutable bytes : int; (* serialized bytes appended, newlines included *)
+}
+
+let fresh_stats () = { records = 0; batches = 0; checkpoints = 0; bytes = 0 }
+
 type t = {
   backend : backend;
   mutable next_batch : int;
+  stats : stats;
 }
 
-let create backend = { backend; next_batch = 0 }
-let log t record = t.backend.append (Sexp.to_string (record_to_sexp record))
+let create backend = { backend; next_batch = 0; stats = fresh_stats () }
+let stats t = t.stats
+
+let log t record =
+  let line = Sexp.to_string (record_to_sexp record) in
+  t.stats.records <- t.stats.records + 1;
+  t.stats.bytes <- t.stats.bytes + String.length line + 1;
+  (match record with
+   | Checkpoint _ -> t.stats.checkpoints <- t.stats.checkpoints + 1
+   | Create_table _ | Begin _ | Op _ | Commit _ -> ());
+  t.backend.append line
 
 let log_batch t ops =
+  t.stats.batches <- t.stats.batches + 1;
   let id = t.next_batch in
   t.next_batch <- id + 1;
-  log t (Begin id);
-  List.iter (fun op -> log t (Op op)) ops;
-  log t (Commit id);
+  Obs.Trace.span ~cat:"wal"
+    ~args:(fun () -> [ ("batch", Obs.Trace.Int id); ("ops", Obs.Trace.Int (List.length ops)) ])
+    "wal.append_batch"
+    (fun () ->
+      log t (Begin id);
+      List.iter (fun op -> log t (Op op)) ops;
+      log t (Commit id));
   id
 
 let records t = List.map (fun line -> record_of_sexp (Sexp.of_string line)) (t.backend.read_all ())
@@ -117,11 +143,18 @@ let database_of_sexp sexp =
    | Sexp.Atom _ -> raise (Sexp.Parse_error "bad database image"));
   db
 
-let checkpoint t db = log t (Checkpoint (database_to_sexp db))
+let checkpoint t db =
+  Obs.Trace.span ~cat:"wal" "wal.checkpoint" (fun () ->
+      log t (Checkpoint (database_to_sexp db)))
 
 (* Replay the log into a fresh database.  Incomplete trailing batches are
    dropped; a checkpoint record replaces everything seen so far. *)
 let replay t =
+  let replayed = ref 0 in
+  Obs.Trace.span ~cat:"wal"
+    ~args:(fun () -> [ ("records", Obs.Trace.Int !replayed) ])
+    "wal.replay"
+  @@ fun () ->
   let db = ref (Database.create ()) in
   let pending = ref None in
   let max_batch = ref (-1) in
@@ -147,6 +180,8 @@ let replay t =
          pending := None
        | Some _ | None -> raise (Sexp.Parse_error "mismatched commit in wal"))
   in
-  List.iter apply_record (records t);
+  let rs = records t in
+  replayed := List.length rs;
+  List.iter apply_record rs;
   t.next_batch <- !max_batch + 1;
   !db

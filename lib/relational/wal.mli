@@ -24,9 +24,21 @@ val file_backend : string -> backend
 val record_to_sexp : record -> Sexp.t
 val record_of_sexp : Sexp.t -> record
 
+type stats = {
+  mutable records : int;
+  mutable batches : int;
+  mutable checkpoints : int;
+  mutable bytes : int;  (** serialized bytes appended, newlines included *)
+}
+(** Write-side telemetry since this handle was created; replayed history
+    is not counted. *)
+
+val fresh_stats : unit -> stats
+
 type t
 
 val create : backend -> t
+val stats : t -> stats
 val log : t -> record -> unit
 
 val log_batch : t -> Database.op list -> int

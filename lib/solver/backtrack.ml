@@ -279,6 +279,10 @@ let solve_goals ?(node_limit = default_node_limit) db stats subst goals =
     match Seq.uncons candidates with
     | None ->
       stats.backtracks <- stats.backtracks + 1;
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~cat:"solver"
+          ~args:[ ("rel", Obs.Trace.Str a.Atom.rel); ("node", Obs.Trace.Int stats.nodes) ]
+          "solver.backtrack";
       None
     | Some (tuple, more) ->
       stats.candidates <- stats.candidates + 1;
@@ -292,6 +296,10 @@ let solve_goals ?(node_limit = default_node_limit) db stats subst goals =
   and try_branches rest subst = function
     | [] ->
       stats.backtracks <- stats.backtracks + 1;
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~cat:"solver"
+          ~args:[ ("rel", Obs.Trace.Str "or"); ("node", Obs.Trace.Int stats.nodes) ]
+          "solver.backtrack";
       None
     | branch :: more ->
       stats.candidates <- stats.candidates + 1;
@@ -304,15 +312,39 @@ let solve_goals ?(node_limit = default_node_limit) db stats subst goals =
   in
   search subst goals
 
+(* One span per solve call, reporting the search effort it added to the
+   (possibly shared, cumulative) stats record. *)
+let solve_span name stats found f =
+  if not (Obs.Trace.on ()) then f ()
+  else begin
+    let nodes0 = stats.nodes and backtracks0 = stats.backtracks in
+    let candidates0 = stats.candidates in
+    Obs.Trace.span ~cat:"solver"
+      ~args:(fun () ->
+        [ ("nodes", Obs.Trace.Int (stats.nodes - nodes0));
+          ("candidates", Obs.Trace.Int (stats.candidates - candidates0));
+          ("backtracks", Obs.Trace.Int (stats.backtracks - backtracks0));
+          ("found", Obs.Trace.Bool (found ()));
+        ])
+      name f
+  end
+
 let solve ?node_limit ?(seed = Subst.empty) ?stats db formula =
   let stats =
     match stats with
     | Some s -> s
     | None -> fresh_stats ()
   in
-  match goals_of_formula (simplify seed formula) [] with
-  | None -> None
-  | Some goals -> solve_goals ?node_limit db stats seed goals
+  let result = ref None in
+  solve_span "solver.solve" stats
+    (fun () -> Option.is_some !result)
+    (fun () ->
+      match goals_of_formula (simplify seed formula) [] with
+      | None -> None
+      | Some goals ->
+        let r = solve_goals ?node_limit db stats seed goals in
+        result := r;
+        r)
 
 let satisfiable ?node_limit ?seed ?stats db formula =
   Option.is_some (solve ?node_limit ?seed ?stats db formula)
@@ -367,9 +399,12 @@ let solutions ?(node_limit = default_node_limit) ?(seed = Subst.empty) ?stats ?(
               fs
           | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> assert false))
   in
-  (try
-     match goals_of_formula (simplify seed formula) [] with
-     | None -> ()
-     | Some goals -> search seed goals
-   with Done -> ());
-  List.rev !results
+  solve_span "solver.solutions" stats
+    (fun () -> !results <> [])
+    (fun () ->
+      (try
+         match goals_of_formula (simplify seed formula) [] with
+         | None -> ()
+         | Some goals -> search seed goals
+       with Done -> ());
+      List.rev !results)

@@ -55,6 +55,10 @@ let solver_stats t = t.solver_stats
 
 let invalidate t =
   t.stats.invalidations <- t.stats.invalidations + 1;
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"cache"
+      ~args:[ ("dropped", Obs.Trace.Int (List.length t.witnesses)) ]
+      "cache.invalidate";
   t.witnesses <- []
 
 let truncate t ws =
@@ -76,10 +80,12 @@ let store_witness t subst = t.witnesses <- truncate t (subst :: t.witnesses)
    [full_formula] from scratch.  Returns the new witness (and caches it)
    or [None] when the full formula is unsatisfiable. *)
 let extend_or_resolve ?node_limit t db ~new_clauses ~full_formula =
+  let bases_tried = ref 0 in
   let rec try_bases tried = function
     | [] -> None
     | seed :: rest ->
       t.stats.extensions <- t.stats.extensions + 1;
+      incr bases_tried;
       (match Backtrack.solve ?node_limit ~seed ~stats:t.solver_stats db new_clauses with
        | Some subst ->
          t.stats.extension_hits <- t.stats.extension_hits + 1;
@@ -90,15 +96,32 @@ let extend_or_resolve ?node_limit t db ~new_clauses ~full_formula =
        | None -> try_bases (seed :: tried) rest
        | exception Backtrack.Too_many_nodes -> try_bases (seed :: tried) rest)
   in
+  (* The extend-vs-resolve decision is the cache's whole point; record
+     which path this admission check took. *)
   match try_bases [] t.witnesses with
-  | Some _ as hit -> hit
+  | Some _ as hit ->
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"cache"
+        ~args:[ ("bases_tried", Obs.Trace.Int !bases_tried) ]
+        "cache.extend_hit";
+    hit
   | None ->
     t.stats.full_solves <- t.stats.full_solves + 1;
-    (match Backtrack.solve ?node_limit ~stats:t.solver_stats db full_formula with
-     | Some subst ->
-       store_witness t subst;
-       Some subst
-     | None -> None)
+    let result =
+      match Backtrack.solve ?node_limit ~stats:t.solver_stats db full_formula with
+      | Some subst ->
+        store_witness t subst;
+        Some subst
+      | None -> None
+    in
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"cache"
+        ~args:
+          [ ("bases_tried", Obs.Trace.Int !bases_tried);
+            ("satisfiable", Obs.Trace.Bool (Option.is_some result));
+          ]
+        "cache.full_solve";
+    result
 
 let witness_satisfies db formula subst =
   let lookup v =
@@ -126,6 +149,10 @@ let revalidate t db formula =
    the paper's background-process role, invoked at the caller's leisure.
    Returns how many witnesses the cache now holds. *)
 let refill ?node_limit t db formula =
+  Obs.Trace.span ~cat:"cache"
+    ~args:(fun () -> [ ("witnesses", Obs.Trace.Int (List.length t.witnesses)) ])
+    "cache.refill"
+  @@ fun () ->
   let missing = t.capacity - List.length t.witnesses in
   if missing > 0 then begin
     let fresh =

@@ -32,6 +32,13 @@ type op =
   | Book of Travel.user
   | Read_seat of Travel.user
 
+(* Engine metrics accumulated across every quantum run this process has
+   executed — each run builds a fresh [Qdb.t] and would otherwise discard
+   its counters and latency histograms with it.  The bench harness
+   snapshots this sink into results/metrics.json after the experiments. *)
+let metrics_sink = Quantum.Metrics.create ()
+let reset_metrics_sink () = Quantum.Metrics.reset metrics_sink
+
 type outcome = {
   cumulative_ms : float array; (* wall-clock after each operation *)
   total_time_s : float;
@@ -104,10 +111,10 @@ let run engine spec =
     | Quantum_engine config -> Some (Qdb.create ~config store)
     | Intelligent_social -> None
   in
-  let start = Unix.gettimeofday () in
+  let start = Obs.Mclock.now_ns () in
   List.iteri
     (fun i op ->
-      let op_start = Unix.gettimeofday () in
+      let op_start = Obs.Mclock.now_ns () in
       (match op, qdb with
        | Book user, Some qdb ->
          (match Qdb.submit qdb (Travel.entangled_txn user) with
@@ -118,18 +125,21 @@ let run engine spec =
        | Read_seat user, Some qdb -> ignore (Qdb.read qdb (Travel.seat_query user))
        | Read_seat user, None ->
          ignore (Solver.Query.all (Store.db store) (Travel.seat_query user)));
-      let dt = Unix.gettimeofday () -. op_start in
+      let dt = Obs.Mclock.elapsed_s op_start in
       (match op with
        | Book _ -> time_updates := !time_updates +. dt
        | Read_seat _ -> time_reads := !time_reads +. dt);
-      cumulative_ms.(i) <- (Unix.gettimeofday () -. start) *. 1000.)
+      cumulative_ms.(i) <- Obs.Mclock.elapsed_s start *. 1000.)
     ops;
   (* Deferred assignments that never collapsed are fixed at the end (the
      travellers eventually check in). *)
   (match qdb with
    | Some qdb -> ignore (Qdb.ground_all qdb)
    | None -> ());
-  let total_time_s = Unix.gettimeofday () -. start in
+  let total_time_s = Obs.Mclock.elapsed_s start in
+  (match qdb with
+   | Some qdb -> Quantum.Metrics.merge ~into:metrics_sink (Qdb.metrics qdb)
+   | None -> ());
   let db = Store.db store in
   let coordinated = Travel.coordinated_users db users in
   let max_possible = Travel.max_coordination spec.geometry users in

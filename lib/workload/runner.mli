@@ -42,3 +42,9 @@ val build_ops : spec -> Prng.t -> op list * Travel.user list
 val run : engine -> spec -> outcome
 (** Execute the stream; for the quantum engine, any transaction still
     pending at the end is grounded before coordination is measured. *)
+
+val metrics_sink : Quantum.Metrics.t
+(** Engine metrics merged across every quantum run in this process —
+    snapshot it with {!Quantum.Metrics.snapshot} for telemetry export. *)
+
+val reset_metrics_sink : unit -> unit

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: build, run the test suites, then smoke-run the bench
+# harness and check that it produced a well-formed telemetry snapshot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== bench smoke (micro) =="
+rm -f results/metrics.json
+dune exec bench/main.exe -- --only micro
+
+echo "== telemetry check =="
+if [ ! -f results/metrics.json ]; then
+  echo "FAIL: bench run did not write results/metrics.json" >&2
+  exit 1
+fi
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("results/metrics.json") as f:
+        d = json.load(f)
+except Exception as e:
+    sys.exit(f"FAIL: results/metrics.json is not valid JSON: {e}")
+for key in ("counters", "gauges", "histograms"):
+    if key not in d:
+        sys.exit(f"FAIL: results/metrics.json missing '{key}' section")
+micro = [k for k in d["gauges"] if k.startswith("bench.micro.")]
+if not micro:
+    sys.exit("FAIL: no bench.micro.* gauges in results/metrics.json")
+print(f"ok: metrics.json valid ({len(micro)} micro-bench gauges)")
+EOF
+
+echo "CI OK"

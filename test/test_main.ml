@@ -2,7 +2,8 @@
 
 let () =
   Alcotest.run "quantum_db"
-    [ ("sexp", Test_sexp.suite);
+    [ ("obs", Test_obs.suite);
+      ("sexp", Test_sexp.suite);
       ("value+tuple", Test_value.suite);
       ("schema+table", Test_table.suite);
       ("database+wal+store", Test_database.suite);

@@ -1,0 +1,277 @@
+(* Tests for the observability subsystem: histogram bucketing and
+   quantiles at boundaries, trace-ring wraparound, exporter output parsed
+   back through the JSON layer, and end-to-end spans from a live engine. *)
+
+module Histogram = Obs.Histogram
+module Trace = Obs.Trace
+module Registry = Obs.Registry
+module Export = Obs.Export
+module Json = Obs.Json
+module Qdb = Quantum.Qdb
+module Flights = Workload.Flights
+module Travel = Workload.Travel
+
+(* Every test that records must leave the process-global ring disabled:
+   the other suites run in the same process. *)
+let with_tracing ?capacity f =
+  Trace.enable ?capacity ();
+  Fun.protect f ~finally:(fun () -> Trace.disable (); Trace.clear ())
+
+(* -- Histogram --------------------------------------------------------------- *)
+
+let test_hist_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.)) "sum" 0. (Histogram.sum h);
+  Alcotest.(check (float 0.)) "quantile of empty" 0. (Histogram.quantile h 0.5);
+  Alcotest.(check (float 0.)) "min" 0. (Histogram.min_value h);
+  Alcotest.(check (float 0.)) "max" 0. (Histogram.max_value h)
+
+let test_hist_bucket_boundaries () =
+  (* Buckets are lower-inclusive: a value must fall inside its bucket's
+     [lower, upper] range, and nudging it upward never moves it down. *)
+  List.iter
+    (fun v ->
+      let i = Histogram.index v in
+      (* 1-ulp slack: bucket bounds are computed as lo * 10^(i/20) and a
+         boundary value can land one bucket either way. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket of %g covers it" v)
+        true
+        (Histogram.bucket_upper i >= v *. (1. -. 1e-12)
+         && Histogram.bucket_lower i <= v *. (1. +. 1e-12));
+      let above = Histogram.index (v *. 1.0001) in
+      Alcotest.(check bool) (Printf.sprintf "%g*1.0001 not below" v) true (above >= i))
+    [ 1e-9; 1e-6; 1e-3; 1.; 10.; 999. ];
+  (* Clamping: negatives and NaN land in the underflow bucket as 0. *)
+  let h = Histogram.create () in
+  Histogram.observe h (-5.);
+  Histogram.observe h Float.nan;
+  Alcotest.(check int) "clamped count" 2 (Histogram.count h);
+  Alcotest.(check (float 0.)) "clamped sum" 0. (Histogram.sum h);
+  (* Overflow: beyond the top decade still counts, max is exact. *)
+  Histogram.observe h 1e6;
+  Alcotest.(check (float 0.)) "overflow max exact" 1e6 (Histogram.max_value h)
+
+let test_hist_quantiles () =
+  let h = Histogram.create () in
+  (* 100 observations spread over two decades. *)
+  for i = 1 to 100 do
+    Histogram.observe h (1e-4 *. float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  let p50 = Histogram.quantile h 0.5 in
+  let p99 = Histogram.quantile h 0.99 in
+  (* Bucketed estimates: within the 12% relative error bound, generously
+     doubled for rank rounding at bucket edges. *)
+  Alcotest.(check bool) "p50 near 5e-3" true (p50 > 3.5e-3 && p50 < 6.5e-3);
+  Alcotest.(check bool) "p99 near 1e-2" true (p99 > 7.5e-3 && p99 <= 1.2e-2);
+  Alcotest.(check bool) "monotone" true (p50 <= p99);
+  (* Extremes stay within one bucket width (12%) of the exact envelope. *)
+  let q0 = Histogram.quantile h 0. and q1 = Histogram.quantile h 1. in
+  Alcotest.(check bool) "q=0 near min" true
+    (q0 >= Histogram.min_value h && q0 <= Histogram.min_value h *. 1.13);
+  Alcotest.(check bool) "q=1 near max" true
+    (q1 <= Histogram.max_value h && q1 >= Histogram.max_value h *. 0.88);
+  (* Single observation: every quantile is that value. *)
+  let one = Histogram.create () in
+  Histogram.observe one 0.25;
+  List.iter
+    (fun q -> Alcotest.(check (float 1e-12)) "single-obs quantile" 0.25 (Histogram.quantile one q))
+    [ 0.; 0.5; 0.99; 1. ]
+
+let test_hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.observe a 1e-3;
+  Histogram.observe b 1e-1;
+  Histogram.observe b 1e-2;
+  Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" 3 (Histogram.count a);
+  Alcotest.(check (float 1e-12)) "merged sum" 0.111 (Histogram.sum a);
+  Alcotest.(check (float 1e-12)) "merged min" 1e-3 (Histogram.min_value a);
+  Alcotest.(check (float 1e-12)) "merged max" 1e-1 (Histogram.max_value a)
+
+(* -- Trace ring --------------------------------------------------------------- *)
+
+let test_trace_disabled_noop () =
+  Trace.clear ();
+  Alcotest.(check bool) "off by default" false (Trace.on ());
+  let r = Trace.span "never.recorded" (fun () -> 42) in
+  Trace.instant "also.never";
+  Alcotest.(check int) "span passes value through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.events ()))
+
+let test_trace_ring_wraparound () =
+  with_tracing ~capacity:16 @@ fun () ->
+  (* capacity clamps to >= 16; overfill by 3. *)
+  for i = 0 to 18 do
+    Trace.instant ~args:[ ("i", Trace.Int i) ] "tick"
+  done;
+  let evs = Trace.events () in
+  Alcotest.(check int) "ring holds capacity" 16 (List.length evs);
+  Alcotest.(check int) "recorded counts all" 19 (Trace.recorded ());
+  Alcotest.(check int) "dropped the overflow" 3 (Trace.dropped ());
+  (* Oldest surviving event is #3; order is chronological. *)
+  let indices =
+    List.map
+      (fun (e : Trace.event) ->
+        match e.Trace.args with
+        | [ ("i", Trace.Int i) ] -> i
+        | _ -> Alcotest.fail "bad args")
+      evs
+  in
+  Alcotest.(check (list int)) "chronological survivors" (List.init 16 (fun i -> i + 3)) indices
+
+let test_trace_span_records_on_raise () =
+  with_tracing @@ fun () ->
+  (try Trace.span "failing" (fun () -> failwith "boom") with Failure _ -> ());
+  match Trace.events () with
+  | [ e ] ->
+    Alcotest.(check string) "name" "failing" e.Trace.name;
+    Alcotest.(check bool) "is a span" true (e.Trace.ph = Trace.Span)
+  | evs -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs))
+
+(* -- Exporters ---------------------------------------------------------------- *)
+
+let mem name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing field " ^ name)
+
+let num j =
+  match Json.to_number j with
+  | Some n -> n
+  | None -> Alcotest.fail "not a number"
+
+let str j =
+  match Json.to_str j with
+  | Some s -> s
+  | None -> Alcotest.fail "not a string"
+
+let contains text needle =
+  let n = String.length needle and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let sample_registry () =
+  let reg = Registry.create () in
+  Registry.set_counter reg "qdb.submitted" 7;
+  Registry.set_gauge reg "qdb.pending" 3.;
+  let h = Registry.histogram reg "qdb.submit.latency" in
+  Histogram.observe h 1e-3;
+  Histogram.observe h 2e-3;
+  reg
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [ ("s", Json.Str "a\"b\\c\n\t");
+        ("n", Json.Num 1.5);
+        ("i", Json.Num 42.);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Num 1.; Json.Str "x" ]);
+      ]
+  in
+  let j' = Json.of_string (Json.to_string j) in
+  Alcotest.(check string) "roundtrip" (Json.to_string j) (Json.to_string j')
+
+let test_json_snapshot_parses_back () =
+  let reg = sample_registry () in
+  let j = Json.of_string (Export.json_snapshot_string reg) in
+  let counters = mem "counters" j in
+  Alcotest.(check (float 0.)) "counter survives" 7. (num (mem "qdb.submitted" counters));
+  let h = mem "qdb.submit.latency" (mem "histograms" j) in
+  Alcotest.(check (float 0.)) "count" 2. (num (mem "count" h));
+  Alcotest.(check (float 1e-12)) "sum" 3e-3 (num (mem "sum_s" h));
+  let p50 = num (mem "p50_s" h) in
+  Alcotest.(check bool) "p50 in range" true (p50 >= 1e-3 *. 0.8 && p50 <= 2e-3 *. 1.2)
+
+let test_prometheus_exposition () =
+  let text = Export.prometheus (sample_registry ()) in
+  let has needle = contains text needle in
+  Alcotest.(check bool) "counter line" true (has "qdb_submitted 7");
+  Alcotest.(check bool) "gauge line" true (has "qdb_pending 3");
+  Alcotest.(check bool) "histogram sum" true (has "qdb_submit_latency_sum");
+  Alcotest.(check bool) "cumulative +Inf bucket" true (has "le=\"+Inf\"} 2")
+
+let test_chrome_trace_well_formed () =
+  with_tracing @@ fun () ->
+  ignore (Trace.span ~cat:"t" ~args:(fun () -> [ ("k", Trace.Str "v") ]) "outer" (fun () -> 1));
+  Trace.instant ~cat:"t" "mark";
+  let j = Json.of_string (Export.chrome_trace_string (Trace.events ())) in
+  let evs = Json.to_list (mem "traceEvents" j) in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  let phases = List.map (fun e -> str (mem "ph" e)) evs in
+  Alcotest.(check (list string)) "phases" [ "X"; "i" ] phases;
+  List.iter
+    (fun e -> Alcotest.(check bool) "has ts" true (num (mem "ts" e) >= 0.))
+    evs
+
+(* -- Engine integration -------------------------------------------------------- *)
+
+let test_engine_spans () =
+  with_tracing @@ fun () ->
+  let store = Flights.fresh_store { Flights.flights = 1; rows_per_flight = 2; dest = "LA" } in
+  let qdb = Qdb.create store in
+  let u = { Travel.name = "mickey"; partner = "-"; flight = 0 } in
+  (match Qdb.submit qdb (Travel.plain_txn u) with
+   | Qdb.Committed _ -> ()
+   | Qdb.Rejected r -> Alcotest.fail ("unexpected rejection: " ^ r));
+  ignore (Qdb.ground_all qdb);
+  let evs = Trace.events () in
+  let spans name =
+    List.filter (fun (e : Trace.event) -> e.Trace.name = name && e.Trace.ph = Trace.Span) evs
+  in
+  let submit = spans "qdb.submit" and ground = spans "qdb.ground" in
+  Alcotest.(check int) "one submit span" 1 (List.length submit);
+  Alcotest.(check bool) "ground span present" true (ground <> []);
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check bool) "non-negative duration" true (Int64.compare e.Trace.dur_ns 0L >= 0);
+      (* A whole submit on a toy store still finishes within a minute —
+         catches ns/us unit mix-ups. *)
+      Alcotest.(check bool) "duration sane" true (Int64.compare e.Trace.dur_ns 60_000_000_000L < 0))
+    (submit @ ground);
+  (* The submit span carries its admission outcome. *)
+  match submit with
+  | [ e ] ->
+    Alcotest.(check bool) "outcome arg" true
+      (List.exists (fun (k, v) -> k = "outcome" && v = Trace.Str "committed") e.Trace.args)
+  | _ -> assert false
+
+let test_engine_registry_counts () =
+  let store = Flights.fresh_store { Flights.flights = 1; rows_per_flight = 2; dest = "LA" } in
+  let qdb = Qdb.create store in
+  let u = { Travel.name = "mickey"; partner = "-"; flight = 0 } in
+  ignore (Qdb.submit qdb (Travel.plain_txn u));
+  ignore (Qdb.read qdb (Travel.seat_query u));
+  let reg = Qdb.registry qdb in
+  let counter name =
+    match Registry.find reg name with
+    | Some (Registry.Counter n) -> n
+    | _ -> Alcotest.fail ("missing counter " ^ name)
+  in
+  Alcotest.(check int) "submitted" 1 (counter "qdb.submitted");
+  Alcotest.(check int) "reads" 1 (counter "qdb.reads");
+  Alcotest.(check bool) "wal recorded writes" true (counter "wal.records" > 0);
+  match Registry.find reg "qdb.submit.latency" with
+  | Some (Registry.Histogram h) ->
+    Alcotest.(check int) "submit latency observed" 1 (Histogram.count h)
+  | _ -> Alcotest.fail "missing submit latency histogram"
+
+let suite =
+  [ Alcotest.test_case "histogram empty" `Quick test_hist_empty;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_hist_bucket_boundaries;
+    Alcotest.test_case "histogram quantiles" `Quick test_hist_quantiles;
+    Alcotest.test_case "histogram merge" `Quick test_hist_merge;
+    Alcotest.test_case "trace disabled is no-op" `Quick test_trace_disabled_noop;
+    Alcotest.test_case "trace ring wraparound" `Quick test_trace_ring_wraparound;
+    Alcotest.test_case "trace span records on raise" `Quick test_trace_span_records_on_raise;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json snapshot parses back" `Quick test_json_snapshot_parses_back;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+    Alcotest.test_case "chrome trace well-formed" `Quick test_chrome_trace_well_formed;
+    Alcotest.test_case "engine emits submit/ground spans" `Quick test_engine_spans;
+    Alcotest.test_case "engine registry counts" `Quick test_engine_registry_counts;
+  ]
