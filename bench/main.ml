@@ -67,10 +67,32 @@ module Micro = struct
     Quantum.Compose.body_of_sequence ~key_of:(Quantum.Compose.resolver_of_db db)
       pending_sequence
 
+  (* A prepared in-memory log for the replay bench: one schema DDL plus
+     512 single-insert batches (3 records each — Begin/Op/Commit). *)
+  let replay_batches = 512
+  let replay_records = 1 + (3 * replay_batches)
+
+  let replay_backend () =
+    let module Wal = Relational.Wal in
+    let backend = Wal.mem_backend () in
+    let wal = Wal.create backend in
+    let schema = Workload.Flights.bookings_schema in
+    Wal.log wal (Wal.Create_table schema);
+    for i = 0 to replay_batches - 1 do
+      ignore
+        (Wal.log_batch wal
+           [ Relational.Database.Insert
+               ( schema.Relational.Schema.name,
+                 [| Relational.Value.Str (Printf.sprintf "u%d" i);
+                    Relational.Value.Int 0; Relational.Value.Int i |] ) ])
+    done;
+    backend
+
   let tests () =
     let db = db_fixture () in
     let formula = composed db in
     let a1, a2 = snd atom_pair in
+    let replay_log = replay_backend () in
     let open Bechamel in
     [ Test.make ~name:"unify/mgu" (Staged.stage (fun () -> Logic.Unify.mgu a1 a2));
       Test.make ~name:"unify/predicate" (Staged.stage (fun () -> Logic.Unify.predicate a1 a2));
@@ -78,6 +100,11 @@ module Micro = struct
         (Staged.stage (fun () -> ignore (composed db)));
       Test.make ~name:"solve/20-txn-body"
         (Staged.stage (fun () -> ignore (Solver.Backtrack.solve db formula)));
+      Test.make ~name:"wal/replay"
+        (Staged.stage (fun () ->
+             (* Full recovery of a 512-batch log: decode + checksum +
+                sequence check + apply, per run. *)
+             ignore (Relational.Wal.replay (Relational.Wal.create replay_log))));
       Test.make ~name:"admission/submit+reject-cycle"
         (Staged.stage (fun () ->
              (* One full admission check against a standing partition. *)
@@ -143,7 +170,11 @@ let () =
      estimates as gauges — into metrics.json next to the CSVs. *)
   let registry = Quantum.Metrics.snapshot Workload.Runner.metrics_sink in
   List.iter
-    (fun (name, ns) -> Obs.Registry.set_gauge registry ("bench.micro." ^ name ^ ".ns_per_run") ns)
+    (fun (name, ns) ->
+      Obs.Registry.set_gauge registry ("bench.micro." ^ name ^ ".ns_per_run") ns;
+      if name = "core/wal/replay" then
+        Obs.Registry.set_gauge registry "bench.micro.wal.replay.ns_per_record"
+          (ns /. float_of_int Micro.replay_records))
     micro_estimates;
   ignore (Common.write_metrics registry);
   Printf.printf "\nAll benches complete.\n"

@@ -7,7 +7,11 @@
               Datalog-like notation, read/peek, inspect read impact,
               ground, print tables
      stats  — run a travel workload and print the engine's telemetry
-              registry (pretty, prometheus or json)
+              registry (pretty, prometheus or json); with --wal FILE,
+              recover from that log instead and print the registry with
+              the wal.recovery.* gauges
+     crashmonkey — deterministic crash/recover cycles with fault
+              injection; exits 1 on any recovery-invariant violation
    Every non-interactive subcommand takes --trace FILE to capture a
    Chrome trace_event JSON of the engine's spans.
    (micro-benchmarks live in bench/main.exe) *)
@@ -162,7 +166,28 @@ let pp_registry registry =
     (Obs.Registry.items registry);
   print_string (Buffer.contents b)
 
-let run_stats format trace flights rows read_fraction =
+(* With --wal, skip the synthetic workload: recover an engine from the
+   given log file (leniently — damaged tails are truncated, not fatal)
+   and print its registry, which then carries the wal.recovery.* gauges
+   alongside a human-readable recovery line. *)
+let run_stats_wal format path =
+  let backend = Relational.Wal.file_backend path in
+  let qdb = Qdb.recover backend in
+  let registry = Qdb.registry qdb in
+  (match format with
+   | `Pretty ->
+     Printf.printf "recovered from %s:\n" path;
+     (match Qdb.recovery_report qdb with
+      | Some report -> Printf.printf "  %s\n\n" (Relational.Wal.report_to_string report)
+      | None -> print_newline ());
+     pp_registry registry
+   | `Prometheus -> print_string (Obs.Export.prometheus registry)
+   | `Json -> print_endline (Obs.Export.json_snapshot_string registry))
+
+let run_stats format trace flights rows read_fraction wal =
+  match wal with
+  | Some path -> run_stats_wal format path
+  | None ->
   with_trace trace @@ fun () ->
   let geometry = { Flights.flights; rows_per_flight = rows; dest = "LA" } in
   (* Users sized to seat capacity, as in Figures 5/6 (2 users per pair,
@@ -208,8 +233,48 @@ let stats_cmd =
   in
   let rows_arg = Arg.(value & opt int 17 & info [ "rows" ] ~doc:"Seat rows per flight.") in
   let flights_arg = Arg.(value & opt int 2 & info [ "flights" ] ~doc:"Number of flights.") in
+  let wal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"FILE"
+             ~doc:"Instead of running a workload, recover from the WAL at $(docv) \
+                   (lenient replay) and print the registry, including the \
+                   wal.recovery.* gauges.")
+  in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run_stats $ format_arg $ trace_arg $ flights_arg $ rows_arg $ read_fraction_arg)
+    Term.(const run_stats $ format_arg $ trace_arg $ flights_arg $ rows_arg
+          $ read_fraction_arg $ wal_arg)
+
+(* -- crashmonkey --------------------------------------------------------------- *)
+
+(* Deterministic crash/recover torture: every cycle crashes a live engine
+   at a PRNG-chosen WAL append with a PRNG-chosen damage mode, recovers,
+   and checks the recovery contract.  Exit 1 on any violation, so CI can
+   gate on it. *)
+
+let run_crashmonkey cycles seed =
+  let s = Workload.Crash_monkey.run ~cycles ~seed () in
+  Format.printf "crash monkey (seed %d):@.%a@." seed Workload.Crash_monkey.pp s;
+  match s.Workload.Crash_monkey.violations with
+  | [] -> ()
+  | violations ->
+    List.iter
+      (fun (cycle, what) -> Printf.eprintf "violation in cycle %d: %s\n" cycle what)
+      violations;
+    exit 1
+
+let crashmonkey_cmd =
+  let doc =
+    "Run deterministic crash/recover cycles with fault injection and check the \
+     recovery invariants."
+  in
+  let cycles_arg =
+    Arg.(value & opt int 200
+         & info [ "cycles" ] ~docv:"N" ~doc:"Number of crash/recover cycles.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  Cmd.v (Cmd.info "crashmonkey" ~doc) Term.(const run_crashmonkey $ cycles_arg $ seed_arg)
 
 (* -- shell --------------------------------------------------------------------- *)
 
@@ -338,4 +403,4 @@ let shell_cmd =
 let () =
   let doc = "Quantum databases: late-binding resource transactions (CIDR 2013 reproduction)." in
   let info = Cmd.info "qdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ exp_cmd; demo_cmd; shell_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ exp_cmd; demo_cmd; shell_cmd; stats_cmd; crashmonkey_cmd ]))

@@ -766,6 +766,16 @@ let registry t =
   Obs.Registry.set_counter reg "wal.batches" ws.Relational.Wal.batches;
   Obs.Registry.set_counter reg "wal.checkpoints" ws.Relational.Wal.checkpoints;
   Obs.Registry.set_counter reg "wal.bytes" ws.Relational.Wal.bytes;
+  Obs.Registry.set_counter reg "wal.syncs" ws.Relational.Wal.syncs;
+  (match Store.recovery_report t.store with
+   | None -> ()
+   | Some r ->
+     let g = Obs.Registry.set_gauge reg in
+     g "wal.recovery.records_kept" (float_of_int r.Relational.Wal.records_kept);
+     g "wal.recovery.records_dropped" (float_of_int r.Relational.Wal.records_dropped);
+     g "wal.recovery.batches_applied" (float_of_int r.Relational.Wal.batches_applied);
+     g "wal.recovery.truncated"
+       (if r.Relational.Wal.truncation_reason <> None then 1.0 else 0.0));
   reg
 
 (* -- Invariant check (tests, possible-worlds cross-validation) ------------- *)
@@ -782,8 +792,10 @@ let invariant_holds t =
    every recorded transaction, then recompose partitions in admission
    order without re-running admission checks (they held before the crash
    and the extensional state is exactly the pre-crash committed state). *)
-let recover ?(config = default_config) backend =
-  let store = Store.crash_and_recover backend in
+let recovery_report t = Store.recovery_report t.store
+
+let recover ?(config = default_config) ?strict backend =
+  let store = Store.crash_and_recover ?strict backend in
   let t = create ~config store in
   let table = Store.table store pending_table_name in
   let rows = List.sort Tuple.compare (Relational.Table.to_list table) in

@@ -112,7 +112,13 @@ val write : t -> Relational.Database.op list -> (unit, string) result
 val invariant_holds : t -> bool
 (** Re-check satisfiability of every partition from scratch (test hook). *)
 
-val recover : ?config:config -> Relational.Wal.backend -> t
-(** Crash recovery (Section 4): replay the WAL, re-parse the
-    pending-transactions table and rebuild partitions, composed bodies and
-    witnesses. *)
+val recovery_report : t -> Relational.Wal.recovery_report option
+(** Set when this engine was produced by {!recover}: what WAL replay
+    kept, what it dropped and why.  Also exported as [wal.recovery.*]
+    gauges by {!registry}. *)
+
+val recover : ?config:config -> ?strict:bool -> Relational.Wal.backend -> t
+(** Crash recovery (Section 4): replay the WAL (leniently unless
+    [~strict], truncating a damaged tail after the last complete batch),
+    re-parse the pending-transactions table and rebuild partitions,
+    composed bodies and witnesses. *)

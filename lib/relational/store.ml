@@ -7,11 +7,11 @@ type t = {
   wal : Wal.t;
 }
 
-let create backend = { db = Database.create (); wal = Wal.create backend }
+let create ?sync backend = { db = Database.create (); wal = Wal.create ?sync backend }
 
-let open_ backend =
-  let wal = Wal.create backend in
-  let db = Wal.replay wal in
+let open_ ?sync ?strict backend =
+  let wal = Wal.create ?sync backend in
+  let db, _report = Wal.replay_report ?strict wal in
   { db; wal }
 
 let db t = t.db
@@ -30,6 +30,9 @@ let find_table t name = Database.find_table t.db name
    total we instead validate first with a dry run and only log when the
    batch is applicable. *)
 let wal_stats t = Wal.stats t.wal
+let recovery_report t = Wal.last_recovery t.wal
+let sync t = Wal.sync t.wal
+let close t = Wal.close t.wal
 
 let apply t ops =
   Obs.Trace.span ~cat:"store"
@@ -52,7 +55,4 @@ let apply t ops =
 let checkpoint t = Wal.checkpoint t.wal t.db
 
 (* Simulate a crash: drop all volatile state and recover from the log. *)
-let crash_and_recover backend =
-  let wal = Wal.create backend in
-  let db = Wal.replay wal in
-  { db; wal }
+let crash_and_recover ?sync ?strict backend = open_ ?sync ?strict backend

@@ -2,15 +2,18 @@
 
     The quantum middle tier's counterpart of MySQL/InnoDB: every schema
     change and update batch is logged before it is applied, and
-    {!crash_and_recover} rebuilds the exact pre-crash committed state. *)
+    {!crash_and_recover} rebuilds the pre-crash committed state — even
+    from a log with a torn or corrupted tail, which is truncated after
+    the last complete batch (see {!Wal.replay_report}). *)
 
 type t
 
-val create : Wal.backend -> t
-(** Fresh empty store over a (possibly non-empty) backend; does not replay. *)
+val create : ?sync:Wal.sync_policy -> Wal.backend -> t
+(** Fresh empty store over a (possibly non-empty) backend; does not
+    replay.  [sync] defaults to {!Wal.Every_batch}. *)
 
-val open_ : Wal.backend -> t
-(** Open an existing log and replay it. *)
+val open_ : ?sync:Wal.sync_policy -> ?strict:bool -> Wal.backend -> t
+(** Open an existing log and replay it (leniently unless [~strict]). *)
 
 val db : t -> Database.t
 val create_table : t -> Schema.t -> Table.t
@@ -21,7 +24,18 @@ val apply : t -> Database.op list -> (unit, Database.op_error) result
 (** Validate, log ahead, then apply atomically. *)
 
 val wal_stats : t -> Wal.stats
-(** Write-side WAL telemetry (records, batches, checkpoints, bytes). *)
+(** Write-side WAL telemetry (records, batches, checkpoints, bytes,
+    syncs). *)
+
+val recovery_report : t -> Wal.recovery_report option
+(** Set when this store was produced by {!open_}/{!crash_and_recover}. *)
+
+val sync : t -> unit
+(** Force the WAL to stable storage regardless of the sync policy. *)
+
+val close : t -> unit
 
 val checkpoint : t -> unit
-val crash_and_recover : Wal.backend -> t
+(** Write a full database image and compact the log to it. *)
+
+val crash_and_recover : ?sync:Wal.sync_policy -> ?strict:bool -> Wal.backend -> t

@@ -1,9 +1,14 @@
-(** Write-ahead log with batch atomicity and checkpoints.
+(** Write-ahead log with batch atomicity, checkpoints and crash-safe
+    recovery (v2 format).
 
-    Records are one s-expression per line on a pluggable backend (in-memory
-    for tests and crash simulation, file for real persistence).  Replay
-    applies only complete [Begin]/[Commit] batches, so a crash mid-batch
-    never tears an update. *)
+    Each record is one line — [{seq} {crc32-hex} {sexp}] — on a pluggable
+    backend (in-memory for tests and crash simulation, file for real
+    persistence).  The CRC-32 covers the sequence number and the payload,
+    so torn writes, bit flips and misordered segments are detectable;
+    legacy v1 lines (bare s-expressions) are still accepted on replay.
+    Replay applies only complete [Begin]/[Commit] batches, so a crash
+    mid-batch never tears an update; by default it is lenient, truncating
+    the log after the last complete batch on damage instead of raising. *)
 
 type record =
   | Create_table of Schema.t
@@ -12,46 +17,114 @@ type record =
   | Commit of int
   | Checkpoint of Sexp.t
 
+exception Corrupt of { index : int; reason : string }
+(** Log-structure damage: checksum mismatch, unparseable or
+    out-of-sequence record, op outside a batch, mismatched commit, or a
+    batch that no longer applies.  [index] is the 0-based record index
+    (-1 when decoding outside a log context).  Distinct from
+    {!Sexp.Parse_error}, which now only ever signals s-expression
+    syntax errors. *)
+
 type backend = {
   append : string -> unit;
+  iter_lines : (string -> unit) -> unit;  (** streaming read, oldest first *)
   read_all : unit -> string list;
+  truncate : int -> unit;  (** keep only the first [n] lines *)
+  rewrite : string list -> unit;
+      (** atomically replace the whole log (segment swap) *)
+  flush : unit -> unit;  (** push buffered appends to stable storage *)
+  close : unit -> unit;
   reset : unit -> unit;
 }
 
 val mem_backend : unit -> backend
+
 val file_backend : string -> backend
+(** Holds one output channel for the handle's lifetime; [flush] is
+    channel flush + [fsync], [rewrite]/[truncate] go through a
+    write-to-temp-and-rename segment swap. *)
 
 val record_to_sexp : record -> Sexp.t
+
 val record_of_sexp : Sexp.t -> record
+(** @raise Corrupt on a sexp that is not a WAL record. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE, reflected) of a string — exposed for fault-injection
+    tests that need to forge or verify record checksums. *)
+
+val encode_line : seq:int -> record -> string
+
+val decode_line : index:int -> string -> record
+(** Decode one log line (v2 checksummed or legacy v1 bare sexp).
+    @raise Corrupt on damage, blaming record [index]. *)
+
+type sync_policy =
+  | Never  (** leave flushing to the OS *)
+  | Every_batch  (** flush + fsync at every batch boundary (default) *)
+  | Every_n of int  (** flush once at least [n] records have accumulated *)
 
 type stats = {
   mutable records : int;
   mutable batches : int;
   mutable checkpoints : int;
   mutable bytes : int;  (** serialized bytes appended, newlines included *)
+  mutable syncs : int;  (** explicit flushes issued by the sync policy *)
 }
 (** Write-side telemetry since this handle was created; replayed history
     is not counted. *)
 
 val fresh_stats : unit -> stats
 
+type recovery_report = {
+  total_records : int;  (** lines present in the log, kept or not *)
+  records_kept : int;
+  records_dropped : int;
+  batches_applied : int;
+  truncated_at : int option;  (** record index where replay stopped *)
+  truncation_reason : string option;
+}
+(** What {!replay_report} kept, what it dropped, and why. *)
+
+val report_to_string : recovery_report -> string
+
 type t
 
-val create : backend -> t
-val stats : t -> stats
-val log : t -> record -> unit
+val create : ?sync:sync_policy -> backend -> t
+(** Fresh handle; [sync] defaults to [Every_batch]. *)
 
+val stats : t -> stats
+
+val last_recovery : t -> recovery_report option
+(** The report of the most recent replay through this handle, if any. *)
+
+val log : t -> record -> unit
 val log_batch : t -> Database.op list -> int
 (** Bracket [ops] in a fresh batch; returns the batch id. *)
 
+val sync : t -> unit
+(** Force a flush regardless of the sync policy. *)
+
+val close : t -> unit
+
 val records : t -> record list
+(** Decode the whole log at once — materializes every record, test use
+    only; {!replay_report} streams. *)
 
 val database_to_sexp : Database.t -> Sexp.t
 val database_of_sexp : Sexp.t -> Database.t
 
 val checkpoint : t -> Database.t -> unit
-(** Append a full database image; replay restarts from the latest one. *)
+(** Write a full database image and compact: the log is atomically
+    replaced by the single checkpoint record (rewrite-and-rename), so it
+    no longer grows without bound. *)
 
-val replay : t -> Database.t
-(** Rebuild the database from the log, dropping incomplete trailing batches,
-    and reposition the batch counter past the highest batch seen. *)
+val replay_report : ?strict:bool -> t -> Database.t * recovery_report
+(** Rebuild the database from the log.  Lenient by default: the first
+    corrupt, partial or out-of-sequence record truncates replay after
+    the last complete batch and the damaged tail is removed from the
+    backend.  With [~strict:true] the same conditions raise {!Corrupt}.
+    Also repositions the batch and sequence counters past the retained
+    prefix. *)
+
+val replay : ?strict:bool -> t -> Database.t

@@ -1,0 +1,231 @@
+(* Crash monkey: deterministic crash/recover cycles over the full engine.
+
+   Each cycle builds a travel database through a fault-injected WAL
+   backend, drives a PRNG-scheduled workload (submits, collapsing reads,
+   explicit groundings, checkpoints) through [Store]/[Qdb], kills the
+   "process" at a random append with a random damage mode ([Fault]),
+   recovers from the damaged log alone, and asserts the recovery
+   contract:
+
+   - the recovered database equals some prefix of the batches whose
+     commit record reached the log (no committed batch is ever
+     half-applied, no state is invented);
+   - the recovered engine's composed-satisfiability invariant holds for
+     every re-admitted pending transaction (Theorem 3.5 survives the
+     crash);
+   - the engine's own pending set agrees with the durable
+     pending-transactions table.
+
+   A pristine in-memory shadow of every line the engine *attempted* to
+   append (damage-free, checkpoint swaps appended rather than replacing,
+   so no history is lost) supplies the reference prefix states. *)
+
+module Wal = Relational.Wal
+module Database = Relational.Database
+module Store = Relational.Store
+module Qdb = Quantum.Qdb
+module Rtxn = Quantum.Rtxn
+
+type summary = {
+  cycles : int;
+  crashes : int;
+  truncations : int; (* recoveries that dropped at least one record *)
+  records_kept : int; (* summed over all recoveries *)
+  records_dropped : int;
+  clean_crashes : int;
+  torn_crashes : int;
+  flipped_crashes : int;
+  mid_log_flips : int; (* cycles where a silent mid-log bit flip landed *)
+  violations : (int * string) list; (* (cycle, what broke) *)
+}
+
+(* Mirror every attempted append into [pristine] while the damage-prone
+   path goes to the wrapped backend.  Checkpoint segment swaps are
+   *appended* to the pristine history (not swapped in), so earlier
+   prefix states stay reconstructible even when the real swap is lost. *)
+let tee pristine (inner : Wal.backend) =
+  {
+    inner with
+    Wal.append =
+      (fun line ->
+        pristine.Wal.append line;
+        inner.Wal.append line);
+    rewrite =
+      (fun lines ->
+        List.iter pristine.Wal.append lines;
+        inner.Wal.rewrite lines);
+    reset =
+      (fun () ->
+        pristine.Wal.reset ();
+        inner.Wal.reset ());
+  }
+
+(* Every database state at a batch/ddl/checkpoint boundary of the
+   pristine history — the states a correct recovery may land on. *)
+let prefix_states pristine =
+  let db = ref (Database.create ()) in
+  let pending = ref None in
+  let snaps = ref [ Database.copy !db ] in
+  let stable () = snaps := Database.copy !db :: !snaps in
+  List.iteri
+    (fun index line ->
+      match Wal.decode_line ~index line with
+      | Wal.Create_table schema ->
+        ignore (Database.create_table !db schema);
+        stable ()
+      | Wal.Checkpoint image ->
+        db := Wal.database_of_sexp image;
+        pending := None;
+        stable ()
+      | Wal.Begin n -> pending := Some (n, [])
+      | Wal.Op op ->
+        (match !pending with
+         | Some (n, ops) -> pending := Some (n, op :: ops)
+         | None -> ())
+      | Wal.Commit n ->
+        (match !pending with
+         | Some (m, ops) when m = n ->
+           (match Database.apply_ops !db (List.rev ops) with
+            | Ok () -> stable ()
+            | Error _ -> ());
+           pending := None
+         | Some _ | None -> pending := None))
+    (pristine.Wal.read_all ());
+  !snaps
+
+type cycle_outcome = {
+  crashed : bool;
+  damage : Fault.damage;
+  flipped_mid_log : bool;
+  kept : int;
+  dropped : int;
+  violation : string option;
+}
+
+let run_cycle ~seed =
+  let rng = Prng.create seed in
+  let fault_rng = Prng.create (seed lxor 0x5EED5EED) in
+  let pristine = Wal.mem_backend () in
+  let real = Wal.mem_backend () in
+  let handle, faulty = Fault.wrap fault_rng real in
+  let backend = tee pristine faulty in
+  let geometry =
+    { Flights.flights = 1; rows_per_flight = 2 + Prng.int rng 2; dest = "LA" }
+  in
+  let store = Flights.fresh_store ~backend geometry in
+  let qdb = Qdb.create store in
+  (* Fault schedule: arm only after the fixture is built, so the crash
+     always lands inside the measured workload. *)
+  let damage =
+    match Prng.int rng 3 with
+    | 0 -> Fault.Clean
+    | 1 -> Fault.Torn
+    | _ -> Fault.Flipped
+  in
+  let crash_after = Prng.int rng 45 in
+  let flip_at =
+    if crash_after > 2 && Prng.bool rng then Some (Prng.int rng (crash_after - 1)) else None
+  in
+  Fault.arm handle { Fault.crash_after; damage; flip_at };
+  let users =
+    Travel.make_users ~flights:1 ~pairs_per_flight:(3 * geometry.Flights.rows_per_flight / 2)
+  in
+  let users = Prng.shuffle_list rng users in
+  let crashed = ref false in
+  (try
+     List.iter
+       (fun u ->
+         (match Prng.int rng 12 with
+          | 0 -> ignore (Qdb.read qdb (Travel.seat_query u))
+          | 1 -> Store.checkpoint store
+          | 2 ->
+            (match Qdb.pending qdb with
+             | [] -> ()
+             | pending ->
+               let txn = List.nth pending (Prng.int rng (List.length pending)) in
+               ignore (Qdb.ground qdb txn.Rtxn.id))
+          | _ -> ());
+         let txn = if Prng.bool rng then Travel.entangled_txn u else Travel.plain_txn u in
+         ignore (Qdb.submit qdb txn))
+       users;
+     ignore (Qdb.ground_all qdb)
+   with Fault.Crash -> crashed := true);
+  let flipped_mid_log =
+    match flip_at with
+    | Some n -> n < handle.Fault.appends
+    | None -> false
+  in
+  (* The process is dead; recover from the (possibly damaged) log alone. *)
+  let qdb' = Qdb.recover real in
+  let kept, dropped =
+    match Qdb.recovery_report qdb' with
+    | Some r -> (r.Wal.records_kept, r.Wal.records_dropped)
+    | None -> (0, 0)
+  in
+  let violation =
+    let recovered = Qdb.db qdb' in
+    if not (List.exists (fun s -> Database.equal s recovered) (prefix_states pristine))
+    then Some "recovered state is not a prefix of the committed batches"
+    else if not (Qdb.invariant_holds qdb') then
+      Some "composed-satisfiability invariant broken after recovery"
+    else begin
+      let table_rows =
+        Relational.Table.cardinality (Database.table recovered Qdb.pending_table_name)
+      in
+      if table_rows <> Qdb.pending_count qdb' then
+        Some
+          (Printf.sprintf "pending table has %d row(s) but engine re-admitted %d" table_rows
+             (Qdb.pending_count qdb'))
+      else None
+    end
+  in
+  { crashed = !crashed; damage; flipped_mid_log; kept; dropped; violation }
+
+let run ?(cycles = 200) ?(seed = 42) () =
+  let acc =
+    ref
+      {
+        cycles = 0;
+        crashes = 0;
+        truncations = 0;
+        records_kept = 0;
+        records_dropped = 0;
+        clean_crashes = 0;
+        torn_crashes = 0;
+        flipped_crashes = 0;
+        mid_log_flips = 0;
+        violations = [];
+      }
+  in
+  for cycle = 0 to cycles - 1 do
+    let o = run_cycle ~seed:(seed + (cycle * 7919)) in
+    let s = !acc in
+    acc :=
+      {
+        cycles = s.cycles + 1;
+        crashes = (s.crashes + if o.crashed then 1 else 0);
+        truncations = (s.truncations + if o.dropped > 0 then 1 else 0);
+        records_kept = s.records_kept + o.kept;
+        records_dropped = s.records_dropped + o.dropped;
+        clean_crashes =
+          (s.clean_crashes + if o.crashed && o.damage = Fault.Clean then 1 else 0);
+        torn_crashes = (s.torn_crashes + if o.crashed && o.damage = Fault.Torn then 1 else 0);
+        flipped_crashes =
+          (s.flipped_crashes + if o.crashed && o.damage = Fault.Flipped then 1 else 0);
+        mid_log_flips = (s.mid_log_flips + if o.flipped_mid_log then 1 else 0);
+        violations =
+          (match o.violation with
+           | Some v -> (cycle, v) :: s.violations
+           | None -> s.violations);
+      }
+  done;
+  let s = !acc in
+  { s with violations = List.rev s.violations }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>%d cycle(s): %d crash(es) (%d clean, %d torn, %d bit-flipped), %d mid-log flip(s)@,\
+     %d recovery truncation(s); wal records kept %d, dropped %d@,\
+     %d invariant violation(s)@]"
+    s.cycles s.crashes s.clean_crashes s.torn_crashes s.flipped_crashes s.mid_log_flips
+    s.truncations s.records_kept s.records_dropped (List.length s.violations)

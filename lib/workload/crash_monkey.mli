@@ -1,0 +1,31 @@
+(** Deterministic crash/recover cycles over the full engine.
+
+    Each cycle drives a PRNG-scheduled travel workload through
+    {!Quantum.Qdb} on a {!Fault}-wrapped WAL backend, crashes at a random
+    append with a random damage mode, recovers from the damaged log
+    alone, and asserts the recovery contract: the recovered database is
+    a prefix of the committed batches (never a half-applied batch, never
+    invented state), the composed-satisfiability invariant holds for
+    every re-admitted pending transaction, and the engine's pending set
+    agrees with the durable pending-transactions table.
+
+    Everything derives from the seed: same seed, same cycles, same
+    summary. *)
+
+type summary = {
+  cycles : int;
+  crashes : int;
+  truncations : int;  (** recoveries that dropped at least one record *)
+  records_kept : int;  (** summed over all recoveries *)
+  records_dropped : int;
+  clean_crashes : int;
+  torn_crashes : int;
+  flipped_crashes : int;
+  mid_log_flips : int;  (** cycles where a silent mid-log bit flip landed *)
+  violations : (int * string) list;  (** (cycle, what broke) — must be [] *)
+}
+
+val run : ?cycles:int -> ?seed:int -> unit -> summary
+(** Defaults: 200 cycles, seed 42. *)
+
+val pp : Format.formatter -> summary -> unit

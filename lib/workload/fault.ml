@@ -1,0 +1,109 @@
+(* Deterministic fault injection for WAL backends.
+
+   [wrap] interposes on a {!Relational.Wal.backend} and, once armed with
+   a {!plan}, simulates storage failures at exact append offsets: clean
+   process death, torn writes (a PRNG-chosen prefix of the final line),
+   bit flips on the crashing append, and silent mid-log bit flips some
+   appends before the crash.  All randomness comes from the supplied
+   {!Prng.t}, so every fault schedule is reproducible from its seed —
+   the property the crash-monkey harness and the recovery tests rely
+   on.
+
+   The wrapper starts transparent; [arm] switches the faults on.  That
+   lets a test build its fixture (schema DDL, initial rows) through the
+   same backend without risking a crash during setup. *)
+
+module Wal = Relational.Wal
+
+exception Crash
+(* Simulated process death: the append (or segment swap) that raised it
+   was the last thing the "process" did.  Recovery must proceed from the
+   underlying backend alone. *)
+
+type damage =
+  | Clean (* nothing of the crashing append reaches the log *)
+  | Torn (* a strict prefix of the crashing append is written *)
+  | Flipped (* the crashing append is written whole with one bit flipped *)
+
+let damage_to_string = function
+  | Clean -> "clean"
+  | Torn -> "torn"
+  | Flipped -> "flipped"
+
+type plan = {
+  crash_after : int; (* crash on append number [crash_after] (0-based, post-arm) *)
+  damage : damage; (* what the crashing append leaves behind *)
+  flip_at : int option; (* additionally bit-flip append [n] silently, n < crash_after *)
+}
+
+type handle = {
+  rng : Prng.t;
+  mutable armed : plan option;
+  mutable appends : int; (* appends observed since arming *)
+  mutable crashed : bool;
+}
+
+let arm h plan =
+  h.armed <- Some plan;
+  h.appends <- 0;
+  h.crashed <- false
+
+let disarm h = h.armed <- None
+
+(* Flip one PRNG-chosen bit of one PRNG-chosen byte. *)
+let flip_one_bit rng line =
+  if String.length line = 0 then line
+  else begin
+    let b = Bytes.of_string line in
+    let pos = Prng.int rng (Bytes.length b) in
+    let bit = Prng.int rng 8 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let wrap rng (inner : Wal.backend) =
+  let h = { rng; armed = None; appends = 0; crashed = false } in
+  let crash () =
+    h.crashed <- true;
+    raise Crash
+  in
+  let append line =
+    match h.armed with
+    | None -> inner.Wal.append line
+    | Some plan ->
+      let n = h.appends in
+      h.appends <- n + 1;
+      if Some n = plan.flip_at then inner.Wal.append (flip_one_bit rng line)
+      else if n >= plan.crash_after then begin
+        (match plan.damage with
+         | Clean -> ()
+         | Torn ->
+           (* A strict prefix — possibly empty, never the whole line. *)
+           let k = Prng.int rng (max 1 (String.length line)) in
+           inner.Wal.append (String.sub line 0 k)
+         | Flipped -> inner.Wal.append (flip_one_bit rng line));
+        crash ()
+      end
+      else inner.Wal.append line
+  in
+  let rewrite lines =
+    (* Segment swaps (checkpoint compaction) are atomic rename: at a
+       crash point the swap either fully happened or not at all —
+       decided by the PRNG so both sides get exercised. *)
+    match h.armed with
+    | None -> inner.Wal.rewrite lines
+    | Some plan ->
+      let n = h.appends in
+      h.appends <- n + 1;
+      if n >= plan.crash_after then begin
+        if Prng.bool rng then inner.Wal.rewrite lines;
+        crash ()
+      end
+      else inner.Wal.rewrite lines
+  in
+  ( h,
+    {
+      inner with
+      Wal.append;
+      rewrite;
+    } )

@@ -1,0 +1,47 @@
+(** Deterministic, PRNG-driven fault injection for WAL backends.
+
+    Wraps any {!Relational.Wal.backend} and, once armed, simulates
+    storage failure at an exact append offset: clean process death, a
+    torn write (a strict prefix of the final line), a bit-flipped final
+    append, and optionally a silent mid-log bit flip some appends before
+    the crash.  All randomness comes from the supplied {!Prng.t}, so
+    every fault schedule replays identically from its seed. *)
+
+exception Crash
+(** Simulated process death.  The engine that raised it must be
+    abandoned; recovery proceeds from the underlying backend alone. *)
+
+type damage =
+  | Clean  (** nothing of the crashing append reaches the log *)
+  | Torn  (** a strict prefix of the crashing append is written *)
+  | Flipped  (** the crashing append is written whole with one bit flipped *)
+
+val damage_to_string : damage -> string
+
+type plan = {
+  crash_after : int;
+      (** crash on append number [crash_after] (0-based, counted from
+          {!arm}) *)
+  damage : damage;
+  flip_at : int option;
+      (** additionally bit-flip append [n] silently, [n < crash_after] —
+          corruption in the middle of the log, discovered only at
+          replay *)
+}
+
+type handle = {
+  rng : Prng.t;
+  mutable armed : plan option;
+  mutable appends : int;
+  mutable crashed : bool;
+}
+
+val arm : handle -> plan -> unit
+(** Switch faults on; append counting starts at 0. *)
+
+val disarm : handle -> unit
+
+val wrap : Prng.t -> Relational.Wal.backend -> handle * Relational.Wal.backend
+(** The wrapped backend is transparent until {!arm}.  Checkpoint segment
+    swaps ([rewrite]) count as one append and, at the crash point, either
+    fully happen or not at all (atomic rename), PRNG-decided. *)

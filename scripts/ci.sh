@@ -10,6 +10,11 @@ dune build
 echo "== tests =="
 dune runtest
 
+echo "== crash-monkey smoke =="
+# 200 deterministic crash/recover cycles with fault injection; the
+# subcommand exits 1 on any recovery-invariant violation.
+dune exec bin/qdb_cli.exe -- crashmonkey --cycles 200 --seed 7
+
 echo "== bench smoke (micro) =="
 rm -f results/metrics.json
 dune exec bench/main.exe -- --only micro

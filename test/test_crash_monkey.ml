@@ -1,0 +1,37 @@
+(* The crash-monkey harness itself: bounded deterministic crash/recover
+   cycles must find zero recovery-invariant violations, exercise every
+   damage mode, and reproduce exactly from the seed. *)
+
+module Crash_monkey = Workload.Crash_monkey
+
+let test_no_violations () =
+  let s = Crash_monkey.run ~cycles:60 ~seed:7 () in
+  Alcotest.(check int) "all cycles ran" 60 s.Crash_monkey.cycles;
+  Alcotest.(check bool) "crashes actually happened" true (s.Crash_monkey.crashes > 40);
+  List.iter
+    (fun (cycle, what) -> Alcotest.failf "cycle %d: %s" cycle what)
+    s.Crash_monkey.violations
+
+let test_all_damage_modes_exercised () =
+  let s = Crash_monkey.run ~cycles:60 ~seed:7 () in
+  Alcotest.(check bool) "clean crashes" true (s.Crash_monkey.clean_crashes > 0);
+  Alcotest.(check bool) "torn crashes" true (s.Crash_monkey.torn_crashes > 0);
+  Alcotest.(check bool) "bit-flip crashes" true (s.Crash_monkey.flipped_crashes > 0);
+  Alcotest.(check bool) "mid-log flips" true (s.Crash_monkey.mid_log_flips > 0);
+  Alcotest.(check bool) "lenient truncations" true (s.Crash_monkey.truncations > 0)
+
+let test_deterministic () =
+  let a = Crash_monkey.run ~cycles:20 ~seed:99 () in
+  let b = Crash_monkey.run ~cycles:20 ~seed:99 () in
+  Alcotest.(check bool) "same seed, same summary" true (a = b);
+  let c = Crash_monkey.run ~cycles:20 ~seed:100 () in
+  Alcotest.(check bool) "different seed, different schedule" true
+    (a.Crash_monkey.records_kept <> c.Crash_monkey.records_kept
+     || a.Crash_monkey.records_dropped <> c.Crash_monkey.records_dropped
+     || a.Crash_monkey.crashes <> c.Crash_monkey.crashes)
+
+let suite =
+  [ Alcotest.test_case "no violations over 60 cycles" `Quick test_no_violations;
+    Alcotest.test_case "all damage modes exercised" `Quick test_all_damage_modes_exercised;
+    Alcotest.test_case "deterministic from seed" `Quick test_deterministic;
+  ]

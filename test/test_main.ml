@@ -19,6 +19,7 @@ let () =
       ("possible-worlds", Test_possible_worlds.suite);
       ("recovery", Test_recovery.suite);
       ("wal-file", Test_wal_file.suite);
+      ("crash-monkey", Test_crash_monkey.suite);
       ("partition", Test_partition.suite);
       ("engine-edge", Test_engine_edge.suite);
       ("session", Test_session.suite);

@@ -86,6 +86,126 @@ let test_torn_commit () =
   Alcotest.(check int) "only the acknowledged txn recovered" 1 (Qdb.pending_count qdb');
   Alcotest.(check bool) "invariant" true (Qdb.invariant_holds qdb')
 
+(* -- WAL v2 damage cases (fixed seeds, deterministic) ----------------------- *)
+
+(* A corrupted tail must recover leniently to the last complete batch
+   with a non-empty recovery report — and raise Wal.Corrupt in strict
+   mode instead. *)
+let test_corrupt_tail_lenient_and_strict () =
+  let build () =
+    let backend = Wal.mem_backend () in
+    let store = Flights.fresh_store ~backend (geometry 2) in
+    let qdb = Qdb.create store in
+    ignore (Qdb.submit qdb (Travel.plain_txn (user "a" "-")));
+    ignore (Qdb.submit qdb (Travel.plain_txn (user "b" "-")));
+    (* Damage the tail: garbage that is neither v2 nor a legacy sexp. *)
+    backend.Wal.append "42 deadbeef (Begin (17";
+    backend
+  in
+  (* Strict replay refuses the log... *)
+  (match Wal.replay_report ~strict:true (Wal.create (build ())) with
+   | exception Wal.Corrupt _ -> ()
+   | _ -> Alcotest.fail "strict replay should raise Corrupt");
+  (* ...lenient recovery keeps both acknowledged transactions and
+     reports the drop. *)
+  let backend = build () in
+  let qdb' = Qdb.recover backend in
+  Alcotest.(check int) "both pending survive" 2 (Qdb.pending_count qdb');
+  (match Qdb.recovery_report qdb' with
+   | Some r ->
+     Alcotest.(check int) "one record dropped" 1 r.Wal.records_dropped;
+     Alcotest.(check bool) "truncation reported" true (r.Wal.truncated_at <> None)
+   | None -> Alcotest.fail "recovery report expected");
+  (* The damaged tail was physically repaired: the log is clean again. *)
+  let qdb'' = Qdb.recover backend in
+  (match Qdb.recovery_report qdb'' with
+   | Some r -> Alcotest.(check int) "repaired log drops nothing" 0 r.Wal.records_dropped
+   | None -> Alcotest.fail "recovery report expected")
+
+(* A silent bit flip in the middle of the log: everything from the
+   damaged record on is dropped, the prefix stays consistent. *)
+let test_bit_flip_mid_log () =
+  let rng = Workload.Prng.create 11 in
+  let backend = Wal.mem_backend () in
+  let handle, faulty = Workload.Fault.wrap rng backend in
+  let store = Flights.fresh_store ~backend:faulty (geometry 2) in
+  let qdb = Qdb.create store in
+  ignore (Qdb.submit qdb (Travel.plain_txn (user "a" "-")));
+  (* Flip a bit inside the next batch, then crash a few appends later. *)
+  Workload.Fault.arm handle { Workload.Fault.crash_after = 5; damage = Clean; flip_at = Some 1 };
+  (try
+     ignore (Qdb.submit qdb (Travel.plain_txn (user "b" "-")));
+     ignore (Qdb.submit qdb (Travel.plain_txn (user "c" "-")))
+   with Workload.Fault.Crash -> ());
+  let qdb' = Qdb.recover backend in
+  Alcotest.(check int) "only the pre-flip txn survives" 1 (Qdb.pending_count qdb');
+  Alcotest.(check bool) "invariant" true (Qdb.invariant_holds qdb');
+  (match Qdb.recovery_report qdb' with
+   | Some r -> Alcotest.(check bool) "records dropped" true (r.Wal.records_dropped > 0)
+   | None -> Alcotest.fail "recovery report expected")
+
+(* Crash mid-batch via the fault combinator: the half-written batch is
+   dropped, acknowledged batches survive. *)
+let test_crash_mid_batch () =
+  let rng = Workload.Prng.create 23 in
+  let backend = Wal.mem_backend () in
+  let handle, faulty = Workload.Fault.wrap rng backend in
+  let store = Flights.fresh_store ~backend:faulty (geometry 2) in
+  let qdb = Qdb.create store in
+  ignore (Qdb.submit qdb (Travel.plain_txn (user "a" "-")));
+  (* Each pending insert is a 3-record batch; crash on its middle record. *)
+  Workload.Fault.arm handle { Workload.Fault.crash_after = 1; damage = Torn; flip_at = None };
+  (try ignore (Qdb.submit qdb (Travel.plain_txn (user "b" "-")))
+   with Workload.Fault.Crash -> ());
+  let qdb' = Qdb.recover backend in
+  Alcotest.(check int) "only the acknowledged txn" 1 (Qdb.pending_count qdb');
+  let labels = List.map (fun t -> t.Rtxn.label) (Qdb.pending qdb') in
+  Alcotest.(check (list string)) "it is a" [ "a" ] labels;
+  Alcotest.(check bool) "invariant" true (Qdb.invariant_holds qdb')
+
+(* Crash during checkpoint compaction: the segment swap is atomic, so
+   recovery sees either the old log or the new one — never a mix. *)
+let test_crash_mid_checkpoint () =
+  let try_seed seed =
+    let rng = Workload.Prng.create seed in
+    let backend = Wal.mem_backend () in
+    let handle, faulty = Workload.Fault.wrap rng backend in
+    let store = Flights.fresh_store ~backend:faulty (geometry 2) in
+    let qdb = Qdb.create store in
+    ignore (Qdb.submit qdb (Travel.plain_txn (user "a" "-")));
+    ignore (Qdb.ground_all qdb);
+    Workload.Fault.arm handle { Workload.Fault.crash_after = 0; damage = Clean; flip_at = None };
+    let crashed = (try Store.checkpoint store; false with Workload.Fault.Crash -> true) in
+    Alcotest.(check bool) "checkpoint crashed" true crashed;
+    let qdb' = Qdb.recover backend in
+    Alcotest.(check bool) "a's booking durable either way" true
+      (Flights.booking_of (Qdb.db qdb') "a" <> None);
+    Alcotest.(check bool) "invariant" true (Qdb.invariant_holds qdb');
+    (* Whether the swap won or lost the race is PRNG-decided: report
+       which, so both paths are known to be exercised. *)
+    List.length (backend.Wal.read_all ()) = 1
+  in
+  (* Seeds chosen so both sides of the atomic-rename race occur. *)
+  let outcomes = List.map try_seed [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Alcotest.(check bool) "swap-completed path exercised" true (List.mem true outcomes);
+  Alcotest.(check bool) "swap-lost path exercised" true (List.mem false outcomes)
+
+(* Appends after a lenient truncation land on the repaired log and are
+   durable: recovery after recovery keeps the new writes. *)
+let test_truncate_then_append () =
+  let backend = Wal.mem_backend () in
+  let store = Flights.fresh_store ~backend (geometry 2) in
+  let qdb = Qdb.create store in
+  ignore (Qdb.submit qdb (Travel.plain_txn (user "a" "-")));
+  backend.Wal.append "garbage tail";
+  let qdb' = Qdb.recover backend in
+  ignore (Qdb.submit qdb' (Travel.plain_txn (user "b" "-")));
+  let qdb'' = Qdb.recover backend in
+  Alcotest.(check int) "both txns durable" 2 (Qdb.pending_count qdb'');
+  (match Qdb.recovery_report qdb'' with
+   | Some r -> Alcotest.(check int) "clean second recovery" 0 r.Wal.records_dropped
+   | None -> Alcotest.fail "recovery report expected")
+
 let test_entangled_trigger_survives_recovery () =
   let backend = Wal.mem_backend () in
   let store = Flights.fresh_store ~backend (geometry 2) in
@@ -109,6 +229,12 @@ let suite =
     Alcotest.test_case "recovery idempotent" `Quick test_recover_is_idempotent;
     Alcotest.test_case "recovered ids fresh" `Quick test_recovered_ids_do_not_collide;
     Alcotest.test_case "torn commit dropped" `Quick test_torn_commit;
+    Alcotest.test_case "corrupt tail: lenient + strict" `Quick
+      test_corrupt_tail_lenient_and_strict;
+    Alcotest.test_case "bit flip mid-log" `Quick test_bit_flip_mid_log;
+    Alcotest.test_case "crash mid-batch" `Quick test_crash_mid_batch;
+    Alcotest.test_case "crash mid-checkpoint" `Quick test_crash_mid_checkpoint;
+    Alcotest.test_case "append after truncation" `Quick test_truncate_then_append;
     Alcotest.test_case "entangled trigger survives recovery" `Quick
       test_entangled_trigger_survives_recovery;
   ]
