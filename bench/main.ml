@@ -12,10 +12,12 @@ module Common = Harness.Common
 module Experiments = Harness.Experiments
 module Ablation = Harness.Ablation
 module Calendar_exp = Harness.Calendar_exp
+module Scaling = Harness.Scaling
 
 let parse_args () =
   let full = ref false in
   let only = ref [] in
+  let domains = ref [ 1; 2; 4 ] in
   let args = Array.to_list Sys.argv in
   let rec go = function
     | [] -> ()
@@ -28,11 +30,20 @@ let parse_args () =
     | "--csv" :: dir :: rest ->
       Common.csv_dir := Some dir;
       go rest
+    | "--domains" :: spec :: rest ->
+      (* "--domains 4" sweeps 1..4-ish; "--domains 1,2,4" is explicit. *)
+      domains :=
+        (match String.split_on_char ',' spec with
+         | [ one ] ->
+           let n = int_of_string one in
+           List.filter (fun d -> d <= n) [ 1; 2; 4; 8 ] @ (if List.mem n [ 1; 2; 4; 8 ] then [] else [ n ])
+         | many -> List.map int_of_string many);
+      go rest
     | _ :: rest -> go rest
   in
   go args;
   let scale = if !full then Common.paper_scale else Common.default_scale in
-  (scale, !only)
+  (scale, !only, !domains)
 
 let wanted only name = only = [] || List.mem name only
 
@@ -67,6 +78,12 @@ module Micro = struct
     Quantum.Compose.body_of_sequence ~key_of:(Quantum.Compose.resolver_of_db db)
       pending_sequence
 
+  (* Streaming candidate enumeration (the solver hot path): drain
+     [Table.lookup_seq] over the full Available table in pkey order.
+     [enumerate_count] is the gauge divisor — candidates per run. *)
+  let enumerate_table = lazy (Relational.Database.table (db_fixture ()) "Available")
+  let enumerate_count = lazy (Relational.Table.cardinality (Lazy.force enumerate_table))
+
   (* A prepared in-memory log for the replay bench: one schema DDL plus
      512 single-insert batches (3 records each — Begin/Op/Commit). *)
   let replay_batches = 512
@@ -100,6 +117,14 @@ module Micro = struct
         (Staged.stage (fun () -> ignore (composed db)));
       Test.make ~name:"solve/20-txn-body"
         (Staged.stage (fun () -> ignore (Solver.Backtrack.solve db formula)));
+      Test.make ~name:"solver/enumerate"
+        (Staged.stage (fun () ->
+             (* One full streamed scan in primary-key order — the
+                candidate source of every solver choice point. *)
+             let table = Lazy.force enumerate_table in
+             ignore
+               (Seq.fold_left (fun n _ -> n + 1) 0
+                  (Relational.Table.lookup_seq table [| None; None |]))));
       Test.make ~name:"wal/replay"
         (Staged.stage (fun () ->
              (* Full recovery of a 512-batch log: decode + checksum +
@@ -145,7 +170,7 @@ module Micro = struct
 end
 
 let () =
-  let scale, only = parse_args () in
+  let scale, only, domains = parse_args () in
   Printf.printf "quantum-db benchmark harness (%s scale, %d run(s) per point)\n%!"
     (if scale.Common.full then "paper" else "reduced")
     scale.Common.runs;
@@ -164,6 +189,14 @@ let () =
     ignore (Ablation.run_cache_stats scale);
     ignore (Ablation.run_formula_growth scale)
   end;
+  (* The domain-pool scalability sweep is opt-in (--only scaling): it
+     reruns the full Figure-7 sharded workload once per domain count. *)
+  if List.mem "scaling" only then begin
+    let r = Scaling.run ~domains_list:domains () in
+    Scaling.print r;
+    let dir = Option.value !Common.csv_dir ~default:"results" in
+    ignore (Scaling.write ~path:(Filename.concat dir "BENCH_scaling.json") r)
+  end;
   let micro_estimates = if wanted only "micro" then Micro.run () else [] in
   (* Telemetry export: every quantum run above merged its engine metrics
      into the workload runner's sink; snapshot it — plus any micro-bench
@@ -174,7 +207,10 @@ let () =
       Obs.Registry.set_gauge registry ("bench.micro." ^ name ^ ".ns_per_run") ns;
       if name = "core/wal/replay" then
         Obs.Registry.set_gauge registry "bench.micro.wal.replay.ns_per_record"
-          (ns /. float_of_int Micro.replay_records))
+          (ns /. float_of_int Micro.replay_records);
+      if name = "core/solver/enumerate" then
+        Obs.Registry.set_gauge registry "bench.micro.solver.enumerate.ns_per_candidate"
+          (ns /. float_of_int (Lazy.force Micro.enumerate_count)))
     micro_estimates;
   ignore (Common.write_metrics registry);
   Printf.printf "\nAll benches complete.\n"

@@ -11,7 +11,11 @@
               recover from that log instead and print the registry with
               the wal.recovery.* gauges
      crashmonkey — deterministic crash/recover cycles with fault
-              injection; exits 1 on any recovery-invariant violation
+              injection; exits 1 on any recovery-invariant violation;
+              --domains N runs each cycle's refill fan-out on a pool
+     scaling — the Figure-7 domain-pool sweep: the same seeded sharded
+              workload at each --domains count, asserting identical
+              outcomes, writing the BENCH_scaling.json series
    Every non-interactive subcommand takes --trace FILE to capture a
    Chrome trace_event JSON of the engine's spans.
    (micro-benchmarks live in bench/main.exe) *)
@@ -251,9 +255,15 @@ let stats_cmd =
    and checks the recovery contract.  Exit 1 on any violation, so CI can
    gate on it. *)
 
-let run_crashmonkey cycles seed =
-  let s = Workload.Crash_monkey.run ~cycles ~seed () in
-  Format.printf "crash monkey (seed %d):@.%a@." seed Workload.Crash_monkey.pp s;
+let run_crashmonkey cycles seed domains =
+  let pool = if domains > 1 then Some (Par.Pool.create ~domains ()) else None in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
+      (fun () -> Workload.Crash_monkey.run ~cycles ~seed ?pool ())
+  in
+  Format.printf "crash monkey (seed %d, %d domain(s)):@.%a@." seed (max 1 domains)
+    Workload.Crash_monkey.pp s;
   match s.Workload.Crash_monkey.violations with
   | [] -> ()
   | violations ->
@@ -274,7 +284,53 @@ let crashmonkey_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  Cmd.v (Cmd.info "crashmonkey" ~doc) Term.(const run_crashmonkey $ cycles_arg $ seed_arg)
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Run each cycle's engine over an $(docv)-domain pool (cache \
+                   capacity 3, so the parallel refill fan-out fires every \
+                   commit) — the recovery contract must hold regardless.")
+  in
+  Cmd.v (Cmd.info "crashmonkey" ~doc)
+    Term.(const run_crashmonkey $ cycles_arg $ seed_arg $ domains_arg)
+
+(* -- scaling ------------------------------------------------------------------- *)
+
+let run_scaling domains flights rows pairs seed out =
+  let r =
+    Harness.Scaling.run ~domains_list:domains ~flights ~rows ~pairs ~seed ()
+  in
+  Harness.Scaling.print r;
+  ignore (Harness.Scaling.write ~path:out r)
+
+let scaling_cmd =
+  let doc =
+    "Run the Figure-7 sharded workload once per domain count, check the \
+     admission outcomes are identical, and write the scaling series as JSON."
+  in
+  let domains_arg =
+    Arg.(value & opt (list int) [ 1; 2; 4 ]
+         & info [ "domains" ] ~docv:"N,N,..." ~doc:"Domain counts to sweep.")
+  in
+  let flights_arg =
+    Arg.(value & opt int 10 & info [ "flights" ] ~doc:"Number of flights (shards).")
+  in
+  let rows_arg =
+    Arg.(value & opt int 50 & info [ "rows" ] ~doc:"Seat rows per flight (3 seats each).")
+  in
+  let pairs_arg =
+    Arg.(value & opt int 75 & info [ "pairs" ] ~doc:"User pairs per flight.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1000 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let out_arg =
+    Arg.(value & opt string "results/BENCH_scaling.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON series.")
+  in
+  Cmd.v (Cmd.info "scaling" ~doc)
+    Term.(const run_scaling $ domains_arg $ flights_arg $ rows_arg $ pairs_arg
+          $ seed_arg $ out_arg)
 
 (* -- shell --------------------------------------------------------------------- *)
 
@@ -403,4 +459,7 @@ let shell_cmd =
 let () =
   let doc = "Quantum databases: late-binding resource transactions (CIDR 2013 reproduction)." in
   let info = Cmd.info "qdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ exp_cmd; demo_cmd; shell_cmd; stats_cmd; crashmonkey_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ exp_cmd; demo_cmd; shell_cmd; stats_cmd; crashmonkey_cmd; scaling_cmd ]))

@@ -6,7 +6,12 @@
    partition carries its own composed body, its own solution cache and its
    own transaction order; transactions over disjoint resources (different
    flights) stay in different partitions, which is what keeps admission
-   checks small and Figure 7 linear. *)
+   checks small and Figure 7 linear.
+
+   A txn-id → partition hash table mirrors the partition lists, giving
+   O(1) [find_txn] / [pending_count] instead of nested list walks; every
+   membership change must therefore go through this module ([set_txns],
+   [replace], [remove_partition], [resplit]). *)
 
 open Logic
 
@@ -17,30 +22,70 @@ type partition = {
   cache : Solver.Cache.t;
 }
 
+(* Immutable snapshot of a partition for read-only solver work on a
+   worker domain: nothing a concurrent main-thread mutation can pull out
+   from under the solve. *)
+type frozen = {
+  f_pid : int;
+  f_txns : Rtxn.t list;
+  f_formula : Formula.t;
+  f_witnesses : Subst.t list;
+}
+
 type t = {
   mutable partitions : partition list;
   mutable next_pid : int;
+  by_txn : (int, partition) Hashtbl.t; (* txn id -> owning partition *)
   cache_stats : Solver.Cache.stats;
+  solver_stats : Solver.Backtrack.stats option; (* shared with partition caches *)
   (* recomposition settings, mirrored from the engine config *)
   key_of : Compose.key_resolver;
   check_inserts : bool;
   cache_capacity : int;
 }
 
-let create ?(cache_stats = Solver.Cache.fresh_stats ())
+let create ?(cache_stats = Solver.Cache.fresh_stats ()) ?solver_stats
     ?(key_of = Compose.whole_tuple_key) ?(check_inserts = true)
     ?(cache_capacity = Solver.Cache.default_capacity) () =
-  { partitions = []; next_pid = 0; cache_stats; key_of; check_inserts; cache_capacity }
+  {
+    partitions = [];
+    next_pid = 0;
+    by_txn = Hashtbl.create 64;
+    cache_stats;
+    solver_stats;
+    key_of;
+    check_inserts;
+    cache_capacity;
+  }
 
 let partitions t = t.partitions
-let pending_count t = List.fold_left (fun n p -> n + List.length p.txns) 0 t.partitions
+let pending_count t = Hashtbl.length t.by_txn
 let all_pending t = List.concat_map (fun p -> p.txns) t.partitions
 
 let find_txn t id =
-  List.find_map
-    (fun p ->
-      List.find_map (fun txn -> if txn.Rtxn.id = id then Some (p, txn) else None) p.txns)
-    t.partitions
+  match Hashtbl.find_opt t.by_txn id with
+  | None -> None
+  | Some p ->
+    (* The partition's own sequence is short (k-bounded). *)
+    List.find_map (fun txn -> if txn.Rtxn.id = id then Some (p, txn) else None) p.txns
+
+let register t p = List.iter (fun txn -> Hashtbl.replace t.by_txn txn.Rtxn.id p) p.txns
+let unregister t p = List.iter (fun txn -> Hashtbl.remove t.by_txn txn.Rtxn.id) p.txns
+
+(* The only sanctioned way to change a partition's membership: keeps the
+   id → partition table in sync. *)
+let set_txns t p txns =
+  unregister t p;
+  p.txns <- txns;
+  register t p
+
+let freeze p =
+  {
+    f_pid = p.pid;
+    f_txns = p.txns;
+    f_formula = p.formula;
+    f_witnesses = Solver.Cache.witnesses p.cache;
+  }
 
 let fresh_partition t txns formula =
   let p =
@@ -48,10 +93,13 @@ let fresh_partition t txns formula =
       pid = t.next_pid;
       txns;
       formula;
-      cache = Solver.Cache.create ~stats:t.cache_stats ~capacity:t.cache_capacity ();
+      cache =
+        Solver.Cache.create ~stats:t.cache_stats ?solver_stats:t.solver_stats
+          ~capacity:t.cache_capacity ();
     }
   in
   t.next_pid <- t.next_pid + 1;
+  register t p;
   p
 
 let depends txn p =
@@ -90,6 +138,7 @@ let merged_view parts =
    carries over a merged witness when every constituent had one. *)
 let replace t old_parts txns formula witness =
   let keep = List.filter (fun p -> not (List.memq p old_parts)) t.partitions in
+  List.iter (unregister t) old_parts;
   let p = fresh_partition t txns formula in
   (match witness with
    | Some w -> Solver.Cache.set_witness p.cache w
@@ -97,7 +146,9 @@ let replace t old_parts txns formula witness =
   t.partitions <- p :: keep;
   p
 
-let remove_partition t p = t.partitions <- List.filter (fun q -> not (q == p)) t.partitions
+let remove_partition t p =
+  unregister t p;
+  t.partitions <- List.filter (fun q -> not (q == p)) t.partitions
 
 (* After grounding removed transactions from [p], re-partition the
    remainder into independent sets (a grounded transaction may have been

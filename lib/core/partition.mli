@@ -4,24 +4,50 @@
 
 type partition = {
   pid : int;
-  mutable txns : Rtxn.t list;  (** sequence order, oldest first *)
+  mutable txns : Rtxn.t list;
+      (** sequence order, oldest first.  Mutate only through
+          {!set_txns} — an id → partition table mirrors membership. *)
   mutable formula : Logic.Formula.t;  (** composed hard body *)
   cache : Solver.Cache.t;
 }
+
+type frozen = {
+  f_pid : int;
+  f_txns : Rtxn.t list;
+  f_formula : Logic.Formula.t;
+  f_witnesses : Logic.Subst.t list;
+}
+(** Immutable snapshot for read-only solver work on a worker domain. *)
 
 type t
 
 val create :
   ?cache_stats:Solver.Cache.stats ->
+  ?solver_stats:Solver.Backtrack.stats ->
   ?key_of:Compose.key_resolver ->
   ?check_inserts:bool ->
   ?cache_capacity:int ->
   unit ->
   t
+(** [solver_stats], when given, is shared with every partition cache so
+    engine-level telemetry sees cache-path solver work. *)
+
 val partitions : t -> partition list
+
 val pending_count : t -> int
+(** O(1): size of the maintained id → partition table. *)
+
 val all_pending : t -> Rtxn.t list
+
 val find_txn : t -> int -> (partition * Rtxn.t) option
+(** O(1) partition lookup through the id table (plus a scan of that
+    partition's short, k-bounded sequence). *)
+
+val set_txns : t -> partition -> Rtxn.t list -> unit
+(** Replace a partition's transaction sequence, keeping the id table in
+    sync.  The only sanctioned way to change membership from outside. *)
+
+val freeze : partition -> frozen
 
 val depends : Rtxn.t -> partition -> bool
 (** Conservative: any atom of the transaction unifies with any atom of a

@@ -83,6 +83,11 @@ type t = {
   parts : Partition.t;
   config : config;
   metrics : Metrics.t;
+  (* Domain pool for partition-level solver fan-out (cache refills,
+     blind-write re-checks).  [None] or a size-1 pool runs the same job
+     plans inline — one code path, so 1-domain and N-domain executions
+     are deterministic replicas of each other. *)
+  pool : Par.Pool.t option;
   mutable next_id : int;
   (* observer invoked for every grounding, wherever it was triggered
      (explicit, read-induced, partner arrival, k-pressure) — the paper's
@@ -131,7 +136,7 @@ let key_resolver store rel =
   | Some table -> Some (Schema.key_indices (Relational.Table.schema table))
   | None -> None
 
-let create ?(config = default_config) store =
+let create ?(config = default_config) ?pool store =
   (match Store.find_table store pending_table_name with
    | Some _ -> ()
    | None -> ignore (Store.create_table store pending_schema));
@@ -139,13 +144,22 @@ let create ?(config = default_config) store =
   {
     store;
     parts =
-      Partition.create ~cache_stats:metrics.Metrics.cache_stats ~key_of:(key_resolver store)
+      Partition.create ~cache_stats:metrics.Metrics.cache_stats
+        ~solver_stats:metrics.Metrics.solver_stats ~key_of:(key_resolver store)
         ~check_inserts:config.check_inserts ~cache_capacity:config.cache_capacity ();
     config;
     metrics;
+    pool;
     next_id = 0;
     ground_hook = None;
   }
+
+(* Fan a list of pure compute jobs across the domain pool (inline without
+   one).  Results come back in input order either way. *)
+let pool_map t f xs =
+  match t.pool with
+  | Some pool when Par.Pool.size pool > 1 -> Par.Pool.map pool f xs
+  | Some _ | None -> List.map f xs
 
 let pending_row txn =
   Tuple.of_list
@@ -337,7 +351,7 @@ let ground_partition_body t (p : Partition.partition) target_ids =
             (String.concat "," (List.map (fun x -> x.Rtxn.label) grounded_txns))
             (List.length remaining) p.Partition.pid);
       (* Rebuild the partition over the remainder. *)
-      p.Partition.txns <- remaining;
+      Partition.set_txns t.parts p remaining;
       p.Partition.formula <-
         Compose.body_of_sequence ~check_inserts:t.config.check_inserts
           ~key_of:(key_resolver t.store) remaining;
@@ -430,6 +444,45 @@ let adapt_partition t (p : Partition.partition) =
   end
 
 (* -- Submission (Section 3.2.1) ------------------------------------------- *)
+
+(* Multi-solution caches (Section 4's background-process strategy): top
+   every partition's witness pool back up after the state changed.  The
+   compute phase is pure per partition — the paper's "background process"
+   made real: with a domain pool the solves run concurrently across
+   partitions; without one the same tightly-budgeted job plans run inline
+   on the commit path.  Installs happen on this thread in ascending-pid
+   order, and each job solves with a private stats record merged here, so
+   the outcome and telemetry are identical at any pool size. *)
+let refill_caches t =
+  if t.config.cache_capacity > 1 then begin
+    let budget = max 1000 (t.config.node_limit / 256) in
+    let plans =
+      List.filter_map
+        (fun p ->
+          Option.map
+            (fun job -> (p, job))
+            (Solver.Cache.refill_plan p.Partition.cache p.Partition.formula))
+        (List.sort
+           (fun a b -> Int.compare a.Partition.pid b.Partition.pid)
+           (Partition.partitions t.parts))
+    in
+    if plans <> [] then begin
+      let database = db t in
+      let results =
+        pool_map t
+          (fun (_, job) ->
+            let stats = Solver.Backtrack.fresh_stats () in
+            let fresh = Solver.Cache.refill_compute ~node_limit:budget ~stats database job in
+            (fresh, stats))
+          plans
+      in
+      List.iter2
+        (fun (p, _) (fresh, stats) ->
+          Solver.Backtrack.add_stats ~into:t.metrics.Metrics.solver_stats stats;
+          ignore (Solver.Cache.refill_install p.Partition.cache fresh))
+        plans results
+    end
+  end
 
 (* Ground pending partners eagerly: an entangled resource transaction is
    executed as soon as its partner arrives (Section 5.1). *)
@@ -524,7 +577,7 @@ let rec admit t txn ~attempts =
     let full_formula = Formula.and_ [ merged_formula; new_clauses ] in
     match check_admission t p ~new_clauses ~full_formula with
     | Some _ ->
-      p.Partition.txns <- prior @ [ txn ];
+      Partition.set_txns t.parts p (prior @ [ txn ]);
       p.Partition.formula <- full_formula;
       (* Durability: record the pending transaction before acknowledging
          (Section 4, Recovery). *)
@@ -537,15 +590,7 @@ let rec admit t txn ~attempts =
       Log.debug (fun m ->
           m "committed %d:%s (partition of %d pending)" txn.Rtxn.id txn.Rtxn.label
             (List.length prior + 1));
-      (* Multi-solution cache (Section 4's background-process strategy):
-         top the partition's witness pool back up after the state changed.
-         In this single-threaded engine the "background" work happens
-         inline on the commit path, tightly budgeted. *)
-      if t.config.cache_capacity > 1 then
-        ignore
-          (Solver.Cache.refill
-             ~node_limit:(max 1000 (t.config.node_limit / 256))
-             p.Partition.cache (db t) full_formula);
+      refill_caches t;
       ignore (trigger_partners t txn);
       adapt_partition t p;
       Committed txn.Rtxn.id
@@ -721,20 +766,28 @@ let write t ops =
   match Database.apply_ops database ops with
   | Error err -> Error (Database.op_error_to_string err)
   | Ok () ->
+    (* Revalidation fan-out: each affected partition's re-check (witness
+       filter, then a full re-solve when every witness died) is pure over
+       a frozen partition view, so the jobs run across the domain pool;
+       cache installs and stats merges happen here, in partition order. *)
+    let checks = List.map (fun p -> (p, Partition.freeze p)) affected in
+    let outcomes =
+      pool_map t
+        (fun (_, fz) ->
+          let stats = Solver.Backtrack.fresh_stats () in
+          let outcome =
+            Solver.Cache.recheck_compute ~node_limit:t.config.node_limit ~stats database
+              ~witnesses:fz.Partition.f_witnesses ~formula:fz.Partition.f_formula
+          in
+          (outcome, stats))
+        checks
+    in
     let still_ok =
-      List.for_all
-        (fun p ->
-          Solver.Cache.revalidate p.Partition.cache database p.Partition.formula
-          ||
-          match
-            Solver.Backtrack.solve ~node_limit:t.config.node_limit
-              ~stats:t.metrics.Metrics.solver_stats database p.Partition.formula
-          with
-          | Some w ->
-            Solver.Cache.set_witness p.Partition.cache w;
-            true
-          | None -> false)
-        affected
+      List.fold_left2
+        (fun ok (p, _) (outcome, stats) ->
+          Solver.Backtrack.add_stats ~into:t.metrics.Metrics.solver_stats stats;
+          Solver.Cache.recheck_install p.Partition.cache outcome && ok)
+        true checks outcomes
     in
     (* Roll back the tentative application; on acceptance re-apply through
        the store so the WAL sees it. *)
@@ -794,9 +847,9 @@ let invariant_holds t =
    and the extensional state is exactly the pre-crash committed state). *)
 let recovery_report t = Store.recovery_report t.store
 
-let recover ?(config = default_config) ?strict backend =
+let recover ?(config = default_config) ?pool ?strict backend =
   let store = Store.crash_and_recover ?strict backend in
-  let t = create ~config store in
+  let t = create ~config ?pool store in
   let table = Store.table store pending_table_name in
   let rows = List.sort Tuple.compare (Relational.Table.to_list table) in
   let txns =
@@ -821,7 +874,7 @@ let recover ?(config = default_config) ?strict backend =
           ~key_of:(key_resolver store) prior txn
       in
       let full_formula = Formula.and_ [ merged_formula; new_clauses ] in
-      p.Partition.txns <- prior @ [ txn ];
+      Partition.set_txns t.parts p (prior @ [ txn ]);
       p.Partition.formula <- full_formula;
       (* Restore the witness invariant eagerly. *)
       ignore

@@ -46,8 +46,13 @@ exception Inconsistent of string
 (** Internal invariant breach — never raised unless the store is mutated
     behind the engine's back. *)
 
-val create : ?config:config -> Relational.Store.t -> t
-(** Wrap a store; creates the pending-transactions table when missing. *)
+val create : ?config:config -> ?pool:Par.Pool.t -> Relational.Store.t -> t
+(** Wrap a store; creates the pending-transactions table when missing.
+    [pool], when given, runs partition-level solver fan-out (cache
+    refills, blind-write re-checks) across its domains; the same job
+    plans run inline without one, so outcomes are identical at any pool
+    size.  WAL appends and grounding commits always stay on the calling
+    thread. *)
 
 val db : t -> Relational.Database.t
 val metrics : t -> Metrics.t
@@ -117,7 +122,7 @@ val recovery_report : t -> Relational.Wal.recovery_report option
     kept, what it dropped and why.  Also exported as [wal.recovery.*]
     gauges by {!registry}. *)
 
-val recover : ?config:config -> ?strict:bool -> Relational.Wal.backend -> t
+val recover : ?config:config -> ?pool:Par.Pool.t -> ?strict:bool -> Relational.Wal.backend -> t
 (** Crash recovery (Section 4): replay the WAL (leniently unless
     [~strict], truncating a damaged tail after the last complete batch),
     re-parse the pending-transactions table and rebuild partitions,

@@ -31,6 +31,9 @@ type t = {
   optional_constraints : Formula.t list;
   updates : update list;
   trigger : trigger;
+  mutable dep_memo : Atom.t list option;
+      (* cached [dependence_atoms]; partitioning consults it once per
+         (txn, txn) pair, so recomputing would be quadratic in resplit *)
 }
 
 exception Ill_formed of string
@@ -78,7 +81,13 @@ let all_atoms t = t.hard @ t.optional @ List.map update_atom t.updates
    may live in independent partitions, which is what lets the system
    "correctly identify the independence of queries between different
    flights" (Section 5.3). *)
-let dependence_atoms t = t.hard @ List.map update_atom t.updates
+let dependence_atoms t =
+  match t.dep_memo with
+  | Some atoms -> atoms
+  | None ->
+    let atoms = t.hard @ List.map update_atom t.updates in
+    t.dep_memo <- Some atoms;
+    atoms
 
 let validate t =
   if t.hard = [] && t.updates <> [] then
@@ -112,7 +121,10 @@ let validate t =
 let make ?(id = -1) ?(label = "txn") ?(optional = []) ?(constraints = [])
     ?(optional_constraints = []) ?(trigger = On_demand) ~hard ~updates () =
   let t =
-    { id; label; hard; optional; constraints; optional_constraints; updates; trigger }
+    {
+      id; label; hard; optional; constraints; optional_constraints; updates; trigger;
+      dep_memo = None;
+    }
   in
   validate t;
   t
@@ -191,6 +203,7 @@ let freshen t =
     constraints = List.map rename_formula t.constraints;
     optional_constraints = List.map rename_formula t.optional_constraints;
     updates = List.map rename_update t.updates;
+    dep_memo = None; (* atoms changed; never share the old memo *)
   }
 
 (* Concrete update operations under a grounding valuation. *)
@@ -304,5 +317,6 @@ let of_sexp s =
       optional_constraints = List.map formula_of_sexp optional_constraints;
       updates = List.map update_of_sexp updates;
       trigger = trigger_of_sexp trigger;
+      dep_memo = None;
     }
   | s -> raise (Sexp.Parse_error ("bad rtxn sexp: " ^ Sexp.to_string s))

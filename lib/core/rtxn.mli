@@ -22,6 +22,11 @@ type t = {
   optional_constraints : Logic.Formula.t list;
   updates : update list;
   trigger : trigger;
+  mutable dep_memo : Logic.Atom.t list option;
+      (** cached [dependence_atoms]; managed by this module — construct
+          transactions through {!make}/{!of_sexp}/{!freshen}, which
+          initialize it, and leave it [None] in any manual record copy
+          that changes atoms *)
 }
 
 exception Ill_formed of string

@@ -1,0 +1,179 @@
+(* Figure-7 scalability baseline: the multi-flight workload under a
+   domain pool of increasing size.
+
+   Flights are independent partitions (Section 5.3), so per-flight
+   admission is embarrassingly parallel; this bench runs the SAME seeded
+   operation stream sharded by flight ([Runner.run_sharded]) at each
+   domain count, checks that the admission outcomes are bit-identical
+   across pool sizes, and records wall-clock, ns/admission, speedup vs
+   1 domain and solver work into BENCH_scaling.json — the first entry of
+   the repo's perf trajectory, which later PRs must not regress.
+
+   Honesty note: the recorded [host.cores] matters.  On a single-core
+   container every domain count serializes onto one CPU and speedup
+   hovers around 1.0x (pool overhead included); the numbers are recorded
+   as measured, with the hardware context to interpret them. *)
+
+module Runner = Workload.Runner
+module Qdb = Quantum.Qdb
+
+type point = {
+  domains : int;
+  wall_s : float;
+  ns_per_admission : float;
+  speedup_vs_1 : float;
+  committed : int;
+  rejected : int;
+  coordination_pct : float;
+  solver_nodes : int;
+  solver_candidates : int;
+}
+
+type recording = {
+  flights : int;
+  rows_per_flight : int;
+  pairs_per_flight : int;
+  seed : int;
+  k : int;
+  cores : int;
+  series : point list;
+  deterministic : bool; (* identical outcomes at every domain count *)
+}
+
+let default_domains = [ 1; 2; 4 ]
+
+let spec ~flights ~rows ~pairs ~seed =
+  {
+    Runner.default_spec with
+    Runner.geometry = { Workload.Flights.flights; rows_per_flight = rows; dest = "LA" };
+    pairs_per_flight = pairs;
+    order = Workload.Travel.Random_order;
+    seed;
+  }
+
+let run_point ~config ~spec domains =
+  let pool = Par.Pool.create ~domains () in
+  let sink = Runner.metrics_sink in
+  let nodes0 = sink.Quantum.Metrics.solver_stats.Solver.Backtrack.nodes in
+  let cands0 = sink.Quantum.Metrics.solver_stats.Solver.Backtrack.candidates in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Par.Pool.shutdown pool)
+      (fun () -> Runner.run_sharded ~pool (Runner.Quantum_engine config) spec)
+  in
+  let admissions = outcome.Runner.committed + outcome.Runner.rejected in
+  let wall_s = outcome.Runner.total_time_s in
+  ( outcome,
+    {
+      domains;
+      wall_s;
+      ns_per_admission =
+        (if admissions = 0 then 0. else wall_s *. 1e9 /. float_of_int admissions);
+      speedup_vs_1 = 1.0; (* filled against the 1-domain point below *)
+      committed = outcome.Runner.committed;
+      rejected = outcome.Runner.rejected;
+      coordination_pct = outcome.Runner.coordination_pct;
+      solver_nodes = sink.Quantum.Metrics.solver_stats.Solver.Backtrack.nodes - nodes0;
+      solver_candidates =
+        sink.Quantum.Metrics.solver_stats.Solver.Backtrack.candidates - cands0;
+    } )
+
+let run ?(domains_list = default_domains) ?(flights = 10) ?(rows = 50) ?(pairs = 75)
+    ?(seed = 1000) ?(k = 40) () =
+  let config = { Qdb.default_config with Qdb.k; cache_capacity = 2 } in
+  let spec = spec ~flights ~rows ~pairs ~seed in
+  let raw = List.map (fun d -> run_point ~config ~spec d) domains_list in
+  let base_wall =
+    match raw with
+    | (_, p) :: _ -> p.wall_s
+    | [] -> 0.
+  in
+  let series =
+    List.map
+      (fun (_, p) ->
+        { p with speedup_vs_1 = (if p.wall_s > 0. then base_wall /. p.wall_s else 0.) })
+      raw
+  in
+  let deterministic =
+    match series with
+    | [] -> true
+    | first :: rest ->
+      List.for_all
+        (fun p ->
+          p.committed = first.committed && p.rejected = first.rejected
+          && Float.equal p.coordination_pct first.coordination_pct)
+        rest
+  in
+  {
+    flights;
+    rows_per_flight = rows;
+    pairs_per_flight = pairs;
+    seed;
+    k;
+    cores = Domain.recommended_domain_count ();
+    series;
+    deterministic;
+  }
+
+(* -- Reporting -------------------------------------------------------------- *)
+
+let print r =
+  Common.section
+    (Printf.sprintf "Figure 7 scalability: %d flights x %d seats, domain sweep" r.flights
+       (3 * r.rows_per_flight));
+  let rows =
+    List.map
+      (fun p ->
+        [ string_of_int p.domains;
+          Printf.sprintf "%.3fs" p.wall_s;
+          Printf.sprintf "%.0f" (p.ns_per_admission /. 1000.);
+          Printf.sprintf "%.2fx" p.speedup_vs_1;
+          string_of_int p.committed;
+          string_of_int p.rejected;
+          Common.f1 p.coordination_pct ^ "%";
+          string_of_int p.solver_nodes;
+        ])
+      r.series
+  in
+  Common.print_table ~csv:"scaling"
+    ~header:[ "domains"; "wall"; "us/adm"; "speedup"; "committed"; "rejected"; "coord"; "nodes" ]
+    rows;
+  Printf.printf "(host cores: %d; outcomes %s across domain counts)\n%!" r.cores
+    (if r.deterministic then "identical" else "DIVERGED");
+  if not r.deterministic then
+    failwith "scaling bench: outcomes diverged across domain counts"
+
+let json_of_recording r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"qdb.bench.scaling/v1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"workload\": {\"flights\": %d, \"rows_per_flight\": %d, \"pairs_per_flight\": %d, \
+        \"seed\": %d, \"k\": %d},\n"
+       r.flights r.rows_per_flight r.pairs_per_flight r.seed r.k);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host\": {\"cores\": %d},\n  \"deterministic\": %b,\n  \"series\": [\n"
+       r.cores r.deterministic);
+  List.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"domains\": %d, \"wall_s\": %.6f, \"ns_per_admission\": %.1f, \
+            \"speedup_vs_1\": %.3f, \"committed\": %d, \"rejected\": %d, \
+            \"coordination_pct\": %.2f, \"solver_nodes\": %d, \"solver_candidates\": %d}%s\n"
+           p.domains p.wall_s p.ns_per_admission p.speedup_vs_1 p.committed p.rejected
+           p.coordination_pct p.solver_nodes p.solver_candidates
+           (if i = List.length r.series - 1 then "" else ",")))
+    r.series;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write ?(path = "results/BENCH_scaling.json") r =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc (json_of_recording r);
+  close_out oc;
+  Printf.printf "(scaling series written to %s)\n%!" path;
+  path

@@ -14,11 +14,11 @@ type t =
   | V of var
   | C of Relational.Value.t
 
-let counter = ref 0
+(* Atomic so ids stay unique when independent engines mint variables from
+   pool worker domains (per-flight sharded workloads). *)
+let counter = Atomic.make 0
 
-let fresh_var name =
-  incr counter;
-  { vname = name; vid = !counter }
+let fresh_var name = { vname = name; vid = 1 + Atomic.fetch_and_add counter 1 }
 
 let var v = V v
 let const c = C c
@@ -77,7 +77,11 @@ let of_sexp = function
        (* Keep the fresh-variable counter ahead of every deserialized id so
           recovery never re-mints an id that is still live in a pending
           transaction. *)
-       if vid > !counter then counter := vid;
+       let rec bump () =
+         let cur = Atomic.get counter in
+         if vid > cur && not (Atomic.compare_and_set counter cur vid) then bump ()
+       in
+       bump ();
        V { vname = name; vid }
      | None -> raise (Relational.Sexp.Parse_error ("bad var id: " ^ id)))
   | Relational.Sexp.List [ Relational.Sexp.Atom "c"; v ] -> C (Relational.Value.of_sexp v)

@@ -7,7 +7,11 @@
    disabled is a single flag test — instrumentation sites either call
    [span]/[instant] (whose first instruction is that test) or guard bigger
    argument computations behind [on ()].  When the ring wraps, the oldest
-   events are overwritten; [dropped ()] reports how many. *)
+   events are overwritten; [dropped ()] reports how many.
+
+   The ring is shared mutable state, and solver work may record events
+   from pool worker domains, so the slow path ([record]/[events]) is
+   mutex-protected; the [on ()] fast path stays a lock-free flag read. *)
 
 type arg =
   | Int of int
@@ -51,12 +55,16 @@ let capacity () = Array.length !ring
 let recorded () = !total
 let dropped () = max 0 (!total - Array.length !ring)
 
+let ring_mutex = Mutex.create ()
+
 let record ev =
+  Mutex.lock ring_mutex;
   let r = !ring in
   if Array.length r > 0 then begin
     r.(!total mod Array.length r) <- ev;
     incr total
-  end
+  end;
+  Mutex.unlock ring_mutex
 
 let instant ?(cat = "engine") ?(args = []) name =
   if !enabled then
@@ -77,7 +85,10 @@ let span ?(cat = "engine") ?(args = fun () -> []) name f =
 
 (* Chronological event list, oldest surviving event first. *)
 let events () =
+  Mutex.lock ring_mutex;
   let r = !ring in
   let cap = Array.length r in
   let n = min !total cap in
-  List.init n (fun i -> r.((!total - n + i) mod cap))
+  let evs = List.init n (fun i -> r.((!total - n + i) mod cap)) in
+  Mutex.unlock ring_mutex;
+  evs

@@ -1,0 +1,129 @@
+(* Fixed-size domain pool for partition-level solver work.
+
+   The engine's partitions are independent by construction (Section 5.3:
+   transactions over disjoint resources never share a composed body), so
+   their solver work — cache refills, blind-write re-checks, per-flight
+   admission — is embarrassingly parallel.  This pool runs such jobs on
+   [size - 1] spawned domains plus the calling domain, with:
+
+   - a mutex + condvar work queue (no domainslib dependency);
+   - deterministic result collection: [map] returns results in input
+     order regardless of completion order, and exceptions are re-raised
+     first-by-index, so a 1-domain pool and an N-domain pool are
+     observationally identical on pure jobs;
+   - a single orchestrator: one thread owns the pool and calls [map] /
+     [shutdown]; jobs themselves must not submit new jobs.
+
+   A pool of size 1 spawns no domains at all and [map] degenerates to
+   [List.map] — the sequential engine pays nothing. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* signalled when the queue gains a job or on stop *)
+  idle : Condition.t; (* signalled when outstanding drops to zero *)
+  queue : (unit -> unit) Queue.t;
+  mutable outstanding : int; (* jobs queued or running *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Worker loop: pop, run, decrement.  Jobs are exception-safe wrappers
+   built by [map]; they never raise. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stop, queue drained *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    job ();
+    Mutex.lock t.mutex;
+    t.outstanding <- t.outstanding - 1;
+    if t.outstanding = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.mutex;
+    worker_loop t
+  end
+
+let create ?(domains = 1) () =
+  let size = max 1 domains in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      outstanding = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+type 'a outcome =
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+let map t f items =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ] (* nothing to fan out *)
+  | items when t.size = 1 -> List.map f items
+  | items ->
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let job i () =
+      let r =
+        try Value (f arr.(i))
+        with e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (job i) t.queue
+    done;
+    t.outstanding <- t.outstanding + n;
+    Condition.broadcast t.work;
+    (* The caller is a pool member too: help drain the queue instead of
+       blocking while size-1 workers chew through n jobs. *)
+    let rec help () =
+      if not (Queue.is_empty t.queue) then begin
+        let job = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        job ();
+        Mutex.lock t.mutex;
+        t.outstanding <- t.outstanding - 1;
+        help ()
+      end
+    in
+    help ();
+    while t.outstanding > 0 do
+      Condition.wait t.idle t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (* Deterministic collection: results in input order, first-by-index
+       exception re-raised (matching where a sequential run would stop). *)
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Value v) -> v
+           | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+         results)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []

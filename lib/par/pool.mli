@@ -1,0 +1,28 @@
+(** Fixed-size domain pool with deterministic result collection.
+
+    Built for the engine's partition-level solver work: independent
+    partitions (paper Section 5.3) make cache refills, blind-write
+    re-checks and per-flight admission embarrassingly parallel.  A pool
+    of size [n] uses [n - 1] spawned domains plus the calling domain; a
+    pool of size 1 spawns nothing and runs jobs inline, so sequential
+    and parallel configurations share one code path. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (clamped to
+    at least 1; default 1 = fully sequential). *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] over every item concurrently; results come back in input
+    order regardless of completion order.  If any job raised, the
+    exception of the lowest-index failing job is re-raised (with its
+    backtrace) after all jobs finished — observationally the same stop
+    point as a sequential run on pure jobs.  One orchestrating thread
+    only; jobs must not call [map] or [shutdown] themselves. *)
+
+val shutdown : t -> unit
+(** Drain and join the worker domains.  The pool must not be used
+    afterwards. *)

@@ -1,15 +1,44 @@
 (* In-memory table with a primary key and optional secondary hash indexes.
 
    Rows are stored in a hash table keyed by the primary-key projection, which
-   enforces set semantics.  Secondary indexes map a column projection to the
-   set of matching primary keys; they are maintained eagerly on insert and
-   delete, and are what keeps LIMIT-1 grounding searches fast under the
-   workloads of Section 5. *)
+   enforces set semantics.  Secondary indexes map a column projection to a
+   *sorted* set of matching primary keys; they are maintained eagerly on
+   insert and delete, and are what keeps LIMIT-1 grounding searches fast
+   under the workloads of Section 5.
+
+   Buckets (and a table-wide mirror of all primary keys) are persistent
+   sorted sets, so pattern lookups stream rows in primary-key order with no
+   per-lookup materialization or sort — the solver's candidate enumeration
+   reads straight off the index — and a snapshot taken for a parallel read
+   is O(1). *)
+
+module Key_set = Set.Make (Tuple)
+
+(* Sorted primary-key bucket with O(1) size (the solver's branching
+   heuristic reads sizes on every choice point). *)
+type bucket = {
+  mutable bkeys : Key_set.t;
+  mutable bsize : int;
+}
+
+let bucket_add b pkey =
+  let keys = Key_set.add pkey b.bkeys in
+  if keys != b.bkeys then begin
+    b.bkeys <- keys;
+    b.bsize <- b.bsize + 1
+  end
+
+let bucket_remove b pkey =
+  let keys = Key_set.remove pkey b.bkeys in
+  if keys != b.bkeys then begin
+    b.bkeys <- keys;
+    b.bsize <- b.bsize - 1
+  end
 
 type index = {
   idx_cols : int array;
-  (* projection on idx_cols -> set of primary keys *)
-  idx_map : (Tuple.t, (Tuple.t, unit) Hashtbl.t) Hashtbl.t;
+  (* projection on idx_cols -> sorted set of primary keys *)
+  idx_map : (Tuple.t, bucket) Hashtbl.t;
 }
 
 module Value_map = Map.Make (Value)
@@ -19,12 +48,13 @@ module Value_map = Map.Make (Value)
    snapshots, O(log n) maintenance). *)
 type ordered_index = {
   oi_col : int;
-  mutable oi_map : (Tuple.t, unit) Hashtbl.t Value_map.t; (* value -> pkeys *)
+  mutable oi_map : bucket Value_map.t; (* value -> sorted pkeys *)
 }
 
 type t = {
   schema : Schema.t;
   rows : (Tuple.t, Tuple.t) Hashtbl.t; (* key projection -> full tuple *)
+  mutable key_order : Key_set.t; (* every primary key, sorted *)
   mutable indexes : index list;
   mutable ordered_indexes : ordered_index list;
 }
@@ -34,7 +64,13 @@ type insert_result =
   | Duplicate_key
 
 let create schema =
-  { schema; rows = Hashtbl.create 64; indexes = []; ordered_indexes = [] }
+  {
+    schema;
+    rows = Hashtbl.create 64;
+    key_order = Key_set.empty;
+    indexes = [];
+    ordered_indexes = [];
+  }
 let schema t = t.schema
 let cardinality t = Hashtbl.length t.rows
 
@@ -44,19 +80,19 @@ let index_add idx pkey row =
     match Hashtbl.find_opt idx.idx_map proj with
     | Some b -> b
     | None ->
-      let b = Hashtbl.create 4 in
+      let b = { bkeys = Key_set.empty; bsize = 0 } in
       Hashtbl.add idx.idx_map proj b;
       b
   in
-  Hashtbl.replace bucket pkey ()
+  bucket_add bucket pkey
 
 let index_remove idx pkey row =
   let proj = Tuple.project idx.idx_cols row in
   match Hashtbl.find_opt idx.idx_map proj with
   | None -> ()
   | Some bucket ->
-    Hashtbl.remove bucket pkey;
-    if Hashtbl.length bucket = 0 then Hashtbl.remove idx.idx_map proj
+    bucket_remove bucket pkey;
+    if bucket.bsize = 0 then Hashtbl.remove idx.idx_map proj
 
 let ordered_add oi pkey row =
   let v = row.(oi.oi_col) in
@@ -64,19 +100,19 @@ let ordered_add oi pkey row =
     match Value_map.find_opt v oi.oi_map with
     | Some b -> b
     | None ->
-      let b = Hashtbl.create 4 in
+      let b = { bkeys = Key_set.empty; bsize = 0 } in
       oi.oi_map <- Value_map.add v b oi.oi_map;
       b
   in
-  Hashtbl.replace bucket pkey ()
+  bucket_add bucket pkey
 
 let ordered_remove oi pkey row =
   let v = row.(oi.oi_col) in
   match Value_map.find_opt v oi.oi_map with
   | None -> ()
   | Some bucket ->
-    Hashtbl.remove bucket pkey;
-    if Hashtbl.length bucket = 0 then oi.oi_map <- Value_map.remove v oi.oi_map
+    bucket_remove bucket pkey;
+    if bucket.bsize = 0 then oi.oi_map <- Value_map.remove v oi.oi_map
 
 let create_index t cols =
   let arity = Schema.arity t.schema in
@@ -128,6 +164,7 @@ let insert t row =
   if Hashtbl.mem t.rows pkey then Duplicate_key
   else begin
     Hashtbl.add t.rows pkey row;
+    t.key_order <- Key_set.add pkey t.key_order;
     List.iter (fun idx -> index_add idx pkey row) t.indexes;
     List.iter (fun oi -> ordered_add oi pkey row) t.ordered_indexes;
     Inserted
@@ -145,6 +182,7 @@ let delete t row =
   match Hashtbl.find_opt t.rows pkey with
   | Some existing when Tuple.equal existing row ->
     Hashtbl.remove t.rows pkey;
+    t.key_order <- Key_set.remove pkey t.key_order;
     List.iter (fun idx -> index_remove idx pkey existing) t.indexes;
     List.iter (fun oi -> ordered_remove oi pkey existing) t.ordered_indexes;
     true
@@ -154,6 +192,7 @@ let delete_by_key t pkey =
   match Hashtbl.find_opt t.rows pkey with
   | Some existing ->
     Hashtbl.remove t.rows pkey;
+    t.key_order <- Key_set.remove pkey t.key_order;
     List.iter (fun idx -> index_remove idx pkey existing) t.indexes;
     List.iter (fun oi -> ordered_remove oi pkey existing) t.ordered_indexes;
     true
@@ -225,8 +264,12 @@ let index_bucket t idx pat =
   match Hashtbl.find_opt idx.idx_map proj with
   | None -> Seq.empty
   | Some bucket ->
-    Seq.filter_map (fun pkey -> Hashtbl.find_opt t.rows pkey) (Hashtbl.to_seq_keys bucket)
+    Seq.filter_map (fun pkey -> Hashtbl.find_opt t.rows pkey) (Key_set.to_seq bucket.bkeys)
 
+(* Rows matching [pat], streamed in ascending primary-key order (the
+   buckets and the key_order mirror are sorted sets, so no sort happens
+   here).  The solver relies on this order for its low-end-packing
+   heuristic and for run-to-run determinism. *)
 let lookup_seq t pat =
   if Array.length pat <> Schema.arity t.schema then
     raise (Schema.Invalid "pattern arity mismatch");
@@ -239,7 +282,9 @@ let lookup_seq t pat =
     let candidates =
       match best_index t pat with
       | Some idx -> index_bucket t idx pat
-      | None -> to_seq t
+      | None ->
+        Seq.filter_map (fun pkey -> Hashtbl.find_opt t.rows pkey)
+          (Key_set.to_seq t.key_order)
     in
     Seq.filter (pattern_matches pat) candidates
 
@@ -265,7 +310,7 @@ let estimate_matches t pat =
            idx.idx_cols
        in
        (match Hashtbl.find_opt idx.idx_map proj with
-        | Some bucket -> Hashtbl.length bucket
+        | Some bucket -> bucket.bsize
         | None -> 0)
      | None -> cardinality t)
 
@@ -304,12 +349,12 @@ let range t ~col ?(lo = Unbounded) ?(hi = Unbounded) () =
     Value_map.fold
       (fun v bucket acc ->
         if in_range lo hi v then
-          Hashtbl.fold
-            (fun pkey () acc ->
+          Key_set.fold
+            (fun pkey acc ->
               match Hashtbl.find_opt t.rows pkey with
               | Some row -> row :: acc
               | None -> acc)
-            bucket acc
+            bucket.bkeys acc
         else acc)
       oi.oi_map []
     |> List.rev
@@ -347,7 +392,13 @@ let max_value t ~col =
 
 let copy t =
   let fresh =
-    { schema = t.schema; rows = Hashtbl.copy t.rows; indexes = []; ordered_indexes = [] }
+    {
+      schema = t.schema;
+      rows = Hashtbl.copy t.rows;
+      key_order = t.key_order;
+      indexes = [];
+      ordered_indexes = [];
+    }
   in
   List.iter (fun idx -> create_index fresh idx.idx_cols) t.indexes;
   List.iter (fun oi -> create_ordered_index fresh oi.oi_col) t.ordered_indexes;
@@ -355,6 +406,7 @@ let copy t =
 
 let clear t =
   Hashtbl.reset t.rows;
+  t.key_order <- Key_set.empty;
   List.iter (fun idx -> Hashtbl.reset idx.idx_map) t.indexes;
   List.iter (fun oi -> oi.oi_map <- Value_map.empty) t.ordered_indexes
 

@@ -52,7 +52,14 @@ val pattern_matches : pattern -> Tuple.t -> bool
 val bound_columns : pattern -> int array
 
 val lookup : t -> pattern -> Tuple.t list
+(** Matching rows, in ascending primary-key order. *)
+
 val lookup_seq : t -> pattern -> Tuple.t Seq.t
+(** Matching rows streamed in ascending primary-key order, straight off
+    sorted index buckets — no per-lookup materialization or sort.  The
+    solver's candidate enumeration depends on this order for low-end
+    packing and determinism. *)
+
 val lookup_first : t -> pattern -> Tuple.t option
 val count_matches : t -> pattern -> int
 

@@ -262,16 +262,14 @@ let solve_goals ?(node_limit = default_node_limit) db stats subst goals =
             (match Database.find_table db a.Atom.rel with
              | None -> None
              | Some table ->
-               (* Sorted enumeration: deterministic, and it *packs*
+               (* Primary-key-ordered streaming enumeration, straight off
+                  the table's sorted index buckets: deterministic, no
+                  per-choice-point materialization or sort, and it *packs*
                   witnesses into the low end of each resource domain,
                   which keeps contiguous resources (whole seat rows) free
                   for later coordination constraints.  Measurably better
                   than hash order for the seeded grounding solves. *)
-               let candidates =
-                 List.to_seq
-                   (List.sort Relational.Tuple.compare
-                      (Table.lookup table (Atom.to_pattern a)))
-               in
+               let candidates = Table.lookup_seq table (Atom.to_pattern a) in
                try_tuples a rest subst candidates)
           | G_or fs -> try_branches rest subst fs
           | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> assert false))

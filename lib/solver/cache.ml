@@ -36,13 +36,13 @@ type t = {
 
 let default_capacity = 1 (* the prototype's behaviour unless asked otherwise *)
 
-let create ?(stats = fresh_stats ()) ?(capacity = default_capacity) () =
-  {
-    witnesses = [];
-    capacity = max 1 capacity;
-    stats;
-    solver_stats = Backtrack.fresh_stats ();
-  }
+let create ?(stats = fresh_stats ()) ?solver_stats ?(capacity = default_capacity) () =
+  let solver_stats =
+    match solver_stats with
+    | Some s -> s (* shared, e.g. with engine-level telemetry *)
+    | None -> Backtrack.fresh_stats ()
+  in
+  { witnesses = []; capacity = max 1 capacity; stats; solver_stats }
 
 let witness t =
   match t.witnesses with
@@ -145,6 +145,67 @@ let revalidate t db formula =
     true
   end
 
+(* -- Split compute/install phases (domain-parallel fan-out) ---------------
+
+   Refills and blind-write re-checks are the solver work the engine fans
+   out across partitions: the *compute* half is pure — it reads only the
+   database, an immutable job description and a caller-supplied stats
+   record, so it can run on a worker domain against a frozen partition
+   view — while the *install* half mutates the cache and runs on the
+   orchestrating thread, in deterministic partition order. *)
+
+(* Canonical form of a witness for equality: bindings sorted by variable
+   id, so two substitutions with the same content compare equal whatever
+   order they were built in. *)
+let canonical w =
+  List.sort (fun (a, _) (b, _) -> Int.compare a.Term.vid b.Term.vid) (Subst.bindings w)
+
+type refill_job = {
+  rj_known : Subst.t list;
+  rj_capacity : int;
+  rj_formula : Formula.t;
+}
+
+let refill_plan t formula =
+  if List.length t.witnesses >= t.capacity then None
+  else Some { rj_known = t.witnesses; rj_capacity = t.capacity; rj_formula = formula }
+
+let refill_compute ?node_limit ~stats db job =
+  let missing = job.rj_capacity - List.length job.rj_known in
+  if missing <= 0 then []
+  else begin
+    let fresh =
+      try
+        (* Ask for capacity = missing + |known| solutions: enough even if
+           the enumeration rediscovers every known witness, without the
+           old capacity + |witnesses| over-ask. *)
+        Backtrack.solutions ?node_limit ~stats ~limit:job.rj_capacity db job.rj_formula
+      with Backtrack.Too_many_nodes -> []
+    in
+    (* Distinct against the known witnesses AND among themselves. *)
+    let seen = ref (List.map canonical job.rj_known) in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | w :: rest ->
+        let key = canonical w in
+        if List.mem key !seen then take n rest
+        else begin
+          seen := key :: !seen;
+          w :: take (n - 1) rest
+        end
+    in
+    take missing fresh
+  end
+
+let refill_install t fresh =
+  (* The cache may have changed since the plan was taken (invalidation, a
+     new authoritative witness): dedup against the current content too. *)
+  let seen = List.map canonical t.witnesses in
+  let novel = List.filter (fun w -> not (List.mem (canonical w) seen)) fresh in
+  t.witnesses <- truncate t (t.witnesses @ novel);
+  List.length t.witnesses
+
 (* Compute additional diverse witnesses for [formula] up to capacity —
    the paper's background-process role, invoked at the caller's leisure.
    Returns how many witnesses the cache now holds. *)
@@ -153,21 +214,37 @@ let refill ?node_limit t db formula =
     ~args:(fun () -> [ ("witnesses", Obs.Trace.Int (List.length t.witnesses)) ])
     "cache.refill"
   @@ fun () ->
-  let missing = t.capacity - List.length t.witnesses in
-  if missing > 0 then begin
-    let fresh =
-      try
-        Backtrack.solutions ?node_limit ~stats:t.solver_stats
-          ~limit:(t.capacity + List.length t.witnesses) db formula
-      with Backtrack.Too_many_nodes -> []
-    in
-    (* Keep distinct ones, existing first. *)
-    let known = t.witnesses in
-    let distinct =
-      List.filter
-        (fun w -> not (List.exists (fun k -> Subst.bindings k = Subst.bindings w) known))
-        fresh
-    in
-    t.witnesses <- truncate t (known @ distinct)
-  end;
-  List.length t.witnesses
+  match refill_plan t formula with
+  | None -> List.length t.witnesses
+  | Some job ->
+    refill_install t (refill_compute ?node_limit ~stats:t.solver_stats db job)
+
+(* Blind-write re-check, split the same way.  [Keep] preserves surviving
+   witnesses, [Rewitness] replaces a fully-dead cache after a successful
+   re-solve, [Unsat_now] means the composed body lost satisfiability and
+   the write must be refused. *)
+type recheck_outcome =
+  | Keep of Subst.t list
+  | Rewitness of Subst.t
+  | Unsat_now
+
+let recheck_compute ?node_limit ~stats db ~witnesses ~formula =
+  match List.filter (witness_satisfies db formula) witnesses with
+  | _ :: _ as surviving -> Keep surviving
+  | [] ->
+    (match Backtrack.solve ?node_limit ~stats db formula with
+     | Some w -> Rewitness w
+     | None -> Unsat_now)
+
+let recheck_install t outcome =
+  match outcome with
+  | Keep surviving ->
+    t.witnesses <- surviving;
+    true
+  | Rewitness w ->
+    if t.witnesses <> [] then invalidate t;
+    set_witness t w;
+    true
+  | Unsat_now ->
+    if t.witnesses <> [] then invalidate t;
+    false

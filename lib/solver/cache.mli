@@ -20,7 +20,10 @@ type t
 val default_capacity : int
 (** 1 — the paper prototype's behaviour. *)
 
-val create : ?stats:stats -> ?capacity:int -> unit -> t
+val create : ?stats:stats -> ?solver_stats:Backtrack.stats -> ?capacity:int -> unit -> t
+(** [solver_stats], when given, receives this cache's solver work (e.g.
+    a shared engine-level record); otherwise the cache keeps its own. *)
+
 val witness : t -> Logic.Subst.t option
 val witnesses : t -> Logic.Subst.t list
 val stats : t -> stats
@@ -48,4 +51,48 @@ val revalidate : t -> Relational.Database.t -> Logic.Formula.t -> bool
 
 val refill : ?node_limit:int -> t -> Relational.Database.t -> Logic.Formula.t -> int
 (** Top the cache up to capacity with distinct witnesses (the paper's
-    background-process role); returns the number now held. *)
+    background-process role); returns the number now held.  Asks the
+    solver for exactly [capacity] solutions and keeps the missing count
+    after deduplicating fresh-vs-known {e and} fresh-vs-fresh. *)
+
+(** {2 Split compute/install phases}
+
+    The engine fans refills and blind-write re-checks out across
+    partitions on a domain pool.  The [*_compute] half is pure — it
+    reads only the database, an immutable job and the caller-supplied
+    [stats] record, so it may run on a worker domain — while the
+    [*_install] half mutates the cache and must run on the orchestrating
+    thread, in deterministic partition order. *)
+
+type refill_job
+
+val refill_plan : t -> Logic.Formula.t -> refill_job option
+(** [None] when the cache is already at capacity. *)
+
+val refill_compute :
+  ?node_limit:int ->
+  stats:Backtrack.stats ->
+  Relational.Database.t ->
+  refill_job ->
+  Logic.Subst.t list
+(** Fresh witnesses, distinct from the job's known set and each other. *)
+
+val refill_install : t -> Logic.Subst.t list -> int
+(** Merge computed witnesses (re-deduplicating against the live cache,
+    which may have moved since the plan); returns the number now held. *)
+
+type recheck_outcome =
+  | Keep of Logic.Subst.t list  (** surviving witnesses, order preserved *)
+  | Rewitness of Logic.Subst.t  (** all dead, but a re-solve found one *)
+  | Unsat_now  (** composed body unsatisfiable: refuse the write *)
+
+val recheck_compute :
+  ?node_limit:int ->
+  stats:Backtrack.stats ->
+  Relational.Database.t ->
+  witnesses:Logic.Subst.t list ->
+  formula:Logic.Formula.t ->
+  recheck_outcome
+
+val recheck_install : t -> recheck_outcome -> bool
+(** Apply the outcome to the cache; [true] iff still satisfiable. *)

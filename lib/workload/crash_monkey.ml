@@ -102,7 +102,7 @@ type cycle_outcome = {
   violation : string option;
 }
 
-let run_cycle ~seed =
+let run_cycle ?pool ~seed () =
   let rng = Prng.create seed in
   let fault_rng = Prng.create (seed lxor 0x5EED5EED) in
   let pristine = Wal.mem_backend () in
@@ -113,7 +113,15 @@ let run_cycle ~seed =
     { Flights.flights = 1; rows_per_flight = 2 + Prng.int rng 2; dest = "LA" }
   in
   let store = Flights.fresh_store ~backend geometry in
-  let qdb = Qdb.create store in
+  (* Under a pool, exercise the parallel cache-refill fan-out on every
+     commit (capacity > 1) — the WAL ordering the recovery contract
+     checks must be unaffected by where solver work ran. *)
+  let config =
+    match pool with
+    | Some _ -> { Qdb.default_config with Qdb.cache_capacity = 3 }
+    | None -> Qdb.default_config
+  in
+  let qdb = Qdb.create ~config ?pool store in
   (* Fault schedule: arm only after the fixture is built, so the crash
      always lands inside the measured workload. *)
   let damage =
@@ -181,7 +189,7 @@ let run_cycle ~seed =
   in
   { crashed = !crashed; damage; flipped_mid_log; kept; dropped; violation }
 
-let run ?(cycles = 200) ?(seed = 42) () =
+let run ?(cycles = 200) ?(seed = 42) ?pool () =
   let acc =
     ref
       {
@@ -198,7 +206,7 @@ let run ?(cycles = 200) ?(seed = 42) () =
       }
   in
   for cycle = 0 to cycles - 1 do
-    let o = run_cycle ~seed:(seed + (cycle * 7919)) in
+    let o = run_cycle ?pool ~seed:(seed + (cycle * 7919)) () in
     let s = !acc in
     acc :=
       {

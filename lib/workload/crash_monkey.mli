@@ -25,7 +25,10 @@ type summary = {
   violations : (int * string) list;  (** (cycle, what broke) — must be [] *)
 }
 
-val run : ?cycles:int -> ?seed:int -> unit -> summary
-(** Defaults: 200 cycles, seed 42. *)
+val run : ?cycles:int -> ?seed:int -> ?pool:Par.Pool.t -> unit -> summary
+(** Defaults: 200 cycles, seed 42.  With [pool], each cycle's engine
+    runs its cache-refill fan-out across the pool (capacity 3, so the
+    fan-out actually fires) — proving WAL ordering and the recovery
+    contract are unaffected by where solver work ran. *)
 
 val pp : Format.formatter -> summary -> unit

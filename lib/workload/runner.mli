@@ -43,6 +43,21 @@ val run : engine -> spec -> outcome
 (** Execute the stream; for the quantum engine, any transaction still
     pending at the end is grounded before coordination is measured. *)
 
+val run_sharded :
+  ?pool:Par.Pool.t ->
+  ?collect:(flight:int -> Relational.Database.t -> unit) ->
+  engine ->
+  spec ->
+  outcome
+(** Figure-7 domain-parallel execution: the same global stream as {!run}
+    (same seed, same PRNG consumption) split by flight — flights are
+    independent partitions by construction — with each shard on a private
+    store + engine, run across [pool]'s domains when given.  Admission
+    outcomes, groundings and coordination are identical at any pool size.
+    [collect] is invoked on the calling thread, per flight in ascending
+    order, with the shard's final database.  [cumulative_ms] is empty and
+    [max_pending] is the per-shard max. *)
+
 val metrics_sink : Quantum.Metrics.t
 (** Engine metrics merged across every quantum run in this process —
     snapshot it with {!Quantum.Metrics.snapshot} for telemetry export. *)

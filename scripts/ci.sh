@@ -15,9 +15,55 @@ echo "== crash-monkey smoke =="
 # subcommand exits 1 on any recovery-invariant violation.
 dune exec bin/qdb_cli.exe -- crashmonkey --cycles 200 --seed 7
 
+echo "== crash-monkey under domain pool =="
+# Same contract with every cycle's cache-refill fan-out on a 2-domain
+# pool: WAL ordering and recovery must not care where solver work ran.
+dune exec bin/qdb_cli.exe -- crashmonkey --cycles 50 --seed 7 --domains 2
+
 echo "== bench smoke (micro) =="
 rm -f results/metrics.json
 dune exec bench/main.exe -- --only micro
+
+echo "== scaling smoke (--domains 2) =="
+# The committed-baseline workload (10 flights x 150 seats) at 1 and 2
+# domains: asserts identical admission outcomes across pool sizes (the
+# scaling subcommand exits non-zero on divergence) and gates the
+# 1-domain admission latency against the committed BENCH_scaling.json.
+rm -f results/BENCH_scaling.json
+dune exec bin/qdb_cli.exe -- scaling --domains 1,2 --out results/BENCH_scaling.json
+
+echo "== scaling regression gate =="
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("results/BENCH_scaling.json") as f:
+        fresh = json.load(f)
+except Exception as e:
+    sys.exit(f"FAIL: results/BENCH_scaling.json invalid: {e}")
+if fresh.get("schema") != "qdb.bench.scaling/v1":
+    sys.exit("FAIL: unexpected scaling schema")
+if not fresh.get("deterministic"):
+    sys.exit("FAIL: admission outcomes diverged across domain counts")
+try:
+    with open("BENCH_scaling.json") as f:
+        base = json.load(f)
+except FileNotFoundError:
+    sys.exit("FAIL: committed BENCH_scaling.json baseline is missing")
+def one_domain(rec):
+    pts = [p for p in rec["series"] if p["domains"] == 1]
+    if not pts:
+        sys.exit("FAIL: no 1-domain point in scaling series")
+    return pts[0]["ns_per_admission"]
+if fresh["workload"] != base["workload"]:
+    sys.exit("FAIL: scaling workload drifted from the committed baseline; "
+             "re-record BENCH_scaling.json")
+now, then = one_domain(fresh), one_domain(base)
+ratio = now / then if then else 1.0
+print(f"1-domain ns/admission: {now:.0f} vs baseline {then:.0f} ({ratio:.2f}x)")
+if ratio > 1.25:
+    sys.exit(f"FAIL: 1-domain admission latency regressed {ratio:.2f}x (>1.25x)")
+print("ok: scaling baseline within 25%")
+EOF
 
 echo "== telemetry check =="
 if [ ! -f results/metrics.json ]; then

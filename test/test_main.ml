@@ -28,4 +28,5 @@ let () =
       ("calendar", Test_calendar.suite);
       ("cloud", Test_cloud.suite);
       ("workload", Test_workload.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,310 @@
+(* Tests for the domain pool and everything the engine runs on it:
+   deterministic map semantics, the split refill/recheck cache phases,
+   the O(1) pending bookkeeping, sharded-workload determinism across
+   pool sizes, and crash-monkey under a pool. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Database = Relational.Database
+module Cache = Solver.Cache
+module Backtrack = Solver.Backtrack
+module Qdb = Quantum.Qdb
+module Runner = Workload.Runner
+module Travel = Workload.Travel
+module Flights = Workload.Flights
+open Logic
+
+(* -- Pool.map ---------------------------------------------------------------- *)
+
+let with_pool domains f =
+  let pool = Par.Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
+
+let test_map_order () =
+  List.iter
+    (fun domains ->
+      with_pool domains @@ fun pool ->
+      let items = List.init 50 Fun.id in
+      let got = Par.Pool.map pool (fun i -> i * i) items in
+      Alcotest.(check (list int))
+        (Printf.sprintf "input order preserved at %d domain(s)" domains)
+        (List.map (fun i -> i * i) items)
+        got)
+    [ 1; 2; 4 ]
+
+let test_map_empty_and_singleton () =
+  with_pool 3 @@ fun pool ->
+  Alcotest.(check (list int)) "empty" [] (Par.Pool.map pool (fun i -> i) []);
+  Alcotest.(check (list string)) "singleton" [ "7" ] (Par.Pool.map pool string_of_int [ 7 ])
+
+let test_map_exception_first_by_index () =
+  List.iter
+    (fun domains ->
+      with_pool domains @@ fun pool ->
+      match
+        Par.Pool.map pool
+          (fun i -> if i mod 2 = 1 then failwith (Printf.sprintf "boom %d" i) else i)
+          (List.init 8 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        (* Jobs 1,3,5,7 all fail; the sequential stop point is job 1. *)
+        Alcotest.(check string)
+          (Printf.sprintf "lowest-index failure at %d domain(s)" domains)
+          "boom 1" msg)
+    [ 1; 2; 4 ]
+
+let test_pool_reusable_after_map () =
+  with_pool 2 @@ fun pool ->
+  Alcotest.(check int) "size" 2 (Par.Pool.size pool);
+  for round = 1 to 5 do
+    let got = Par.Pool.map pool succ (List.init 10 Fun.id) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d" round)
+      (List.init 10 succ) got
+  done
+
+(* -- Cache refill: split phases, over-ask fix, dedup ------------------------- *)
+
+(* R(a,b) with n rows (i, i); the formula R(x,y) has exactly n witnesses. *)
+let xv = Term.fresh_var "x"
+let yv = Term.fresh_var "y"
+
+let r_db n =
+  let db = Database.create () in
+  let r =
+    Database.create_table db
+      (Schema.make ~name:"R"
+         ~columns:[ Schema.column "a" Value.Tint; Schema.column "b" Value.Tint ]
+         ())
+  in
+  for i = 0 to n - 1 do
+    ignore (Relational.Table.insert r (Tuple.of_list [ Value.Int i; Value.Int i ]))
+  done;
+  db
+
+let r_formula = Formula.atom (Atom.make "R" [ Term.V xv; Term.V yv ])
+
+let ground_witness i =
+  Subst.bind xv (Term.int i) (Subst.bind yv (Term.int i) Subst.empty)
+
+let witness_satisfies db w formula =
+  let lookup v =
+    match Subst.resolve w (Term.V v) with
+    | Term.C value -> Some value
+    | Term.V _ -> None
+  in
+  try Formula.eval db lookup formula with Formula.Unbound _ -> false
+
+let test_refill_tops_up_and_dedups () =
+  let db = r_db 5 in
+  let cache = Cache.create ~capacity:3 () in
+  Cache.set_witness cache (ground_witness 0);
+  let held = Cache.refill cache db r_formula in
+  Alcotest.(check int) "topped up to capacity" 3 held;
+  let ws = Cache.witnesses cache in
+  Alcotest.(check int) "holds capacity witnesses" 3 (List.length ws);
+  (* All distinct, and every one satisfies the formula. *)
+  let keys =
+    List.map (fun w -> List.sort compare (List.map (fun (v, t) -> (v.Term.vid, t)) (Subst.bindings w))) ws
+  in
+  Alcotest.(check int) "witnesses are distinct" 3 (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "witness satisfies" true (witness_satisfies db w r_formula))
+    ws
+
+let test_refill_fewer_solutions_than_capacity () =
+  (* Only 2 solutions exist; a capacity-3 cache holding one of them must
+     end with exactly 2 — the known witness deduplicated against the
+     enumeration, not double-counted (the over-ask bug). *)
+  let db = r_db 2 in
+  let cache = Cache.create ~capacity:3 () in
+  Cache.set_witness cache (ground_witness 1);
+  let held = Cache.refill cache db r_formula in
+  Alcotest.(check int) "both solutions, no duplicates" 2 held;
+  Alcotest.(check int) "witness list agrees" 2 (List.length (Cache.witnesses cache))
+
+let test_refill_plan_none_at_capacity () =
+  let db = r_db 4 in
+  let cache = Cache.create ~capacity:2 () in
+  ignore (Cache.refill cache db r_formula);
+  Alcotest.(check bool) "at capacity: no job" true (Cache.refill_plan cache r_formula = None)
+
+let test_refill_split_phases_match_inline () =
+  let db = r_db 6 in
+  let inline_cache = Cache.create ~capacity:4 () in
+  Cache.set_witness inline_cache (ground_witness 2);
+  let inline_held = Cache.refill inline_cache db r_formula in
+  let split_cache = Cache.create ~capacity:4 () in
+  Cache.set_witness split_cache (ground_witness 2);
+  let split_held =
+    match Cache.refill_plan split_cache r_formula with
+    | None -> Alcotest.fail "expected a refill job"
+    | Some job ->
+      let fresh = Cache.refill_compute ~stats:(Backtrack.fresh_stats ()) db job in
+      Cache.refill_install split_cache fresh
+  in
+  Alcotest.(check int) "same held count" inline_held split_held;
+  let key w = List.map (fun (v, t) -> (v.Term.vid, t)) (Subst.bindings w) in
+  Alcotest.(check bool) "same witness sets" true
+    (List.for_all2
+       (fun a b -> key a = key b)
+       (Cache.witnesses inline_cache) (Cache.witnesses split_cache))
+
+(* -- Recheck outcomes -------------------------------------------------------- *)
+
+let test_recheck_keep () =
+  let db = r_db 3 in
+  let stats = Backtrack.fresh_stats () in
+  match
+    Cache.recheck_compute ~stats db
+      ~witnesses:[ ground_witness 0; ground_witness 2 ]
+      ~formula:r_formula
+  with
+  | Cache.Keep ws -> Alcotest.(check int) "both survive, order kept" 2 (List.length ws)
+  | Cache.Rewitness _ | Cache.Unsat_now -> Alcotest.fail "expected Keep"
+
+let test_recheck_rewitness () =
+  let db = r_db 3 in
+  let stats = Backtrack.fresh_stats () in
+  match
+    Cache.recheck_compute ~stats db ~witnesses:[ ground_witness 99 ] ~formula:r_formula
+  with
+  | Cache.Rewitness w ->
+    Alcotest.(check bool) "fresh witness satisfies" true (witness_satisfies db w r_formula)
+  | Cache.Keep _ -> Alcotest.fail "dead witness kept"
+  | Cache.Unsat_now -> Alcotest.fail "satisfiable formula declared unsat"
+
+let test_recheck_unsat () =
+  let db = r_db 0 in
+  let stats = Backtrack.fresh_stats () in
+  (match
+     Cache.recheck_compute ~stats db ~witnesses:[ ground_witness 0 ] ~formula:r_formula
+   with
+   | Cache.Unsat_now -> ()
+   | Cache.Keep _ | Cache.Rewitness _ -> Alcotest.fail "expected Unsat_now");
+  (* Installing Unsat_now invalidates and reports unsatisfiable. *)
+  let cache = Cache.create ~capacity:2 () in
+  Cache.set_witness cache (ground_witness 0);
+  Alcotest.(check bool) "install reports unsat" false
+    (Cache.recheck_install cache Cache.Unsat_now);
+  Alcotest.(check int) "cache emptied" 0 (List.length (Cache.witnesses cache))
+
+(* -- Engine pending bookkeeping (O(1) count / id lookup) ---------------------- *)
+
+let test_pending_bookkeeping () =
+  let geometry = { Flights.flights = 1; rows_per_flight = 4; dest = "LA" } in
+  let store = Flights.fresh_store geometry in
+  let qdb = Qdb.create store in
+  let users = Travel.make_users ~flights:1 ~pairs_per_flight:4 in
+  let ids =
+    List.filter_map
+      (fun u ->
+        match Qdb.submit qdb (Travel.plain_txn u) with
+        | Qdb.Committed id -> Some id
+        | Qdb.Rejected _ -> None)
+      users
+  in
+  Alcotest.(check int) "count tracks submissions" (List.length ids) (Qdb.pending_count qdb);
+  (* Ground half of them one by one through the id lookup. *)
+  let half = List.filteri (fun i _ -> i mod 2 = 0) ids in
+  List.iter (fun id -> ignore (Qdb.ground qdb id)) half;
+  Alcotest.(check int) "count tracks groundings"
+    (List.length ids - List.length half)
+    (Qdb.pending_count qdb);
+  Alcotest.(check int) "pending list agrees with count" (Qdb.pending_count qdb)
+    (List.length (Qdb.pending qdb));
+  ignore (Qdb.ground_all qdb);
+  Alcotest.(check int) "empty after ground_all" 0 (Qdb.pending_count qdb)
+
+(* -- Sharded-workload determinism across pool sizes --------------------------- *)
+
+let shard_spec =
+  {
+    Runner.default_spec with
+    Runner.geometry = { Flights.flights = 3; rows_per_flight = 4; dest = "LA" };
+    pairs_per_flight = 6;
+    order = Travel.Random_order;
+    seed = 7;
+  }
+
+let collect_dbs () =
+  let dbs = ref [] in
+  let collect ~flight db = dbs := (flight, Database.copy db) :: !dbs in
+  (dbs, collect)
+
+let test_sharded_determinism_across_domains () =
+  let engine = Runner.Quantum_engine { Qdb.default_config with Qdb.cache_capacity = 2 } in
+  let dbs1, collect1 = collect_dbs () in
+  let o1 = with_pool 1 (fun pool -> Runner.run_sharded ~pool ~collect:collect1 engine shard_spec) in
+  let dbs4, collect4 = collect_dbs () in
+  let o4 = with_pool 4 (fun pool -> Runner.run_sharded ~pool ~collect:collect4 engine shard_spec) in
+  Alcotest.(check int) "committed identical" o1.Runner.committed o4.Runner.committed;
+  Alcotest.(check int) "rejected identical" o1.Runner.rejected o4.Runner.rejected;
+  Alcotest.(check (float 1e-9)) "coordination identical" o1.Runner.coordination_pct
+    o4.Runner.coordination_pct;
+  let sort l = List.sort (fun (a, _) (b, _) -> compare a b) !l in
+  List.iter2
+    (fun (f1, db1) (f4, db4) ->
+      Alcotest.(check int) "same flight" f1 f4;
+      Alcotest.(check bool)
+        (Printf.sprintf "flight %d database identical" f1)
+        true (Database.equal db1 db4))
+    (sort dbs1) (sort dbs4)
+
+let test_sharded_matches_unsharded_outcomes () =
+  (* Flights are independent partitions by construction, so the global
+     interleaved run and the per-flight sharded run must admit and
+     coordinate identically. *)
+  let engine = Runner.Quantum_engine Qdb.default_config in
+  let global = Runner.run engine shard_spec in
+  let sharded = with_pool 2 (fun pool -> Runner.run_sharded ~pool engine shard_spec) in
+  Alcotest.(check int) "committed" global.Runner.committed sharded.Runner.committed;
+  Alcotest.(check int) "rejected" global.Runner.rejected sharded.Runner.rejected;
+  Alcotest.(check (float 1e-9)) "coordination" global.Runner.coordination_pct
+    sharded.Runner.coordination_pct
+
+(* -- Crash monkey under a pool ------------------------------------------------ *)
+
+let test_crash_monkey_under_pool () =
+  let s = with_pool 2 (fun pool -> Workload.Crash_monkey.run ~cycles:12 ~seed:424242 ~pool ()) in
+  Alcotest.(check int) "all cycles ran" 12 s.Workload.Crash_monkey.cycles;
+  Alcotest.(check (list (pair int string))) "no recovery violations" []
+    s.Workload.Crash_monkey.violations
+
+let test_crash_monkey_pool_deterministic () =
+  let run () =
+    with_pool 2 (fun pool -> Workload.Crash_monkey.run ~cycles:8 ~seed:1234 ~pool ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical summaries across runs" true (a = b)
+
+let suite =
+  [ Alcotest.test_case "pool: map preserves input order" `Quick test_map_order;
+    Alcotest.test_case "pool: empty and singleton inline" `Quick test_map_empty_and_singleton;
+    Alcotest.test_case "pool: lowest-index exception wins" `Quick
+      test_map_exception_first_by_index;
+    Alcotest.test_case "pool: reusable across rounds" `Quick test_pool_reusable_after_map;
+    Alcotest.test_case "refill: tops up, dedups, satisfies" `Quick
+      test_refill_tops_up_and_dedups;
+    Alcotest.test_case "refill: scarce solutions not double-counted" `Quick
+      test_refill_fewer_solutions_than_capacity;
+    Alcotest.test_case "refill: no job at capacity" `Quick test_refill_plan_none_at_capacity;
+    Alcotest.test_case "refill: split phases = inline refill" `Quick
+      test_refill_split_phases_match_inline;
+    Alcotest.test_case "recheck: surviving witnesses kept" `Quick test_recheck_keep;
+    Alcotest.test_case "recheck: dead witnesses re-solved" `Quick test_recheck_rewitness;
+    Alcotest.test_case "recheck: unsat refused and invalidated" `Quick test_recheck_unsat;
+    Alcotest.test_case "engine: O(1) pending count and id lookup" `Quick
+      test_pending_bookkeeping;
+    Alcotest.test_case "sharded run identical at 1 vs 4 domains" `Quick
+      test_sharded_determinism_across_domains;
+    Alcotest.test_case "sharded run matches unsharded outcomes" `Quick
+      test_sharded_matches_unsharded_outcomes;
+    Alcotest.test_case "crash monkey under pool: zero violations" `Slow
+      test_crash_monkey_under_pool;
+    Alcotest.test_case "crash monkey under pool: deterministic" `Slow
+      test_crash_monkey_pool_deterministic;
+  ]
