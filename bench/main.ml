@@ -13,6 +13,7 @@ module Experiments = Harness.Experiments
 module Ablation = Harness.Ablation
 module Calendar_exp = Harness.Calendar_exp
 module Scaling = Harness.Scaling
+module Admission = Harness.Admission
 
 let parse_args () =
   let full = ref false in
@@ -77,6 +78,11 @@ module Micro = struct
   let composed db =
     Quantum.Compose.body_of_sequence ~key_of:(Quantum.Compose.resolver_of_db db)
       pending_sequence
+
+  (* Gauge divisor for compose/20-txn-body: top-level conjuncts of the
+     composed body, so the exported figure is ns per produced clause. *)
+  let compose_clause_count =
+    lazy (List.length (Formula.conjuncts (composed (db_fixture ()))))
 
   (* Streaming candidate enumeration (the solver hot path): drain
      [Table.lookup_seq] over the full Available table in pkey order.
@@ -197,6 +203,15 @@ let () =
     let dir = Option.value !Common.csv_dir ~default:"results" in
     ignore (Scaling.write ~path:(Filename.concat dir "BENCH_scaling.json") r)
   end;
+  (* Pending-depth sweep for the incremental-admission path, also opt-in:
+     each k runs with delta composition on and off and cross-checks the
+     outcomes before recording. *)
+  if List.mem "admission" only then begin
+    let r = Admission.run () in
+    Admission.print r;
+    let dir = Option.value !Common.csv_dir ~default:"results" in
+    ignore (Admission.write ~path:(Filename.concat dir "BENCH_admission.json") r)
+  end;
   let micro_estimates = if wanted only "micro" then Micro.run () else [] in
   (* Telemetry export: every quantum run above merged its engine metrics
      into the workload runner's sink; snapshot it — plus any micro-bench
@@ -210,7 +225,10 @@ let () =
           (ns /. float_of_int Micro.replay_records);
       if name = "core/solver/enumerate" then
         Obs.Registry.set_gauge registry "bench.micro.solver.enumerate.ns_per_candidate"
-          (ns /. float_of_int (Lazy.force Micro.enumerate_count)))
+          (ns /. float_of_int (Lazy.force Micro.enumerate_count));
+      if name = "core/compose/20-txn-body" then
+        Obs.Registry.set_gauge registry "bench.micro.compose.ns_per_clause"
+          (ns /. float_of_int (Lazy.force Micro.compose_clause_count)))
     micro_estimates;
   ignore (Common.write_metrics registry);
   Printf.printf "\nAll benches complete.\n"

@@ -32,33 +32,41 @@ type context = Rtxn.t list
 let negated_predicate a b = Formula.negate (Unify.predicate a b)
 
 (* Clause for one grounding obligation [b] of the transaction at the end of
-   [prior]. *)
+   [prior].  The negated-delete predicates are unification work, so they
+   are built once per earlier transaction and shared: the database option
+   uses all of them, and the insert options at position j reuse the suffix
+   for positions after j (suffix lists share tails), instead of
+   recomputing the predicates per position — which was quadratic in
+   |prior|. *)
 let clause_for_atom (prior : context) (b : Atom.t) =
-  let ground_on_db =
-    let no_deletes =
-      List.concat_map (fun t -> List.map (negated_predicate b) (Rtxn.deletes t)) prior
-    in
-    Formula.and_ (Formula.atom b :: no_deletes)
+  let no_deletes_per_txn =
+    List.map (fun t -> List.map (negated_predicate b) (Rtxn.deletes t)) prior
   in
+  (* Pair each transaction with the concatenated negated deletes of every
+     LATER transaction; building right-to-left shares the suffix spines. *)
+  let rec with_suffixes txns nds =
+    match txns, nds with
+    | [], _ | _, [] -> ([], [])
+    | t :: later, nd :: later_nds ->
+      let annotated, suffix_after = with_suffixes later later_nds in
+      ((t, suffix_after) :: annotated, nd @ suffix_after)
+  in
+  let annotated, all_no_deletes = with_suffixes prior no_deletes_per_txn in
+  let ground_on_db = Formula.and_ (Formula.atom b :: all_no_deletes) in
   (* Options grounding on an insert of T_j: suffix deletes are those of
      transactions after j. *)
-  let rec insert_options = function
-    | [] -> []
-    | t :: later ->
-      let suffix_no_deletes =
-        List.concat_map (fun t' -> List.map (negated_predicate b) (Rtxn.deletes t')) later
-      in
-      let options_here =
+  let insert_options =
+    List.concat_map
+      (fun (t, suffix_no_deletes) ->
         List.filter_map
           (fun i ->
             match Unify.predicate b i with
             | Formula.False -> None
             | phi -> Some (Formula.and_ (phi :: suffix_no_deletes)))
-          (Rtxn.inserts t)
-      in
-      options_here @ insert_options later
+          (Rtxn.inserts t))
+      annotated
   in
-  Formula.or_ (ground_on_db :: insert_options prior)
+  Formula.or_ (ground_on_db :: insert_options)
 
 (* Delete atoms that are not already body atoms need their own existence
    obligation (e.g. a cancellation transaction whose body is the booking
@@ -185,6 +193,66 @@ let body_of_sequence ?check_inserts ?key_of (txns : Rtxn.t list) =
       go (txn :: prior_rev) (clauses :: acc) rest
   in
   go [] [] txns
+
+(* -- Incrementally composed bodies (the admission hot path) ---------------
+
+   A partition's composed body is the conjunction of one clause chunk per
+   pending transaction, each composed against the transactions admitted
+   before it — [body_of_sequence]'s shape, kept as a list instead of
+   re-derived.  Admitting T_{k+1} appends only [delta prior T_{k+1}];
+   merging partitions concatenates chunk lists; grounding, aborts and
+   blind-write resplits rebuild from scratch with [compose] (the
+   invalidation path, since those events change the sequence itself).
+   The flattened conjunction is memoized and [formula] forces it, so the
+   structural result is identical to the eager construction. *)
+module Inc = struct
+  type t = {
+    mutable chunks_rev : Formula.t list; (* newest transaction's chunk first *)
+    mutable clauses : int; (* top-level conjunct count across all chunks *)
+    mutable memo : Formula.t option; (* flattened conjunction of all chunks *)
+  }
+
+  let chunk_clauses c = List.length (Formula.conjuncts c)
+
+  let of_chunks_rev chunks_rev =
+    {
+      chunks_rev;
+      clauses = List.fold_left (fun n c -> n + chunk_clauses c) 0 chunks_rev;
+      memo = None;
+    }
+
+  let empty () = of_chunks_rev []
+
+  let delta ?check_inserts ?key_of (prior : context) txn =
+    Formula.intern (clauses_for ?check_inserts ?key_of prior txn)
+
+  let compose ?check_inserts ?key_of (txns : Rtxn.t list) =
+    let rec go prior_rev acc = function
+      | [] -> of_chunks_rev acc
+      | txn :: rest -> go (txn :: prior_rev) (delta ?check_inserts ?key_of (List.rev prior_rev) txn :: acc) rest
+    in
+    go [] [] txns
+
+  let extend t chunk =
+    t.chunks_rev <- chunk :: t.chunks_rev;
+    t.clauses <- t.clauses + chunk_clauses chunk;
+    t.memo <- None
+
+  let formula t =
+    match t.memo with
+    | Some f -> f
+    | None ->
+      let f = Formula.and_ (List.rev t.chunks_rev) in
+      t.memo <- Some f;
+      f
+
+  let clause_count t = t.clauses
+
+  (* Conjunction of independent partitions' bodies; chunk order follows
+     the given partition order, matching the eager [Formula.and_] merge
+     this replaces. *)
+  let merge ts = of_chunks_rev (List.concat_map (fun t -> t.chunks_rev) (List.rev ts))
+end
 
 (* Optional obligations of [txn] in composition context: each soft unit is
    rewritten so its atoms may also ground on earlier pending inserts,

@@ -44,3 +44,38 @@ val body_of_sequence :
 val soft_clauses_for : context -> Rtxn.t -> Logic.Formula.t list
 (** The transaction's optional obligations, rewritten into the same
     composition context (soft units for {!Solver.Soft.solve}). *)
+
+(** Incrementally composed bodies: one clause chunk per pending
+    transaction, so admission appends a delta instead of recomposing the
+    sequence.  [formula] is structurally identical to what the eager
+    construction produced.  Chunks are interned ({!Logic.Formula.intern}). *)
+module Inc : sig
+  type t
+
+  val empty : unit -> t
+
+  val compose : ?check_inserts:bool -> ?key_of:key_resolver -> Rtxn.t list -> t
+  (** From-scratch composition of a sequence (the invalidation path —
+      grounding, aborts, blind-write resplits); chunk-per-transaction
+      equivalent of {!body_of_sequence}. *)
+
+  val delta :
+    ?check_inserts:bool -> ?key_of:key_resolver -> context -> Rtxn.t -> Logic.Formula.t
+  (** The chunk [txn] contributes after [context] ({!clauses_for},
+      interned).  Does not mutate anything: callers [extend] on success
+      and drop the chunk on rejection. *)
+
+  val extend : t -> Logic.Formula.t -> unit
+  (** Append a newly admitted transaction's chunk. *)
+
+  val formula : t -> Logic.Formula.t
+  (** The flattened composed body (memoized until the next [extend]). *)
+
+  val clause_count : t -> int
+  (** Top-level conjunct count — the [qdb.partition.composed_clauses]
+      observability gauge. *)
+
+  val merge : t list -> t
+  (** Concatenate partitions' chunk lists (their bodies share no
+      variables, so conjunction in partition order is the merged body). *)
+end

@@ -18,9 +18,12 @@ open Logic
 type partition = {
   pid : int;
   mutable txns : Rtxn.t list; (* sequence order: oldest (lowest id) first *)
-  mutable formula : Formula.t; (* composed hard body of [txns] *)
+  mutable body : Compose.Inc.t; (* composed hard body of [txns], chunk per txn *)
   cache : Solver.Cache.t;
 }
+
+let formula p = Compose.Inc.formula p.body
+let composed_clauses p = Compose.Inc.clause_count p.body
 
 (* Immutable snapshot of a partition for read-only solver work on a
    worker domain: nothing a concurrent main-thread mutation can pull out
@@ -83,16 +86,16 @@ let freeze p =
   {
     f_pid = p.pid;
     f_txns = p.txns;
-    f_formula = p.formula;
+    f_formula = formula p;
     f_witnesses = Solver.Cache.witnesses p.cache;
   }
 
-let fresh_partition t txns formula =
+let fresh_partition t txns body =
   let p =
     {
       pid = t.next_pid;
       txns;
-      formula;
+      body;
       cache =
         Solver.Cache.create ~stats:t.cache_stats ?solver_stats:t.solver_stats
           ~capacity:t.cache_capacity ();
@@ -131,15 +134,15 @@ let merged_view parts =
       (fun a b -> Int.compare a.Rtxn.id b.Rtxn.id)
       (List.concat_map (fun p -> p.txns) parts)
   in
-  let formula = Formula.and_ (List.map (fun p -> p.formula) parts) in
-  (txns, formula)
+  let body = Compose.Inc.merge (List.map (fun p -> p.body) parts) in
+  (txns, body)
 
-(* Install a new partition holding [txns]/[formula], replacing [old_parts];
+(* Install a new partition holding [txns]/[body], replacing [old_parts];
    carries over a merged witness when every constituent had one. *)
-let replace t old_parts txns formula witness =
+let replace t old_parts txns body witness =
   let keep = List.filter (fun p -> not (List.memq p old_parts)) t.partitions in
   List.iter (unregister t) old_parts;
-  let p = fresh_partition t txns formula in
+  let p = fresh_partition t txns body in
   (match witness with
    | Some w -> Solver.Cache.set_witness p.cache w
    | None -> ());
@@ -177,10 +180,8 @@ let resplit t p =
   List.map
     (fun group ->
       let txns = List.sort (fun a b -> Int.compare a.Rtxn.id b.Rtxn.id) group in
-      let formula =
-        Compose.body_of_sequence ~check_inserts:t.check_inserts ~key_of:t.key_of txns
-      in
-      let q = fresh_partition t txns formula in
+      let body = Compose.Inc.compose ~check_inserts:t.check_inserts ~key_of:t.key_of txns in
+      let q = fresh_partition t txns body in
       (match witness with
        | Some w ->
          let vars =

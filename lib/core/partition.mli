@@ -7,9 +7,19 @@ type partition = {
   mutable txns : Rtxn.t list;
       (** sequence order, oldest first.  Mutate only through
           {!set_txns} — an id → partition table mirrors membership. *)
-  mutable formula : Logic.Formula.t;  (** composed hard body *)
+  mutable body : Compose.Inc.t;
+      (** composed hard body, one clause chunk per transaction; admission
+          extends it in place ({!Compose.Inc.extend}) and the invalidation
+          paths (ground / abort / blind write) swap in a fresh
+          composition. *)
   cache : Solver.Cache.t;
 }
+
+val formula : partition -> Logic.Formula.t
+(** The flattened composed body (memoized by the chunk cache). *)
+
+val composed_clauses : partition -> int
+(** Top-level clause count of the composed body (observability gauge). *)
 
 type frozen = {
   f_pid : int;
@@ -55,15 +65,15 @@ val depends : Rtxn.t -> partition -> bool
 
 val split_dependent : t -> Rtxn.t -> partition list * partition list
 
-val merged_view : partition list -> Rtxn.t list * Logic.Formula.t
-(** Transactions of all parts in admission order, with the conjoined
-    composed body (exact, because the parts were independent). *)
+val merged_view : partition list -> Rtxn.t list * Compose.Inc.t
+(** Transactions of all parts in admission order, with the merged chunk
+    cache (concatenation is exact, because the parts were independent). *)
 
 val merge_witnesses : partition list -> Logic.Subst.t option
 (** Union of the cached witnesses; [None] when any part lacks one. *)
 
 val replace :
-  t -> partition list -> Rtxn.t list -> Logic.Formula.t -> Logic.Subst.t option -> partition
+  t -> partition list -> Rtxn.t list -> Compose.Inc.t -> Logic.Subst.t option -> partition
 (** Swap [old_parts] for a single fresh partition. *)
 
 val remove_partition : t -> partition -> unit

@@ -55,6 +55,11 @@ type config = {
   adaptive : bool; (* phase-transition-aware forced grounding *)
   adaptive_slack : float; (* min resources-per-pending-delete before fixing *)
   cache_capacity : int; (* witnesses per partition (Section 4's multi-solution strategy) *)
+  incremental : bool;
+  (* delta-composed, witness-seeded admission (default).  [false] is the
+     from-scratch ablation: recompose the whole sequence and solve it
+     unseeded on every admission — the pre-incremental cost profile the
+     admission bench compares against. *)
 }
 
 let default_config =
@@ -68,6 +73,7 @@ let default_config =
     adaptive = false;
     adaptive_slack = 1.5;
     cache_capacity = Solver.Cache.default_capacity;
+    incremental = true;
   }
 
 let pending_table_name = "__pending_xacts"
@@ -115,7 +121,13 @@ let partition_count t = List.length (Partition.partitions t.parts)
    MySQL backend capped these at 61. *)
 let partition_stats t =
   List.map
-    (fun p -> (List.length p.Partition.txns, Formula.stats p.Partition.formula))
+    (fun p -> (List.length p.Partition.txns, Formula.stats (Partition.formula p)))
+    (Partition.partitions t.parts)
+
+let composed_clause_total t =
+  List.fold_left
+    (fun n p -> n + Partition.composed_clauses p)
+    0
     (Partition.partitions t.parts)
 
 let max_partition_size t =
@@ -168,23 +180,31 @@ let pending_row txn =
 (* -- Solver dispatch ------------------------------------------------------ *)
 
 (* Admission check through the configured backend.  The backtracking
-   backend goes through the partition's solution cache (extension first);
-   the others re-solve the full composed body, which is exactly their
-   cost profile the ablation bench measures. *)
+   backend goes through the partition's solution cache: each cached
+   witness is tried as a seed over just the new transaction's clauses
+   (the unaffected pending transactions stay pinned), and only when every
+   extension fails does it force [full_formula] for an unseeded re-solve
+   — so acceptance decisions match the from-scratch path exactly, while
+   extension hits never flatten the whole body.  The other backends
+   re-solve the full composed body, which is exactly the cost profile the
+   ablation bench measures. *)
 let check_admission t (p : Partition.partition) ~new_clauses ~full_formula =
   let database = db t in
   match t.config.backend with
+  | Backtracking when not t.config.incremental ->
+    Solver.Cache.resolve_full ~node_limit:t.config.node_limit p.Partition.cache database
+      (Lazy.force full_formula)
   | Backtracking ->
     Solver.Cache.extend_or_resolve ~node_limit:t.config.node_limit p.Partition.cache database
       ~new_clauses ~full_formula
   | Limit_one_plan depth ->
-    (match Solver.Limit_one.solve ~search_depth:depth database full_formula with
+    (match Solver.Limit_one.solve ~search_depth:depth database (Lazy.force full_formula) with
      | Some w ->
        Solver.Cache.set_witness p.Partition.cache w;
        Some w
      | None -> None)
   | Sat_backend ->
-    (match Sat.Encode.solve database full_formula with
+    (match Sat.Encode.solve database (Lazy.force full_formula) with
      | Some (Some w) ->
        Solver.Cache.set_witness p.Partition.cache w;
        Some w
@@ -250,9 +270,13 @@ let ground_partition_body t (p : Partition.partition) target_ids =
       in
       Some (Subst.restrict keep w)
   in
-  let sequence, cut =
+  (* [precomposed] carries the reordered body forward when reordering
+     succeeded, so the hard formula below is not composed a second time. *)
+  let sequence, cut, precomposed =
     match t.config.serializability with
-    | Strict -> strict_sequence_and_cut ()
+    | Strict ->
+      let s, c = strict_sequence_and_cut () in
+      (s, c, None)
     | Semantic ->
       let targets, others = List.partition is_target arrival in
       let reordered = targets @ others in
@@ -272,15 +296,21 @@ let ground_partition_body t (p : Partition.partition) target_ids =
           (try sat None with Solver.Backtrack.Too_many_nodes -> false)
         | None -> (try sat None with Solver.Backtrack.Too_many_nodes -> false)
       in
-      if reorder_ok then (reordered, List.length targets) else strict_sequence_and_cut ()
+      if reorder_ok then (reordered, List.length targets, Some reordered_body)
+      else
+        let s, c = strict_sequence_and_cut () in
+        (s, c, None)
   in
   let grounded_txns = List.filteri (fun i _ -> i < cut) sequence in
   let remaining = List.filteri (fun i _ -> i >= cut) sequence in
   if grounded_txns = [] then []
   else begin
     let hard =
-      Compose.body_of_sequence ~check_inserts:t.config.check_inserts
-        ~key_of:(key_resolver t.store) sequence
+      match precomposed with
+      | Some f -> f
+      | None ->
+        Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+          ~key_of:(key_resolver t.store) sequence
     in
     let soft = soft_units sequence grounded_txns in
     let soft_formulas = List.map snd soft in
@@ -350,11 +380,11 @@ let ground_partition_body t (p : Partition.partition) target_ids =
           m "grounded [%s] (%d left pending in partition %d)"
             (String.concat "," (List.map (fun x -> x.Rtxn.label) grounded_txns))
             (List.length remaining) p.Partition.pid);
-      (* Rebuild the partition over the remainder. *)
+      (* Rebuild the partition over the remainder.  The stale chunk cache
+         is not recomposed here: [resplit] recomposes each independent
+         group from scratch anyway (grounding is an invalidation point),
+         and [p] itself is discarded by it. *)
       Partition.set_txns t.parts p remaining;
-      p.Partition.formula <-
-        Compose.body_of_sequence ~check_inserts:t.config.check_inserts
-          ~key_of:(key_resolver t.store) remaining;
       let remaining_vars =
         List.fold_left
           (fun acc txn -> Term.Var_set.union acc (Rtxn.all_vars txn))
@@ -461,7 +491,7 @@ let refill_caches t =
         (fun p ->
           Option.map
             (fun job -> (p, job))
-            (Solver.Cache.refill_plan p.Partition.cache p.Partition.formula))
+            (Solver.Cache.refill_plan p.Partition.cache (Partition.formula p)))
         (List.sort
            (fun a b -> Int.compare a.Partition.pid b.Partition.pid)
            (Partition.partitions t.parts))
@@ -539,7 +569,7 @@ let trigger_partners t committed =
 
 let rec admit t txn ~attempts =
   let dependent, _ = Partition.split_dependent t.parts txn in
-  let prior, merged_formula = Partition.merged_view dependent in
+  let prior, merged_body = Partition.merged_view dependent in
   (* k-bound (Section 4): force-ground the oldest pending transaction of
      the would-be partition until the new one fits. *)
   if List.length prior >= t.config.k && attempts < t.config.k + 1 then begin
@@ -569,16 +599,31 @@ let rec admit t txn ~attempts =
           "qdb.partition_merge"
     end;
     let witness = Partition.merge_witnesses dependent in
-    let p = Partition.replace t.parts dependent prior merged_formula witness in
+    let p = Partition.replace t.parts dependent prior merged_body witness in
+    (* Delta composition: only the new transaction's clauses are built;
+       the partition's chunk cache already holds everything earlier.  The
+       flattened full body is forced only when witness extension misses
+       (or a non-default backend needs it); the ablation recomposes the
+       whole sequence from scratch instead, like the pre-incremental
+       engine did. *)
     let new_clauses =
-      Compose.clauses_for ~check_inserts:t.config.check_inserts
+      Compose.Inc.delta ~check_inserts:t.config.check_inserts
         ~key_of:(key_resolver t.store) prior txn
     in
-    let full_formula = Formula.and_ [ merged_formula; new_clauses ] in
+    let full_formula =
+      if t.config.incremental then
+        lazy (Formula.and_ [ Compose.Inc.formula merged_body; new_clauses ])
+      else
+        lazy
+          (Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+             ~key_of:(key_resolver t.store) (prior @ [ txn ]))
+    in
     match check_admission t p ~new_clauses ~full_formula with
     | Some _ ->
+      (* The chunk cache extends only on success; a rejected transaction
+         leaves the partition's body untouched. *)
       Partition.set_txns t.parts p (prior @ [ txn ]);
-      p.Partition.formula <- full_formula;
+      Compose.Inc.extend p.Partition.body new_clauses;
       (* Durability: record the pending transaction before acknowledging
          (Section 4, Recovery). *)
       (match
@@ -701,7 +746,7 @@ let read ?policy t q =
               (Solver.Query.all world q)
           | p :: rest ->
             let solutions =
-              Solver.Backtrack.solutions ~limit:worlds_limit (db t) p.Partition.formula
+              Solver.Backtrack.solutions ~limit:worlds_limit (db t) (Partition.formula p)
             in
             (match solutions with
              | [] -> explore rest world
@@ -814,6 +859,16 @@ let registry t =
   Obs.Registry.set_gauge reg "qdb.pending" (float_of_int (pending_count t));
   Obs.Registry.set_gauge reg "qdb.partitions" (float_of_int (partition_count t));
   Obs.Registry.set_gauge reg "qdb.max_partition_size" (float_of_int (max_partition_size t));
+  (* Incremental clause-cache observability: total composed-body size and
+     one gauge per live partition. *)
+  Obs.Registry.set_gauge reg "qdb.partition.composed_clauses"
+    (float_of_int (composed_clause_total t));
+  List.iter
+    (fun p ->
+      Obs.Registry.set_gauge reg
+        (Printf.sprintf "qdb.partition.%d.composed_clauses" p.Partition.pid)
+        (float_of_int (Partition.composed_clauses p)))
+    (Partition.partitions t.parts);
   let ws = Store.wal_stats t.store in
   Obs.Registry.set_counter reg "wal.records" ws.Relational.Wal.records;
   Obs.Registry.set_counter reg "wal.batches" ws.Relational.Wal.batches;
@@ -833,10 +888,23 @@ let registry t =
 
 (* -- Invariant check (tests, possible-worlds cross-validation) ------------- *)
 
+(* Test hook: beyond satisfiability of the live (incrementally composed)
+   bodies, recompose each partition from scratch and require agreement —
+   the delta-composition equivalence property — and that every cached
+   witness still seeds a successful solve of the from-scratch body. *)
 let invariant_holds t =
   List.for_all
     (fun p ->
-      Solver.Backtrack.satisfiable ~node_limit:t.config.node_limit (db t) p.Partition.formula)
+      let sat ?seed f =
+        Solver.Backtrack.satisfiable ?seed ~node_limit:t.config.node_limit (db t) f
+      in
+      let scratch =
+        Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+          ~key_of:(key_resolver t.store) p.Partition.txns
+      in
+      sat scratch
+      && sat (Partition.formula p)
+      && List.for_all (fun w -> sat ~seed:w scratch) (Solver.Cache.witnesses p.Partition.cache))
     (Partition.partitions t.parts)
 
 (* -- Recovery (Section 4) -------------------------------------------------- *)
@@ -866,19 +934,22 @@ let recover ?(config = default_config) ?pool ?strict backend =
     (fun txn ->
       t.next_id <- max t.next_id (txn.Rtxn.id + 1);
       let dependent, _ = Partition.split_dependent t.parts txn in
-      let prior, merged_formula = Partition.merged_view dependent in
+      let prior, merged_body = Partition.merged_view dependent in
       let witness = Partition.merge_witnesses dependent in
-      let p = Partition.replace t.parts dependent prior merged_formula witness in
+      let p = Partition.replace t.parts dependent prior merged_body witness in
       let new_clauses =
-        Compose.clauses_for ~check_inserts:config.check_inserts
-          ~key_of:(key_resolver store) prior txn
+        Compose.Inc.delta ~check_inserts:config.check_inserts ~key_of:(key_resolver store)
+          prior txn
       in
-      let full_formula = Formula.and_ [ merged_formula; new_clauses ] in
-      Partition.set_txns t.parts p (prior @ [ txn ]);
-      p.Partition.formula <- full_formula;
-      (* Restore the witness invariant eagerly. *)
+      let full_formula =
+        lazy (Formula.and_ [ Compose.Inc.formula merged_body; new_clauses ])
+      in
+      (* Restore the witness invariant eagerly (the full formula must not
+         include the new chunk twice, so extend only afterwards). *)
       ignore
         (Solver.Cache.extend_or_resolve ~node_limit:config.node_limit p.Partition.cache (db t)
-           ~new_clauses ~full_formula))
+           ~new_clauses ~full_formula);
+      Partition.set_txns t.parts p (prior @ [ txn ]);
+      Compose.Inc.extend p.Partition.body new_clauses)
     txns;
   t

@@ -31,6 +31,11 @@ type config = {
   cache_capacity : int;
       (** witnesses kept per partition — the multi-solution cache strategy
           of Section 4 (the paper's prototype kept one) *)
+  incremental : bool;
+      (** delta-composed, witness-seeded admission (default [true]).
+          [false] is the from-scratch ablation: every admission recomposes
+          the whole pending sequence and solves it unseeded.  Accept /
+          reject outcomes are identical either way; only cost differs. *)
 }
 
 val default_config : config
@@ -72,6 +77,11 @@ val partition_stats : t -> (int * Logic.Formula.stats) list
 (** Per partition: pending count and composed-body statistics — the join
     width a LIMIT-1 compilation would need (the prototype's MySQL ceiling
     was 61 relations per query). *)
+
+val composed_clause_total : t -> int
+(** Sum of the partitions' composed-body clause counts, read off the
+    incremental chunk caches (also exported as the
+    [qdb.partition.composed_clauses] gauge). *)
 
 val submit : t -> Rtxn.t -> commit_result
 (** Admission check (Section 3.2.1): freshen, merge dependent partitions,
@@ -115,7 +125,9 @@ val write : t -> Relational.Database.op list -> (unit, string) result
     composed body stays satisfiable afterwards. *)
 
 val invariant_holds : t -> bool
-(** Re-check satisfiability of every partition from scratch (test hook). *)
+(** Test hook: recompose every partition from scratch, require the result
+    satisfiable, the live incrementally-composed body to agree, and every
+    cached witness to seed a successful solve of the from-scratch body. *)
 
 val recovery_report : t -> Relational.Wal.recovery_report option
 (** Set when this engine was produced by {!recover}: what WAL replay

@@ -112,17 +112,97 @@ let rec vars = function
   | And fs | Or fs ->
     List.fold_left (fun acc f -> Term.Var_set.union acc (vars f)) Term.Var_set.empty fs
 
-let rec apply_subst s = function
-  | (True | False) as f -> f
-  | Atom a -> atom (Subst.apply_atom s a)
-  | Not_atom a -> not_atom (Subst.apply_atom s a)
-  | Key_free a -> key_free (Subst.apply_atom s a)
-  | Eq (a, b) -> eq (Subst.apply_term s a) (Subst.apply_term s b)
-  | Neq (a, b) -> neq (Subst.apply_term s a) (Subst.apply_term s b)
-  | Lt (a, b) -> lt (Subst.apply_term s a) (Subst.apply_term s b)
-  | Le (a, b) -> le (Subst.apply_term s a) (Subst.apply_term s b)
-  | And fs -> and_ (List.map (apply_subst s) fs)
-  | Or fs -> or_ (List.map (apply_subst s) fs)
+(* Map over a list, reusing the original spine (and the list itself) when
+   [f] returns every element physically unchanged. *)
+let rec map_sharing f l =
+  match l with
+  | [] -> l
+  | x :: rest ->
+    let x' = f x in
+    let rest' = map_sharing f rest in
+    if x' == x && rest' == rest then l else x' :: rest'
+
+(* Physical-equality fast paths: a substitution that binds none of a
+   subformula's variables returns that subformula unchanged, so applying a
+   witness extension to a large composed body only rebuilds the clauses it
+   actually touches. *)
+let rec apply_subst s f =
+  match f with
+  | True | False -> f
+  | Atom a ->
+    let a' = Subst.apply_atom s a in
+    if a' == a then f else atom a'
+  | Not_atom a ->
+    let a' = Subst.apply_atom s a in
+    if a' == a then f else not_atom a'
+  | Key_free a ->
+    let a' = Subst.apply_atom s a in
+    if a' == a then f else key_free a'
+  | Eq (a, b) ->
+    let a' = Subst.apply_term s a and b' = Subst.apply_term s b in
+    if a' == a && b' == b then f else eq a' b'
+  | Neq (a, b) ->
+    let a' = Subst.apply_term s a and b' = Subst.apply_term s b in
+    if a' == a && b' == b then f else neq a' b'
+  | Lt (a, b) ->
+    let a' = Subst.apply_term s a and b' = Subst.apply_term s b in
+    if a' == a && b' == b then f else lt a' b'
+  | Le (a, b) ->
+    let a' = Subst.apply_term s a and b' = Subst.apply_term s b in
+    if a' == a && b' == b then f else le a' b'
+  | And fs ->
+    let fs' = map_sharing (apply_subst s) fs in
+    if fs' == fs then f else and_ fs'
+  | Or fs ->
+    let fs' = map_sharing (apply_subst s) fs in
+    if fs' == fs then f else or_ fs'
+
+(* Top-level conjuncts: the clause list of a composed body.  [and_] of the
+   result rebuilds the formula, and [True] is the empty conjunction. *)
+let conjuncts = function
+  | True -> []
+  | And fs -> fs
+  | f -> [ f ]
+
+(* -- Hash-consing --------------------------------------------------------- *)
+
+(* Structurally equal subformulas collapse onto one shared node, so later
+   [apply_subst]/[map_sharing] passes hit their physical-equality fast
+   paths and repeated clauses cost one allocation.  The table is
+   per-domain ([Domain.DLS]): sharded engines and pool workers each intern
+   into their own table, so no synchronisation is needed — interning is
+   semantically the identity, only sharing differs across domains. *)
+let intern_table_key : (t, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+(* Drop the table rather than grow without bound; correctness is
+   unaffected, only sharing resets. *)
+let intern_table_max = 1 lsl 16
+
+let intern f =
+  let tbl = Domain.DLS.get intern_table_key in
+  if Hashtbl.length tbl > intern_table_max then Hashtbl.reset tbl;
+  let rec go f =
+    let node =
+      match f with
+      | True | False | Atom _ | Not_atom _ | Key_free _ | Eq _ | Neq _ | Lt _ | Le _ -> f
+      | And fs ->
+        let fs' = map_sharing go fs in
+        if fs' == fs then f else And fs'
+      | Or fs ->
+        let fs' = map_sharing go fs in
+        if fs' == fs then f else Or fs'
+    in
+    match node with
+    | True | False -> node
+    | _ ->
+      (match Hashtbl.find_opt tbl node with
+       | Some canonical -> canonical
+       | None ->
+         Hashtbl.add tbl node node;
+         node)
+  in
+  go f
 
 (* -- Statistics (drive the adaptive grounding policy and benches) --------- *)
 

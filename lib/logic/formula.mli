@@ -39,7 +39,23 @@ val of_equations : (Term.t * Term.t) list -> t
 (** Conjunction of equalities — a unification predicate (Definition 3.3). *)
 
 val vars : t -> Term.Var_set.t
+
 val apply_subst : Subst.t -> t -> t
+(** Applies with physical-equality fast paths: subformulas the
+    substitution does not touch are returned unchanged (same node), so
+    sharing from {!intern} survives repeated application. *)
+
+val conjuncts : t -> t list
+(** Top-level clause list of a composed body: [And fs] gives [fs], [True]
+    the empty list, anything else a singleton.  [and_ (conjuncts f)] is
+    equivalent to [f]. *)
+
+val intern : t -> t
+(** Hash-cons: structurally equal subformulas interned on the same domain
+    return physically equal nodes, making the [apply_subst]/solver
+    fast paths fire and deduplicating repeated clauses.  Semantically the
+    identity.  The intern table is per-domain (thread-safe by
+    construction); it is bounded and may be dropped under pressure. *)
 
 type stats = {
   atoms : int;

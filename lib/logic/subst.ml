@@ -26,7 +26,27 @@ let rec resolve (s : t) term =
 let bind v term (s : t) : t = Term.Var_map.add v term s
 
 let apply_term s term = resolve s term
-let apply_atom s (a : Atom.t) = { a with Atom.args = Array.map (resolve s) a.Atom.args }
+
+(* Atoms are immutable, so when the substitution binds none of the atom's
+   variables the original atom comes back physically unchanged — the
+   solver's and composer's physical-equality fast paths key off this. *)
+let apply_atom s (a : Atom.t) =
+  let args = a.Atom.args in
+  let n = Array.length args in
+  let rec first_change i =
+    if i >= n then -1
+    else if resolve s args.(i) == args.(i) then first_change (i + 1)
+    else i
+  in
+  let i = first_change 0 in
+  if i < 0 then a
+  else begin
+    let fresh = Array.copy args in
+    for j = i to n - 1 do
+      fresh.(j) <- resolve s fresh.(j)
+    done;
+    { a with Atom.args = fresh }
+  end
 
 (* Rebind every key directly to its resolved term, collapsing chains.
    Restriction must flatten first or a kept variable could point at a

@@ -57,6 +57,7 @@ type t = {
   mutable key_order : Key_set.t; (* every primary key, sorted *)
   mutable indexes : index list;
   mutable ordered_indexes : ordered_index list;
+  mutable version : int; (* bumped on every row mutation; estimate caches key on it *)
 }
 
 type insert_result =
@@ -70,9 +71,11 @@ let create schema =
     key_order = Key_set.empty;
     indexes = [];
     ordered_indexes = [];
+    version = 0;
   }
 let schema t = t.schema
 let cardinality t = Hashtbl.length t.rows
+let version t = t.version
 
 let index_add idx pkey row =
   let proj = Tuple.project idx.idx_cols row in
@@ -167,6 +170,7 @@ let insert t row =
     t.key_order <- Key_set.add pkey t.key_order;
     List.iter (fun idx -> index_add idx pkey row) t.indexes;
     List.iter (fun oi -> ordered_add oi pkey row) t.ordered_indexes;
+    t.version <- t.version + 1;
     Inserted
   end
 
@@ -185,6 +189,7 @@ let delete t row =
     t.key_order <- Key_set.remove pkey t.key_order;
     List.iter (fun idx -> index_remove idx pkey existing) t.indexes;
     List.iter (fun oi -> ordered_remove oi pkey existing) t.ordered_indexes;
+    t.version <- t.version + 1;
     true
   | Some _ | None -> false
 
@@ -195,6 +200,7 @@ let delete_by_key t pkey =
     t.key_order <- Key_set.remove pkey t.key_order;
     List.iter (fun idx -> index_remove idx pkey existing) t.indexes;
     List.iter (fun oi -> ordered_remove oi pkey existing) t.ordered_indexes;
+    t.version <- t.version + 1;
     true
   | None -> false
 
@@ -398,6 +404,7 @@ let copy t =
       key_order = t.key_order;
       indexes = [];
       ordered_indexes = [];
+      version = t.version;
     }
   in
   List.iter (fun idx -> create_index fresh idx.idx_cols) t.indexes;
@@ -408,7 +415,8 @@ let clear t =
   Hashtbl.reset t.rows;
   t.key_order <- Key_set.empty;
   List.iter (fun idx -> Hashtbl.reset idx.idx_map) t.indexes;
-  List.iter (fun oi -> oi.oi_map <- Value_map.empty) t.ordered_indexes
+  List.iter (fun oi -> oi.oi_map <- Value_map.empty) t.ordered_indexes;
+  t.version <- t.version + 1
 
 let pp fmt t =
   let rows = List.sort Tuple.compare (to_list t) in

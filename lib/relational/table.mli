@@ -14,6 +14,11 @@ val create : Schema.t -> t
 val schema : t -> Schema.t
 val cardinality : t -> int
 
+val version : t -> int
+(** Monotonic mutation counter: bumped by [insert], [delete],
+    [delete_by_key] and [clear].  Solver-side estimate caches use it to
+    detect that a cached [estimate_matches] answer went stale. *)
+
 val create_index : t -> int array -> unit
 (** Add a secondary hash index on the given column indices (idempotent).
     Existing rows are indexed immediately. *)

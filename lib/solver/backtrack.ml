@@ -178,12 +178,28 @@ let rec propagate_fix db stats subst goals =
   | Some (subst', goals', changed) ->
     if changed then propagate_fix db stats subst' goals' else Some (subst', goals')
 
-(* Candidate estimate for branching choice. *)
-let atom_estimate db subst a =
+(* Estimate cache for one solve call: [pick_branch] re-ranks every goal at
+   every choice point, and distinct goals with the same post-substitution
+   (relation, pattern) shape share one [Table.estimate_matches] answer.
+   Entries remember the table version they were computed at, so a table
+   mutation invalidates them (a stale entry misses instead of lying). *)
+type est_cache = (string * Table.pattern, int * int) Hashtbl.t
+
+(* Candidate estimate for branching choice, through the cache. *)
+let atom_estimate_cached db (cache : est_cache) subst a =
   let a = Subst.apply_atom subst a in
   match Database.find_table db a.Atom.rel with
   | None -> 0
-  | Some table -> Table.estimate_matches table (Atom.to_pattern a)
+  | Some table ->
+    let pat = Atom.to_pattern a in
+    let key = (a.Atom.rel, pat) in
+    let version = Table.version table in
+    (match Hashtbl.find_opt cache key with
+     | Some (v, est) when v = version -> est
+     | _ ->
+       let est = Table.estimate_matches table pat in
+       Hashtbl.replace cache key (version, est);
+       est)
 
 (* Does any branch of the disjunction contain a positive atom?  Such OR
    nodes are *generators* (e.g. ground-on-db vs ground-on-pending-insert
@@ -200,22 +216,30 @@ let rec formula_has_atom = function
 (* Pick the goal to branch on: the positive atom or generator-OR node with
    the fewest alternatives; constraint-OR nodes only when nothing else is
    left.  Returns the goal and the list without it. *)
-let pick_branch db subst goals =
+let pick_branch db cache subst goals =
   let best = ref None and fallback = ref None in
   let consider cell goal cost =
     match !cell with
     | Some (_, c) when c <= cost -> ()
     | _ -> cell := Some (goal, cost)
   in
-  List.iter
-    (fun goal ->
-      match goal with
-      | G_atom a -> consider best goal (atom_estimate db subst a)
-      | G_or fs ->
-        if List.exists formula_has_atom fs then consider best goal (List.length fs)
-        else consider fallback goal (List.length fs)
-      | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> ())
-    goals;
+  (try
+     List.iter
+       (fun goal ->
+         match goal with
+         | G_atom a ->
+           let cost = atom_estimate_cached db cache subst a in
+           consider best goal cost;
+           (* An empty candidate set cannot be beaten, and ties break to
+              the first goal in list order either way: stop scanning.
+              (OR goals always cost >= 1, so this is the global minimum.) *)
+           if cost = 0 then raise Exit
+         | G_or fs ->
+           if List.exists formula_has_atom fs then consider best goal (List.length fs)
+           else consider fallback goal (List.length fs)
+         | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> ())
+       goals
+   with Exit -> ());
   let chosen =
     match !best with
     | Some _ as b -> b
@@ -243,12 +267,13 @@ let solve_goals ?(node_limit = default_node_limit) db stats subst goals =
   (* The budget is per call: [stats] may be a long-lived cumulative
      counter shared across the engine's lifetime. *)
   let node_ceiling = stats.nodes + node_limit in
+  let cache : est_cache = Hashtbl.create 64 in
   let rec search subst goals =
     if stats.nodes > node_ceiling then raise Too_many_nodes;
     match propagate_fix db stats subst goals with
     | None -> None
     | Some (subst, goals) ->
-      (match pick_branch db subst goals with
+      (match pick_branch db cache subst goals with
        | None ->
          (* Only deferred Neq / Not_atom goals remain, all with at least one
             unbound, otherwise-unconstrained variable: vacuously satisfiable
@@ -365,15 +390,21 @@ let solutions ?(node_limit = default_node_limit) ?(seed = Subst.empty) ?stats ?(
     if !count >= limit then raise Done
   in
   let node_ceiling = stats.nodes + node_limit in
+  let cache : est_cache = Hashtbl.create 64 in
   let rec search subst goals =
     if stats.nodes > node_ceiling then raise Too_many_nodes;
     match propagate_fix db stats subst goals with
     | None -> ()
     | Some (subst, goals) ->
-      (match pick_branch db subst goals with
+      (match pick_branch db cache subst goals with
        | None -> emit subst
        | Some (goal, rest) ->
          stats.nodes <- stats.nodes + 1;
+         (* A choice point none of whose alternatives led to a solution is
+            one dead end — the same accounting [solve] uses for an empty
+            candidate stream.  [Done] (the enumeration limit) escapes
+            before the increment, like a success would. *)
+         let emitted = !count in
          (match goal with
           | G_atom a ->
             let a = Subst.apply_atom subst a in
@@ -395,7 +426,14 @@ let solutions ?(node_limit = default_node_limit) ?(seed = Subst.empty) ?stats ?(
                 | Some branch_goals -> search subst (branch_goals @ rest)
                 | None -> ())
               fs
-          | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> assert false))
+          | G_neq _ | G_not_atom _ | G_key_free _ | G_lt _ | G_le _ -> assert false);
+         if !count = emitted then begin
+           stats.backtracks <- stats.backtracks + 1;
+           if Obs.Trace.on () then
+             Obs.Trace.instant ~cat:"solver"
+               ~args:[ ("node", Obs.Trace.Int stats.nodes) ]
+               "solver.backtrack"
+         end)
   in
   solve_span "solver.solutions" stats
     (fun () -> !results <> [])

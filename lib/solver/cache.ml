@@ -75,10 +75,24 @@ let set_witness t subst = t.witnesses <- [ subst ]
 
 let store_witness t subst = t.witnesses <- truncate t (subst :: t.witnesses)
 
+(* From-scratch admission solve: no witness extension, one unseeded solve
+   of the whole composed body, witness stored on success.  This is the
+   [--no-incremental] ablation path and the reference the seeded path's
+   outcomes are tested against. *)
+let resolve_full ?node_limit t db formula =
+  t.stats.full_solves <- t.stats.full_solves + 1;
+  match Backtrack.solve ?node_limit ~stats:t.solver_stats db formula with
+  | Some subst ->
+    store_witness t subst;
+    Some subst
+  | None -> None
+
 (* Try to extend each cached witness over [new_clauses]; on a hit the
    successful base moves to the front (LRU).  On miss, re-solve
    [full_formula] from scratch.  Returns the new witness (and caches it)
-   or [None] when the full formula is unsatisfiable. *)
+   or [None] when the full formula is unsatisfiable.  [full_formula] is
+   lazy: an extension hit never needs the flattened whole-body
+   conjunction, so the admission hot path skips building it. *)
 let extend_or_resolve ?node_limit t db ~new_clauses ~full_formula =
   let bases_tried = ref 0 in
   let rec try_bases tried = function
@@ -106,14 +120,7 @@ let extend_or_resolve ?node_limit t db ~new_clauses ~full_formula =
         "cache.extend_hit";
     hit
   | None ->
-    t.stats.full_solves <- t.stats.full_solves + 1;
-    let result =
-      match Backtrack.solve ?node_limit ~stats:t.solver_stats db full_formula with
-      | Some subst ->
-        store_witness t subst;
-        Some subst
-      | None -> None
-    in
+    let result = resolve_full ?node_limit t db (Lazy.force full_formula) in
     if Obs.Trace.on () then
       Obs.Trace.instant ~cat:"cache"
         ~args:

@@ -38,12 +38,19 @@ val extend_or_resolve :
   t ->
   Relational.Database.t ->
   new_clauses:Logic.Formula.t ->
-  full_formula:Logic.Formula.t ->
+  full_formula:Logic.Formula.t Lazy.t ->
   Logic.Subst.t option
 (** Try to extend each cached witness over [new_clauses] (successful base
-    promoted, LRU); on miss re-solve [full_formula].  Caches and returns
-    the resulting witness; [None] means the composed body is
-    unsatisfiable and admission must be refused. *)
+    promoted, LRU); on miss force and re-solve [full_formula].  Caches
+    and returns the resulting witness; [None] means the composed body is
+    unsatisfiable and admission must be refused.  [full_formula] is lazy
+    so extension hits never pay for flattening the whole body. *)
+
+val resolve_full :
+  ?node_limit:int -> t -> Relational.Database.t -> Logic.Formula.t -> Logic.Subst.t option
+(** One unseeded solve of the whole composed body, skipping witness
+    extension (the from-scratch ablation path); stores the witness and
+    counts a full solve. *)
 
 val revalidate : t -> Relational.Database.t -> Logic.Formula.t -> bool
 (** After an external write: drop witnesses the current database no

@@ -20,6 +20,59 @@ echo "== crash-monkey under domain pool =="
 # pool: WAL ordering and recovery must not care where solver work ran.
 dune exec bin/qdb_cli.exe -- crashmonkey --cycles 50 --seed 7 --domains 2
 
+echo "== admission sweep (incremental vs from-scratch) =="
+# Pending-depth sweep at k in {5,10,20,40}, each with delta composition
+# on and off; the bench itself exits non-zero when accept/reject
+# outcomes diverge between the modes or across 1/2/4-domain pools.
+# Runs before the micro smoke so the final metrics.json carries the
+# micro gauges the telemetry check expects.
+rm -f results/BENCH_admission.json
+dune exec bench/main.exe -- --only admission
+
+echo "== admission regression gate =="
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("results/BENCH_admission.json") as f:
+        fresh = json.load(f)
+except Exception as e:
+    sys.exit(f"FAIL: results/BENCH_admission.json invalid: {e}")
+if fresh.get("schema") != "qdb.bench.admission/v1":
+    sys.exit("FAIL: unexpected admission schema")
+if not fresh.get("deterministic"):
+    sys.exit("FAIL: admission outcomes diverged across modes or domain counts")
+try:
+    with open("BENCH_admission.json") as f:
+        base = json.load(f)
+except FileNotFoundError:
+    sys.exit("FAIL: committed BENCH_admission.json baseline is missing")
+if fresh["workload"] != base["workload"]:
+    sys.exit("FAIL: admission workload drifted from the committed baseline; "
+             "re-record BENCH_admission.json")
+# Gate on the k=20 cost RELATIVE to the from-scratch ablation measured
+# in the same process, not on absolute wall time: the incremental run is
+# ~0.6ms total, where run-to-run machine noise alone exceeds 25%, while
+# the relative cost is self-normalizing and still blows up if delta
+# composition or witness seeding regresses toward from-scratch.
+def rel_cost(rec, k):
+    by_mode = {p["mode"]: p["ns_per_admission"]
+               for p in rec["series"] if p["k"] == k}
+    if "incremental" not in by_mode or "from-scratch" not in by_mode:
+        sys.exit(f"FAIL: k={k} points missing from admission series")
+    if not by_mode["from-scratch"]:
+        sys.exit(f"FAIL: zero from-scratch time at k={k}")
+    return by_mode["incremental"] / by_mode["from-scratch"]
+now, then = rel_cost(fresh, 20), rel_cost(base, 20)
+ratio = now / then if then else 1.0
+print(f"k=20 incremental/from-scratch cost: {now:.3f} vs baseline {then:.3f} ({ratio:.2f}x)")
+if ratio > 1.25:
+    sys.exit(f"FAIL: k=20 relative admission cost regressed {ratio:.2f}x (>1.25x)")
+speedup = {s["k"]: s["x"] for s in fresh.get("speedup_vs_scratch", [])}.get(20, 0.0)
+if speedup < 2.0:
+    sys.exit(f"FAIL: incremental speedup at k=20 is {speedup:.2f}x (<2x vs from-scratch)")
+print(f"ok: admission baseline within 25% (k=20 speedup {speedup:.2f}x vs from-scratch)")
+EOF
+
 echo "== bench smoke (micro) =="
 rm -f results/metrics.json
 dune exec bench/main.exe -- --only micro

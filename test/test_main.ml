@@ -22,6 +22,7 @@ let () =
       ("crash-monkey", Test_crash_monkey.suite);
       ("partition", Test_partition.suite);
       ("engine-edge", Test_engine_edge.suite);
+      ("incremental", Test_incremental.suite);
       ("session", Test_session.suite);
       ("parser", Test_parser.suite);
       ("sql-parser", Test_sql_parser.suite);

@@ -203,7 +203,7 @@ let test_cache_extension () =
   let cache = Solver.Cache.create () in
   let x = Term.fresh_var "x" and y = Term.fresh_var "y" in
   let f1 = Formula.Atom (Atom.make "R" [ Term.V x; Term.int 1 ]) in
-  (match Solver.Cache.extend_or_resolve cache db ~new_clauses:f1 ~full_formula:f1 with
+  (match Solver.Cache.extend_or_resolve cache db ~new_clauses:f1 ~full_formula:(lazy f1) with
    | Some _ -> ()
    | None -> Alcotest.fail "first solve failed");
   Alcotest.(check int) "first was a full solve" 1 (Solver.Cache.stats cache).Solver.Cache.full_solves;
@@ -211,7 +211,7 @@ let test_cache_extension () =
   let f2 = Formula.Atom (Atom.make "R" [ Term.int 1; Term.V y ]) in
   (match
      Solver.Cache.extend_or_resolve cache db ~new_clauses:f2
-       ~full_formula:(Formula.and_ [ f1; f2 ])
+       ~full_formula:(lazy (Formula.and_ [ f1; f2 ]))
    with
    | Some _ -> ()
    | None -> Alcotest.fail "extension failed");
@@ -220,7 +220,7 @@ let test_cache_extension () =
   let f3 = Formula.Atom (Atom.make "R" [ Term.int 9; Term.int 9 ]) in
   Alcotest.(check bool) "unsat refused" true
     (Solver.Cache.extend_or_resolve cache db ~new_clauses:f3
-       ~full_formula:(Formula.and_ [ f1; f2; f3 ])
+       ~full_formula:(lazy (Formula.and_ [ f1; f2; f3 ]))
      = None);
   (* Witness survives rejection. *)
   Alcotest.(check bool) "witness kept" true (Option.is_some (Solver.Cache.witness cache))
@@ -230,7 +230,7 @@ let test_cache_revalidate () =
   let cache = Solver.Cache.create () in
   let x = Term.fresh_var "x" in
   let f = Formula.Atom (Atom.make "R" [ Term.V x; Term.int 1 ]) in
-  ignore (Solver.Cache.extend_or_resolve cache db ~new_clauses:f ~full_formula:f);
+  ignore (Solver.Cache.extend_or_resolve cache db ~new_clauses:f ~full_formula:(lazy f));
   Alcotest.(check bool) "valid after solve" true (Solver.Cache.revalidate cache db f);
   (* Remove the supporting row: witness must be dropped. *)
   ignore (Database.apply_ops db [ Database.Delete ("R", Tuple.of_list [ Value.Int 0; Value.Int 1 ]) ]);
@@ -242,7 +242,7 @@ let test_cache_multi_witness () =
   let cache = Solver.Cache.create ~capacity:3 () in
   let x = Term.fresh_var "x" and y = Term.fresh_var "y" in
   let f = Formula.Atom (Atom.make "R" [ Term.V x; Term.V y ]) in
-  ignore (Solver.Cache.extend_or_resolve cache db ~new_clauses:f ~full_formula:f);
+  ignore (Solver.Cache.extend_or_resolve cache db ~new_clauses:f ~full_formula:(lazy f));
   Alcotest.(check int) "one witness after solve" 1 (List.length (Solver.Cache.witnesses cache));
   (* Refill tops the cache up to capacity with distinct solutions. *)
   Alcotest.(check int) "refilled to capacity" 3 (Solver.Cache.refill cache db f);
@@ -264,14 +264,14 @@ let test_cache_spare_absorbs_extension () =
   let cache = Solver.Cache.create ~capacity:2 () in
   let x = Term.fresh_var "x" and y = Term.fresh_var "y" in
   let f = Formula.Atom (Atom.make "R" [ Term.V x; Term.V y ]) in
-  ignore (Solver.Cache.extend_or_resolve cache db ~new_clauses:f ~full_formula:f);
+  ignore (Solver.Cache.extend_or_resolve cache db ~new_clauses:f ~full_formula:(lazy f));
   ignore (Solver.Cache.refill cache db f);
   Alcotest.(check int) "two witnesses" 2 (List.length (Solver.Cache.witnesses cache));
   (* New clause: x must be 1 — contradicts whichever witness picked x=0. *)
   let clause = Formula.Eq (Term.V x, Term.int 1) in
   (match
      Solver.Cache.extend_or_resolve cache db ~new_clauses:clause
-       ~full_formula:(Formula.and_ [ f; clause ])
+       ~full_formula:(lazy (Formula.and_ [ f; clause ]))
    with
    | Some w ->
      Alcotest.(check bool) "x pinned to 1" true
