@@ -203,6 +203,10 @@ let () =
     let dir = Option.value !Common.csv_dir ~default:"results" in
     ignore (Scaling.write ~path:(Filename.concat dir "BENCH_scaling.json") r)
   end;
+  (* Rejection-path smoke, opt-in: over-capacity workload asserting the
+     rejection counters, rejected-outcome spans and flight-recorder
+     records all fire; Harness.Rejection.run raises on any violation. *)
+  if List.mem "rejection" only then ignore (Harness.Rejection.run ());
   (* Pending-depth sweep for the incremental-admission path, also opt-in:
      each k runs with delta composition on and off and cross-checks the
      outcomes before recording. *)

@@ -9,13 +9,23 @@
      stats  — run a travel workload and print the engine's telemetry
               registry (pretty, prometheus or json); with --wal FILE,
               recover from that log instead and print the registry with
-              the wal.recovery.* gauges
+              the wal.recovery.* gauges; --top-slow N appends the N
+              slowest admissions from the flight recorder
+     profile — run a travel workload with the flight recorder on and
+              print where admission time went: per-phase totals, the
+              slowest per-admission records, and (with --slow-ms) the
+              record + span dump of each admission over the threshold
      crashmonkey — deterministic crash/recover cycles with fault
               injection; exits 1 on any recovery-invariant violation;
               --domains N runs each cycle's refill fan-out on a pool
      scaling — the Figure-7 domain-pool sweep: the same seeded sharded
               workload at each --domains count, asserting identical
-              outcomes, writing the BENCH_scaling.json series
+              outcomes, writing the BENCH_scaling.json series (schema v2,
+              per-phase time breakdown)
+     bench diff — compare a fresh bench recording against a committed
+              baseline and exit non-zero past the --gate threshold; the
+              one regression comparator scripts/ci.sh calls for both the
+              admission and the scaling gates
    Every non-interactive subcommand takes --trace FILE to capture a
    Chrome trace_event JSON of the engine's spans.
    (micro-benchmarks live in bench/main.exe) *)
@@ -163,10 +173,12 @@ let pp_registry registry =
         if H.count h = 0 then Buffer.add_string b (Printf.sprintf "%-28s (empty)\n" name)
         else
           Buffer.add_string b
-            (Printf.sprintf "%-28s count=%d p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n"
+            (Printf.sprintf
+               "%-28s count=%d p50=%.1fus p90=%.1fus p99=%.1fus p999=%.1fus max=%.1fus\n"
                name (H.count h)
                (H.quantile h 0.5 *. 1e6) (H.quantile h 0.9 *. 1e6)
-               (H.quantile h 0.99 *. 1e6) (H.max_value h *. 1e6)))
+               (H.quantile h 0.99 *. 1e6) (H.quantile h 0.999 *. 1e6)
+               (H.max_value h *. 1e6)))
     (Obs.Registry.items registry);
   print_string (Buffer.contents b)
 
@@ -188,14 +200,11 @@ let run_stats_wal format path =
    | `Prometheus -> print_string (Obs.Export.prometheus registry)
    | `Json -> print_endline (Obs.Export.json_snapshot_string registry))
 
-let run_stats format trace flights rows read_fraction wal =
-  match wal with
-  | Some path -> run_stats_wal format path
-  | None ->
-  with_trace trace @@ fun () ->
+(* The shared workload driver for stats/profile: one engine, the op
+   stream sized to seat capacity as in Figures 5/6 (2 users per pair,
+   3 seats per row). *)
+let run_travel_workload ~flights ~rows ~read_fraction =
   let geometry = { Flights.flights; rows_per_flight = rows; dest = "LA" } in
-  (* Users sized to seat capacity, as in Figures 5/6 (2 users per pair,
-     3 seats per row). *)
   let spec =
     { Workload.Runner.default_spec with
       geometry;
@@ -215,14 +224,80 @@ let run_stats format trace flights rows read_fraction wal =
       | Workload.Runner.Read_seat u -> ignore (Qdb.read qdb (Travel.seat_query u)))
     ops;
   ignore (Qdb.ground_all qdb);
+  (qdb, List.length ops)
+
+(* -- flight-recorder reporting (shared by stats --top-slow and profile) ------- *)
+
+module Flight = Obs.Flight
+
+let us ns = float_of_int ns /. 1e3
+
+(* The per-record "coord" column: everything around the admission pipeline
+   proper — queue wait, snapshot freeze, worker-side residue, merge and
+   install time charged while the admission was open on its domain. *)
+let coordination_ns (r : Flight.record) =
+  List.fold_left
+    (fun acc ph -> acc + Flight.record_phase_ns r ph)
+    0
+    [ Flight.Queue; Flight.Freeze; Flight.Compute; Flight.Merge; Flight.Install;
+      Flight.Coordination ]
+
+let print_top_slow n =
+  match Flight.top_slow n with
+  | [] -> print_endline "(flight recorder: no admission records)"
+  | records ->
+    Common.subsection
+      (Printf.sprintf "%d slowest admission(s), per-phase self time in us"
+         (List.length records));
+    let rows =
+      List.map
+        (fun (r : Flight.record) ->
+          let p ph = Common.f1 (us (Flight.record_phase_ns r ph)) in
+          [ string_of_int r.Flight.seq;
+            string_of_int r.Flight.txn_id;
+            r.Flight.label;
+            r.Flight.outcome;
+            Common.f1 (us r.Flight.total_ns);
+            p Flight.Compose;
+            p Flight.Cache;
+            p Flight.Solve;
+            p Flight.Wal;
+            p Flight.Ground;
+            Common.f1 (us (coordination_ns r));
+            string_of_int r.Flight.solver_nodes;
+            string_of_int r.Flight.chunks_reused;
+          ])
+        records
+    in
+    Common.print_table
+      ~header:
+        [ "seq"; "txn"; "label"; "outcome"; "total"; "compose"; "cache"; "solve"; "wal";
+          "ground"; "coord"; "nodes"; "reused" ]
+      rows
+
+let run_stats format trace flights rows read_fraction wal top_slow =
+  match wal with
+  | Some path -> run_stats_wal format path
+  | None ->
+  with_trace trace @@ fun () ->
+  let recorder_was_on = Flight.on () in
+  if top_slow > 0 && not recorder_was_on then Flight.enable ();
+  Fun.protect
+    ~finally:(fun () -> if top_slow > 0 && not recorder_was_on then Flight.disable ())
+  @@ fun () ->
+  let qdb, ops = run_travel_workload ~flights ~rows ~read_fraction in
   let registry = Qdb.registry qdb in
-  match format with
-  | `Pretty ->
-    Printf.printf "telemetry after %d operation(s) on %d flight(s) x %d seats:\n\n"
-      (List.length ops) flights (3 * rows);
-    pp_registry registry
-  | `Prometheus -> print_string (Obs.Export.prometheus registry)
-  | `Json -> print_endline (Obs.Export.json_snapshot_string registry)
+  (match format with
+   | `Pretty ->
+     Printf.printf "telemetry after %d operation(s) on %d flight(s) x %d seats:\n\n"
+       ops flights (3 * rows);
+     pp_registry registry
+   | `Prometheus -> print_string (Obs.Export.prometheus registry)
+   | `Json -> print_endline (Obs.Export.json_snapshot_string registry));
+  if top_slow > 0 then begin
+    print_newline ();
+    print_top_slow top_slow
+  end
 
 let stats_cmd =
   let doc = "Run a travel workload and print the engine's telemetry registry." in
@@ -244,9 +319,106 @@ let stats_cmd =
                    (lenient replay) and print the registry, including the \
                    wal.recovery.* gauges.")
   in
+  let top_slow_arg =
+    Arg.(value & opt int 0
+         & info [ "top-slow" ] ~docv:"N"
+             ~doc:"Also run the flight recorder and append the $(docv) slowest \
+                   admissions with their per-phase time split.")
+  in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run_stats $ format_arg $ trace_arg $ flights_arg $ rows_arg
-          $ read_fraction_arg $ wal_arg)
+          $ read_fraction_arg $ wal_arg $ top_slow_arg)
+
+(* -- profile ------------------------------------------------------------------- *)
+
+(* Where did admission time go?  The stats workload under the flight
+   recorder: per-phase totals against wall time, the slowest per-admission
+   records, and — past --slow-ms — each slow admission's record with the
+   trace spans of its window (spans need --trace too). *)
+
+let print_phase_totals ~wall_s =
+  Common.subsection "process-wide phase totals (exclusive self time)";
+  let rows =
+    List.filter_map
+      (fun (ph, ns) ->
+        if ns = 0 then None
+        else
+          Some
+            [ Flight.phase_name ph;
+              Printf.sprintf "%.4f" (float_of_int ns *. 1e-9);
+              (if wall_s > 0. then Common.f1 (100. *. float_of_int ns *. 1e-9 /. wall_s)
+               else "-");
+            ])
+      (Flight.totals ())
+  in
+  Common.print_table ~header:[ "phase"; "seconds"; "% of wall" ] rows;
+  let attributed = float_of_int (Flight.total_attributed_ns ()) *. 1e-9 in
+  Printf.printf "attributed %.3fs of %.3fs wall (%.1f%%)\n%!" attributed wall_s
+    (if wall_s > 0. then 100. *. attributed /. wall_s else 0.)
+
+let print_slow_dumps () =
+  match Flight.slow_dumps () with
+  | [] -> ()
+  | dumps ->
+    print_newline ();
+    Common.subsection (Printf.sprintf "%d slow-admission dump(s)" (List.length dumps));
+    List.iter
+      (fun ((r : Flight.record), events) ->
+        Printf.printf "txn %d (%s, %s): %.1fus total, %d solver node(s), %d span(s) in window\n"
+          r.Flight.txn_id r.Flight.label r.Flight.outcome (us r.Flight.total_ns)
+          r.Flight.solver_nodes (List.length events);
+        List.iter
+          (fun (e : Obs.Trace.event) ->
+            Printf.printf "    %-28s %.1fus\n" e.Obs.Trace.name
+              (Int64.to_float e.Obs.Trace.dur_ns /. 1e3))
+          events)
+      dumps
+
+let run_profile trace flights rows read_fraction top slow_ms =
+  with_trace trace @@ fun () ->
+  let slow_threshold_ns =
+    match slow_ms with
+    | None -> Int64.max_int
+    | Some ms -> Int64.of_float (ms *. 1e6)
+  in
+  Flight.enable ~slow_threshold_ns ();
+  Fun.protect ~finally:(fun () -> Flight.disable ()) @@ fun () ->
+  let t0 = Obs.Mclock.now_ns () in
+  let _qdb, ops = run_travel_workload ~flights ~rows ~read_fraction in
+  let wall_s = Obs.Mclock.elapsed_s t0 in
+  Common.section
+    (Printf.sprintf "admission profile: %d operation(s) on %d flight(s) x %d seats, %.3fs wall"
+       ops flights (3 * rows) wall_s);
+  print_phase_totals ~wall_s;
+  print_newline ();
+  print_top_slow top;
+  Printf.printf "(%d admission(s) recorded, %d overwritten in the %d-record ring)\n%!"
+    (Flight.recorded ()) (Flight.dropped ()) (Flight.capacity ());
+  print_slow_dumps ()
+
+let profile_cmd =
+  let doc =
+    "Run a travel workload under the flight recorder and print where admission time went."
+  in
+  let read_fraction_arg =
+    Arg.(value & opt float 0.2
+         & info [ "read-fraction" ] ~doc:"Fraction of the op stream that is reads.")
+  in
+  let rows_arg = Arg.(value & opt int 17 & info [ "rows" ] ~doc:"Seat rows per flight.") in
+  let flights_arg = Arg.(value & opt int 2 & info [ "flights" ] ~doc:"Number of flights.") in
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N" ~doc:"How many of the slowest admissions to print.")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Dump the record and trace-span window of every admission slower \
+                   than $(docv) milliseconds (combine with --trace for spans).")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run_profile $ trace_arg $ flights_arg $ rows_arg $ read_fraction_arg
+          $ top_arg $ slow_ms_arg)
 
 (* -- crashmonkey --------------------------------------------------------------- *)
 
@@ -296,7 +468,8 @@ let crashmonkey_cmd =
 
 (* -- scaling ------------------------------------------------------------------- *)
 
-let run_scaling domains flights rows pairs seed out =
+let run_scaling trace domains flights rows pairs seed out =
+  with_trace trace @@ fun () ->
   let r =
     Harness.Scaling.run ~domains_list:domains ~flights ~rows ~pairs ~seed ()
   in
@@ -329,8 +502,194 @@ let scaling_cmd =
          & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON series.")
   in
   Cmd.v (Cmd.info "scaling" ~doc)
-    Term.(const run_scaling $ domains_arg $ flights_arg $ rows_arg $ pairs_arg
-          $ seed_arg $ out_arg)
+    Term.(const run_scaling $ trace_arg $ domains_arg $ flights_arg $ rows_arg
+          $ pairs_arg $ seed_arg $ out_arg)
+
+(* -- bench diff ---------------------------------------------------------------- *)
+
+(* The one regression comparator.  scripts/ci.sh used to carry two
+   copy-pasted inline gates (admission and scaling); both now call
+
+     qdb_cli bench diff BASELINE CURRENT --gate PCT
+
+   which checks, shared across schemas: same schema string, identical
+   workload object, current recording deterministic.  Then per schema:
+
+     qdb.bench.admission/v1 — the k=20 incremental/from-scratch cost
+       ratio must not exceed the baseline's by more than PCT percent,
+       and the k=20 incremental speedup must stay >= 2x;
+     qdb.bench.scaling/v2 — the 1-domain ns/admission must not exceed
+       the baseline's by more than PCT percent, and every point must
+       carry a phases_s breakdown attributing >= 95% of its wall time.
+
+   Exits 1 with a FAIL line on any violation, 0 with OK lines otherwise. *)
+
+module Json = Obs.Json
+
+let bench_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "FAIL: %s\n%!" msg;
+      exit 1)
+    fmt
+
+let bench_load label path =
+  let text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> bench_fail "%s: %s" label msg
+  in
+  try Json.of_string text with Json.Parse_error msg -> bench_fail "%s (%s): %s" label path msg
+
+let jstr label name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> s
+  | None -> bench_fail "%s: missing string field %S" label name
+
+let jnum label name j =
+  match Option.bind (Json.member name j) Json.to_number with
+  | Some x -> x
+  | None -> bench_fail "%s: missing numeric field %S" label name
+
+let jseries label j =
+  match Json.member "series" j with
+  | Some (Json.List points) -> points
+  | _ -> bench_fail "%s: missing \"series\" array" label
+
+(* Admission v1: cost of the k-th admission, incremental over from-scratch. *)
+let admission_rel_cost label ~k j =
+  let find mode =
+    List.find_opt
+      (fun p ->
+        Option.bind (Json.member "k" p) Json.to_number = Some (float_of_int k)
+        && Option.bind (Json.member "mode" p) Json.to_str = Some mode)
+      (jseries label j)
+  in
+  match find "incremental", find "from-scratch" with
+  | Some inc, Some scratch ->
+    let ni = jnum label "ns_per_admission" inc in
+    let ns = jnum label "ns_per_admission" scratch in
+    if ns <= 0. then bench_fail "%s: from-scratch ns_per_admission is %g at k=%d" label ns k;
+    ni /. ns
+  | _ -> bench_fail "%s: no k=%d incremental/from-scratch point pair" label k
+
+let admission_speedup label ~k j =
+  let points =
+    match Json.member "speedup_vs_scratch" j with
+    | Some (Json.List l) -> l
+    | _ -> bench_fail "%s: missing \"speedup_vs_scratch\" array" label
+  in
+  match
+    List.find_opt
+      (fun p -> Option.bind (Json.member "k" p) Json.to_number = Some (float_of_int k))
+      points
+  with
+  | Some p -> jnum label "x" p
+  | None -> bench_fail "%s: no k=%d speedup point" label k
+
+(* Scaling v2: ns/admission of the 1-domain point. *)
+let scaling_base_cost label j =
+  match
+    List.find_opt
+      (fun p -> Option.bind (Json.member "domains" p) Json.to_number = Some 1.)
+      (jseries label j)
+  with
+  | Some p -> jnum label "ns_per_admission" p
+  | None -> bench_fail "%s: no 1-domain point" label
+
+let scaling_check_phases label j =
+  List.iter
+    (fun p ->
+      let domains = int_of_float (jnum label "domains" p) in
+      let phases =
+        match Json.member "phases_s" p with
+        | Some (Json.Obj fields) -> fields
+        | _ -> bench_fail "%s: %d-domain point has no \"phases_s\" breakdown" label domains
+      in
+      List.iter
+        (fun bucket ->
+          if not (List.mem_assoc bucket phases) then
+            bench_fail "%s: %d-domain phases_s lacks %S" label domains bucket)
+        [ "queue_wait"; "freeze"; "compute"; "merge"; "install"; "wal" ];
+      let attributed = jnum label "attributed_pct" p in
+      if attributed < 95. then
+        bench_fail "%s: %d-domain point attributes only %.1f%% of wall time (floor: 95%%)"
+          label domains attributed)
+    (jseries label j)
+
+let run_bench_diff baseline_path current_path gate =
+  let baseline = bench_load "baseline" baseline_path in
+  let current = bench_load "current" current_path in
+  let schema = jstr "baseline" "schema" baseline in
+  let schema_cur = jstr "current" "schema" current in
+  if not (String.equal schema schema_cur) then
+    bench_fail "schema mismatch: baseline %s vs current %s" schema schema_cur;
+  (* Apples to apples: identical workload objects, field for field. *)
+  (match Json.member "workload" baseline, Json.member "workload" current with
+   | Some wb, Some wc ->
+     if not (String.equal (Json.to_string wb) (Json.to_string wc)) then
+       bench_fail "workload mismatch: baseline %s vs current %s" (Json.to_string wb)
+         (Json.to_string wc)
+   | _ -> bench_fail "missing \"workload\" object");
+  (match Option.bind (Json.member "deterministic" current) (function
+     | Json.Bool b -> Some b
+     | _ -> None)
+   with
+   | Some true -> ()
+   | _ -> bench_fail "current recording is not deterministic");
+  let allowed = 1. +. (gate /. 100.) in
+  let check_ratio what base cur =
+    let ratio = if base > 0. then cur /. base else infinity in
+    if ratio > allowed then
+      bench_fail "%s regressed: %.1f vs baseline %.1f (%.2fx > allowed %.2fx)" what cur base
+        ratio allowed;
+    Printf.printf "OK: %s %.1f vs baseline %.1f (%.2fx <= %.2fx)\n" what cur base ratio
+      allowed
+  in
+  (match schema with
+   | "qdb.bench.admission/v1" ->
+     let k = 20 in
+     check_ratio
+       (Printf.sprintf "k=%d incremental/from-scratch cost ratio (x1000)" k)
+       (1000. *. admission_rel_cost "baseline" ~k baseline)
+       (1000. *. admission_rel_cost "current" ~k current);
+     let speedup = admission_speedup "current" ~k current in
+     if speedup < 2.0 then
+       bench_fail "k=%d incremental speedup %.2fx below the 2x floor" k speedup;
+     Printf.printf "OK: k=%d incremental speedup %.2fx (floor 2x)\n" k speedup
+   | "qdb.bench.scaling/v2" ->
+     check_ratio "1-domain ns/admission"
+       (scaling_base_cost "baseline" baseline)
+       (scaling_base_cost "current" current);
+     scaling_check_phases "current" current;
+     Printf.printf "OK: per-phase attribution >= 95%% of wall at every domain count\n"
+   | other -> bench_fail "unsupported schema %S" other);
+  Printf.printf "bench diff: %s within %.0f%% of %s\n%!" current_path gate baseline_path
+
+let bench_cmd =
+  let diff_cmd =
+    let doc =
+      "Compare a fresh bench recording against a committed baseline; exit 1 past the gate."
+    in
+    let baseline_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE" ~doc:"Committed baseline JSON.")
+    in
+    let current_arg =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"CURRENT" ~doc:"Fresh recording JSON.")
+    in
+    let gate_arg =
+      Arg.(value & opt float 25.
+           & info [ "gate" ] ~docv:"PCT"
+               ~doc:"Allowed headline-cost regression over the baseline, percent.")
+    in
+    Cmd.v (Cmd.info "diff" ~doc)
+      Term.(const run_bench_diff $ baseline_arg $ current_arg $ gate_arg)
+  in
+  let doc = "Bench-recording tooling (regression comparison)." in
+  Cmd.group (Cmd.info "bench" ~doc) [ diff_cmd ]
 
 (* -- shell --------------------------------------------------------------------- *)
 
@@ -462,4 +821,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ exp_cmd; demo_cmd; shell_cmd; stats_cmd; crashmonkey_cmd; scaling_cmd ]))
+          [ exp_cmd; demo_cmd; shell_cmd; stats_cmd; profile_cmd; crashmonkey_cmd;
+            scaling_cmd; bench_cmd ]))

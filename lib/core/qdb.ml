@@ -198,13 +198,19 @@ let check_admission t (p : Partition.partition) ~new_clauses ~full_formula =
     Solver.Cache.extend_or_resolve ~node_limit:t.config.node_limit p.Partition.cache database
       ~new_clauses ~full_formula
   | Limit_one_plan depth ->
-    (match Solver.Limit_one.solve ~search_depth:depth database (Lazy.force full_formula) with
+    (match
+       Obs.Flight.time Obs.Flight.Solve (fun () ->
+           Solver.Limit_one.solve ~search_depth:depth database (Lazy.force full_formula))
+     with
      | Some w ->
        Solver.Cache.set_witness p.Partition.cache w;
        Some w
      | None -> None)
   | Sat_backend ->
-    (match Sat.Encode.solve database (Lazy.force full_formula) with
+    (match
+       Obs.Flight.time Obs.Flight.Solve (fun () ->
+           Sat.Encode.solve database (Lazy.force full_formula))
+     with
      | Some (Some w) ->
        Solver.Cache.set_witness p.Partition.cache w;
        Some w
@@ -281,12 +287,14 @@ let ground_partition_body t (p : Partition.partition) target_ids =
       let targets, others = List.partition is_target arrival in
       let reordered = targets @ others in
       let reordered_body =
-        Compose.body_of_sequence ~check_inserts:t.config.check_inserts
-          ~key_of:(key_resolver t.store) reordered
+        Obs.Flight.time Obs.Flight.Compose (fun () ->
+            Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+              ~key_of:(key_resolver t.store) reordered)
       in
       let sat seed =
-        Solver.Backtrack.satisfiable ~node_limit:t.config.node_limit ?seed
-          ~stats:t.metrics.Metrics.solver_stats database reordered_body
+        Obs.Flight.time Obs.Flight.Solve (fun () ->
+            Solver.Backtrack.satisfiable ~node_limit:t.config.node_limit ?seed
+              ~stats:t.metrics.Metrics.solver_stats database reordered_body)
       in
       let reorder_ok =
         match others_seed targets with
@@ -309,14 +317,16 @@ let ground_partition_body t (p : Partition.partition) target_ids =
       match precomposed with
       | Some f -> f
       | None ->
-        Compose.body_of_sequence ~check_inserts:t.config.check_inserts
-          ~key_of:(key_resolver t.store) sequence
+        Obs.Flight.time Obs.Flight.Compose (fun () ->
+            Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+              ~key_of:(key_resolver t.store) sequence)
     in
     let soft = soft_units sequence grounded_txns in
     let soft_formulas = List.map snd soft in
     let solve ?seed ?(node_limit = t.config.node_limit) () =
-      Solver.Soft.solve ~node_limit ?seed ~stats:t.metrics.Metrics.solver_stats database ~hard
-        ~soft:soft_formulas
+      Obs.Flight.time Obs.Flight.Solve (fun () ->
+          Solver.Soft.solve ~node_limit ?seed ~stats:t.metrics.Metrics.solver_stats database
+            ~hard ~soft:soft_formulas)
     in
     let all_satisfied o = Solver.Soft.satisfied_count o = List.length soft in
     (* Seeded solve first; when the pinned context blocks some optional,
@@ -371,7 +381,7 @@ let ground_partition_body t (p : Partition.partition) target_ids =
             @ [ Database.Delete (pending_table_name, pending_row txn) ])
           grounded_txns
       in
-      (match Store.apply t.store ops with
+      (match Obs.Flight.time Obs.Flight.Wal (fun () -> Store.apply t.store ops) with
        | Ok () -> ()
        | Error err ->
          inconsistent "grounding batch failed: %s" (Database.op_error_to_string err));
@@ -411,7 +421,11 @@ let ground_in_partition t (p : Partition.partition) target_ids =
       ])
     "qdb.ground"
     (fun () ->
-      let gs = ground_partition_body t p target_ids in
+      (* Ground phase self time = orchestration; its solves and the WAL
+         batch account themselves (exclusively) inside. *)
+      let gs =
+        Obs.Flight.time Obs.Flight.Ground (fun () -> ground_partition_body t p target_ids)
+      in
       grounded := gs;
       gs)
 
@@ -485,8 +499,13 @@ let adapt_partition t (p : Partition.partition) =
    the outcome and telemetry are identical at any pool size. *)
 let refill_caches t =
   if t.config.cache_capacity > 1 then begin
+    Obs.Flight.time Obs.Flight.Coordination @@ fun () ->
     let budget = max 1000 (t.config.node_limit / 256) in
+    (* Freeze: snapshotting each partition's composed body for the worker
+       jobs — [Partition.formula] flattens (memoized) the chunk cache. *)
     let plans =
+      Obs.Flight.time Obs.Flight.Freeze @@ fun () ->
+      Obs.Trace.span ~cat:"qdb" "qdb.freeze" @@ fun () ->
       List.filter_map
         (fun p ->
           Option.map
@@ -500,12 +519,21 @@ let refill_caches t =
       let database = db t in
       let results =
         pool_map t
-          (fun (_, job) ->
+          (fun ((p : Partition.partition), job) ->
+            Obs.Trace.span ~cat:"cache"
+              ~args:(fun () -> [ ("partition", Obs.Trace.Int p.Partition.pid) ])
+              "cache.refill_compute"
+            @@ fun () ->
             let stats = Solver.Backtrack.fresh_stats () in
             let fresh = Solver.Cache.refill_compute ~node_limit:budget ~stats database job in
             (fresh, stats))
           plans
       in
+      Obs.Flight.time Obs.Flight.Install @@ fun () ->
+      Obs.Trace.span ~cat:"cache"
+        ~args:(fun () -> [ ("partitions", Obs.Trace.Int (List.length plans)) ])
+        "cache.install"
+      @@ fun () ->
       List.iter2
         (fun (p, _) (fresh, stats) ->
           Solver.Backtrack.add_stats ~into:t.metrics.Metrics.solver_stats stats;
@@ -606,17 +634,22 @@ let rec admit t txn ~attempts =
        (or a non-default backend needs it); the ablation recomposes the
        whole sequence from scratch instead, like the pre-incremental
        engine did. *)
+    Obs.Flight.note_chunks_reused (List.length prior);
     let new_clauses =
-      Compose.Inc.delta ~check_inserts:t.config.check_inserts
-        ~key_of:(key_resolver t.store) prior txn
+      Obs.Flight.time Obs.Flight.Compose (fun () ->
+          Compose.Inc.delta ~check_inserts:t.config.check_inserts
+            ~key_of:(key_resolver t.store) prior txn)
     in
     let full_formula =
       if t.config.incremental then
-        lazy (Formula.and_ [ Compose.Inc.formula merged_body; new_clauses ])
+        lazy
+          (Obs.Flight.time Obs.Flight.Compose (fun () ->
+               Formula.and_ [ Compose.Inc.formula merged_body; new_clauses ]))
       else
         lazy
-          (Compose.body_of_sequence ~check_inserts:t.config.check_inserts
-             ~key_of:(key_resolver t.store) (prior @ [ txn ]))
+          (Obs.Flight.time Obs.Flight.Compose (fun () ->
+               Compose.body_of_sequence ~check_inserts:t.config.check_inserts
+                 ~key_of:(key_resolver t.store) (prior @ [ txn ])))
     in
     match check_admission t p ~new_clauses ~full_formula with
     | Some _ ->
@@ -627,7 +660,8 @@ let rec admit t txn ~attempts =
       (* Durability: record the pending transaction before acknowledging
          (Section 4, Recovery). *)
       (match
-         Store.apply t.store [ Database.Insert (pending_table_name, pending_row txn) ]
+         Obs.Flight.time Obs.Flight.Wal (fun () ->
+             Store.apply t.store [ Database.Insert (pending_table_name, pending_row txn) ])
        with
        | Ok () -> ()
        | Error err -> inconsistent "pending-table insert: %s" (Database.op_error_to_string err));
@@ -653,21 +687,35 @@ let submit t txn =
   Rtxn.validate txn;
   t.next_id <- t.next_id + 1;
   let outcome = ref "exception" in
-  Metrics.observe t.metrics.Metrics.submit_latency (fun () ->
-      Obs.Trace.span ~cat:"qdb"
-        ~args:(fun () ->
-          [ ("id", Obs.Trace.Int txn.Rtxn.id);
-            ("label", Obs.Trace.Str txn.Rtxn.label);
-            ("outcome", Obs.Trace.Str !outcome);
-          ])
-        "qdb.submit"
-        (fun () ->
-          let result = admit t txn ~attempts:0 in
-          (outcome :=
-             match result with
-             | Committed _ -> "committed"
-             | Rejected _ -> "rejected");
-          result))
+  (* Flight record: one per submission, with the solver-work delta over
+     this engine's stats (phase times accrue via the recorder's own
+     instrumentation points).  Closed in [finally] so a rejected or even
+     exploding admission still leaves its record. *)
+  let stats = t.metrics.Metrics.solver_stats in
+  let nodes0 = stats.Solver.Backtrack.nodes in
+  let candidates0 = stats.Solver.Backtrack.candidates in
+  Obs.Flight.begin_admission ~txn_id:txn.Rtxn.id ~label:txn.Rtxn.label;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.end_admission ~outcome:!outcome
+        ~solver_nodes:(stats.Solver.Backtrack.nodes - nodes0)
+        ~solver_candidates:(stats.Solver.Backtrack.candidates - candidates0))
+    (fun () ->
+      Metrics.observe t.metrics.Metrics.submit_latency (fun () ->
+          Obs.Trace.span ~cat:"qdb"
+            ~args:(fun () ->
+              [ ("id", Obs.Trace.Int txn.Rtxn.id);
+                ("label", Obs.Trace.Str txn.Rtxn.label);
+                ("outcome", Obs.Trace.Str !outcome);
+              ])
+            "qdb.submit"
+            (fun () ->
+              let result = admit t txn ~attempts:0 in
+              (outcome :=
+                 match result with
+                 | Committed _ -> "committed"
+                 | Rejected _ -> "rejected");
+              result)))
 
 (* -- Reads (Section 3.2.2) ------------------------------------------------ *)
 
@@ -815,19 +863,36 @@ let write t ops =
        filter, then a full re-solve when every witness died) is pure over
        a frozen partition view, so the jobs run across the domain pool;
        cache installs and stats merges happen here, in partition order. *)
-    let checks = List.map (fun p -> (p, Partition.freeze p)) affected in
-    let outcomes =
-      pool_map t
-        (fun (_, fz) ->
-          let stats = Solver.Backtrack.fresh_stats () in
-          let outcome =
-            Solver.Cache.recheck_compute ~node_limit:t.config.node_limit ~stats database
-              ~witnesses:fz.Partition.f_witnesses ~formula:fz.Partition.f_formula
-          in
-          (outcome, stats))
-        checks
+    let checks, outcomes =
+      Obs.Flight.time Obs.Flight.Coordination @@ fun () ->
+      let checks =
+        Obs.Flight.time Obs.Flight.Freeze @@ fun () ->
+        Obs.Trace.span ~cat:"qdb" "qdb.freeze" @@ fun () ->
+        List.map (fun p -> (p, Partition.freeze p)) affected
+      in
+      let outcomes =
+        pool_map t
+          (fun ((p : Partition.partition), fz) ->
+            Obs.Trace.span ~cat:"cache"
+              ~args:(fun () -> [ ("partition", Obs.Trace.Int p.Partition.pid) ])
+              "cache.recheck_compute"
+            @@ fun () ->
+            let stats = Solver.Backtrack.fresh_stats () in
+            let outcome =
+              Solver.Cache.recheck_compute ~node_limit:t.config.node_limit ~stats database
+                ~witnesses:fz.Partition.f_witnesses ~formula:fz.Partition.f_formula
+            in
+            (outcome, stats))
+          checks
+      in
+      (checks, outcomes)
     in
     let still_ok =
+      Obs.Flight.time Obs.Flight.Install @@ fun () ->
+      Obs.Trace.span ~cat:"cache"
+        ~args:(fun () -> [ ("partitions", Obs.Trace.Int (List.length checks)) ])
+        "cache.recheck_install"
+      @@ fun () ->
       List.fold_left2
         (fun ok (p, _) (outcome, stats) ->
           Solver.Backtrack.add_stats ~into:t.metrics.Metrics.solver_stats stats;
@@ -838,7 +903,7 @@ let write t ops =
        the store so the WAL sees it. *)
     List.iter (fun op -> Database.apply_op database (Database.invert op)) (List.rev ops);
     if still_ok then begin
-      match Store.apply t.store ops with
+      match Obs.Flight.time Obs.Flight.Wal (fun () -> Store.apply t.store ops) with
       | Ok () -> Ok ()
       | Error err -> Error (Database.op_error_to_string err)
     end

@@ -58,7 +58,9 @@ let config ~incremental k =
 let sweep ?pool ~incremental k =
   let store = Flights.fresh_store { Flights.flights = 1; rows_per_flight = k; dest = "LA" } in
   let qdb = Qdb.create ~config:(config ~incremental k) ?pool store in
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic clock: Unix.gettimeofday is not NTP-safe and must not time
+     latency measurements (see lib/obs/mclock.ml). *)
+  let t0 = Obs.Mclock.now_ns () in
   let outcomes =
     List.map
       (fun u ->
@@ -67,7 +69,7 @@ let sweep ?pool ~incremental k =
         | Qdb.Rejected _ -> false)
       (users_for k)
   in
-  (qdb, outcomes, Unix.gettimeofday () -. t0)
+  (qdb, outcomes, Obs.Mclock.elapsed_s t0)
 
 let run_point ~repeats ~incremental k =
   let runs = List.init repeats (fun _ -> sweep ~incremental k) in

@@ -1,0 +1,126 @@
+(* Rejection-path smoke: drive an over-capacity workload and assert the
+   rejection observability actually fires.
+
+   Every committed bench records [rejected: 0] (their workloads are sized
+   to seat capacity), so without this check the rejection counters, the
+   rejected-outcome submit spans and the flight-recorder records for
+   rejected admissions are dead code as far as CI is concerned.  Here one
+   flight has 6 seats and 16 travellers book plain (any-seat) txns: the
+   first 6 admissions commit, every later composed body is pigeonhole-
+   unsatisfiable and must be rejected — deterministically, whatever the
+   engine configuration defaults are.
+
+   [run] enables tracing + the flight recorder for its own window
+   (restoring the previous state), checks every assertion, and raises
+   [Failure] on any violation — bench/main exits non-zero on it, which is
+   what scripts/ci.sh gates on. *)
+
+module Qdb = Quantum.Qdb
+module Travel = Workload.Travel
+module Flights = Workload.Flights
+module Trace = Obs.Trace
+module Flight = Obs.Flight
+
+type summary = {
+  submitted : int;
+  committed : int;
+  rejected : int;
+  rejection_spans : int; (* qdb.submit spans with outcome "rejected" *)
+  rejected_records : int; (* flight-recorder records with outcome "rejected" *)
+}
+
+let seats = 6 (* one flight, 2 rows x 3 seats *)
+let travellers = 16
+
+let check cond fmt = Printf.ksprintf (fun msg -> if not cond then failwith msg) fmt
+
+let run ?(quiet = false) () =
+  let trace_was_on = Trace.on () in
+  let flight_was_on = Flight.on () in
+  if not trace_was_on then Trace.enable ();
+  if not flight_was_on then Flight.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if not trace_was_on then Trace.disable ();
+      if not flight_was_on then Flight.disable ())
+  @@ fun () ->
+  let geometry = { Flights.flights = 1; rows_per_flight = 2; dest = "LA" } in
+  let store = Flights.fresh_store geometry in
+  let qdb = Qdb.create store in
+  let users =
+    List.filteri
+      (fun i _ -> i < travellers)
+      (Travel.make_users ~flights:1 ~pairs_per_flight:((travellers + 1) / 2))
+  in
+  let outcomes =
+    List.map
+      (fun u ->
+        match Qdb.submit qdb (Travel.plain_txn u) with
+        | Qdb.Committed _ -> true
+        | Qdb.Rejected _ -> false)
+      users
+  in
+  let committed = List.length (List.filter Fun.id outcomes) in
+  let rejected = List.length outcomes - committed in
+  let m = Qdb.metrics qdb in
+  let rejection_spans =
+    List.filter
+      (fun (e : Trace.event) ->
+        String.equal e.Trace.name "qdb.submit"
+        && List.exists
+             (fun (k, v) -> String.equal k "outcome" && v = Trace.Str "rejected")
+             e.Trace.args)
+      (Trace.events ())
+  in
+  let records = Flight.records () in
+  let rejected_records =
+    List.filter (fun (r : Flight.record) -> String.equal r.Flight.outcome "rejected") records
+  in
+  (* The contract, piece by piece. *)
+  check (committed = seats) "rejection smoke: %d committed, want %d (seat capacity)" committed
+    seats;
+  check (rejected = travellers - seats) "rejection smoke: %d rejected, want %d" rejected
+    (travellers - seats);
+  check
+    (m.Quantum.Metrics.rejected = rejected)
+    "rejection smoke: metrics.rejected = %d, want %d" m.Quantum.Metrics.rejected rejected;
+  check
+    (List.length rejection_spans = rejected)
+    "rejection smoke: %d rejected-outcome submit spans, want %d"
+    (List.length rejection_spans) rejected;
+  check
+    (List.length records >= travellers)
+    "rejection smoke: %d flight records, want >= %d" (List.length records) travellers;
+  check
+    (List.length rejected_records = rejected)
+    "rejection smoke: %d rejected flight records, want %d"
+    (List.length rejected_records) rejected;
+  (* A rejection is a failed admission check, never a free pass: each
+     rejected record must show cache-extension and/or solver time. *)
+  List.iter
+    (fun (r : Flight.record) ->
+      let worked =
+        Flight.record_phase_ns r Flight.Solve
+        + Flight.record_phase_ns r Flight.Cache
+        + Flight.record_phase_ns r Flight.Compose
+      in
+      check (worked > 0) "rejection smoke: rejected txn %d shows no admission-check time"
+        r.Flight.txn_id)
+    rejected_records;
+  let s =
+    {
+      submitted = List.length users;
+      committed;
+      rejected;
+      rejection_spans = List.length rejection_spans;
+      rejected_records = List.length rejected_records;
+    }
+  in
+  if not quiet then begin
+    Common.section "Rejection-path smoke (over-capacity workload)";
+    Printf.printf
+      "%d submitted -> %d committed / %d rejected; %d rejection spans, %d rejected flight \
+       records — all observability checks passed\n%!"
+      s.submitted s.committed s.rejected s.rejection_spans s.rejected_records
+  end;
+  s

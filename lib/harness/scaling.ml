@@ -6,8 +6,20 @@
    operation stream sharded by flight ([Runner.run_sharded]) at each
    domain count, checks that the admission outcomes are bit-identical
    across pool sizes, and records wall-clock, ns/admission, speedup vs
-   1 domain and solver work into BENCH_scaling.json — the first entry of
-   the repo's perf trajectory, which later PRs must not regress.
+   1 domain, solver work AND a per-phase time breakdown into
+   BENCH_scaling.json (schema v2) — the perf trajectory later PRs must
+   not regress, now attributable phase-by-phase.
+
+   Phase attribution comes from the engine's flight-recorder
+   instrumentation ([Obs.Flight]): per-point deltas of the process-wide
+   exclusive per-phase totals, folded into the six buckets of the v2
+   schema.  queue_wait / freeze / merge / install / wal map directly;
+   "compute" collects everything that runs inside a shard or worker job
+   (compose, cache extension, solver search, grounding, fan-out
+   orchestration, residual shard time).  [attributed_pct] is the honest
+   coverage figure: summed phase time over wall time — under parallel
+   execution phases overlap the wall clock, so it can exceed 100 (total
+   busy time across domains vs elapsed time on one).
 
    Honesty note: the recorded [host.cores] matters.  On a single-core
    container every domain count serializes onto one CPU and speedup
@@ -16,6 +28,28 @@
 
 module Runner = Workload.Runner
 module Qdb = Quantum.Qdb
+module Flight = Obs.Flight
+
+(* The v2 schema's six buckets, in seconds. *)
+type phases = {
+  queue_wait_s : float;
+  freeze_s : float;
+  compute_s : float;
+  merge_s : float;
+  install_s : float;
+  wal_s : float;
+}
+
+let phase_fields p =
+  [ ("queue_wait", p.queue_wait_s);
+    ("freeze", p.freeze_s);
+    ("compute", p.compute_s);
+    ("merge", p.merge_s);
+    ("install", p.install_s);
+    ("wal", p.wal_s);
+  ]
+
+let phases_total_s p = List.fold_left (fun acc (_, s) -> acc +. s) 0. (phase_fields p)
 
 type point = {
   domains : int;
@@ -25,8 +59,14 @@ type point = {
   committed : int;
   rejected : int;
   coordination_pct : float;
+      (* semantic travel-pair coordination (coordinated users / max
+         possible) — a workload outcome, not a time share; used by the
+         determinism check and recorded once at the top level of the
+         JSON, no longer per point. *)
   solver_nodes : int;
   solver_candidates : int;
+  phases : phases;
+  attributed_pct : float; (* summed phase time / wall time, percent *)
 }
 
 type recording = {
@@ -51,16 +91,33 @@ let spec ~flights ~rows ~pairs ~seed =
     seed;
   }
 
+(* Fold the recorder's eleven phases into the schema's six buckets. *)
+let bucket_deltas before after =
+  let delta p = List.assq p after - List.assq p before in
+  let s p = float_of_int (delta p) *. 1e-9 in
+  {
+    queue_wait_s = s Flight.Queue;
+    freeze_s = s Flight.Freeze;
+    merge_s = s Flight.Merge;
+    install_s = s Flight.Install;
+    wal_s = s Flight.Wal;
+    compute_s =
+      s Flight.Compose +. s Flight.Cache +. s Flight.Solve +. s Flight.Ground
+      +. s Flight.Compute +. s Flight.Coordination;
+  }
+
 let run_point ~config ~spec domains =
   let pool = Par.Pool.create ~domains () in
   let sink = Runner.metrics_sink in
   let nodes0 = sink.Quantum.Metrics.solver_stats.Solver.Backtrack.nodes in
   let cands0 = sink.Quantum.Metrics.solver_stats.Solver.Backtrack.candidates in
+  let totals0 = Flight.totals () in
   let outcome =
     Fun.protect
       ~finally:(fun () -> Par.Pool.shutdown pool)
       (fun () -> Runner.run_sharded ~pool (Runner.Quantum_engine config) spec)
   in
+  let phases = bucket_deltas totals0 (Flight.totals ()) in
   let admissions = outcome.Runner.committed + outcome.Runner.rejected in
   let wall_s = outcome.Runner.total_time_s in
   ( outcome,
@@ -76,13 +133,25 @@ let run_point ~config ~spec domains =
       solver_nodes = sink.Quantum.Metrics.solver_stats.Solver.Backtrack.nodes - nodes0;
       solver_candidates =
         sink.Quantum.Metrics.solver_stats.Solver.Backtrack.candidates - cands0;
+      phases;
+      attributed_pct = (if wall_s > 0. then 100. *. phases_total_s phases /. wall_s else 0.);
     } )
 
 let run ?(domains_list = default_domains) ?(flights = 10) ?(rows = 50) ?(pairs = 75)
     ?(seed = 1000) ?(k = 40) () =
   let config = { Qdb.default_config with Qdb.k; cache_capacity = 2 } in
   let spec = spec ~flights ~rows ~pairs ~seed in
-  let raw = List.map (fun d -> run_point ~config ~spec d) domains_list in
+  (* The phase breakdown needs the flight recorder; turn it on for the
+     sweep unless the caller already runs one (then just read deltas).
+     The determinism check below doubles as proof that the recorder does
+     not perturb admission outcomes. *)
+  let flight_was_on = Flight.on () in
+  if not flight_was_on then Flight.enable ();
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> if not flight_was_on then Flight.disable ())
+      (fun () -> List.map (fun d -> run_point ~config ~spec d) domains_list)
+  in
   let base_wall =
     match raw with
     | (_, p) :: _ -> p.wall_s
@@ -130,14 +199,31 @@ let print r =
           Printf.sprintf "%.2fx" p.speedup_vs_1;
           string_of_int p.committed;
           string_of_int p.rejected;
-          Common.f1 p.coordination_pct ^ "%";
           string_of_int p.solver_nodes;
+          Common.f1 p.attributed_pct ^ "%";
         ])
       r.series
   in
   Common.print_table ~csv:"scaling"
-    ~header:[ "domains"; "wall"; "us/adm"; "speedup"; "committed"; "rejected"; "coord"; "nodes" ]
+    ~header:
+      [ "domains"; "wall"; "us/adm"; "speedup"; "committed"; "rejected"; "nodes"; "attrib" ]
     rows;
+  Common.subsection "phase breakdown (seconds of attributed time)";
+  let phase_rows =
+    List.map
+      (fun p ->
+        string_of_int p.domains
+        :: List.map (fun (_, s) -> Printf.sprintf "%.3f" s) (phase_fields p.phases))
+      r.series
+  in
+  Common.print_table ~csv:"scaling_phases"
+    ~header:("domains" :: List.map fst (phase_fields { queue_wait_s = 0.; freeze_s = 0.;
+                                                      compute_s = 0.; merge_s = 0.;
+                                                      install_s = 0.; wal_s = 0. }))
+    phase_rows;
+  (match r.series with
+   | p :: _ -> Printf.printf "(workload coordination: %.1f%% of possible pairs seated together)\n" p.coordination_pct
+   | [] -> ());
   Printf.printf "(host cores: %d; outcomes %s across domain counts)\n%!" r.cores
     (if r.deterministic then "identical" else "DIVERGED");
   if not r.deterministic then
@@ -146,24 +232,35 @@ let print r =
 let json_of_recording r =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"qdb.bench.scaling/v1\",\n";
+  Buffer.add_string b "  \"schema\": \"qdb.bench.scaling/v2\",\n";
   Buffer.add_string b
     (Printf.sprintf
        "  \"workload\": {\"flights\": %d, \"rows_per_flight\": %d, \"pairs_per_flight\": %d, \
         \"seed\": %d, \"k\": %d},\n"
        r.flights r.rows_per_flight r.pairs_per_flight r.seed r.k);
   Buffer.add_string b
-    (Printf.sprintf "  \"host\": {\"cores\": %d},\n  \"deterministic\": %b,\n  \"series\": [\n"
-       r.cores r.deterministic);
+    (Printf.sprintf "  \"host\": {\"cores\": %d},\n  \"deterministic\": %b,\n" r.cores
+       r.deterministic);
+  (match r.series with
+   | p :: _ ->
+     Buffer.add_string b
+       (Printf.sprintf "  \"workload_coordination_pct\": %.2f,\n" p.coordination_pct)
+   | [] -> ());
+  Buffer.add_string b "  \"series\": [\n";
   List.iteri
     (fun i p ->
+      let phases_json =
+        String.concat ", "
+          (List.map (fun (k, s) -> Printf.sprintf "\"%s\": %.6f" k s) (phase_fields p.phases))
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"domains\": %d, \"wall_s\": %.6f, \"ns_per_admission\": %.1f, \
             \"speedup_vs_1\": %.3f, \"committed\": %d, \"rejected\": %d, \
-            \"coordination_pct\": %.2f, \"solver_nodes\": %d, \"solver_candidates\": %d}%s\n"
+            \"solver_nodes\": %d, \"solver_candidates\": %d,\n\
+           \     \"phases_s\": {%s}, \"attributed_pct\": %.1f}%s\n"
            p.domains p.wall_s p.ns_per_admission p.speedup_vs_1 p.committed p.rejected
-           p.coordination_pct p.solver_nodes p.solver_candidates
+           p.solver_nodes p.solver_candidates phases_json p.attributed_pct
            (if i = List.length r.series - 1 then "" else ",")))
     r.series;
   Buffer.add_string b "  ]\n}\n";

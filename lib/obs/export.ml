@@ -21,7 +21,7 @@ let event_to_json (e : Trace.event) =
     [ ("name", Json.Str e.Trace.name);
       ("cat", Json.Str e.Trace.cat);
       ("pid", Json.Num 1.);
-      ("tid", Json.Num 1.);
+      ("tid", Json.Num (float_of_int e.Trace.tid));
       ("ts", Json.Num (ns_to_us e.Trace.ts_ns));
     ]
   in
@@ -30,16 +30,50 @@ let event_to_json (e : Trace.event) =
     | Trace.Span -> [ ("ph", Json.Str "X"); ("dur", Json.Num (ns_to_us e.Trace.dur_ns)) ]
     | Trace.Instant -> [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
   in
+  (* Span ids and parent links ride in args — Perfetto shows them in the
+     details pane and tests reconstruct the causal tree from them. *)
+  let causal =
+    (if e.Trace.id <> 0 then [ ("span_id", Trace.Int e.Trace.id) ] else [])
+    @ if e.Trace.parent <> 0 then [ ("parent", Trace.Int e.Trace.parent) ] else []
+  in
   let args =
-    match e.Trace.args with
+    match causal @ e.Trace.args with
     | [] -> []
     | args -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)) ]
   in
   Json.Obj (base @ phase @ args)
 
+(* Flow events ("s"/"f" pairs) drawing an arrow from a parent span to each
+   child recorded on a DIFFERENT domain — the cross-domain hops (pool
+   fan-out → worker job) that a per-track view would otherwise hide. *)
+let flow_events events =
+  let tid_of = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) -> if e.Trace.id <> 0 then Hashtbl.replace tid_of e.Trace.id e.Trace.tid)
+    events;
+  List.concat_map
+    (fun (e : Trace.event) ->
+      match Hashtbl.find_opt tid_of e.Trace.parent with
+      | Some parent_tid when e.Trace.id <> 0 && parent_tid <> e.Trace.tid ->
+        let base name tid extra =
+          Json.Obj
+            ([ ("name", Json.Str "spawn");
+               ("cat", Json.Str "flow");
+               ("ph", Json.Str name);
+               ("id", Json.Num (float_of_int e.Trace.id));
+               ("pid", Json.Num 1.);
+               ("tid", Json.Num (float_of_int tid));
+               ("ts", Json.Num (ns_to_us e.Trace.ts_ns));
+             ]
+             @ extra)
+        in
+        [ base "s" parent_tid []; base "f" e.Trace.tid [ ("bp", Json.Str "e") ] ]
+      | _ -> [])
+    events
+
 let chrome_trace events =
   Json.Obj
-    [ ("traceEvents", Json.List (List.map event_to_json events));
+    [ ("traceEvents", Json.List (List.map event_to_json events @ flow_events events));
       ("displayTimeUnit", Json.Str "ms");
     ]
 
@@ -83,7 +117,12 @@ let prometheus registry =
           (Histogram.nonempty_buckets h);
         line "%s_bucket{le=\"+Inf\"} %d" n (Histogram.count h);
         line "%s_sum %s" n (prom_float (Histogram.sum h));
-        line "%s_count %d" n (Histogram.count h))
+        line "%s_count %d" n (Histogram.count h);
+        (* Tail quantile as a companion gauge: log-bucketed histograms
+           resolve p999 to ~5% already, and scrape-side quantile math over
+           20/decade buckets only loses precision. *)
+        line "# TYPE %s_p999 gauge" n;
+        line "%s_p999 %s" n (prom_float (Histogram.quantile h 0.999)))
     (Registry.items registry);
   Buffer.contents buf
 
@@ -98,6 +137,7 @@ let histogram_to_json h =
       ("p50_s", Json.Num (Histogram.quantile h 0.5));
       ("p90_s", Json.Num (Histogram.quantile h 0.9));
       ("p99_s", Json.Num (Histogram.quantile h 0.99));
+      ("p999_s", Json.Num (Histogram.quantile h 0.999));
       ("max_s", Json.Num (Histogram.max_value h));
     ]
 

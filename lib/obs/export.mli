@@ -4,18 +4,21 @@
 val chrome_trace : Trace.event list -> Json.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ms"}] — loadable in
     chrome://tracing and Perfetto.  Spans become complete ("X") events,
-    instants become "i" events; timestamps are microseconds. *)
+    instants become "i" events; timestamps are microseconds.  Each event
+    lands on its recording domain's track ([tid]), span ids and parent
+    links ride in [args], and cross-domain parent→child hops additionally
+    emit flow ("s"/"f") arrows. *)
 
 val chrome_trace_string : Trace.event list -> string
 
 val prometheus : Registry.t -> string
 (** Text exposition: counters and gauges as single samples, histograms as
-    cumulative [_bucket{le="..."}] samples plus [_sum] and [_count].
-    Names are sanitized to [[A-Za-z0-9_]]. *)
+    cumulative [_bucket{le="..."}] samples plus [_sum], [_count] and a
+    [_p999] tail-quantile gauge.  Names are sanitized to [[A-Za-z0-9_]]. *)
 
 val json_snapshot : Registry.t -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
-    count/sum/min/mean/p50/p90/p99/max per histogram (seconds) — the
+    count/sum/min/mean/p50/p90/p99/p999/max per histogram (seconds) — the
     format [results/metrics.json] is written in. *)
 
 val json_snapshot_string : Registry.t -> string

@@ -77,12 +77,38 @@ let map t f items =
   | [ x ] -> [ f x ] (* nothing to fan out *)
   | items when t.size = 1 -> List.map f items
   | items ->
+    Obs.Trace.span ~cat:"pool"
+      ~args:(fun () ->
+        [ ("jobs", Obs.Trace.Int (List.length items)); ("domains", Obs.Trace.Int t.size) ])
+      "pool.fanout"
+    @@ fun () ->
     let arr = Array.of_list items in
     let n = Array.length arr in
     let results = Array.make n None in
+    (* Observability wrapper, built once per fan-out: carries the captured
+       span context onto whichever domain dequeues the job (so worker-side
+       spans parent to this fan-out on their own track), accounts the
+       enqueue→dequeue wait as queue time, and wraps the body in a span.
+       With tracing and the flight recorder both off this is just [f]. *)
+    let observed =
+      if Obs.Trace.on () || Obs.Flight.on () then begin
+        let ctx = Obs.Trace.capture () in
+        let enqueued_ns = Obs.Mclock.now_ns () in
+        fun i x ->
+          Obs.Trace.with_ctx ctx @@ fun () ->
+          let wait_ns = Obs.Mclock.elapsed_ns enqueued_ns in
+          Obs.Flight.add_ns Obs.Flight.Queue wait_ns;
+          Obs.Trace.complete ~cat:"pool" ~ts_ns:enqueued_ns ~dur_ns:wait_ns "pool.queue_wait";
+          Obs.Trace.span ~cat:"pool"
+            ~args:(fun () -> [ ("job", Obs.Trace.Int i) ])
+            "pool.job"
+            (fun () -> f x)
+      end
+      else fun _ x -> f x
+    in
     let job i () =
       let r =
-        try Value (f arr.(i))
+        try Value (observed i arr.(i))
         with e -> Raised (e, Printexc.get_raw_backtrace ())
       in
       results.(i) <- Some r

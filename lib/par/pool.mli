@@ -21,7 +21,13 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     exception of the lowest-index failing job is re-raised (with its
     backtrace) after all jobs finished — observationally the same stop
     point as a sequential run on pure jobs.  One orchestrating thread
-    only; jobs must not call [map] or [shutdown] themselves. *)
+    only; jobs must not call [map] or [shutdown] themselves.
+
+    When tracing / the flight recorder are enabled, the fan-out records a
+    "pool.fanout" span, every job runs under a "pool.job" span parented
+    to it (on the executing domain's track) with its enqueue→dequeue wait
+    accounted as queue time.  Inline paths (empty, singleton, size-1
+    pool) stay uninstrumented — there is no fan-out to show. *)
 
 val shutdown : t -> unit
 (** Drain and join the worker domains.  The pool must not be used

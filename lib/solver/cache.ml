@@ -81,7 +81,10 @@ let store_witness t subst = t.witnesses <- truncate t (subst :: t.witnesses)
    outcomes are tested against. *)
 let resolve_full ?node_limit t db formula =
   t.stats.full_solves <- t.stats.full_solves + 1;
-  match Backtrack.solve ?node_limit ~stats:t.solver_stats db formula with
+  match
+    Obs.Flight.time Obs.Flight.Solve (fun () ->
+        Backtrack.solve ?node_limit ~stats:t.solver_stats db formula)
+  with
   | Some subst ->
     store_witness t subst;
     Some subst
@@ -111,8 +114,9 @@ let extend_or_resolve ?node_limit t db ~new_clauses ~full_formula =
        | exception Backtrack.Too_many_nodes -> try_bases (seed :: tried) rest)
   in
   (* The extend-vs-resolve decision is the cache's whole point; record
-     which path this admission check took. *)
-  match try_bases [] t.witnesses with
+     which path this admission check took.  Extension attempts are the
+     cache phase; the fallback re-solve below accounts itself as solve. *)
+  match Obs.Flight.time Obs.Flight.Cache (fun () -> try_bases [] t.witnesses) with
   | Some _ as hit ->
     if Obs.Trace.on () then
       Obs.Trace.instant ~cat:"cache"
@@ -186,7 +190,8 @@ let refill_compute ?node_limit ~stats db job =
         (* Ask for capacity = missing + |known| solutions: enough even if
            the enumeration rediscovers every known witness, without the
            old capacity + |witnesses| over-ask. *)
-        Backtrack.solutions ?node_limit ~stats ~limit:job.rj_capacity db job.rj_formula
+        Obs.Flight.time Obs.Flight.Solve (fun () ->
+            Backtrack.solutions ?node_limit ~stats ~limit:job.rj_capacity db job.rj_formula)
       with Backtrack.Too_many_nodes -> []
     in
     (* Distinct against the known witnesses AND among themselves. *)
@@ -236,10 +241,15 @@ type recheck_outcome =
   | Unsat_now
 
 let recheck_compute ?node_limit ~stats db ~witnesses ~formula =
-  match List.filter (witness_satisfies db formula) witnesses with
+  match
+    Obs.Flight.time Obs.Flight.Cache (fun () ->
+        List.filter (witness_satisfies db formula) witnesses)
+  with
   | _ :: _ as surviving -> Keep surviving
   | [] ->
-    (match Backtrack.solve ?node_limit ~stats db formula with
+    (match
+       Obs.Flight.time Obs.Flight.Solve (fun () -> Backtrack.solve ?node_limit ~stats db formula)
+     with
      | Some w -> Rewitness w
      | None -> Unsat_now)
 

@@ -137,6 +137,16 @@ let run_sharded ?pool ?collect engine spec =
   in
   let start = Obs.Mclock.now_ns () in
   let run_shard (flight, shard_ops) =
+    (* Compute phase: the whole per-flight admission stream, wherever it
+       runs (worker domain or the caller helping drain).  The engine's
+       own instrumentation carves compose/cache/solve/wal/ground out of
+       it, leaving shard-level self time = store setup + op dispatch. *)
+    Obs.Flight.time Obs.Flight.Compute @@ fun () ->
+    Obs.Trace.span ~cat:"shard"
+      ~args:(fun () ->
+        [ ("flight", Obs.Trace.Int flight); ("ops", Obs.Trace.Int (List.length shard_ops)) ])
+      "shard.run"
+    @@ fun () ->
     let store = Flights.fresh_store spec.geometry in
     let committed = ref 0 and rejected = ref 0 in
     let max_pending = ref 0 in
@@ -184,6 +194,11 @@ let run_sharded ?pool ?collect engine spec =
   let max_pending = ref 0 in
   let time_reads = ref 0. and time_updates = ref 0. in
   let coordinated = ref 0 and max_possible = ref 0 in
+  Obs.Flight.time Obs.Flight.Merge @@ fun () ->
+  Obs.Trace.span ~cat:"shard"
+    ~args:(fun () -> [ ("shards", Obs.Trace.Int (List.length results)) ])
+    "shard.merge"
+  @@ fun () ->
   List.iter
     (fun (flight, store, metrics, c, r, mp, tr, tu) ->
       (match metrics with

@@ -30,48 +30,20 @@ rm -f results/BENCH_admission.json
 dune exec bench/main.exe -- --only admission
 
 echo "== admission regression gate =="
-python3 - <<'EOF'
-import json, sys
-try:
-    with open("results/BENCH_admission.json") as f:
-        fresh = json.load(f)
-except Exception as e:
-    sys.exit(f"FAIL: results/BENCH_admission.json invalid: {e}")
-if fresh.get("schema") != "qdb.bench.admission/v1":
-    sys.exit("FAIL: unexpected admission schema")
-if not fresh.get("deterministic"):
-    sys.exit("FAIL: admission outcomes diverged across modes or domain counts")
-try:
-    with open("BENCH_admission.json") as f:
-        base = json.load(f)
-except FileNotFoundError:
-    sys.exit("FAIL: committed BENCH_admission.json baseline is missing")
-if fresh["workload"] != base["workload"]:
-    sys.exit("FAIL: admission workload drifted from the committed baseline; "
-             "re-record BENCH_admission.json")
 # Gate on the k=20 cost RELATIVE to the from-scratch ablation measured
 # in the same process, not on absolute wall time: the incremental run is
 # ~0.6ms total, where run-to-run machine noise alone exceeds 25%, while
 # the relative cost is self-normalizing and still blows up if delta
-# composition or witness seeding regresses toward from-scratch.
-def rel_cost(rec, k):
-    by_mode = {p["mode"]: p["ns_per_admission"]
-               for p in rec["series"] if p["k"] == k}
-    if "incremental" not in by_mode or "from-scratch" not in by_mode:
-        sys.exit(f"FAIL: k={k} points missing from admission series")
-    if not by_mode["from-scratch"]:
-        sys.exit(f"FAIL: zero from-scratch time at k={k}")
-    return by_mode["incremental"] / by_mode["from-scratch"]
-now, then = rel_cost(fresh, 20), rel_cost(base, 20)
-ratio = now / then if then else 1.0
-print(f"k=20 incremental/from-scratch cost: {now:.3f} vs baseline {then:.3f} ({ratio:.2f}x)")
-if ratio > 1.25:
-    sys.exit(f"FAIL: k=20 relative admission cost regressed {ratio:.2f}x (>1.25x)")
-speedup = {s["k"]: s["x"] for s in fresh.get("speedup_vs_scratch", [])}.get(20, 0.0)
-if speedup < 2.0:
-    sys.exit(f"FAIL: incremental speedup at k=20 is {speedup:.2f}x (<2x vs from-scratch)")
-print(f"ok: admission baseline within 25% (k=20 speedup {speedup:.2f}x vs from-scratch)")
-EOF
+# composition or witness seeding regresses toward from-scratch.  The
+# comparator (schema/workload/determinism checks plus the per-schema
+# gates) is `qdb_cli bench diff`, shared with the scaling gate below.
+dune exec bin/qdb_cli.exe -- bench diff BENCH_admission.json results/BENCH_admission.json --gate 25
+
+echo "== rejection-path smoke =="
+# Over-capacity workload (6 seats, 16 travellers): asserts the rejected
+# counters, rejected-outcome submit spans and flight-recorder records
+# all fire; the bench exits non-zero on any violation.
+dune exec bench/main.exe -- --only rejection
 
 echo "== bench smoke (micro) =="
 rm -f results/metrics.json
@@ -86,37 +58,9 @@ rm -f results/BENCH_scaling.json
 dune exec bin/qdb_cli.exe -- scaling --domains 1,2 --out results/BENCH_scaling.json
 
 echo "== scaling regression gate =="
-python3 - <<'EOF'
-import json, sys
-try:
-    with open("results/BENCH_scaling.json") as f:
-        fresh = json.load(f)
-except Exception as e:
-    sys.exit(f"FAIL: results/BENCH_scaling.json invalid: {e}")
-if fresh.get("schema") != "qdb.bench.scaling/v1":
-    sys.exit("FAIL: unexpected scaling schema")
-if not fresh.get("deterministic"):
-    sys.exit("FAIL: admission outcomes diverged across domain counts")
-try:
-    with open("BENCH_scaling.json") as f:
-        base = json.load(f)
-except FileNotFoundError:
-    sys.exit("FAIL: committed BENCH_scaling.json baseline is missing")
-def one_domain(rec):
-    pts = [p for p in rec["series"] if p["domains"] == 1]
-    if not pts:
-        sys.exit("FAIL: no 1-domain point in scaling series")
-    return pts[0]["ns_per_admission"]
-if fresh["workload"] != base["workload"]:
-    sys.exit("FAIL: scaling workload drifted from the committed baseline; "
-             "re-record BENCH_scaling.json")
-now, then = one_domain(fresh), one_domain(base)
-ratio = now / then if then else 1.0
-print(f"1-domain ns/admission: {now:.0f} vs baseline {then:.0f} ({ratio:.2f}x)")
-if ratio > 1.25:
-    sys.exit(f"FAIL: 1-domain admission latency regressed {ratio:.2f}x (>1.25x)")
-print("ok: scaling baseline within 25%")
-EOF
+# Same comparator as the admission gate: schema v2 additionally requires
+# every point to carry a phases_s breakdown attributing >= 95% of wall.
+dune exec bin/qdb_cli.exe -- bench diff BENCH_scaling.json results/BENCH_scaling.json --gate 25
 
 echo "== telemetry check =="
 if [ ! -f results/metrics.json ]; then

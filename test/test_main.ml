@@ -30,4 +30,5 @@ let () =
       ("cloud", Test_cloud.suite);
       ("workload", Test_workload.suite);
       ("par", Test_par.suite);
+      ("profiler", Test_profiler.suite);
     ]
