@@ -207,6 +207,16 @@ let () =
      rejection counters, rejected-outcome spans and flight-recorder
      records all fire; Harness.Rejection.run raises on any violation. *)
   if List.mem "rejection" only then ignore (Harness.Rejection.run ());
+  (* Flash-crowd contention sweep, opt-in: over-capacity ticket-sale and
+     hotel-overbooking crowds driven into the 10–50% rejection regime,
+     plus one squeezed-governor point exercising [Overloaded]; records
+     outcome counts and the accept/reject/overload latency split. *)
+  if List.mem "contention" only then begin
+    let r = Harness.Contention.run () in
+    Harness.Contention.print_summary r;
+    let dir = Option.value !Common.csv_dir ~default:"results" in
+    ignore (Harness.Contention.write ~path:(Filename.concat dir "BENCH_contention.json") r)
+  end;
   (* Pending-depth sweep for the incremental-admission path, also opt-in:
      each k runs with delta composition on and off and cross-checks the
      outcomes before recording. *)

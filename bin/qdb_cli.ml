@@ -116,7 +116,7 @@ let run_demo trace =
   (match Qdb.submit qdb (Travel.entangled_txn mickey) with
    | Qdb.Committed id ->
      Printf.printf "  -> committed (id %d), seat NOT yet assigned (quantum state)\n" id
-   | Qdb.Rejected r -> Printf.printf "  -> rejected: %s\n" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Printf.printf "  -> rejected: %s\n" r);
   Printf.printf "  pending transactions: %d; Bookings table rows: %d\n"
     (Qdb.pending_count qdb)
     (Relational.Table.cardinality (Relational.Database.table (Qdb.db qdb) "Bookings"));
@@ -128,14 +128,14 @@ let run_demo trace =
   in
   (match Qdb.submit qdb donald with
    | Qdb.Committed _ -> print_endline "  -> committed; Mickey's options narrowed, nothing visible"
-   | Qdb.Rejected r -> Printf.printf "  -> rejected: %s\n" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Printf.printf "  -> rejected: %s\n" r);
   print_endline "";
   print_endline "Goofy arrives; he wants to sit next to Mickey:";
   let goofy = { Travel.name = "Goofy"; partner = "Mickey"; flight = 0 } in
   (match Qdb.submit qdb (Travel.entangled_txn goofy) with
    | Qdb.Committed _ ->
      print_endline "  -> committed; the entangled pair grounds immediately"
-   | Qdb.Rejected r -> Printf.printf "  -> rejected: %s\n" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Printf.printf "  -> rejected: %s\n" r);
   print_endline "";
   print_endline "Mickey checks in (a read — collapses any remaining uncertainty):";
   let answers = Qdb.read qdb (Travel.seat_query mickey) in
@@ -466,6 +466,40 @@ let crashmonkey_cmd =
   Cmd.v (Cmd.info "crashmonkey" ~doc)
     Term.(const run_crashmonkey $ cycles_arg $ seed_arg $ domains_arg)
 
+(* -- chaos --------------------------------------------------------------------- *)
+
+(* Engine-wide chaos: every cycle injects solver-budget exhaustion
+   (squeezed governors) and pool-worker crashes mid-fan-out, runs at 1, 2
+   and 4 domains, and checks the survival contract — faults absorbed,
+   bit-identical outcomes, squeezed rejections genuine, [Overloaded]
+   side-effect-free.  Exit 1 on any violation, so CI can gate on it. *)
+
+let run_chaos cycles seed =
+  let s = Workload.Chaos.run ~cycles ~seed () in
+  Format.printf "chaos (seed %d):@.%a@." seed Workload.Chaos.pp s;
+  match s.Workload.Chaos.violations with
+  | [] -> ()
+  | violations ->
+    List.iter
+      (fun (cycle, what) -> Printf.eprintf "violation in cycle %d: %s\n" cycle what)
+      violations;
+    exit 1
+
+let chaos_cmd =
+  let doc =
+    "Run deterministic engine-wide chaos cycles (budget exhaustion, worker crashes) and \
+     check the survival and determinism invariants."
+  in
+  let cycles_arg =
+    Arg.(value & opt int 100
+         & info [ "cycles" ] ~docv:"N"
+             ~doc:"Number of chaos cycles (each runs at 1, 2 and 4 domains).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1234 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run_chaos $ cycles_arg $ seed_arg)
+
 (* -- scaling ------------------------------------------------------------------- *)
 
 let run_scaling trace domains flights rows pairs seed out =
@@ -666,6 +700,65 @@ let run_bench_diff baseline_path current_path gate =
        (scaling_base_cost "current" current);
      scaling_check_phases "current" current;
      Printf.printf "OK: per-phase attribution >= 95%% of wall at every domain count\n"
+   | "qdb.bench.contention/v1" ->
+     (* Outcome counts are deterministic (pigeonhole capacity arguments,
+        fixed seeds) — pin them exactly, point by point.  Latency splits
+        must be present but their values are never gated. *)
+     let point_name label p =
+       match Option.bind (Json.member "point" p) Json.to_str with
+       | Some s -> s
+       | None -> bench_fail "%s: contention point without a \"point\" name" label
+     in
+     let counts label p =
+       ( int_of_float (jnum label "submissions" p),
+         int_of_float (jnum label "committed" p),
+         int_of_float (jnum label "rejected" p),
+         int_of_float (jnum label "overloaded" p) )
+     in
+     let current_points = jseries "current" current in
+     List.iter
+       (fun bp ->
+         let name = point_name "baseline" bp in
+         match
+           List.find_opt (fun cp -> String.equal (point_name "current" cp) name)
+             current_points
+         with
+         | None -> bench_fail "current recording lacks contention point %S" name
+         | Some cp ->
+           let b = counts "baseline" bp and c = counts "current" cp in
+           if b <> c then begin
+             let s (su, co, re, ov) = Printf.sprintf "%d/%d/%d/%d" su co re ov in
+             bench_fail
+               "%s: outcome counts changed: %s vs baseline %s \
+                (submitted/committed/rejected/overloaded)"
+               name (s c) (s b)
+           end;
+           Printf.printf "OK: %s outcome counts match baseline\n" name)
+       (jseries "baseline" baseline);
+     let in_regime =
+       List.exists
+         (fun p ->
+           let pct = jnum "current" "reject_pct" p in
+           pct >= 10. && pct <= 50.)
+         current_points
+     in
+     if not in_regime then
+       bench_fail "no contention point lands in the 10-50%% rejection regime";
+     List.iter
+       (fun p ->
+         let name = point_name "current" p in
+         match Json.member "latency_us" p with
+         | Some (Json.Obj fields) ->
+           List.iter
+             (fun split ->
+               if not (List.mem_assoc split fields) then
+                 bench_fail "%s: latency_us lacks the %S split" name split)
+             [ "accept"; "reject"; "overload" ]
+         | _ -> bench_fail "%s: missing \"latency_us\" split" name)
+       current_points;
+     Printf.printf
+       "OK: >=1 point in the 10-50%% rejection regime; accept/reject/overload latency \
+        split present everywhere\n"
    | other -> bench_fail "unsupported schema %S" other);
   Printf.printf "bench diff: %s within %.0f%% of %s\n%!" current_path gate baseline_path
 
@@ -750,7 +843,7 @@ let run_shell rows flights =
            in
            match Qdb.submit qdb txn with
            | Qdb.Committed id -> Printf.printf "committed (id %d)\n" id
-           | Qdb.Rejected reason -> Printf.printf "rejected: %s\n" reason
+           | Qdb.Rejected reason | Qdb.Overloaded reason -> Printf.printf "rejected: %s\n" reason
          end
          else if String.length line > 5 && String.sub line 0 5 = "read " then begin
            let q =
@@ -822,4 +915,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ exp_cmd; demo_cmd; shell_cmd; stats_cmd; profile_cmd; crashmonkey_cmd;
-            scaling_cmd; bench_cmd ]))
+            chaos_cmd; scaling_cmd; bench_cmd ]))

@@ -29,7 +29,7 @@ let () =
   (match Qdb.submit qdb offsite with
    | Qdb.Committed _ ->
      print_endline "  -> committed.  No slot chosen yet: the whole week is still possible."
-   | Qdb.Rejected r -> failwith r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> failwith r);
   Printf.printf "  Meeting table rows: %d (none — deferred)\n\n"
     (Relational.Table.cardinality (Relational.Database.table (Qdb.db qdb) "Meeting"));
 
@@ -39,7 +39,7 @@ let () =
       let mid = Printf.sprintf "mtg-%d" i in
       match Qdb.submit qdb (Calendar.meeting_txn ~mid ~participants ()) with
       | Qdb.Committed _ -> Printf.printf "  %s (%s) committed, slot open\n" mid (String.concat "+" participants)
-      | Qdb.Rejected r -> Printf.printf "  %s rejected: %s\n" mid r)
+      | Qdb.Rejected r | Qdb.Overloaded r -> Printf.printf "  %s rejected: %s\n" mid r)
     [ [ "mickey"; "minnie" ]; [ "donald" ]; [ "minnie"; "donald" ]; [ "mickey" ] ];
   print_endline "";
 
@@ -50,7 +50,7 @@ let () =
    | Qdb.Committed _ ->
      print_endline "  -> committed instantly.  Nothing is rescheduled; the offsite's";
      print_endline "     possibilities silently exclude slot 0."
-   | Qdb.Rejected r -> failwith r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> failwith r);
   print_endline "";
 
   print_endline "Thursday evening: everyone reads tomorrow's calendar (collapse):";

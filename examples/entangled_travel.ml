@@ -68,4 +68,4 @@ let () =
      ignore (Qdb.ground qdb2 id);
      Printf.printf "  seated together in one row: %b\n"
        (Travel.group_coordinated (Qdb.db qdb2) family)
-   | Qdb.Rejected r -> Printf.printf "  rejected: %s\n" r)
+   | Qdb.Rejected r | Qdb.Overloaded r -> Printf.printf "  rejected: %s\n" r)

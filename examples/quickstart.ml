@@ -36,7 +36,7 @@ let () =
    | Qdb.Committed id ->
      Printf.printf "committed with id %d — and that is a *guarantee* a seat exists,\n" id;
      Printf.printf "but no concrete seat has been chosen (deferred assignment).\n"
-   | Qdb.Rejected reason -> failwith reason);
+   | Qdb.Rejected reason | Qdb.Overloaded reason -> failwith reason);
   Printf.printf "pending transactions: %d\n" (Qdb.pending_count qdb);
   Printf.printf "Bookings rows for Mickey so far: %d\n"
     (List.length
@@ -54,7 +54,7 @@ let () =
       in
       match Qdb.submit qdb txn with
       | Qdb.Committed _ -> Printf.printf "%s committed (deferred)\n" name
-      | Qdb.Rejected reason -> Printf.printf "%s rejected: %s\n" name reason)
+      | Qdb.Rejected reason | Qdb.Overloaded reason -> Printf.printf "%s rejected: %s\n" name reason)
     [ "Donald"; "Minnie"; "Pluto" ];
   Printf.printf "pending: %d; the invariant guarantees all of them a seat\n"
     (Qdb.pending_count qdb);
@@ -66,14 +66,14 @@ let () =
           {|-Available(f, s), +Bookings("Daisy", f, s) :-1 Available(f, s)|})
    with
    | Qdb.Committed _ -> print_endline "Daisy committed"
-   | Qdb.Rejected reason -> Printf.printf "Daisy rejected: %s\n" reason);
+   | Qdb.Rejected reason | Qdb.Overloaded reason -> Printf.printf "Daisy rejected: %s\n" reason);
   (match
      Qdb.submit qdb
        (P.parse_txn ~label:"Scrooge"
           {|-Available(f, s), +Bookings("Scrooge", f, s) :-1 Available(f, s)|})
    with
    | Qdb.Committed _ -> print_endline "Scrooge committed (should not happen!)"
-   | Qdb.Rejected reason ->
+   | Qdb.Rejected reason | Qdb.Overloaded reason ->
      Printf.printf "Scrooge rejected — the plane is logically full: %s\n" reason);
 
   step "Mickey checks in: the read collapses his part of the quantum state";

@@ -9,13 +9,25 @@ type t = {
   mutable submitted : int;
   mutable committed : int;
   mutable rejected : int;
+  mutable overloaded : int;
+      (** admissions refused on budget exhaustion, not semantics *)
   mutable grounded : int;
   mutable forced_groundings : int;  (** k-pressure or read-induced *)
   mutable reads : int;
   mutable writes : int;
   mutable writes_rejected : int;
   mutable partition_merges : int;
+  mutable governor_retries : int;  (** escalated-budget admission re-solves *)
+  mutable governor_degraded_full_solve : int;
+      (** incremental → full-recompose ladder fallbacks *)
+  mutable governor_exhaustions : int;
+      (** every budget blowup the ladder absorbed, wherever it was caught *)
+  mutable refill_failures : int;
+      (** cache-refill fan-outs abandoned after a job failure *)
   submit_latency : Obs.Histogram.t;  (** seconds, one observation per submit *)
+  accept_latency : Obs.Histogram.t;  (** submit latency split by outcome... *)
+  reject_latency : Obs.Histogram.t;
+  overload_latency : Obs.Histogram.t;
   ground_latency : Obs.Histogram.t;  (** per grounding call *)
   read_latency : Obs.Histogram.t;  (** per read *)
   cache_stats : Solver.Cache.stats;

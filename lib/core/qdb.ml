@@ -60,6 +60,11 @@ type config = {
      from-scratch ablation: recompose the whole sequence and solve it
      unseeded on every admission — the pre-incremental cost profile the
      admission bench compares against. *)
+  governor : Governor.t;
+  (* per-admission budget + degradation ladder.  The default inherits
+     [node_limit] and has no deadline, reproducing the engine's
+     historical behaviour except that budget exhaustion now degrades
+     instead of escaping as a raw solver exception. *)
 }
 
 let default_config =
@@ -74,6 +79,7 @@ let default_config =
     adaptive_slack = 1.5;
     cache_capacity = Solver.Cache.default_capacity;
     incremental = true;
+    governor = Governor.default;
   }
 
 let pending_table_name = "__pending_xacts"
@@ -99,13 +105,24 @@ type t = {
      (explicit, read-induced, partner arrival, k-pressure) — the paper's
      optional second notification that values have been assigned. *)
   mutable ground_hook : (grounding -> unit) option;
+  (* chaos hook (fault-injection harness): invoked on the worker before
+     every fan-out job with a deterministic (kind, fanout seq, job index)
+     coordinate; raising poisons that job.  [None] in production. *)
+  mutable fault_injector : (kind:string -> fanout:int -> job:int -> unit) option;
+  mutable fanout_seq : int;
 }
 
 type commit_result =
   | Committed of int
   | Rejected of string
+  | Overloaded of string
 
 exception Inconsistent of string
+
+exception Engine_overloaded of string
+(* A grounding solve ran out of budget even after escalation.  Distinct
+   from [Inconsistent]: the composed body is satisfiable by invariant —
+   the engine could not afford to re-prove it, not disprove it. *)
 
 let inconsistent fmt = Format.kasprintf (fun msg -> raise (Inconsistent msg)) fmt
 
@@ -164,6 +181,8 @@ let create ?(config = default_config) ?pool store =
     pool;
     next_id = 0;
     ground_hook = None;
+    fault_injector = None;
+    fanout_seq = 0;
   }
 
 (* Fan a list of pure compute jobs across the domain pool (inline without
@@ -173,30 +192,117 @@ let pool_map t f xs =
   | Some pool when Par.Pool.size pool > 1 -> Par.Pool.map pool f xs
   | Some _ | None -> List.map f xs
 
+(* Chaos-instrumented fan-out: with an injector installed, every job is
+   preceded by an injector call keyed on a deterministic coordinate —
+   the fan-out sequence number (assigned here, on the orchestrating
+   thread) and the job's input-order index.  Decisions made from these
+   coordinates are identical at any domain count, and an injected raise
+   rides the pool's exception plumbing exactly like a real worker
+   crash. *)
+let pool_map_injectable t ~kind f xs =
+  match t.fault_injector with
+  | None -> pool_map t f xs
+  | Some inject ->
+    let fanout = t.fanout_seq in
+    t.fanout_seq <- t.fanout_seq + 1;
+    let indexed = List.mapi (fun i x -> (i, x)) xs in
+    pool_map t
+      (fun (i, x) ->
+        inject ~kind ~fanout ~job:i;
+        f x)
+      indexed
+
+let set_fault_injector t inject = t.fault_injector <- Some inject
+let clear_fault_injector t = t.fault_injector <- None
+
 let pending_row txn =
   Tuple.of_list
     [ Value.Int txn.Rtxn.id; Value.Str (Sexp.to_string (Rtxn.to_sexp txn)) ]
 
 (* -- Solver dispatch ------------------------------------------------------ *)
 
-(* Admission check through the configured backend.  The backtracking
-   backend goes through the partition's solution cache: each cached
-   witness is tried as a seed over just the new transaction's clauses
-   (the unaffected pending transactions stay pinned), and only when every
-   extension fails does it force [full_formula] for an unseeded re-solve
-   — so acceptance decisions match the from-scratch path exactly, while
-   extension hits never flatten the whole body.  The other backends
-   re-solve the full composed body, which is exactly the cost profile the
-   ablation bench measures. *)
-let check_admission t (p : Partition.partition) ~new_clauses ~full_formula =
+(* Three-way admission verdict: budget exhaustion is structurally
+   distinct from unsatisfiability, so it can never masquerade as a
+   semantic rejection. *)
+type check_verdict =
+  | Check_sat of Logic.Subst.t
+  | Check_unsat
+  | Check_overload of string
+
+(* Admission check through the configured backend, under the governor's
+   budget and degradation ladder.  The backtracking backend goes through
+   the partition's solution cache: each cached witness is tried as a seed
+   over just the new transaction's clauses (the unaffected pending
+   transactions stay pinned), and only when every extension fails does it
+   force [full_formula] for an unseeded re-solve — so acceptance
+   decisions match the from-scratch path exactly, while extension hits
+   never flatten the whole body.  The other backends re-solve the full
+   composed body, which is exactly the cost profile the ablation bench
+   measures.
+
+   On exhaustion the ladder climbs: bounded escalated retries of the
+   incremental solve (deterministic jittered backoff between rungs),
+   then one degraded full-recompose solve at the next escalation rung,
+   then [Check_overload] — nothing is mutated along the way. *)
+let check_admission t (p : Partition.partition) ~gov ~salt ~new_clauses ~full_formula =
   let database = db t in
-  match t.config.backend with
-  | Backtracking when not t.config.incremental ->
-    Solver.Cache.resolve_full ~node_limit:t.config.node_limit p.Partition.cache database
+  let charge = Governor.arm gov in
+  let exhausted reason =
+    t.metrics.Metrics.governor_exhaustions <- t.metrics.Metrics.governor_exhaustions + 1;
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"governor"
+        ~args:[ ("partition", Obs.Trace.Int p.Partition.pid); ("reason", Obs.Trace.Str reason) ]
+        "governor.exhausted";
+    reason
+  in
+  let full_solve ~node_limit ?deadline_ns () =
+    Solver.Cache.solve_full ~node_limit ?deadline_ns p.Partition.cache database
       (Lazy.force full_formula)
-  | Backtracking ->
-    Solver.Cache.extend_or_resolve ~node_limit:t.config.node_limit p.Partition.cache database
-      ~new_clauses ~full_formula
+  in
+  let ladder ~incremental =
+    let deadline_ns = Governor.deadline charge in
+    let attempt retry =
+      let node_limit = Governor.node_budget charge ~default_limit:t.config.node_limit ~retry in
+      if incremental then
+        Solver.Cache.try_extend ~node_limit ?deadline_ns p.Partition.cache database ~new_clauses
+          ~full_formula
+      else full_solve ~node_limit ?deadline_ns ()
+    in
+    let rec climb retry =
+      match attempt retry with
+      | Solver.Cache.Sat w -> Check_sat w
+      | Solver.Cache.Unsat -> Check_unsat
+      | Solver.Cache.Exhausted reason ->
+        let reason = exhausted reason in
+        if Governor.expired charge then Check_overload reason
+        else if retry < Governor.max_retries charge then begin
+          t.metrics.Metrics.governor_retries <- t.metrics.Metrics.governor_retries + 1;
+          Governor.backoff charge ~salt ~retry;
+          climb (retry + 1)
+        end
+        else begin
+          (* Last rung before refusing: one unseeded full-recompose solve
+             with a further-escalated budget.  For the non-incremental
+             ablation this is just one more escalation of the same solve. *)
+          t.metrics.Metrics.governor_degraded_full_solve <-
+            t.metrics.Metrics.governor_degraded_full_solve + 1;
+          let node_limit =
+            Governor.node_budget charge ~default_limit:t.config.node_limit ~retry:(retry + 1)
+          in
+          match full_solve ~node_limit ?deadline_ns () with
+          | Solver.Cache.Sat w -> Check_sat w
+          | Solver.Cache.Unsat -> Check_unsat
+          | Solver.Cache.Exhausted reason -> Check_overload (exhausted reason)
+        end
+    in
+    climb 0
+  in
+  (* Ladder orchestration is its own flight phase; the solves inside
+     account themselves (exclusively) as cache/solve time. *)
+  Obs.Flight.time Obs.Flight.Governor @@ fun () ->
+  match t.config.backend with
+  | Backtracking when not t.config.incremental -> ladder ~incremental:false
+  | Backtracking -> ladder ~incremental:true
   | Limit_one_plan depth ->
     (match
        Obs.Flight.time Obs.Flight.Solve (fun () ->
@@ -204,22 +310,22 @@ let check_admission t (p : Partition.partition) ~new_clauses ~full_formula =
      with
      | Some w ->
        Solver.Cache.set_witness p.Partition.cache w;
-       Some w
-     | None -> None)
+       Check_sat w
+     | None -> Check_unsat)
   | Sat_backend ->
     (match
        Obs.Flight.time Obs.Flight.Solve (fun () ->
-           Sat.Encode.solve database (Lazy.force full_formula))
+           Sat.Encode.solve ?budget:(Governor.sat_budget charge) database
+             (Lazy.force full_formula))
      with
      | Some (Some w) ->
        Solver.Cache.set_witness p.Partition.cache w;
-       Some w
-     | Some None -> None
+       Check_sat w
+     | Some None -> Check_unsat
      | None ->
        (* Over the encoding budget: fall back to search so admission stays
           complete. *)
-       Solver.Cache.extend_or_resolve ~node_limit:t.config.node_limit p.Partition.cache database
-         ~new_clauses ~full_formula)
+       ladder ~incremental:true)
 
 (* -- Grounding (Section 3.2.3) -------------------------------------------- *)
 
@@ -297,12 +403,19 @@ let ground_partition_body t (p : Partition.partition) target_ids =
               ~stats:t.metrics.Metrics.solver_stats database reordered_body)
       in
       let reorder_ok =
+        (* Exhaustion here is NOT "reordering is unsatisfiable" — it is a
+           counted recovery retry that degrades to strict arrival order,
+           the always-available conservative schedule. *)
+        let sat_or_degrade seed =
+          try sat seed
+          with Solver.Backtrack.Too_many_nodes ->
+            t.metrics.Metrics.governor_exhaustions <-
+              t.metrics.Metrics.governor_exhaustions + 1;
+            false
+        in
         match others_seed targets with
-        | Some seed ->
-          (try sat (Some seed) with Solver.Backtrack.Too_many_nodes -> false)
-          ||
-          (try sat None with Solver.Backtrack.Too_many_nodes -> false)
-        | None -> (try sat None with Solver.Backtrack.Too_many_nodes -> false)
+        | Some seed -> sat_or_degrade (Some seed) || sat_or_degrade None
+        | None -> sat_or_degrade None
       in
       if reorder_ok then (reordered, List.length targets, Some reordered_body)
       else
@@ -329,29 +442,65 @@ let ground_partition_body t (p : Partition.partition) target_ids =
             ~hard ~soft:soft_formulas)
     in
     let all_satisfied o = Solver.Soft.satisfied_count o = List.length soft in
+    let exhausted () =
+      t.metrics.Metrics.governor_exhaustions <- t.metrics.Metrics.governor_exhaustions + 1
+    in
+    (* Escalated unseeded budget for when a solve blows its primary
+       budget: the partition body is satisfiable by invariant, so running
+       out of nodes is a budget problem, never proof of inconsistency. *)
+    let escalated_limit =
+      Governor.node_budget
+        (Governor.arm t.config.governor)
+        ~default_limit:t.config.node_limit ~retry:1
+    in
+    let solve_escalated_or_overload () =
+      t.metrics.Metrics.governor_retries <- t.metrics.Metrics.governor_retries + 1;
+      try solve ~node_limit:escalated_limit ()
+      with Solver.Backtrack.Too_many_nodes ->
+        exhausted ();
+        raise
+          (Engine_overloaded
+             (Printf.sprintf "partition %d: grounding solve budget exhausted" p.Partition.pid))
+    in
     (* Seeded solve first; when the pinned context blocks some optional,
-       retry unseeded with a reduced budget and keep the better outcome. *)
+       retry unseeded with a reduced budget and keep the better outcome.
+       A seeded budget blowup (previously an uncaught escape) climbs the
+       same ladder as admission: escalated unseeded retry, then a
+       structured overload error. *)
     let outcome =
       match others_seed grounded_txns with
       | Some seed ->
-        (match solve ~seed () with
-         | Some seeded when all_satisfied seeded -> Some seeded
-         | seeded ->
-
+        (match
+           try `Solved (solve ~seed ())
+           with Solver.Backtrack.Too_many_nodes ->
+             exhausted ();
+             `Blown
+         with
+         | `Solved (Some seeded) when all_satisfied seeded -> Some seeded
+         | `Solved seeded ->
            let unseeded =
              (* Tightly bounded: near-full states make exhaustive optional
                 search degenerate into pigeonhole proofs; a failed repair
-                attempt must stay cheap. *)
+                attempt must stay cheap.  Exhaustion of this *optional*
+                repair keeps the seeded outcome — a counted degradation,
+                not a rejection. *)
              try solve ~node_limit:(max 1000 (t.config.node_limit / 256)) ()
-             with Solver.Backtrack.Too_many_nodes -> None
+             with Solver.Backtrack.Too_many_nodes ->
+               exhausted ();
+               None
            in
            (match seeded, unseeded with
             | Some a, Some b ->
               if Solver.Soft.satisfied_count b > Solver.Soft.satisfied_count a then Some b
               else Some a
             | Some a, None -> Some a
-            | None, other -> other))
-      | None -> solve ()
+            | None, other -> other)
+         | `Blown -> solve_escalated_or_overload ())
+      | None ->
+        (try solve ()
+         with Solver.Backtrack.Too_many_nodes ->
+           exhausted ();
+           solve_escalated_or_overload ())
     in
     match outcome with
     | None ->
@@ -517,8 +666,14 @@ let refill_caches t =
     in
     if plans <> [] then begin
       let database = db t in
-      let results =
-        pool_map t
+      (* The refill is best-effort by design (the paper's background
+         process): if any fan-out job dies — a worker exception, an
+         injected fault — the whole batch is abandoned before install, so
+         the caches and stats are exactly as if the refill never ran.
+         That holds at every domain count: results are discarded wholesale
+         and refill jobs are pure, so partially-run batches cannot leak. *)
+      match
+        pool_map_injectable t ~kind:"refill"
           (fun ((p : Partition.partition), job) ->
             Obs.Trace.span ~cat:"cache"
               ~args:(fun () -> [ ("partition", Obs.Trace.Int p.Partition.pid) ])
@@ -528,17 +683,27 @@ let refill_caches t =
             let fresh = Solver.Cache.refill_compute ~node_limit:budget ~stats database job in
             (fresh, stats))
           plans
-      in
-      Obs.Flight.time Obs.Flight.Install @@ fun () ->
-      Obs.Trace.span ~cat:"cache"
-        ~args:(fun () -> [ ("partitions", Obs.Trace.Int (List.length plans)) ])
-        "cache.install"
-      @@ fun () ->
-      List.iter2
-        (fun (p, _) (fresh, stats) ->
-          Solver.Backtrack.add_stats ~into:t.metrics.Metrics.solver_stats stats;
-          ignore (Solver.Cache.refill_install p.Partition.cache fresh))
-        plans results
+      with
+      | exception e ->
+        t.metrics.Metrics.refill_failures <- t.metrics.Metrics.refill_failures + 1;
+        Log.warn (fun m ->
+            m "cache refill abandoned (%d partitions): %s" (List.length plans)
+              (Printexc.to_string e));
+        if Obs.Trace.on () then
+          Obs.Trace.instant ~cat:"cache"
+            ~args:[ ("partitions", Obs.Trace.Int (List.length plans)) ]
+            "cache.refill_failed"
+      | results ->
+        Obs.Flight.time Obs.Flight.Install @@ fun () ->
+        Obs.Trace.span ~cat:"cache"
+          ~args:(fun () -> [ ("partitions", Obs.Trace.Int (List.length plans)) ])
+          "cache.install"
+        @@ fun () ->
+        List.iter2
+          (fun (p, _) (fresh, stats) ->
+            Solver.Backtrack.add_stats ~into:t.metrics.Metrics.solver_stats stats;
+            ignore (Solver.Cache.refill_install p.Partition.cache fresh))
+          plans results
     end
   end
 
@@ -595,7 +760,7 @@ let trigger_partners t committed =
         ground_in_partition t p ids @ acc)
       by_partition []
 
-let rec admit t txn ~attempts =
+let rec admit t txn ~gov ~attempts =
   let dependent, _ = Partition.split_dependent t.parts txn in
   let prior, merged_body = Partition.merged_view dependent in
   (* k-bound (Section 4): force-ground the oldest pending transaction of
@@ -616,7 +781,7 @@ let rec admit t txn ~attempts =
              "qdb.forced_ground";
          ignore (ground_in_partition t p [ oldest.Rtxn.id ])
        | None -> ());
-      admit t txn ~attempts:(attempts + 1)
+      admit t txn ~gov ~attempts:(attempts + 1)
   end
   else begin
     if List.length dependent > 1 then begin
@@ -651,8 +816,8 @@ let rec admit t txn ~attempts =
                Compose.body_of_sequence ~check_inserts:t.config.check_inserts
                  ~key_of:(key_resolver t.store) (prior @ [ txn ])))
     in
-    match check_admission t p ~new_clauses ~full_formula with
-    | Some _ ->
+    match check_admission t p ~gov ~salt:txn.Rtxn.id ~new_clauses ~full_formula with
+    | Check_sat _ ->
       (* The chunk cache extends only on success; a rejected transaction
          leaves the partition's body untouched. *)
       Partition.set_txns t.parts p (prior @ [ txn ]);
@@ -673,15 +838,23 @@ let rec admit t txn ~attempts =
       ignore (trigger_partners t txn);
       adapt_partition t p;
       Committed txn.Rtxn.id
-    | None ->
+    | Check_unsat ->
       t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
       Log.info (fun m -> m "rejected %s: no consistent grounding exists" txn.Rtxn.label);
       Rejected
         (Printf.sprintf "transaction %s: no consistent grounding exists" txn.Rtxn.label)
+    | Check_overload reason ->
+      (* Every budget rung ran dry.  Like a rejection, nothing was
+         mutated: chunk cache, pending table and WAL are untouched, so
+         the same transaction can be resubmitted with a bigger budget. *)
+      t.metrics.Metrics.overloaded <- t.metrics.Metrics.overloaded + 1;
+      Log.warn (fun m -> m "overloaded %s: %s" txn.Rtxn.label reason);
+      Overloaded (Printf.sprintf "transaction %s: %s" txn.Rtxn.label reason)
   end
 
-let submit t txn =
+let submit ?governor t txn =
   t.metrics.Metrics.submitted <- t.metrics.Metrics.submitted + 1;
+  let gov = Option.value governor ~default:t.config.governor in
   let txn = Rtxn.freshen txn in
   let txn = { txn with Rtxn.id = t.next_id } in
   Rtxn.validate txn;
@@ -701,7 +874,20 @@ let submit t txn =
         ~solver_nodes:(stats.Solver.Backtrack.nodes - nodes0)
         ~solver_candidates:(stats.Solver.Backtrack.candidates - candidates0))
     (fun () ->
-      Metrics.observe t.metrics.Metrics.submit_latency (fun () ->
+      (* One clock serves both the total and the per-outcome latency
+         split (accept / reject / overload — the contention bench's raw
+         material); an escaping exception still records the total. *)
+      let start = Obs.Mclock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Obs.Mclock.elapsed_s start in
+          Obs.Histogram.observe t.metrics.Metrics.submit_latency dt;
+          match !outcome with
+          | "committed" -> Obs.Histogram.observe t.metrics.Metrics.accept_latency dt
+          | "rejected" -> Obs.Histogram.observe t.metrics.Metrics.reject_latency dt
+          | "overloaded" -> Obs.Histogram.observe t.metrics.Metrics.overload_latency dt
+          | _ -> ())
+        (fun () ->
           Obs.Trace.span ~cat:"qdb"
             ~args:(fun () ->
               [ ("id", Obs.Trace.Int txn.Rtxn.id);
@@ -710,11 +896,12 @@ let submit t txn =
               ])
             "qdb.submit"
             (fun () ->
-              let result = admit t txn ~attempts:0 in
+              let result = admit t txn ~gov ~attempts:0 in
               (outcome :=
                  match result with
                  | Committed _ -> "committed"
-                 | Rejected _ -> "rejected");
+                 | Rejected _ -> "rejected"
+                 | Overloaded _ -> "overloaded");
               result)))
 
 (* -- Reads (Section 3.2.2) ------------------------------------------------ *)
@@ -863,45 +1050,64 @@ let write t ops =
        filter, then a full re-solve when every witness died) is pure over
        a frozen partition view, so the jobs run across the domain pool;
        cache installs and stats merges happen here, in partition order. *)
-    let checks, outcomes =
-      Obs.Flight.time Obs.Flight.Coordination @@ fun () ->
-      let checks =
-        Obs.Flight.time Obs.Flight.Freeze @@ fun () ->
-        Obs.Trace.span ~cat:"qdb" "qdb.freeze" @@ fun () ->
-        List.map (fun p -> (p, Partition.freeze p)) affected
-      in
-      let outcomes =
-        pool_map t
-          (fun ((p : Partition.partition), fz) ->
-            Obs.Trace.span ~cat:"cache"
-              ~args:(fun () -> [ ("partition", Obs.Trace.Int p.Partition.pid) ])
-              "cache.recheck_compute"
-            @@ fun () ->
-            let stats = Solver.Backtrack.fresh_stats () in
-            let outcome =
-              Solver.Cache.recheck_compute ~node_limit:t.config.node_limit ~stats database
-                ~witnesses:fz.Partition.f_witnesses ~formula:fz.Partition.f_formula
-            in
-            (outcome, stats))
-          checks
-      in
-      (checks, outcomes)
-    in
-    let still_ok =
-      Obs.Flight.time Obs.Flight.Install @@ fun () ->
-      Obs.Trace.span ~cat:"cache"
-        ~args:(fun () -> [ ("partitions", Obs.Trace.Int (List.length checks)) ])
-        "cache.recheck_install"
-      @@ fun () ->
-      List.fold_left2
-        (fun ok (p, _) (outcome, stats) ->
-          Solver.Backtrack.add_stats ~into:t.metrics.Metrics.solver_stats stats;
-          Solver.Cache.recheck_install p.Partition.cache outcome && ok)
-        true checks outcomes
+    let verdict =
+      (* If the fan-out itself blows up (an injected fault, a pool-worker
+         crash), the tentative ops MUST still be rolled back — otherwise
+         the write stays half-applied with no WAL record and the store is
+         poisoned.  Compute under [try]; rollback happens in every arm. *)
+      try
+        let checks, outcomes =
+          Obs.Flight.time Obs.Flight.Coordination @@ fun () ->
+          let checks =
+            Obs.Flight.time Obs.Flight.Freeze @@ fun () ->
+            Obs.Trace.span ~cat:"qdb" "qdb.freeze" @@ fun () ->
+            List.map (fun p -> (p, Partition.freeze p)) affected
+          in
+          let outcomes =
+            pool_map_injectable t ~kind:"recheck"
+              (fun ((p : Partition.partition), fz) ->
+                Obs.Trace.span ~cat:"cache"
+                  ~args:(fun () -> [ ("partition", Obs.Trace.Int p.Partition.pid) ])
+                  "cache.recheck_compute"
+                @@ fun () ->
+                let stats = Solver.Backtrack.fresh_stats () in
+                let outcome =
+                  Solver.Cache.recheck_compute ~node_limit:t.config.node_limit ~stats database
+                    ~witnesses:fz.Partition.f_witnesses ~formula:fz.Partition.f_formula
+                in
+                (outcome, stats))
+              checks
+          in
+          (checks, outcomes)
+        in
+        let still_ok =
+          Obs.Flight.time Obs.Flight.Install @@ fun () ->
+          Obs.Trace.span ~cat:"cache"
+            ~args:(fun () -> [ ("partitions", Obs.Trace.Int (List.length checks)) ])
+            "cache.recheck_install"
+          @@ fun () ->
+          List.fold_left2
+            (fun ok (p, _) (outcome, stats) ->
+              Solver.Backtrack.add_stats ~into:t.metrics.Metrics.solver_stats stats;
+              Solver.Cache.recheck_install p.Partition.cache outcome && ok)
+            true checks outcomes
+        in
+        `Checked still_ok
+      with e -> `Aborted (Printexc.to_string e)
     in
     (* Roll back the tentative application; on acceptance re-apply through
        the store so the WAL sees it. *)
     List.iter (fun op -> Database.apply_op database (Database.invert op)) (List.rev ops);
+    match verdict with
+    | `Aborted reason ->
+      (* Conservative refusal: no caches were installed (installs run after
+         the fan-out completes), the database is back to its pre-write
+         state, and nothing reached the WAL. *)
+      t.metrics.Metrics.writes_rejected <- t.metrics.Metrics.writes_rejected + 1;
+      Obs.Trace.instant ~cat:"qdb" "qdb.write_aborted";
+      Log.warn (fun m -> m "blind write aborted: revalidation failed (%s)" reason);
+      Error (Printf.sprintf "write revalidation aborted: %s" reason)
+    | `Checked still_ok ->
     if still_ok then begin
       match Obs.Flight.time Obs.Flight.Wal (fun () -> Store.apply t.store ops) with
       | Ok () -> Ok ()

@@ -36,6 +36,10 @@ type config = {
           [false] is the from-scratch ablation: every admission recomposes
           the whole pending sequence and solves it unseeded.  Accept /
           reject outcomes are identical either way; only cost differs. *)
+  governor : Governor.t;
+      (** per-admission resource budget and degradation ladder
+          (see {!Governor}); {!Governor.default} reproduces the engine's
+          historical behaviour. *)
 }
 
 val default_config : config
@@ -45,11 +49,20 @@ type t
 
 type commit_result =
   | Committed of int  (** admission id; values still unassigned *)
-  | Rejected of string
+  | Rejected of string  (** the composed body is unsatisfiable — a semantic no *)
+  | Overloaded of string
+      (** the admission budget ran out even after the degradation ladder
+          (escalated retries, full recompose) — NOT a semantic rejection.
+          Partition chunks, caches and the WAL are untouched; resubmission
+          with a larger budget may still commit. *)
 
 exception Inconsistent of string
 (** Internal invariant breach — never raised unless the store is mutated
     behind the engine's back. *)
+
+exception Engine_overloaded of string
+(** A grounding (not an admission) exhausted its solver budget even after
+    escalation.  The pending set is left untouched. *)
 
 val create : ?config:config -> ?pool:Par.Pool.t -> Relational.Store.t -> t
 (** Wrap a store; creates the pending-transactions table when missing.
@@ -83,12 +96,16 @@ val composed_clause_total : t -> int
     incremental chunk caches (also exported as the
     [qdb.partition.composed_clauses] gauge). *)
 
-val submit : t -> Rtxn.t -> commit_result
+val submit : ?governor:Governor.t -> t -> Rtxn.t -> commit_result
 (** Admission check (Section 3.2.1): freshen, merge dependent partitions,
     enforce the k-bound by force-grounding the oldest, compose, check
     satisfiability through the configured backend, and durably record the
     pending transaction before acknowledging.  Entangled partners waiting
-    for this transaction's label are grounded together with it. *)
+    for this transaction's label are grounded together with it.
+
+    The check runs under [governor] (default: the engine config's) — on
+    budget exhaustion it climbs the degradation ladder and, if that too
+    runs dry, returns {!Overloaded} instead of guessing. *)
 
 type grounding = {
   txn : Rtxn.t;
@@ -123,6 +140,17 @@ val shadow_db : t -> Relational.Database.t
 val write : t -> Relational.Database.op list -> (unit, string) result
 (** Blind external write: admitted only when every affected partition's
     composed body stays satisfiable afterwards. *)
+
+val set_fault_injector : t -> (kind:string -> fanout:int -> job:int -> unit) -> unit
+(** Chaos hook: called before every pool-fan-out job the engine schedules,
+    with the fan-out kind ("refill", "recheck"), a per-engine
+    fan-out sequence number (assigned on the orchestrator thread, so it is
+    independent of the domain count) and the job's input-order index.
+    Raising from the injector simulates a worker crash; the engine must
+    absorb it — refills are abandoned wholesale, write revalidations
+    refuse conservatively — leaving state consistent and deterministic. *)
+
+val clear_fault_injector : t -> unit
 
 val invariant_holds : t -> bool
 (** Test hook: recompose every partition from scratch, require the result

@@ -125,7 +125,7 @@ let submit c txn =
         deliver c.hub c.client_name (Committed_ack { txn_id = id; label = txn.Rtxn.label });
         flush_groundings c.hub;
         result
-      | Qdb.Rejected _ as result ->
+      | (Qdb.Rejected _ | Qdb.Overloaded _) as result ->
         flush_groundings c.hub;
         result)
 

@@ -66,7 +66,7 @@ let sweep ?pool ~incremental k =
       (fun u ->
         match Qdb.submit qdb (Travel.plain_txn u) with
         | Qdb.Committed _ -> true
-        | Qdb.Rejected _ -> false)
+        | Qdb.Rejected _ | Qdb.Overloaded _ -> false)
       (users_for k)
   in
   (qdb, outcomes, Obs.Mclock.elapsed_s t0)

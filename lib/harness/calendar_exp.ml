@@ -62,7 +62,7 @@ let run_quantum stream ~slots:_ store =
         incr hp_total;
         (match Qdb.submit qdb (Calendar.fixed_meeting_txn ~mid ~participants ~slot ()) with
          | Qdb.Committed _ -> incr hp_ok
-         | Qdb.Rejected _ -> ()))
+         | Qdb.Rejected _ | Qdb.Overloaded _ -> ()))
     stream;
   ignore (Qdb.ground_all qdb);
   let scheduled =
@@ -94,7 +94,7 @@ let run_eager stream ~slots store =
       ignore (Qdb.ground qdb id);
       Hashtbl.replace booked mid participants;
       true
-    | Qdb.Rejected _ -> false
+    | Qdb.Rejected _ | Qdb.Overloaded _ -> false
   in
   let free_the_slot mid_hp participants slot =
     (* Find fixed flexible meetings blocking [participants] at [slot]. *)
@@ -147,7 +147,7 @@ let run_eager stream ~slots store =
           | Qdb.Committed id ->
             ignore (Qdb.ground qdb id);
             true
-          | Qdb.Rejected _ -> false
+          | Qdb.Rejected _ | Qdb.Overloaded _ -> false
         in
         if try_fixed () then incr hp_ok
         else begin

@@ -1,0 +1,233 @@
+(* Flash-crowd contention bench: drive admission into the 10–50%
+   rejection regime and record what degradation costs.
+
+   Two workload shapes, both deliberately over capacity:
+
+   - ticket_sale: one flight, far more buyers than seats — the flash
+     crowd.  Scarcity (buyers/seats) sweeps the rejection rate; the
+     entangled fraction sweeps how much optional-adjacency reasoning
+     each admission carries.
+   - hotel_overbooking: group bookings (one transaction per party of
+     three) against a room pool that only fits some of the parties.
+
+   One point additionally runs the whole crowd under a squeezed governor
+   (a node budget far below what the contended tail needs) so the
+   recording also covers the [Overloaded] outcome and its latency.
+
+   Every point runs on a fresh engine; outcome counts are deterministic
+   (pigeonhole capacity arguments, fixed seeds), which is what the CI
+   gate pins — the latency split (accept / reject / overload: count,
+   mean, p50, p99, max in µs) is recorded as measured and never gated.
+   Results go to results/BENCH_contention.json (schema
+   qdb.bench.contention/v1); the committed baseline lives at the repo
+   root. *)
+
+module Qdb = Quantum.Qdb
+module Governor = Quantum.Governor
+module Metrics = Quantum.Metrics
+module Travel = Workload.Travel
+module Flights = Workload.Flights
+module Prng = Workload.Prng
+module Histogram = Obs.Histogram
+
+type latency_split = {
+  count : int;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+type spec = {
+  name : string;
+  kind : string; (* "ticket_sale" | "hotel_overbooking" *)
+  rows : int; (* seat rows on the one flight (3 seats each) *)
+  crowd : int; (* buyers (ticket_sale) or parties of three (hotel) *)
+  entangled_pct : int; (* % of buyers booking with the partner condition *)
+  node_budget : int; (* 0 = engine default (unlimited in practice) *)
+  seed : int;
+}
+
+type point = {
+  spec : spec;
+  seats : int;
+  submissions : int;
+  committed : int;
+  rejected : int;
+  overloaded : int;
+  reject_pct : float;
+  overload_pct : float;
+  accept : latency_split;
+  reject : latency_split;
+  overload : latency_split;
+}
+
+type recording = {
+  seed : int;
+  cores : int;
+  deterministic : bool;
+  series : point list;
+}
+
+let split_of h =
+  let us x = 1e6 *. x in
+  {
+    count = Histogram.count h;
+    mean_us = us (Histogram.mean h);
+    p50_us = us (Histogram.quantile h 0.5);
+    p99_us = us (Histogram.quantile h 0.99);
+    max_us = us (Histogram.max_value h);
+  }
+
+(* The default sweep: scarcity from a near-miss to a crush, one group
+   workload, one squeezed-governor point.  Capacity on 3 rows is 9
+   seats, so the expected rejection rates are 1/10, 5/14, 7/16 and (for
+   the hotel) 2/5 — all inside the 10–50% regime the gate pins. *)
+let default_specs seed =
+  [
+    { name = "ticket_sale_light"; kind = "ticket_sale"; rows = 3; crowd = 10;
+      entangled_pct = 50; node_budget = 0; seed };
+    { name = "ticket_sale_rush"; kind = "ticket_sale"; rows = 3; crowd = 14;
+      entangled_pct = 50; node_budget = 0; seed = seed + 1 };
+    { name = "ticket_sale_crush"; kind = "ticket_sale"; rows = 3; crowd = 16;
+      entangled_pct = 100; node_budget = 0; seed = seed + 2 };
+    { name = "hotel_overbooking"; kind = "hotel_overbooking"; rows = 2; crowd = 5;
+      entangled_pct = 0; node_budget = 0; seed = seed + 3 };
+    { name = "ticket_sale_squeezed"; kind = "ticket_sale"; rows = 3; crowd = 14;
+      entangled_pct = 100; node_budget = 8; seed = seed + 1 };
+  ]
+
+let run_point spec =
+  let geometry = { Flights.flights = 1; rows_per_flight = spec.rows; dest = "LA" } in
+  let store = Flights.fresh_store geometry in
+  let qdb = Qdb.create store in
+  let governor =
+    if spec.node_budget > 0 then
+      Some (Governor.make ~node_budget:spec.node_budget ~max_retries:1 ~escalation:2 ())
+    else None
+  in
+  let rng = Prng.create spec.seed in
+  let txns =
+    match spec.kind with
+    | "ticket_sale" ->
+      let users =
+        List.filteri
+          (fun i _ -> i < spec.crowd)
+          (Travel.make_users ~flights:1 ~pairs_per_flight:((spec.crowd + 1) / 2))
+      in
+      let users = Prng.shuffle_list rng users in
+      List.map
+        (fun u ->
+          if Prng.int rng 100 < spec.entangled_pct then Travel.entangled_txn u
+          else Travel.plain_txn u)
+        users
+    | "hotel_overbooking" ->
+      List.init spec.crowd (fun g ->
+          let members = List.map (Printf.sprintf "party%d_%c" g) [ 'a'; 'b' ] in
+          Travel.group_txn ~members ~flight:0 ())
+    | other -> invalid_arg (Printf.sprintf "Contention.run_point: unknown kind %S" other)
+  in
+  List.iter (fun txn -> ignore (Qdb.submit ?governor qdb txn)) txns;
+  let m = Qdb.metrics qdb in
+  let submissions = m.Metrics.submitted in
+  let pct n = if submissions > 0 then 100. *. float_of_int n /. float_of_int submissions else 0. in
+  {
+    spec;
+    seats = Flights.seats_per_flight geometry;
+    submissions;
+    committed = m.Metrics.committed;
+    rejected = m.Metrics.rejected;
+    overloaded = m.Metrics.overloaded;
+    reject_pct = pct m.Metrics.rejected;
+    overload_pct = pct m.Metrics.overloaded;
+    accept = split_of m.Metrics.accept_latency;
+    reject = split_of m.Metrics.reject_latency;
+    overload = split_of m.Metrics.overload_latency;
+  }
+
+let counts p = (p.submissions, p.committed, p.rejected, p.overloaded)
+
+let run ?(seed = 7000) () =
+  let specs = default_specs seed in
+  (* Determinism probe: the first point twice, counts must agree. *)
+  let deterministic =
+    match specs with
+    | [] -> true
+    | s :: _ -> counts (run_point s) = counts (run_point s)
+  in
+  let series = List.map run_point specs in
+  {
+    seed;
+    cores = Domain.recommended_domain_count ();
+    deterministic;
+    series;
+  }
+
+let print_summary r =
+  Common.section "Flash-crowd contention sweep";
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.spec.name;
+          Printf.sprintf "%d/%d" p.spec.crowd p.seats;
+          string_of_int p.committed;
+          string_of_int p.rejected;
+          string_of_int p.overloaded;
+          Common.f1 p.reject_pct ^ "%";
+          Common.f1 p.accept.mean_us;
+          Common.f1 p.reject.mean_us;
+          (if p.overload.count > 0 then Common.f1 p.overload.mean_us else "-");
+        ])
+      r.series
+  in
+  Common.print_table ~csv:"contention"
+    ~header:
+      [ "point"; "crowd/seats"; "commit"; "reject"; "ovl"; "rej%"; "acc us"; "rej us"; "ovl us" ]
+    rows;
+  Printf.printf "outcome counts %s across repeat runs\n%!"
+    (if r.deterministic then "identical" else "DIVERGED");
+  if not r.deterministic then failwith "contention bench: outcome counts diverged across runs"
+
+let split_json name s =
+  Printf.sprintf
+    "\"%s\": {\"count\": %d, \"mean_us\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+     \"max_us\": %.1f}"
+    name s.count s.mean_us s.p50_us s.p99_us s.max_us
+
+let json_of_recording r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"qdb.bench.contention/v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"workload\": {\"seed\": %d, \"flights\": 1},\n" r.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host\": {\"cores\": %d},\n  \"deterministic\": %b,\n" r.cores
+       r.deterministic);
+  Buffer.add_string b "  \"series\": [\n";
+  List.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"point\": \"%s\", \"kind\": \"%s\", \"crowd\": %d, \"seats\": %d, \
+            \"entangled_pct\": %d, \"node_budget\": %d,\n\
+           \     \"submissions\": %d, \"committed\": %d, \"rejected\": %d, \"overloaded\": \
+            %d, \"reject_pct\": %.2f, \"overload_pct\": %.2f,\n\
+           \     \"latency_us\": {%s, %s, %s}}%s\n"
+           p.spec.name p.spec.kind p.spec.crowd p.seats p.spec.entangled_pct
+           p.spec.node_budget p.submissions p.committed p.rejected p.overloaded p.reject_pct
+           p.overload_pct (split_json "accept" p.accept) (split_json "reject" p.reject)
+           (split_json "overload" p.overload)
+           (if i = List.length r.series - 1 then "" else ",")))
+    r.series;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write ?(path = "results/BENCH_contention.json") r =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (json_of_recording r));
+  Printf.printf "contention series written to %s\n%!" path;
+  r

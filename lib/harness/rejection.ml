@@ -57,7 +57,7 @@ let run ?(quiet = false) () =
       (fun u ->
         match Qdb.submit qdb (Travel.plain_txn u) with
         | Qdb.Committed _ -> true
-        | Qdb.Rejected _ -> false)
+        | Qdb.Rejected _ | Qdb.Overloaded _ -> false)
       users
   in
   let committed = List.length (List.filter Fun.id outcomes) in

@@ -91,7 +91,7 @@ let spec ~flights ~rows ~pairs ~seed =
     seed;
   }
 
-(* Fold the recorder's eleven phases into the schema's six buckets. *)
+(* Fold the recorder's twelve phases into the schema's six buckets. *)
 let bucket_deltas before after =
   let delta p = List.assq p after - List.assq p before in
   let s p = float_of_int (delta p) *. 1e-9 in
@@ -103,7 +103,7 @@ let bucket_deltas before after =
     wal_s = s Flight.Wal;
     compute_s =
       s Flight.Compose +. s Flight.Cache +. s Flight.Solve +. s Flight.Ground
-      +. s Flight.Compute +. s Flight.Coordination;
+      +. s Flight.Compute +. s Flight.Coordination +. s Flight.Governor;
   }
 
 let run_point ~config ~spec domains =

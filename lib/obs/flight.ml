@@ -35,8 +35,9 @@ type phase =
   | Merge (* result recombination on the orchestrating domain *)
   | Install (* installing worker results into caches *)
   | Coordination (* fan-out orchestration: planning, waiting on the pool *)
+  | Governor (* admission-budget ladder: retries, backoff, degradation *)
 
-let n_phases = 11
+let n_phases = 12
 
 let index = function
   | Compose -> 0
@@ -50,6 +51,7 @@ let index = function
   | Merge -> 8
   | Install -> 9
   | Coordination -> 10
+  | Governor -> 11
 
 let phase_name = function
   | Compose -> "compose"
@@ -63,9 +65,11 @@ let phase_name = function
   | Merge -> "merge"
   | Install -> "install"
   | Coordination -> "coordination"
+  | Governor -> "governor"
 
 let all_phases =
-  [ Compose; Cache; Solve; Wal; Ground; Freeze; Queue; Compute; Merge; Install; Coordination ]
+  [ Compose; Cache; Solve; Wal; Ground; Freeze; Queue; Compute; Merge; Install; Coordination;
+    Governor ]
 
 type record = {
   seq : int; (* admission order, monotonically increasing *)

@@ -20,6 +20,7 @@ type phase =
   | Merge  (** result recombination on the orchestrating domain *)
   | Install  (** installing worker results into caches *)
   | Coordination  (** fan-out orchestration: planning, waiting on the pool *)
+  | Governor  (** admission-budget ladder: retries, backoff, degradation *)
 
 val phase_name : phase -> string
 val all_phases : phase list

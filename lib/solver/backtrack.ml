@@ -37,6 +37,19 @@ let add_stats ~into s =
   into.propagations <- into.propagations + s.propagations
 
 exception Too_many_nodes
+exception Timed_out
+
+(* Deadline checks are amortized: the monotonic clock is read once per
+   [deadline_stride] expanded nodes, so an armed deadline costs one land
+   and compare per choice point on the hot path. *)
+let deadline_stride = 256
+
+let check_deadline deadline_ns nodes =
+  match deadline_ns with
+  | None -> ()
+  | Some d ->
+    if nodes land (deadline_stride - 1) = 0 && Int64.compare (Obs.Mclock.now_ns ()) d > 0 then
+      raise Timed_out
 
 (* Internal goals after decomposing the conjunctive structure. *)
 type goal =
@@ -263,13 +276,18 @@ let pick_branch db cache subst goals =
 
 let default_node_limit = 2_000_000
 
-let solve_goals ?(node_limit = default_node_limit) db stats subst goals =
+let solve_goals ?(node_limit = default_node_limit) ?deadline_ns db stats subst goals =
   (* The budget is per call: [stats] may be a long-lived cumulative
      counter shared across the engine's lifetime. *)
-  let node_ceiling = stats.nodes + node_limit in
+  let base_nodes = stats.nodes in
+  let node_ceiling = base_nodes + node_limit in
   let cache : est_cache = Hashtbl.create 64 in
   let rec search subst goals =
     if stats.nodes > node_ceiling then raise Too_many_nodes;
+    (* Stride relative to this call's entry: [stats] is cumulative and
+       need not be 256-aligned, and the very first check (offset 0) makes
+       an already-expired deadline fire before any search happens. *)
+    check_deadline deadline_ns (stats.nodes - base_nodes);
     match propagate_fix db stats subst goals with
     | None -> None
     | Some (subst, goals) ->
@@ -352,7 +370,7 @@ let solve_span name stats found f =
       name f
   end
 
-let solve ?node_limit ?(seed = Subst.empty) ?stats db formula =
+let solve ?node_limit ?deadline_ns ?(seed = Subst.empty) ?stats db formula =
   let stats =
     match stats with
     | Some s -> s
@@ -365,17 +383,17 @@ let solve ?node_limit ?(seed = Subst.empty) ?stats db formula =
       match goals_of_formula (simplify seed formula) [] with
       | None -> None
       | Some goals ->
-        let r = solve_goals ?node_limit db stats seed goals in
+        let r = solve_goals ?node_limit ?deadline_ns db stats seed goals in
         result := r;
         r)
 
-let satisfiable ?node_limit ?seed ?stats db formula =
-  Option.is_some (solve ?node_limit ?seed ?stats db formula)
+let satisfiable ?node_limit ?deadline_ns ?seed ?stats db formula =
+  Option.is_some (solve ?node_limit ?deadline_ns ?seed ?stats db formula)
 
 (* -- All-solutions enumeration (read queries, possible-worlds checks) ----- *)
 
-let solutions ?(node_limit = default_node_limit) ?(seed = Subst.empty) ?stats ?(limit = max_int)
-    db formula =
+let solutions ?(node_limit = default_node_limit) ?deadline_ns ?(seed = Subst.empty) ?stats
+    ?(limit = max_int) db formula =
   let stats =
     match stats with
     | Some s -> s
@@ -389,10 +407,12 @@ let solutions ?(node_limit = default_node_limit) ?(seed = Subst.empty) ?stats ?(
     incr count;
     if !count >= limit then raise Done
   in
-  let node_ceiling = stats.nodes + node_limit in
+  let base_nodes = stats.nodes in
+  let node_ceiling = base_nodes + node_limit in
   let cache : est_cache = Hashtbl.create 64 in
   let rec search subst goals =
     if stats.nodes > node_ceiling then raise Too_many_nodes;
+    check_deadline deadline_ns (stats.nodes - base_nodes);
     match propagate_fix db stats subst goals with
     | None -> ()
     | Some (subst, goals) ->

@@ -18,10 +18,15 @@ val add_stats : into:stats -> stats -> unit
 
 exception Too_many_nodes
 
+exception Timed_out
+(** An armed [deadline_ns] passed mid-search.  Checked every few hundred
+    expanded nodes, so overruns are bounded by the work between checks. *)
+
 val default_node_limit : int
 
 val solve :
   ?node_limit:int ->
+  ?deadline_ns:int64 ->
   ?seed:Logic.Subst.t ->
   ?stats:stats ->
   Relational.Database.t ->
@@ -30,10 +35,12 @@ val solve :
 (** First satisfying valuation, or [None].  [seed] pre-binds variables —
     the solution-cache extension path.  Variables constrained only by
     deferred disequalities may stay unbound in the result (they are
-    vacuously satisfiable).  @raise Too_many_nodes past [node_limit]. *)
+    vacuously satisfiable).  @raise Too_many_nodes past [node_limit].
+    @raise Timed_out past the absolute monotonic-clock [deadline_ns]. *)
 
 val satisfiable :
   ?node_limit:int ->
+  ?deadline_ns:int64 ->
   ?seed:Logic.Subst.t ->
   ?stats:stats ->
   Relational.Database.t ->
@@ -42,6 +49,7 @@ val satisfiable :
 
 val solutions :
   ?node_limit:int ->
+  ?deadline_ns:int64 ->
   ?seed:Logic.Subst.t ->
   ?stats:stats ->
   ?limit:int ->

@@ -75,64 +75,93 @@ let set_witness t subst = t.witnesses <- [ subst ]
 
 let store_witness t subst = t.witnesses <- truncate t (subst :: t.witnesses)
 
+(* Three-way admission verdict: exhaustion (node budget or deadline) is
+   distinct from semantic unsatisfiability, so the engine's governor can
+   retry or degrade instead of misreporting a rejection. *)
+type outcome =
+  | Sat of Subst.t
+  | Unsat
+  | Exhausted of string (* which budget ran out *)
+
 (* From-scratch admission solve: no witness extension, one unseeded solve
    of the whole composed body, witness stored on success.  This is the
    [--no-incremental] ablation path and the reference the seeded path's
    outcomes are tested against. *)
-let resolve_full ?node_limit t db formula =
+let solve_full ?node_limit ?deadline_ns t db formula =
   t.stats.full_solves <- t.stats.full_solves + 1;
   match
     Obs.Flight.time Obs.Flight.Solve (fun () ->
-        Backtrack.solve ?node_limit ~stats:t.solver_stats db formula)
+        Backtrack.solve ?node_limit ?deadline_ns ~stats:t.solver_stats db formula)
   with
   | Some subst ->
     store_witness t subst;
-    Some subst
-  | None -> None
+    Sat subst
+  | None -> Unsat
+  | exception Backtrack.Too_many_nodes -> Exhausted "solver node budget exhausted"
+  | exception Backtrack.Timed_out -> Exhausted "admission deadline exceeded"
 
 (* Try to extend each cached witness over [new_clauses]; on a hit the
    successful base moves to the front (LRU).  On miss, re-solve
-   [full_formula] from scratch.  Returns the new witness (and caches it)
-   or [None] when the full formula is unsatisfiable.  [full_formula] is
-   lazy: an extension hit never needs the flattened whole-body
-   conjunction, so the admission hot path skips building it. *)
-let extend_or_resolve ?node_limit t db ~new_clauses ~full_formula =
+   [full_formula] from scratch.  [full_formula] is lazy: an extension hit
+   never needs the flattened whole-body conjunction, so the admission hot
+   path skips building it.  A per-base node-budget blowup moves on to the
+   next base (another witness may extend cheaply); a deadline blowup
+   aborts the whole check — the clock is shared across bases. *)
+let try_extend ?node_limit ?deadline_ns t db ~new_clauses ~full_formula =
   let bases_tried = ref 0 in
   let rec try_bases tried = function
-    | [] -> None
+    | [] -> Unsat
     | seed :: rest ->
       t.stats.extensions <- t.stats.extensions + 1;
       incr bases_tried;
-      (match Backtrack.solve ?node_limit ~seed ~stats:t.solver_stats db new_clauses with
+      (match
+         Backtrack.solve ?node_limit ?deadline_ns ~seed ~stats:t.solver_stats db new_clauses
+       with
        | Some subst ->
          t.stats.extension_hits <- t.stats.extension_hits + 1;
          (* Promote the successful base; the extended valuation becomes
             the primary witness. *)
          t.witnesses <- truncate t (subst :: List.rev_append tried rest);
-         Some subst
+         Sat subst
        | None -> try_bases (seed :: tried) rest
-       | exception Backtrack.Too_many_nodes -> try_bases (seed :: tried) rest)
+       | exception Backtrack.Too_many_nodes -> try_bases (seed :: tried) rest
+       | exception Backtrack.Timed_out -> Exhausted "admission deadline exceeded")
   in
   (* The extend-vs-resolve decision is the cache's whole point; record
      which path this admission check took.  Extension attempts are the
      cache phase; the fallback re-solve below accounts itself as solve. *)
   match Obs.Flight.time Obs.Flight.Cache (fun () -> try_bases [] t.witnesses) with
-  | Some _ as hit ->
+  | Sat _ as hit ->
     if Obs.Trace.on () then
       Obs.Trace.instant ~cat:"cache"
         ~args:[ ("bases_tried", Obs.Trace.Int !bases_tried) ]
         "cache.extend_hit";
     hit
-  | None ->
-    let result = resolve_full ?node_limit t db (Lazy.force full_formula) in
+  | Exhausted _ as e -> e
+  | Unsat ->
+    let result = solve_full ?node_limit ?deadline_ns t db (Lazy.force full_formula) in
     if Obs.Trace.on () then
       Obs.Trace.instant ~cat:"cache"
         ~args:
           [ ("bases_tried", Obs.Trace.Int !bases_tried);
-            ("satisfiable", Obs.Trace.Bool (Option.is_some result));
+            ("satisfiable", Obs.Trace.Bool (match result with Sat _ -> true | _ -> false));
           ]
         "cache.full_solve";
     result
+
+(* Legacy option-typed entry points (recovery, tests, ablations): callers
+   without a governor see exhaustion as the raw solver exception, exactly
+   as before the outcome split. *)
+let reraise_exhausted = function
+  | Sat subst -> Some subst
+  | Unsat -> None
+  | Exhausted _ -> raise Backtrack.Too_many_nodes
+
+let resolve_full ?node_limit t db formula =
+  reraise_exhausted (solve_full ?node_limit t db formula)
+
+let extend_or_resolve ?node_limit t db ~new_clauses ~full_formula =
+  reraise_exhausted (try_extend ?node_limit t db ~new_clauses ~full_formula)
 
 let witness_satisfies db formula subst =
   let lookup v =

@@ -33,6 +33,33 @@ val invalidate : t -> unit
 val set_witness : t -> Logic.Subst.t -> unit
 (** Authoritative witness for a new composed body; spares are dropped. *)
 
+type outcome =
+  | Sat of Logic.Subst.t  (** witness found (and cached) *)
+  | Unsat  (** composed body unsatisfiable: refuse admission *)
+  | Exhausted of string  (** node budget or deadline ran out — NOT a rejection *)
+
+val try_extend :
+  ?node_limit:int ->
+  ?deadline_ns:int64 ->
+  t ->
+  Relational.Database.t ->
+  new_clauses:Logic.Formula.t ->
+  full_formula:Logic.Formula.t Lazy.t ->
+  outcome
+(** Try to extend each cached witness over [new_clauses] (successful base
+    promoted, LRU); on miss force and re-solve [full_formula].  Caches
+    the resulting witness.  [full_formula] is lazy so extension hits
+    never pay for flattening the whole body.  A per-base node-budget
+    blowup tries the next base; a deadline blowup aborts the check.
+    [Exhausted] means the verdict is unknown — the governor's retry /
+    degrade / overload ladder owns what happens next. *)
+
+val solve_full :
+  ?node_limit:int -> ?deadline_ns:int64 -> t -> Relational.Database.t -> Logic.Formula.t -> outcome
+(** One unseeded solve of the whole composed body, skipping witness
+    extension (the from-scratch ablation and the governor's degraded
+    full-recompose rung); stores the witness and counts a full solve. *)
+
 val extend_or_resolve :
   ?node_limit:int ->
   t ->
@@ -40,17 +67,13 @@ val extend_or_resolve :
   new_clauses:Logic.Formula.t ->
   full_formula:Logic.Formula.t Lazy.t ->
   Logic.Subst.t option
-(** Try to extend each cached witness over [new_clauses] (successful base
-    promoted, LRU); on miss force and re-solve [full_formula].  Caches
-    and returns the resulting witness; [None] means the composed body is
-    unsatisfiable and admission must be refused.  [full_formula] is lazy
-    so extension hits never pay for flattening the whole body. *)
+(** [try_extend] with the legacy option signature: [None] means
+    unsatisfiable; exhaustion re-raises {!Backtrack.Too_many_nodes}. *)
 
 val resolve_full :
   ?node_limit:int -> t -> Relational.Database.t -> Logic.Formula.t -> Logic.Subst.t option
-(** One unseeded solve of the whole composed body, skipping witness
-    extension (the from-scratch ablation path); stores the witness and
-    counts a full solve. *)
+(** [solve_full] with the legacy option signature (see
+    {!extend_or_resolve}). *)
 
 val revalidate : t -> Relational.Database.t -> Logic.Formula.t -> bool
 (** After an external write: drop witnesses the current database no

@@ -1,0 +1,233 @@
+(* Engine-wide chaos harness: deterministic fault injection beyond the
+   WAL (the crash monkey's territory) — solver-budget exhaustion through
+   squeezed governors, pool-worker exceptions mid-fan-out (cache refills,
+   blind-write rechecks), and the survival contract that goes with them:
+
+   - the engine absorbs every injected fault: no poisoned partition, no
+     half-applied write, the composed-satisfiability invariant intact and
+     the next submission served normally;
+   - outcomes are bit-identical at 1, 2 and 4 domains — fault schedules
+     are pure hashes of orchestrator-side coordinates, never of where a
+     job happened to run;
+   - a squeezed admission that says [Rejected] means it: resubmitting
+     with the default governor must reject again (a commit would mean an
+     exhaustion was misreported as a semantic no);
+   - [Overloaded] leaves the pending set untouched, and resubmitting
+     without the squeeze makes progress (commits or genuinely rejects).
+
+   Every cycle is reproducible from its seed; the schedule PRNG is
+   consumed only on the orchestrator thread. *)
+
+module Database = Relational.Database
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Qdb = Quantum.Qdb
+module Rtxn = Quantum.Rtxn
+module Governor = Quantum.Governor
+module Metrics = Quantum.Metrics
+
+type cycle_outcome = {
+  events : string list; (* compact event trace — the determinism fingerprint *)
+  submissions : int;
+  committed : int;
+  rejected : int;
+  overloaded : int;
+  squeezed : int;
+  refill_faults : int;
+  write_aborts : int;
+  groundings : int;
+  violations : string list;
+}
+
+type summary = {
+  cycles : int;
+  submissions : int;
+  committed : int;
+  rejected : int;
+  overloaded : int;
+  squeezed : int;
+  refill_faults : int;
+  write_aborts : int;
+  groundings : int;
+  determinism_checks : int;
+  violations : (int * string) list; (* (cycle, what broke) *)
+}
+
+let run_cycle ?pool ~seed () =
+  let rng = Prng.create seed in
+  let geometry =
+    { Flights.flights = 1; rows_per_flight = 2 + Prng.int rng 2; dest = "LA" }
+  in
+  let store = Flights.fresh_store geometry in
+  (* capacity > 1 so commits trigger the refill fan-out the injector
+     targets; everything else is the default engine. *)
+  let config = { Qdb.default_config with Qdb.cache_capacity = 3 } in
+  let qdb = Qdb.create ~config ?pool store in
+  let plan =
+    { Fault.chaos_seed = seed lxor 0xC4A05; refill_rate = 0.25; recheck_rate = 0.4 }
+  in
+  Qdb.set_fault_injector qdb (Fault.injector plan);
+  (* The squeeze: a node budget far below what contended admissions need,
+     with a flat escalation so retries cannot save it.  No deadline — the
+     wall clock would break cross-domain determinism. *)
+  let squeeze_gov =
+    Governor.make ~node_budget:(1 + Prng.int rng 40) ~max_retries:1 ~escalation:1 ()
+  in
+  let events = ref [] in
+  let record e = events := e :: !events in
+  let violations = ref [] in
+  let violate v = violations := v :: !violations in
+  let squeezed = ref 0 in
+  let write_aborts = ref 0 in
+  let groundings = ref 0 in
+  (* Over capacity: 4 users per row against 3 seats — the tail of every
+     cycle is contended, which is where budgets blow and rejections live. *)
+  let users =
+    Travel.make_users ~flights:1 ~pairs_per_flight:(2 * geometry.Flights.rows_per_flight)
+  in
+  let users = Prng.shuffle_list rng users in
+  let seats = Flights.seats_per_flight geometry in
+  List.iter
+    (fun u ->
+      (match Prng.int rng 10 with
+       | 0 ->
+         (* Blind write under possible recheck injection: delete one
+            PRNG-chosen Available seat.  Accepted, refused or aborted —
+            all three must replay identically. *)
+         let seat = Prng.int rng seats in
+         let op = Database.Delete ("Available", Tuple.of_list [ Value.Int 0; Value.Int seat ]) in
+         (match Qdb.write qdb [ op ] with
+          | Ok () -> record "W+"
+          | Error e when String.length e >= 18 && String.sub e 0 18 = "write revalidation" ->
+            incr write_aborts;
+            record "W!"
+          | Error _ -> record "W-")
+       | 1 ->
+         (match Qdb.pending qdb with
+          | [] -> ()
+          | pending ->
+            let txn = List.nth pending (Prng.int rng (List.length pending)) in
+            let n = List.length (Qdb.ground qdb txn.Rtxn.id) in
+            groundings := !groundings + n;
+            record (Printf.sprintf "G%d" n))
+       | _ -> ());
+      let txn = if Prng.bool rng then Travel.entangled_txn u else Travel.plain_txn u in
+      if Prng.int rng 4 = 0 then begin
+        incr squeezed;
+        let before = Qdb.pending_count qdb in
+        match Qdb.submit ~governor:squeeze_gov qdb txn with
+        | Qdb.Committed _ -> record "sC"
+        | Qdb.Rejected _ ->
+          record "sR";
+          (* Oracle: a rejection under pressure must be a real rejection.
+             Resubmitting with the full default budget committing would
+             mean an exhaustion escaped as a semantic no. *)
+          (match Qdb.submit qdb txn with
+           | Qdb.Committed _ ->
+             violate "squeezed Rejected committed on unsqueezed resubmit"
+           | Qdb.Rejected _ -> record "rr"
+           | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
+        | Qdb.Overloaded _ ->
+          record "sO";
+          if Qdb.pending_count qdb <> before then
+            violate "Overloaded mutated the pending set";
+          (* Resubmitting without the squeeze must make progress. *)
+          (match Qdb.submit qdb txn with
+           | Qdb.Committed _ -> record "oC"
+           | Qdb.Rejected _ -> record "oR"
+           | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
+      end
+      else
+        match Qdb.submit qdb txn with
+        | Qdb.Committed _ -> record "C"
+        | Qdb.Rejected _ -> record "R"
+        | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
+    users;
+  (* Post-cycle survival contract. *)
+  (try
+     let n = List.length (Qdb.ground_all qdb) in
+     groundings := !groundings + n;
+     record (Printf.sprintf "GA%d" n)
+   with Qdb.Engine_overloaded _ -> violate "ground_all overloaded under default budget");
+  if not (Qdb.invariant_holds qdb) then
+    violate "composed-satisfiability invariant broken after chaos cycle";
+  let m = Qdb.metrics qdb in
+  let submitted = m.Metrics.submitted in
+  if m.Metrics.committed + m.Metrics.rejected + m.Metrics.overloaded <> submitted then
+    violate
+      (Printf.sprintf "outcome accounting: %d committed + %d rejected + %d overloaded <> %d submitted"
+         m.Metrics.committed m.Metrics.rejected m.Metrics.overloaded submitted);
+  {
+    events = List.rev !events;
+    submissions = submitted;
+    committed = m.Metrics.committed;
+    rejected = m.Metrics.rejected;
+    overloaded = m.Metrics.overloaded;
+    squeezed = !squeezed;
+    refill_faults = m.Metrics.refill_failures;
+    write_aborts = !write_aborts;
+    groundings = !groundings;
+    violations = List.rev !violations;
+  }
+
+let run ?(cycles = 100) ?(seed = 1234) () =
+  let pool2 = Par.Pool.create ~domains:2 () in
+  let pool4 = Par.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Par.Pool.shutdown pool2;
+      Par.Pool.shutdown pool4)
+    (fun () ->
+      let acc =
+        ref
+          {
+            cycles = 0;
+            submissions = 0;
+            committed = 0;
+            rejected = 0;
+            overloaded = 0;
+            squeezed = 0;
+            refill_faults = 0;
+            write_aborts = 0;
+            groundings = 0;
+            determinism_checks = 0;
+            violations = [];
+          }
+      in
+      for cycle = 0 to cycles - 1 do
+        let cycle_seed = seed + (cycle * 6151) in
+        let o1 = run_cycle ~seed:cycle_seed () in
+        let o2 = run_cycle ~pool:pool2 ~seed:cycle_seed () in
+        let o4 = run_cycle ~pool:pool4 ~seed:cycle_seed () in
+        let cycle_violations = ref (o1.violations @ o2.violations @ o4.violations) in
+        if o1.events <> o2.events then
+          cycle_violations := "events diverge between 1 and 2 domains" :: !cycle_violations;
+        if o1.events <> o4.events then
+          cycle_violations := "events diverge between 1 and 4 domains" :: !cycle_violations;
+        let s = !acc in
+        acc :=
+          {
+            cycles = s.cycles + 1;
+            submissions = s.submissions + o1.submissions;
+            committed = s.committed + o1.committed;
+            rejected = s.rejected + o1.rejected;
+            overloaded = s.overloaded + o1.overloaded;
+            squeezed = s.squeezed + o1.squeezed;
+            refill_faults = s.refill_faults + o1.refill_faults;
+            write_aborts = s.write_aborts + o1.write_aborts;
+            groundings = s.groundings + o1.groundings;
+            determinism_checks = s.determinism_checks + 2;
+            violations =
+              s.violations @ List.map (fun v -> (cycle, v)) !cycle_violations;
+          }
+      done;
+      !acc)
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>%d cycle(s) x {1,2,4} domains: %d submission(s) — %d committed, %d rejected, %d \
+     overloaded@,\
+     %d squeezed admission(s); %d refill fault(s) absorbed, %d write abort(s)@,\
+     %d grounding(s); %d determinism check(s); %d violation(s)@]"
+    s.cycles s.submissions s.committed s.rejected s.overloaded s.squeezed s.refill_faults
+    s.write_aborts s.groundings s.determinism_checks (List.length s.violations)

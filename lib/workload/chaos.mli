@@ -1,0 +1,44 @@
+(** Engine-wide chaos harness: deterministic injection of solver-budget
+    exhaustion (squeezed governors), pool-worker exceptions mid-fan-out
+    (cache refills, blind-write rechecks), with the survival contract:
+    the engine absorbs every fault, outcomes replay bit-identically at
+    1/2/4 domains, a squeezed [Rejected] re-rejects under the default
+    governor, and [Overloaded] leaves the pending set untouched. *)
+
+type cycle_outcome = {
+  events : string list;  (** compact event trace — the determinism fingerprint *)
+  submissions : int;
+  committed : int;
+  rejected : int;
+  overloaded : int;
+  squeezed : int;
+  refill_faults : int;
+  write_aborts : int;
+  groundings : int;
+  violations : string list;
+}
+
+type summary = {
+  cycles : int;
+  submissions : int;
+  committed : int;
+  rejected : int;
+  overloaded : int;
+  squeezed : int;
+  refill_faults : int;
+  write_aborts : int;
+  groundings : int;
+  determinism_checks : int;
+  violations : (int * string) list;  (** (cycle, what broke) *)
+}
+
+val run_cycle : ?pool:Par.Pool.t -> seed:int -> unit -> cycle_outcome
+(** One reproducible chaos cycle: fresh engine over a small scarce travel
+    fixture, PRNG-scheduled submissions (a quarter squeezed), blind
+    writes and groundings, fault injection on every fan-out kind. *)
+
+val run : ?cycles:int -> ?seed:int -> unit -> summary
+(** Run [cycles] cycles, each at 1, 2 and 4 domains, comparing the event
+    traces bit-for-bit.  Pools are created once and reused. *)
+
+val pp : Format.formatter -> summary -> unit

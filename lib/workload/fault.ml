@@ -107,3 +107,48 @@ let wrap rng (inner : Wal.backend) =
       Wal.append;
       rewrite;
     } )
+
+(* -- Engine-level fault injection ------------------------------------------
+
+   Beyond storage, the chaos harness injects faults into the engine's
+   parallel fan-outs through [Qdb.set_fault_injector]: a pool-worker job
+   raising mid-flight during a cache refill or a blind-write recheck.
+   The decision for each job is a pure hash of (seed, kind, fan-out
+   sequence number, job index) — no mutable PRNG state — so a schedule
+   is identical however the jobs are spread across domains, which is
+   exactly what the bit-identical 1/2/4-domain oracle requires. *)
+
+exception Injected of string
+(* A simulated pool-worker crash.  The engine must absorb it: refills are
+   abandoned wholesale, write revalidations refuse conservatively. *)
+
+type engine_plan = {
+  chaos_seed : int;
+  refill_rate : float; (* per-job probability a cache-refill job raises *)
+  recheck_rate : float; (* per-job probability a write-recheck job raises *)
+}
+
+(* splitmix64-style finalizer over the packed decision coordinates. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let decision ~seed ~kind ~fanout ~job =
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+      (Int64.of_int ((Hashtbl.hash kind * 0x1F1F1F) lxor (fanout * 8191) lxor job))
+  in
+  let bits = Int64.to_int (Int64.logand (mix64 z) 0xFFFFFL) in
+  float_of_int bits /. 1048576.
+
+let injector plan ~kind ~fanout ~job =
+  let rate =
+    match kind with
+    | "refill" -> plan.refill_rate
+    | "recheck" -> plan.recheck_rate
+    | _ -> 0.
+  in
+  if rate > 0. && decision ~seed:plan.chaos_seed ~kind ~fanout ~job < rate then
+    raise (Injected (Printf.sprintf "%s fan-out %d job %d" kind fanout job))

@@ -45,3 +45,22 @@ val wrap : Prng.t -> Relational.Wal.backend -> handle * Relational.Wal.backend
 (** The wrapped backend is transparent until {!arm}.  Checkpoint segment
     swaps ([rewrite]) count as one append and, at the crash point, either
     fully happen or not at all (atomic rename), PRNG-decided. *)
+
+(** {1 Engine-level fault injection}
+
+    Faults inside the engine's parallel fan-outs, delivered through
+    [Qdb.set_fault_injector].  Each job's fate is a pure hash of
+    [(seed, kind, fanout, job)] — no mutable PRNG — so a fault schedule
+    is identical at any domain count. *)
+
+exception Injected of string
+(** A simulated pool-worker crash mid-fan-out. *)
+
+type engine_plan = {
+  chaos_seed : int;
+  refill_rate : float;  (** per-job probability a cache-refill job raises *)
+  recheck_rate : float;  (** per-job probability a write-recheck job raises *)
+}
+
+val injector : engine_plan -> kind:string -> fanout:int -> job:int -> unit
+(** The function to install with [Qdb.set_fault_injector]. *)

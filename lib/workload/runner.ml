@@ -163,7 +163,7 @@ let run_sharded ?pool ?collect engine spec =
          | Book user, Some qdb ->
            (match Qdb.submit qdb (Travel.entangled_txn user) with
             | Qdb.Committed _ -> incr committed
-            | Qdb.Rejected _ -> incr rejected);
+            | Qdb.Rejected _ | Qdb.Overloaded _ -> incr rejected);
            max_pending := max !max_pending (Qdb.pending_count qdb)
          | Book user, None ->
            if Travel.is_book store user then incr committed else incr rejected
@@ -255,7 +255,7 @@ let run engine spec =
        | Book user, Some qdb ->
          (match Qdb.submit qdb (Travel.entangled_txn user) with
           | Qdb.Committed _ -> incr committed
-          | Qdb.Rejected _ -> incr rejected);
+          | Qdb.Rejected _ | Qdb.Overloaded _ -> incr rejected);
          max_pending := max !max_pending (Qdb.pending_count qdb)
        | Book user, None -> if Travel.is_book store user then incr committed else incr rejected
        | Read_seat user, Some qdb -> ignore (Qdb.read qdb (Travel.seat_query user))

@@ -39,6 +39,28 @@ echo "== admission regression gate =="
 # gates) is `qdb_cli bench diff`, shared with the scaling gate below.
 dune exec bin/qdb_cli.exe -- bench diff BENCH_admission.json results/BENCH_admission.json --gate 25
 
+echo "== contention sweep (flash crowds) =="
+# Flash-crowd workloads (ticket sales, hotel overbooking) driven into
+# 10-50% rejection regimes, plus a budget-squeezed point that produces
+# real Overloaded outcomes; the bench exits non-zero if the sweep is
+# nondeterministic across back-to-back runs.
+rm -f results/BENCH_contention.json
+dune exec bench/main.exe -- --only contention
+
+echo "== contention regression gate =="
+# Outcome counts are pinned exactly (they are deterministic functions of
+# the workload seed); latencies are recorded but never gated.  The gate
+# also requires >= 1 point inside the 10-50% rejection band and a
+# three-way accept/reject/overload latency split on every point.
+dune exec bin/qdb_cli.exe -- bench diff BENCH_contention.json results/BENCH_contention.json --gate 25
+
+echo "== chaos (engine-wide fault injection) =="
+# 200 deterministic chaos cycles, each replayed at 1, 2 and 4 domains:
+# squeezed-governor admissions, poisoned refill/recheck fan-out jobs,
+# bit-identical event traces across pool sizes, invariant intact after
+# every cycle.  The subcommand exits 1 on any violation.
+dune exec bin/qdb_cli.exe -- chaos --cycles 200 --seed 1234
+
 echo "== rejection-path smoke =="
 # Over-capacity workload (6 seats, 16 travellers): asserts the rejected
 # counters, rejected-outcome submit spans and flight-recorder records

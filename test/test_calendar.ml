@@ -15,7 +15,7 @@ let test_meeting_defers () =
   let qdb = fresh () in
   (match Qdb.submit qdb (Calendar.meeting_txn ~mid:"standup" ~participants:team ()) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "rejected: %s" r);
   Alcotest.(check int) "no slot fixed yet" 0
     (Relational.Table.cardinality (Relational.Database.table (Qdb.db qdb) "Meeting"));
   (* Reading the slot collapses it. *)
@@ -31,7 +31,7 @@ let test_high_priority_displacement () =
      offsite, which silently excludes slot 0. *)
   (match Qdb.submit qdb (Calendar.fixed_meeting_txn ~mid:"ceo" ~participants:[ "alice" ] ~slot:0 ()) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "ceo rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "ceo rejected: %s" r);
   ignore (Qdb.ground_all qdb);
   let db = Qdb.db qdb in
   Alcotest.(check (option int)) "ceo holds slot 0" (Some 0) (Calendar.meeting_slot db "ceo");
@@ -45,7 +45,7 @@ let test_calendar_fills_up () =
   let submit mid =
     match Qdb.submit qdb (Calendar.meeting_txn ~mid ~participants:team ()) with
     | Qdb.Committed _ -> true
-    | Qdb.Rejected _ -> false
+    | Qdb.Rejected _ | Qdb.Overloaded _ -> false
   in
   Alcotest.(check bool) "first fits" true (submit "m1");
   Alcotest.(check bool) "second fits" true (submit "m2");
@@ -75,7 +75,7 @@ let test_preference_window () =
     [ 0; 1; 2 ];
   (match Qdb.submit qdb2 (Calendar.meeting_txn ~prefer_before:3 ~mid:"late" ~participants:team ()) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "should commit outside the window: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "should commit outside the window: %s" r);
   ignore (Qdb.ground_all qdb2);
   (match Calendar.meeting_slot (Qdb.db qdb2) "late" with
    | Some slot -> Alcotest.(check bool) "outside window when full" true (slot >= 3)
@@ -92,14 +92,14 @@ let test_partial_overlap () =
      but... there is only one slot, so the second must be rejected. *)
   (match Qdb.submit qdb (Calendar.meeting_txn ~mid:"ab" ~participants:[ "alice"; "bob" ] ()) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "ab rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "ab rejected: %s" r);
   (match Qdb.submit qdb (Calendar.meeting_txn ~mid:"bc" ~participants:[ "bob"; "carol" ] ()) with
    | Qdb.Committed _ -> Alcotest.fail "bob cannot attend two meetings in one slot"
-   | Qdb.Rejected _ -> ());
+   | Qdb.Rejected _ | Qdb.Overloaded _ -> ());
   (* carol alone is free. *)
   (match Qdb.submit qdb (Calendar.meeting_txn ~mid:"c" ~participants:[ "carol" ] ()) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "carol rejected: %s" r)
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "carol rejected: %s" r)
 
 let suite =
   [ Alcotest.test_case "meeting defers" `Quick test_meeting_defers;

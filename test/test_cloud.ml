@@ -24,16 +24,16 @@ let test_capacity_constraint () =
   (* A 16-core request can only land on the big instance. *)
   (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"heavy" ~min_cores:16 ()) with
    | Qdb.Committed id -> ignore (Qdb.ground qdb id)
-   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "rejected: %s" r);
   Alcotest.(check (option int)) "got 32 cores" (Some 32) (cores_of qdb "heavy");
   (* A second 16-core request has nowhere to go. *)
   (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"heavy2" ~min_cores:16 ()) with
-   | Qdb.Rejected _ -> ()
+   | Qdb.Rejected _ | Qdb.Overloaded _ -> ()
    | Qdb.Committed _ -> Alcotest.fail "no big instance left");
   (* Small requests still fit. *)
   (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"light" ~min_cores:1 ()) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "light rejected: %s" r)
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "light rejected: %s" r)
 
 let test_deferred_assignment_protects_big_instances () =
   (* One small + one big instance.  A flexible tenant (any size) commits
@@ -42,10 +42,10 @@ let test_deferred_assignment_protects_big_instances () =
   let qdb = fresh [ (1, small); (1, big) ] in
   (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"flexible" ~min_cores:1 ()) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "flexible rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "flexible rejected: %s" r);
   (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"heavy" ~min_cores:16 ()) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "heavy rejected — deferral failed: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "heavy rejected — deferral failed: %s" r);
   ignore (Qdb.ground_all qdb);
   Alcotest.(check (option int)) "flexible on small" (Some 2) (cores_of qdb "flexible");
   Alcotest.(check (option int)) "heavy on big" (Some 32) (cores_of qdb "heavy")
@@ -56,9 +56,9 @@ let test_eager_baseline_strands_demand () =
   let qdb = fresh [ (1, small); (1, big) ] in
   (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"flexible" ~min_cores:1 ()) with
    | Qdb.Committed id -> ignore (Qdb.ground qdb id) (* eager: fix immediately *)
-   | Qdb.Rejected r -> Alcotest.failf "flexible rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "flexible rejected: %s" r);
   match Qdb.submit qdb (Cloud.lease_txn ~tenant:"heavy" ~min_cores:16 ()) with
-  | Qdb.Rejected _ ->
+  | Qdb.Rejected _ | Qdb.Overloaded _ ->
     (* The eager grounding happened to take the big instance: stranded. *)
     Alcotest.(check (option int)) "flexible sits on big" (Some 32) (cores_of qdb "flexible")
   | Qdb.Committed _ ->
@@ -71,7 +71,7 @@ let test_region_preference () =
   let qdb = fresh [ (1, small); (1, { Cloud.cores = 2; region = "eu-west" }) ] in
   (match Qdb.submit qdb (Cloud.lease_txn ~prefer_region:"eu-west" ~tenant:"eu" ~min_cores:1 ()) with
    | Qdb.Committed id -> ignore (Qdb.ground qdb id)
-   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "rejected: %s" r);
   (match Cloud.lease_of (Qdb.db qdb) "eu" with
    | Some iid ->
      (match Cloud.instance_spec (Qdb.db qdb) iid with
@@ -88,7 +88,7 @@ let test_region_preference () =
          | Some spec -> Alcotest.(check string) "degraded region" "us-east" spec.Cloud.region
          | None -> Alcotest.fail "missing spec")
       | None -> Alcotest.fail "not leased")
-   | Qdb.Rejected r -> Alcotest.failf "preference must not reject: %s" r)
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "preference must not reject: %s" r)
 
 let test_fleet_exhaustion_and_recovery () =
   let backend = Relational.Wal.mem_backend () in
@@ -97,7 +97,7 @@ let test_fleet_exhaustion_and_recovery () =
   ignore (Qdb.submit qdb (Cloud.lease_txn ~tenant:"t1" ~min_cores:4 ()));
   ignore (Qdb.submit qdb (Cloud.lease_txn ~tenant:"t2" ~min_cores:4 ()));
   (match Qdb.submit qdb (Cloud.lease_txn ~tenant:"t3" ~min_cores:4 ()) with
-   | Qdb.Rejected _ -> ()
+   | Qdb.Rejected _ | Qdb.Overloaded _ -> ()
    | Qdb.Committed _ -> Alcotest.fail "fleet is logically exhausted");
   (* Pending leases survive a crash. *)
   let qdb' = Qdb.recover backend in

@@ -28,7 +28,7 @@ let test_order_constraint_txn () =
   in
   (match Qdb.submit qdb txn with
    | Qdb.Committed id -> ignore (Qdb.ground qdb id)
-   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "rejected: %s" r);
   (match Flights.booking_of (Qdb.db qdb) "fr" with
    | Some (_, s) -> Alcotest.(check bool) "front row" true (s < 3)
    | None -> Alcotest.fail "not booked");
@@ -47,7 +47,7 @@ let test_order_constraint_txn () =
        (P.parse_txn ~label:"fr4"
           {|-Available(f, s), +Bookings("fr4", f, s) :-1 Available(f, s), s < 3|})
    with
-   | Qdb.Rejected _ -> ()
+   | Qdb.Rejected _ | Qdb.Overloaded _ -> ()
    | Qdb.Committed _ -> Alcotest.fail "front row is logically full");
   (match
      Qdb.submit qdb
@@ -55,7 +55,7 @@ let test_order_constraint_txn () =
           {|-Available(f, s), +Bookings("back", f, s) :-1 Available(f, s), s >= 3|})
    with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "back row should fit: %s" r)
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "back row should fit: %s" r)
 
 let test_optional_order_constraint () =
   let qdb = fresh_qdb ~rows:2 () in
@@ -71,7 +71,7 @@ let test_optional_order_constraint () =
      (match Flights.booking_of (Qdb.db qdb) "a" with
       | Some (_, s) -> Alcotest.(check bool) "preference honoured" true (s < 3)
       | None -> Alcotest.fail "not booked")
-   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "rejected: %s" r);
   (* Take the rest of the front row externally; the preference must yield,
      not fail the transaction. *)
   List.iter
@@ -85,7 +85,7 @@ let test_optional_order_constraint () =
      (match Flights.booking_of (Qdb.db qdb) "b" with
       | Some (_, s) -> Alcotest.(check bool) "degraded to back row" true (s >= 3)
       | None -> Alcotest.fail "not booked")
-   | Qdb.Rejected r -> Alcotest.failf "optional must not reject: %s" r)
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "optional must not reject: %s" r)
 
 let test_entanglement_chain () =
   (* a waits for b; b itself waits for c.  b's arrival IS a's partner
@@ -145,12 +145,12 @@ let test_cancellation_flow () =
           {|-Bookings("a", f, s), +Available(f, s) :-1 Bookings("a", f, s)|})
    with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "cancel rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "cancel rejected: %s" r);
   (* The freed seat is usable by a new booking even while the cancel is
      still pending (Lemma 3.4's insert case). *)
   (match Qdb.submit qdb (Travel.plain_txn (user "d" "-" 0)) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "rebooking rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "rebooking rejected: %s" r);
   ignore (Qdb.ground_all qdb);
   Alcotest.(check bool) "a gone" true (Flights.booking_of (Qdb.db qdb) "a" = None);
   Alcotest.(check bool) "d seated" true (Flights.booking_of (Qdb.db qdb) "d" <> None);
@@ -219,7 +219,7 @@ let test_group_with_order_preference () =
   in
   (match Qdb.submit qdb txn with
    | Qdb.Committed id -> ignore (Qdb.ground qdb id)
-   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "rejected: %s" r);
   (match Flights.booking_of (Qdb.db qdb) "d1", Flights.booking_of (Qdb.db qdb) "d2" with
    | Some (_, a), Some (_, b) ->
      Alcotest.(check bool) "ordered" true (a < b);

@@ -30,5 +30,6 @@ let () =
       ("cloud", Test_cloud.suite);
       ("workload", Test_workload.suite);
       ("par", Test_par.suite);
+      ("governor", Test_governor.suite);
       ("profiler", Test_profiler.suite);
     ]

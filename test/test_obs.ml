@@ -217,7 +217,7 @@ let test_engine_spans () =
   let u = { Travel.name = "mickey"; partner = "-"; flight = 0 } in
   (match Qdb.submit qdb (Travel.plain_txn u) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.fail ("unexpected rejection: " ^ r));
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.fail ("unexpected rejection: " ^ r));
   ignore (Qdb.ground_all qdb);
   let evs = Trace.events () in
   let spans name =

@@ -55,6 +55,33 @@ let test_map_exception_first_by_index () =
           "boom 1" msg)
     [ 1; 2; 4 ]
 
+(* A poisoned job must not wedge the pool: the raising map re-raises on
+   the caller, and the SAME pool then serves further maps with ordered
+   results — the property the engine's fault-absorption paths (refill
+   abandonment, write-recheck abort) rely on. *)
+let test_pool_usable_after_poisoned_job () =
+  List.iter
+    (fun domains ->
+      with_pool domains @@ fun pool ->
+      (try
+         ignore
+           (Par.Pool.map pool (fun i -> if i = 3 then failwith "poisoned" else i)
+              (List.init 6 Fun.id))
+       with Failure _ -> ());
+      let got = Par.Pool.map pool (fun i -> i * 10) (List.init 12 Fun.id) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "ordered results after poison at %d domain(s)" domains)
+        (List.init 12 (fun i -> i * 10))
+        got;
+      (* Repeated poison rounds do not accumulate damage. *)
+      (try ignore (Par.Pool.map pool (fun _ -> failwith "again") [ 1; 2 ])
+       with Failure _ -> ());
+      Alcotest.(check (list int))
+        (Printf.sprintf "still alive after second poison at %d domain(s)" domains)
+        [ 2; 4; 6 ]
+        (Par.Pool.map pool (fun i -> i * 2) [ 1; 2; 3 ]))
+    [ 1; 2; 4 ]
+
 let test_pool_reusable_after_map () =
   with_pool 2 @@ fun pool ->
   Alcotest.(check int) "size" 2 (Par.Pool.size pool);
@@ -204,7 +231,7 @@ let test_pending_bookkeeping () =
       (fun u ->
         match Qdb.submit qdb (Travel.plain_txn u) with
         | Qdb.Committed id -> Some id
-        | Qdb.Rejected _ -> None)
+        | Qdb.Rejected _ | Qdb.Overloaded _ -> None)
       users
   in
   Alcotest.(check int) "count tracks submissions" (List.length ids) (Qdb.pending_count qdb);
@@ -286,6 +313,8 @@ let suite =
     Alcotest.test_case "pool: empty and singleton inline" `Quick test_map_empty_and_singleton;
     Alcotest.test_case "pool: lowest-index exception wins" `Quick
       test_map_exception_first_by_index;
+    Alcotest.test_case "pool: usable after a poisoned job" `Quick
+      test_pool_usable_after_poisoned_job;
     Alcotest.test_case "pool: reusable across rounds" `Quick test_pool_reusable_after_map;
     Alcotest.test_case "refill: tops up, dedups, satisfies" `Quick
       test_refill_tops_up_and_dedups;

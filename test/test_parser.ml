@@ -102,7 +102,7 @@ let test_roundtrip_through_engine () =
   in
   (match Quantum.Qdb.submit qdb txn with
    | Quantum.Qdb.Committed _ -> ()
-   | Quantum.Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+   | Quantum.Qdb.Rejected r | Quantum.Qdb.Overloaded r -> Alcotest.failf "rejected: %s" r);
   ignore (Quantum.Qdb.ground_all qdb);
   Alcotest.(check bool) "booked" true
     (Workload.Flights.booking_of (Quantum.Qdb.db qdb) "mickey" <> None)

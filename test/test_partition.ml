@@ -76,7 +76,7 @@ let test_resplit_after_grounding () =
   let id =
     match Qdb.submit qdb bridging with
     | Qdb.Committed id -> id
-    | Qdb.Rejected r -> Alcotest.failf "bridge rejected: %s" r
+    | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "bridge rejected: %s" r
   in
   Alcotest.(check int) "merged" 1 (Qdb.partition_count qdb);
   ignore (Qdb.ground qdb id);

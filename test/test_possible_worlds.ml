@@ -102,7 +102,7 @@ let prop_engine_matches_worlds =
             let engine_ok =
               match Qdb.submit qdb txn with
               | Qdb.Committed _ -> true
-              | Qdb.Rejected _ -> false
+              | Qdb.Rejected _ | Qdb.Overloaded _ -> false
             in
             let worlds_ok = Pw.submit pw txn = `Committed in
             if engine_ok <> worlds_ok then agree := false

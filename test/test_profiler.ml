@@ -172,7 +172,7 @@ let overcapacity_outcomes () =
       let u = { Travel.name = Printf.sprintf "u%d" i; partner = "-"; flight = 0 } in
       match Qdb.submit qdb (Travel.plain_txn u) with
       | Qdb.Committed _ -> true
-      | Qdb.Rejected _ -> false)
+      | Qdb.Rejected _ | Qdb.Overloaded _ -> false)
     (List.init 16 Fun.id)
 
 let test_recorder_does_not_change_outcomes () =

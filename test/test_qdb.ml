@@ -23,7 +23,7 @@ let user name partner flight = { Travel.name; partner; flight }
 
 let committed = function
   | Qdb.Committed _ -> true
-  | Qdb.Rejected _ -> false
+  | Qdb.Rejected _ | Qdb.Overloaded _ -> false
 
 let test_commit_until_full () =
   let qdb = fresh_qdb ~rows:1 () in
@@ -48,7 +48,7 @@ let test_rejection_leaves_state_intact () =
   List.iter (fun n -> ignore (Qdb.submit qdb (Travel.plain_txn (user n "-" 0)))) [ "a"; "b"; "c" ];
   let before_pending = Qdb.pending_count qdb in
   (match Qdb.submit qdb (Travel.plain_txn (user "d" "-" 0)) with
-   | Qdb.Rejected _ -> ()
+   | Qdb.Rejected _ | Qdb.Overloaded _ -> ()
    | Qdb.Committed _ -> Alcotest.fail "overbooked");
   Alcotest.(check int) "pending unchanged" before_pending (Qdb.pending_count qdb);
   Alcotest.(check bool) "invariant still holds" true (Qdb.invariant_holds qdb);
@@ -222,13 +222,13 @@ let test_group_booking () =
   let members = [ "ma"; "pa"; "kid" ] in
   (match Qdb.submit qdb (Travel.group_txn ~members ~flight:0 ()) with
    | Qdb.Committed id -> ignore (Qdb.ground qdb id)
-   | Qdb.Rejected r -> Alcotest.failf "group rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "group rejected: %s" r);
   Alcotest.(check bool) "family in one row" true
     (Travel.group_coordinated (Qdb.db qdb) members);
   (* Group of two behaves like a couple. *)
   (match Qdb.submit qdb (Travel.group_txn ~members:[ "x"; "y" ] ~flight:0 ()) with
    | Qdb.Committed id -> ignore (Qdb.ground qdb id)
-   | Qdb.Rejected r -> Alcotest.failf "pair rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "pair rejected: %s" r);
   Alcotest.(check bool) "pair adjacent" true (Travel.group_coordinated (Qdb.db qdb) [ "x"; "y" ])
 
 let test_group_degrades_gracefully () =
@@ -252,7 +252,7 @@ let test_group_degrades_gracefully () =
      (* The full second row is free: the family should take it. *)
      Alcotest.(check bool) "family uses the intact row" true
        (Travel.group_coordinated (Qdb.db qdb) members)
-   | Qdb.Rejected r -> Alcotest.failf "group rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "group rejected: %s" r);
   (* Now only fragmented seats remain; a second family commits but cannot
      chain. *)
   (match Qdb.submit qdb (Travel.group_txn ~members:[ "q1"; "q2" ] ~flight:0 ()) with
@@ -262,7 +262,7 @@ let test_group_degrades_gracefully () =
        (Workload.Flights.booking_of (Qdb.db qdb) "q1" <> None
         && Workload.Flights.booking_of (Qdb.db qdb) "q2" <> None
         && not (Travel.group_coordinated (Qdb.db qdb) [ "q1"; "q2" ]))
-   | Qdb.Rejected r -> Alcotest.failf "second group rejected: %s" r)
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "second group rejected: %s" r)
 
 let test_backend_limit_one () =
   let config = { Qdb.default_config with backend = Qdb.Limit_one_plan 3 } in

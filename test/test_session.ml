@@ -24,7 +24,7 @@ let test_commit_ack () =
   let mickey = Session.connect hub "mickey" in
   (match Session.submit mickey (Travel.plain_txn (user "mickey" "-")) with
    | Qdb.Committed _ -> ()
-   | Qdb.Rejected r -> Alcotest.failf "rejected: %s" r);
+   | Qdb.Rejected r | Qdb.Overloaded r -> Alcotest.failf "rejected: %s" r);
   let notes = Session.poll mickey in
   Alcotest.(check int) "one ack" 1 (List.length (acks notes));
   Alcotest.(check int) "no assignment yet (deferred)" 0 (List.length (assignments notes));

@@ -55,7 +55,7 @@ let test_figure1_executes () =
   let txn = Sql.parse_txn ~label:"Mickey" ~schema_of figure1_text in
   (match Qdb.submit qdb txn with
    | Qdb.Committed id -> ignore (Qdb.ground qdb id)
-   | Qdb.Rejected reason -> Alcotest.failf "rejected: %s" reason);
+   | Qdb.Rejected reason | Qdb.Overloaded reason -> Alcotest.failf "rejected: %s" reason);
   match Flights.booking_of (Qdb.db qdb) "Mickey" with
   | Some (f, s) ->
     Alcotest.(check int) "same flight as Goofy" 0 f;
