@@ -17,11 +17,15 @@
               record + span dump of each admission over the threshold
      crashmonkey — deterministic crash/recover cycles with fault
               injection; exits 1 on any recovery-invariant violation;
-              --domains N runs each cycle's refill fan-out on a pool
-     scaling — the Figure-7 domain-pool sweep: the same seeded sharded
-              workload at each --domains count, asserting identical
-              outcomes, writing the BENCH_scaling.json series (schema v2,
-              per-phase time breakdown)
+              --domains N runs each cycle's refill fan-out on a pool;
+              --actors N routes every engine call through an owning
+              actor on a spawned domain
+     scaling — the Figure-7 sweep: the same seeded workload at each
+              --domains count, asserting identical outcomes, writing the
+              BENCH_scaling.json series (schema v3: per-phase breakdown,
+              actor busy time, parallelism efficiency, contended
+              companion points); --mode actor (default, shared-nothing
+              partition owners) or pool (legacy orchestrated sharding)
      bench diff — compare a fresh bench recording against a committed
               baseline and exit non-zero past the --gate threshold; the
               one regression comparator scripts/ci.sh calls for both the
@@ -427,14 +431,18 @@ let profile_cmd =
    and checks the recovery contract.  Exit 1 on any violation, so CI can
    gate on it. *)
 
-let run_crashmonkey cycles seed domains =
+let run_crashmonkey cycles seed domains actors =
   let pool = if domains > 1 then Some (Par.Pool.create ~domains ()) else None in
+  let actors = if actors > 0 then Some actors else None in
   let s =
     Fun.protect
       ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
-      (fun () -> Workload.Crash_monkey.run ~cycles ~seed ?pool ())
+      (fun () -> Workload.Crash_monkey.run ~cycles ~seed ?pool ?actors ())
   in
-  Format.printf "crash monkey (seed %d, %d domain(s)):@.%a@." seed (max 1 domains)
+  Format.printf "crash monkey (seed %d, %d domain(s)%s):@.%a@." seed (max 1 domains)
+    (match actors with
+     | Some n -> Printf.sprintf ", actor-routed x%d" n
+     | None -> "")
     Workload.Crash_monkey.pp s;
   match s.Workload.Crash_monkey.violations with
   | [] -> ()
@@ -463,8 +471,16 @@ let crashmonkey_cmd =
                    capacity 3, so the parallel refill fan-out fires every \
                    commit) — the recovery contract must hold regardless.")
   in
+  let actors_arg =
+    Arg.(value & opt int 0
+         & info [ "actors" ] ~docv:"N"
+             ~doc:"Route every post-fixture engine call through an owning actor \
+                   on a real spawned domain (unclamped $(docv)-actor runtime) — \
+                   the injected crash must propagate across the domain boundary \
+                   and the recovery contract must hold regardless.")
+  in
   Cmd.v (Cmd.info "crashmonkey" ~doc)
-    Term.(const run_crashmonkey $ cycles_arg $ seed_arg $ domains_arg)
+    Term.(const run_crashmonkey $ cycles_arg $ seed_arg $ domains_arg $ actors_arg)
 
 (* -- chaos --------------------------------------------------------------------- *)
 
@@ -502,18 +518,35 @@ let chaos_cmd =
 
 (* -- scaling ------------------------------------------------------------------- *)
 
-let run_scaling trace domains flights rows pairs seed out =
+let run_scaling trace mode repeats domains flights rows pairs seed out =
   with_trace trace @@ fun () ->
   let r =
-    Harness.Scaling.run ~domains_list:domains ~flights ~rows ~pairs ~seed ()
+    Harness.Scaling.run ~mode ~repeats ~domains_list:domains ~flights ~rows ~pairs ~seed ()
   in
   Harness.Scaling.print r;
   ignore (Harness.Scaling.write ~path:out r)
 
 let scaling_cmd =
   let doc =
-    "Run the Figure-7 sharded workload once per domain count, check the \
-     admission outcomes are identical, and write the scaling series as JSON."
+    "Run the Figure-7 workload once per domain count, check the admission \
+     outcomes are identical, and write the scaling series as JSON."
+  in
+  let mode_arg =
+    let modes =
+      Arg.enum [ ("actor", Harness.Scaling.Actor); ("pool", Harness.Scaling.Pool) ]
+    in
+    Arg.(value & opt modes Harness.Scaling.Actor
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Execution mode: $(b,actor) (default) runs shared-nothing \
+                   partition owners — one long-lived domain per live actor, \
+                   clamped to the host's parallelism; $(b,pool) runs the legacy \
+                   orchestrated sharding for comparison.")
+  in
+  let repeats_arg =
+    Arg.(value & opt int 1
+         & info [ "repeats" ] ~docv:"N"
+             ~doc:"Run each point $(docv) times and keep the fastest (outcome \
+                   counts are deterministic; only the clock varies).")
   in
   let domains_arg =
     Arg.(value & opt (list int) [ 1; 2; 4 ]
@@ -536,8 +569,8 @@ let scaling_cmd =
          & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON series.")
   in
   Cmd.v (Cmd.info "scaling" ~doc)
-    Term.(const run_scaling $ trace_arg $ domains_arg $ flights_arg $ rows_arg
-          $ pairs_arg $ seed_arg $ out_arg)
+    Term.(const run_scaling $ trace_arg $ mode_arg $ repeats_arg $ domains_arg
+          $ flights_arg $ rows_arg $ pairs_arg $ seed_arg $ out_arg)
 
 (* -- bench diff ---------------------------------------------------------------- *)
 
@@ -554,7 +587,14 @@ let scaling_cmd =
        and the k=20 incremental speedup must stay >= 2x;
      qdb.bench.scaling/v2 — the 1-domain ns/admission must not exceed
        the baseline's by more than PCT percent, and every point must
-       carry a phases_s breakdown attributing >= 95% of its wall time.
+       carry a phases_s breakdown attributing >= 95% of its wall time;
+     qdb.bench.scaling/v3 — the same 1-domain cost ratio, plus the
+       actor-mode no-slowdown gate: speedup_vs_1 >= 0.9 at every point
+       (multicore wins are gravy; going *slower* with more domains — the
+       old pool pathology — fails), queue_wait < 5% of wall, per-phase
+       attribution >= 95% of measured actor busy time, and the contended
+       companion series must show real rejections and real Overloaded
+       outcomes.
 
    Exits 1 with a FAIL line on any violation, 0 with OK lines otherwise. *)
 
@@ -654,6 +694,70 @@ let scaling_check_phases label j =
           label domains attributed)
     (jseries label j)
 
+(* Scaling v3: the actor-mode gates.  [attributed_pct]'s denominator is
+   measured busy time (actor mode) or wall x domains (pool mode), so the
+   95% floor is meaningful at every domain count — the fix for the old
+   615%/694% wall-basis readings.  The no-slowdown gate encodes the
+   1-core honesty rule: with the hardware clamp, extra requested domains
+   must cost nothing (speedup ~1.0), and on multicore they must win; a
+   small tolerance absorbs clock noise. *)
+let scaling_v3_check label j =
+  let actor_mode =
+    match Option.bind (Json.member "mode" j) Json.to_str with
+    | Some "actor" -> true
+    | _ -> false
+  in
+  List.iter
+    (fun p ->
+      let domains = int_of_float (jnum label "domains" p) in
+      let phases =
+        match Json.member "phases_s" p with
+        | Some (Json.Obj fields) -> fields
+        | _ -> bench_fail "%s: %d-domain point has no \"phases_s\" breakdown" label domains
+      in
+      List.iter
+        (fun bucket ->
+          if not (List.mem_assoc bucket phases) then
+            bench_fail "%s: %d-domain phases_s lacks %S" label domains bucket)
+        [ "queue_wait"; "freeze"; "compute"; "merge"; "install"; "wal" ];
+      let attributed = jnum label "attributed_pct" p in
+      (* In pool mode the wall x domains basis undercounts whenever the
+         pool idles, so the floor is only meaningful at 1 domain. *)
+      if (actor_mode || domains = 1) && attributed < 95. then
+        bench_fail "%s: %d-domain point attributes only %.1f%% of busy time (floor: 95%%)"
+          label domains attributed;
+      let speedup = jnum label "speedup_vs_1" p in
+      if speedup < 0.9 then
+        bench_fail
+          "%s: %d-domain point runs %.2fx vs 1 domain — more domains may not slow \
+           admission down (floor: 0.90x)"
+          label domains speedup;
+      if actor_mode then begin
+        let wall = jnum label "wall_s" p in
+        let queue =
+          match List.assoc_opt "queue_wait" phases with
+          | Some q -> Option.value ~default:0. (Json.to_number q)
+          | None -> 0.
+        in
+        if wall > 0. && queue > 0.05 *. wall then
+          bench_fail "%s: %d-domain queue_wait %.3fs is %.1f%% of wall (ceiling: 5%%)" label
+            domains queue
+            (100. *. queue /. wall)
+      end)
+    (jseries label j);
+  let contended =
+    match Json.member "contended" j with
+    | Some (Json.List points) -> points
+    | _ -> bench_fail "%s: missing \"contended\" series" label
+  in
+  let some field =
+    List.exists (fun p -> jnum label field p > 0.) contended
+  in
+  if not (some "rejected") then
+    bench_fail "%s: no contended point with real rejections" label;
+  if not (some "overloaded") then
+    bench_fail "%s: no contended point with real Overloaded outcomes" label
+
 let run_bench_diff baseline_path current_path gate =
   let baseline = bench_load "baseline" baseline_path in
   let current = bench_load "current" current_path in
@@ -700,6 +804,20 @@ let run_bench_diff baseline_path current_path gate =
        (scaling_base_cost "current" current);
      scaling_check_phases "current" current;
      Printf.printf "OK: per-phase attribution >= 95%% of wall at every domain count\n"
+   | "qdb.bench.scaling/v3" ->
+     (match Option.bind (Json.member "mode" baseline) Json.to_str,
+            Option.bind (Json.member "mode" current) Json.to_str
+      with
+      | Some mb, Some mc when not (String.equal mb mc) ->
+        bench_fail "mode mismatch: baseline %s vs current %s" mb mc
+      | _ -> ());
+     check_ratio "1-domain ns/admission"
+       (scaling_base_cost "baseline" baseline)
+       (scaling_base_cost "current" current);
+     scaling_v3_check "current" current;
+     Printf.printf
+       "OK: no slowdown at any domain count (>= 0.90x), queue_wait < 5%% of wall, \
+        attribution >= 95%% of busy, contended series has real rejections and overloads\n"
    | "qdb.bench.contention/v1" ->
      (* Outcome counts are deterministic (pigeonhole capacity arguments,
         fixed seeds) — pin them exactly, point by point.  Latency splits

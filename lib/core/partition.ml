@@ -82,6 +82,14 @@ let set_txns t p txns =
   p.txns <- txns;
   register t p
 
+(* The admission success path and recovery share one append: the
+   sequence extension and the chunk-cache extension move together, so
+   the id table, the transaction order and the composed body can never
+   disagree about what was admitted. *)
+let append_txn t p txn ~new_clauses =
+  set_txns t p (p.txns @ [ txn ]);
+  Compose.Inc.extend p.body new_clauses
+
 let freeze p =
   {
     f_pid = p.pid;

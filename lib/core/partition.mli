@@ -57,6 +57,12 @@ val set_txns : t -> partition -> Rtxn.t list -> unit
 (** Replace a partition's transaction sequence, keeping the id table in
     sync.  The only sanctioned way to change membership from outside. *)
 
+val append_txn : t -> partition -> Rtxn.t -> new_clauses:Logic.Formula.t -> unit
+(** Append an admitted transaction: extend the sequence (via
+    {!set_txns}) and the composed chunk cache together.  [new_clauses]
+    must be the delta composition of the transaction against the
+    partition's current sequence. *)
+
 val freeze : partition -> frozen
 
 val depends : Rtxn.t -> partition -> bool

@@ -760,7 +760,24 @@ let trigger_partners t committed =
         ground_in_partition t p ids @ acc)
       by_partition []
 
-let rec admit t txn ~gov ~attempts =
+(* An admission that passed its satisfiability check but has not yet
+   mutated anything durable: the two-phase split the actor runtime's
+   cross-partition protocol needs.  Everything [prepare_admission] did —
+   partition merges, k-pressure groundings, cache witness movement — is
+   exactly what a *rejected* admission also does and leaves behind, so
+   an abort needs no rollback; commit is where the sequence, the chunk
+   cache, the pending table and the WAL change. *)
+type prepared = {
+  prep_p : Partition.partition;
+  prep_txn : Rtxn.t;
+  prep_new_clauses : Formula.t;
+}
+
+type admission_step =
+  | Admission_prepared of prepared
+  | Admission_refused of commit_result
+
+let rec prepare_admission t txn ~gov ~attempts =
   let dependent, _ = Partition.split_dependent t.parts txn in
   let prior, merged_body = Partition.merged_view dependent in
   (* k-bound (Section 4): force-ground the oldest pending transaction of
@@ -781,7 +798,7 @@ let rec admit t txn ~gov ~attempts =
              "qdb.forced_ground";
          ignore (ground_in_partition t p [ oldest.Rtxn.id ])
        | None -> ());
-      admit t txn ~gov ~attempts:(attempts + 1)
+      prepare_admission t txn ~gov ~attempts:(attempts + 1)
   end
   else begin
     if List.length dependent > 1 then begin
@@ -818,39 +835,102 @@ let rec admit t txn ~gov ~attempts =
     in
     match check_admission t p ~gov ~salt:txn.Rtxn.id ~new_clauses ~full_formula with
     | Check_sat _ ->
-      (* The chunk cache extends only on success; a rejected transaction
-         leaves the partition's body untouched. *)
-      Partition.set_txns t.parts p (prior @ [ txn ]);
-      Compose.Inc.extend p.Partition.body new_clauses;
-      (* Durability: record the pending transaction before acknowledging
-         (Section 4, Recovery). *)
-      (match
-         Obs.Flight.time Obs.Flight.Wal (fun () ->
-             Store.apply t.store [ Database.Insert (pending_table_name, pending_row txn) ])
-       with
-       | Ok () -> ()
-       | Error err -> inconsistent "pending-table insert: %s" (Database.op_error_to_string err));
-      t.metrics.Metrics.committed <- t.metrics.Metrics.committed + 1;
-      Log.debug (fun m ->
-          m "committed %d:%s (partition of %d pending)" txn.Rtxn.id txn.Rtxn.label
-            (List.length prior + 1));
-      refill_caches t;
-      ignore (trigger_partners t txn);
-      adapt_partition t p;
-      Committed txn.Rtxn.id
+      Admission_prepared { prep_p = p; prep_txn = txn; prep_new_clauses = new_clauses }
     | Check_unsat ->
       t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
       Log.info (fun m -> m "rejected %s: no consistent grounding exists" txn.Rtxn.label);
-      Rejected
-        (Printf.sprintf "transaction %s: no consistent grounding exists" txn.Rtxn.label)
+      Admission_refused
+        (Rejected
+           (Printf.sprintf "transaction %s: no consistent grounding exists" txn.Rtxn.label))
     | Check_overload reason ->
       (* Every budget rung ran dry.  Like a rejection, nothing was
          mutated: chunk cache, pending table and WAL are untouched, so
          the same transaction can be resubmitted with a bigger budget. *)
       t.metrics.Metrics.overloaded <- t.metrics.Metrics.overloaded + 1;
       Log.warn (fun m -> m "overloaded %s: %s" txn.Rtxn.label reason);
-      Overloaded (Printf.sprintf "transaction %s: %s" txn.Rtxn.label reason)
+      Admission_refused (Overloaded (Printf.sprintf "transaction %s: %s" txn.Rtxn.label reason))
   end
+
+(* Second phase of a successful admission: extend the partition (sequence
+   + chunk cache in one step), durably record the pending transaction
+   before acknowledging (Section 4, Recovery), then run the post-commit
+   work — cache refills, partner triggers, adaptive grounding. *)
+let finish_commit t { prep_p = p; prep_txn = txn; prep_new_clauses = new_clauses } =
+  (* The chunk cache extends only on success; a rejected transaction
+     leaves the partition's body untouched. *)
+  Partition.append_txn t.parts p txn ~new_clauses;
+  (match
+     Obs.Flight.time Obs.Flight.Wal (fun () ->
+         Store.apply t.store [ Database.Insert (pending_table_name, pending_row txn) ])
+   with
+   | Ok () -> ()
+   | Error err -> inconsistent "pending-table insert: %s" (Database.op_error_to_string err));
+  t.metrics.Metrics.committed <- t.metrics.Metrics.committed + 1;
+  Log.debug (fun m ->
+      m "committed %d:%s (partition of %d pending)" txn.Rtxn.id txn.Rtxn.label
+        (List.length p.Partition.txns));
+  refill_caches t;
+  ignore (trigger_partners t txn);
+  adapt_partition t p;
+  Committed txn.Rtxn.id
+
+let admit t txn ~gov ~attempts =
+  match prepare_admission t txn ~gov ~attempts with
+  | Admission_prepared pr -> finish_commit t pr
+  | Admission_refused result -> result
+
+(* -- Two-phase admission (cross-partition coordination) --------------------
+
+   The exception path of the actor model: a coordinator needs every
+   participating engine to hold an admission in the prepared state until
+   all of them have voted.  [prepare] runs the full admission check and
+   stops just short of mutating the durable state; [commit_prepared]
+   finishes it; [abort_prepared] walks away — safe without rollback
+   because a prepared admission has changed exactly what a rejected one
+   does (partition merges and k-pressure groundings persist by design).
+
+   Between an engine's [prepare] and its [commit_prepared] /
+   [abort_prepared] no other operation may run on that engine — in the
+   actor runtime the freeze window of the owning actor guarantees it.
+
+   Accounting: a refused prepare is a complete submission (counted with
+   its outcome here); a successful prepare counts nothing until
+   [commit_prepared] (submitted + committed together); an abort counts
+   nothing at all — so committed + rejected + overloaded = submitted
+   holds at every quiescent point, whatever mix of paths ran. *)
+
+let prepare ?governor t txn =
+  let gov = Option.value governor ~default:t.config.governor in
+  let txn = Rtxn.freshen txn in
+  let txn = { txn with Rtxn.id = t.next_id } in
+  Rtxn.validate txn;
+  t.next_id <- t.next_id + 1;
+  match prepare_admission t txn ~gov ~attempts:0 with
+  | Admission_prepared pr -> Ok pr
+  | Admission_refused result ->
+    t.metrics.Metrics.submitted <- t.metrics.Metrics.submitted + 1;
+    Error result
+
+let prepared_id pr = pr.prep_txn.Rtxn.id
+
+let commit_prepared t pr =
+  t.metrics.Metrics.submitted <- t.metrics.Metrics.submitted + 1;
+  finish_commit t pr
+
+let abort_prepared _t pr =
+  (* Nothing durable to undo; just witness hygiene.  The prepare's
+     satisfiability check may have extended cached witnesses over the
+     aborted transaction's variables — fresh variables nothing else
+     references — so project the cache back onto the partition's live
+     ones. *)
+  let p = pr.prep_p in
+  let live_vars =
+    List.fold_left
+      (fun acc txn -> Term.Var_set.union acc (Rtxn.all_vars txn))
+      Term.Var_set.empty p.Partition.txns
+  in
+  Solver.Cache.restrict_witnesses p.Partition.cache live_vars;
+  Log.debug (fun m -> m "aborted prepared %d:%s" pr.prep_txn.Rtxn.id pr.prep_txn.Rtxn.label)
 
 let submit ?governor t txn =
   t.metrics.Metrics.submitted <- t.metrics.Metrics.submitted + 1;
@@ -1220,7 +1300,6 @@ let recover ?(config = default_config) ?pool ?strict backend =
       ignore
         (Solver.Cache.extend_or_resolve ~node_limit:config.node_limit p.Partition.cache (db t)
            ~new_clauses ~full_formula);
-      Partition.set_txns t.parts p (prior @ [ txn ]);
-      Compose.Inc.extend p.Partition.body new_clauses)
+      Partition.append_txn t.parts p txn ~new_clauses)
     txns;
   t

@@ -107,6 +107,44 @@ val submit : ?governor:Governor.t -> t -> Rtxn.t -> commit_result
     budget exhaustion it climbs the degradation ladder and, if that too
     runs dry, returns {!Overloaded} instead of guessing. *)
 
+(** {2 Two-phase admission}
+
+    The cross-partition exception path of the actor model: a coordinator
+    holds admissions on several engines in the prepared state until all
+    of them have voted.  Between an engine's [prepare] and the matching
+    [commit_prepared] / [abort_prepared], no other operation may run on
+    that engine (the owning actor's freeze window guarantees this in the
+    actor runtime).
+
+    Accounting: a refused [prepare] is a complete submission, counted
+    with its outcome immediately; a successful [prepare] counts nothing
+    until [commit_prepared]; an abort counts nothing — so
+    committed + rejected + overloaded = submitted at every quiescent
+    point. *)
+
+type prepared
+(** An admission that passed its satisfiability check but has not yet
+    touched the partition sequence, the pending table or the WAL. *)
+
+val prepare : ?governor:Governor.t -> t -> Rtxn.t -> (prepared, commit_result) result
+(** Run the full admission check (freshen, merge, k-bound, compose,
+    solve under the governor) and stop just short of durable mutation.
+    [Error] carries the {!Rejected} / {!Overloaded} verdict. *)
+
+val prepared_id : prepared -> int
+(** The admission id the transaction will commit under. *)
+
+val commit_prepared : t -> prepared -> commit_result
+(** Finish a prepared admission: extend the partition, record the
+    pending transaction durably, run post-commit work (cache refills,
+    partner triggers, adaptive grounding).  Always {!Committed}. *)
+
+val abort_prepared : t -> prepared -> unit
+(** Walk away from a prepared admission.  No rollback is needed — a
+    prepared admission has mutated exactly what a rejected one does
+    (partition merges and k-pressure groundings persist by design) —
+    only cache-witness hygiene runs. *)
+
 type grounding = {
   txn : Rtxn.t;
   valuation : Logic.Subst.t;

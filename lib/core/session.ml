@@ -39,9 +39,17 @@ type t = {
   qdb : Qdb.t;
   lock : Mutex.t;
   owners : (int, string) Hashtbl.t; (* txn id -> owning client *)
-  mailboxes : (string, notification Queue.t) Hashtbl.t;
+  (* Per-client bounded mailboxes (the actor-runtime channel type):
+     [poll_wait] can park on one without holding the hub lock, and
+     [disconnect] closing it is what wakes a parked client up.
+     Deliveries are best-effort — a full mailbox drops the notification,
+     like a disconnected owner always has — so a client that never polls
+     cannot wedge the hub. *)
+  mailboxes : (string, notification Par.Mailbox.t) Hashtbl.t;
   buffered : Qdb.grounding Queue.t; (* groundings awaiting routing *)
 }
+
+let mailbox_capacity = 1024
 
 type client = {
   hub : t;
@@ -64,7 +72,7 @@ let deliver t name note =
   | Some q ->
     if Obs.Trace.on () then
       Obs.Trace.instant ~cat:"session" ~args:[ ("client", Obs.Trace.Str name) ] "session.notify";
-    Queue.push note q
+    ignore (Par.Mailbox.try_send q note : bool) (* full/closed: dropped *)
   | None -> () (* owner disconnected: notification dropped *)
 
 (* Route buffered groundings to their owners.  Must run with the lock
@@ -111,11 +119,15 @@ let connect t client_name =
   with_lock t (fun () ->
       if Hashtbl.mem t.mailboxes client_name then
         invalid_arg (Printf.sprintf "Session.connect: client %s already connected" client_name);
-      Hashtbl.add t.mailboxes client_name (Queue.create ());
+      Hashtbl.add t.mailboxes client_name (Par.Mailbox.create ~capacity:mailbox_capacity ());
       { hub = t; client_name })
 
 let disconnect c =
-  with_lock c.hub (fun () -> Hashtbl.remove c.hub.mailboxes c.client_name)
+  with_lock c.hub (fun () ->
+      (match Hashtbl.find_opt c.hub.mailboxes c.client_name with
+       | Some q -> Par.Mailbox.close q (* wakes a parked [poll_wait] *)
+       | None -> ());
+      Hashtbl.remove c.hub.mailboxes c.client_name)
 
 let submit c txn =
   with_lock ~name:"session.submit" ~client:c.client_name c.hub (fun () ->
@@ -157,14 +169,29 @@ let ground_all c =
       flush_groundings c.hub;
       gs)
 
+(* The mailbox lookup needs the hub lock; the drain does not — mailboxes
+   carry their own synchronization, which is what lets [poll_wait] block
+   without stalling every other client. *)
+let own_mailbox c =
+  with_lock c.hub (fun () -> Hashtbl.find_opt c.hub.mailboxes c.client_name)
+
+let rec drain q acc =
+  match Par.Mailbox.try_recv q with
+  | Some note -> drain q (note :: acc)
+  | None -> List.rev acc
+
 let poll c =
-  with_lock c.hub (fun () ->
-      match Hashtbl.find_opt c.hub.mailboxes c.client_name with
-      | Some q ->
-        let notes = List.of_seq (Queue.to_seq q) in
-        Queue.clear q;
-        notes
-      | None -> [])
+  match own_mailbox c with
+  | Some q -> drain q []
+  | None -> []
+
+let poll_wait c =
+  match own_mailbox c with
+  | None -> []
+  | Some q ->
+    (match Par.Mailbox.recv q with
+     | None -> [] (* disconnected while waiting *)
+     | Some first -> first :: drain q [])
 
 let notification_to_string = function
   | Committed_ack { txn_id; label } ->

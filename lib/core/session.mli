@@ -39,6 +39,13 @@ val ground : client -> int -> Qdb.grounding list
 val ground_all : client -> Qdb.grounding list
 
 val poll : client -> notification list
-(** Drain this client's mailbox (oldest first). *)
+(** Drain this client's mailbox (oldest first) without blocking. *)
+
+val poll_wait : client -> notification list
+(** Like {!poll}, but block until at least one notification arrives.
+    Returns [[]] only when the client is disconnected (from another
+    thread) while waiting.  Does not hold the hub lock while parked, so
+    other clients keep making progress — and their engine calls are what
+    produce the notification being waited for. *)
 
 val notification_to_string : notification -> string

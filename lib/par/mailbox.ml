@@ -1,0 +1,99 @@
+(* Bounded blocking MPSC mailbox (mutex + two condvars).
+
+   The bound is load-bearing: a full mailbox blocks [send], which is the
+   actor runtime's backpressure — clients queue behind a slow partition
+   owner instead of piling unbounded work onto it.  [not_full] wakes
+   blocked senders when the consumer pops or the box closes; [not_empty]
+   wakes the consumer when a message lands or the box closes. *)
+
+type 'a t = {
+  capacity : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create ?(capacity = 64) () =
+  {
+    capacity = max 1 capacity;
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    queue = Queue.create ();
+    closed = false;
+  }
+
+let send t msg =
+  Mutex.lock t.mutex;
+  while (not t.closed) && Queue.length t.queue >= t.capacity do
+    Condition.wait t.not_full t.mutex
+  done;
+  let accepted = not t.closed in
+  if accepted then begin
+    Queue.add msg t.queue;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+let try_send t msg =
+  Mutex.lock t.mutex;
+  let accepted = (not t.closed) && Queue.length t.queue < t.capacity in
+  if accepted then begin
+    Queue.add msg t.queue;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+let recv t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.not_empty t.mutex
+  done;
+  let msg =
+    if Queue.is_empty t.queue then None (* closed and drained *)
+    else begin
+      let m = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      Some m
+    end
+  in
+  Mutex.unlock t.mutex;
+  msg
+
+let try_recv t =
+  Mutex.lock t.mutex;
+  let msg =
+    if Queue.is_empty t.queue then None
+    else begin
+      let m = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      Some m
+    end
+  in
+  Mutex.unlock t.mutex;
+  msg
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex
+
+let closed t =
+  Mutex.lock t.mutex;
+  let c = t.closed in
+  Mutex.unlock t.mutex;
+  c
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let capacity t = t.capacity

@@ -1,0 +1,40 @@
+(** Bounded blocking mailbox: the MPSC channel under every partition
+    actor.
+
+    Many producers [send]; one consumer [recv]s.  The bound is the
+    backpressure mechanism — a full mailbox blocks senders until the
+    consumer drains, so a slow actor slows its clients instead of
+    growing an unbounded queue.  [close] makes the shutdown handshake
+    explicit: senders find out immediately, the consumer still drains
+    whatever was accepted before the close. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ~capacity ()] makes an empty mailbox holding at most
+    [capacity] messages (clamped to at least 1; default 64). *)
+
+val send : 'a t -> 'a -> bool
+(** Enqueue a message, blocking while the mailbox is full.  Returns
+    [false] (without enqueuing) if the mailbox is closed — including
+    when the close happens while blocked on a full mailbox. *)
+
+val try_send : 'a t -> 'a -> bool
+(** Non-blocking [send]: [false] (nothing enqueued) when the mailbox is
+    full or closed.  For best-effort producers that prefer dropping to
+    waiting. *)
+
+val recv : 'a t -> 'a option
+(** Dequeue the oldest message, blocking while the mailbox is empty.
+    Returns [None] only when the mailbox is closed AND drained: every
+    message accepted by [send] is delivered before [None]. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking [recv]: [None] when empty, whether or not closed. *)
+
+val close : 'a t -> unit
+(** Reject future [send]s and unblock everyone.  Idempotent. *)
+
+val closed : 'a t -> bool
+val length : 'a t -> int
+val capacity : 'a t -> int

@@ -200,6 +200,29 @@ let revalidate t db formula =
 let canonical w =
   List.sort (fun (a, _) (b, _) -> Int.compare a.Term.vid b.Term.vid) (Subst.bindings w)
 
+(* Post-abort hygiene: a prepared-then-aborted admission can leave
+   witnesses extended over the aborted transaction's (fresh, now
+   unreferenced) variables.  Projecting every witness onto the
+   partition's live variables is semantically neutral — a restriction of
+   a satisfying valuation still satisfies and still seeds — but keeps
+   extension seeds from accreting dead bindings.  Restrictions can
+   collide, so the result is deduplicated like a refill. *)
+let restrict_witnesses t vars =
+  let seen = ref [] in
+  let restricted =
+    List.filter_map
+      (fun w ->
+        let r = Subst.restrict vars w in
+        let key = canonical r in
+        if List.mem key !seen then None
+        else begin
+          seen := key :: !seen;
+          Some r
+        end)
+      t.witnesses
+  in
+  t.witnesses <- truncate t restricted
+
 type refill_job = {
   rj_known : Subst.t list;
   rj_capacity : int;

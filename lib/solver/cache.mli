@@ -79,6 +79,12 @@ val revalidate : t -> Relational.Database.t -> Logic.Formula.t -> bool
 (** After an external write: drop witnesses the current database no
     longer supports; [true] when at least one survives. *)
 
+val restrict_witnesses : t -> Logic.Term.Var_set.t -> unit
+(** Project every cached witness onto [vars], deduplicating collisions.
+    Semantically neutral (a restriction of a satisfying valuation still
+    satisfies); used after an aborted two-phase admission to drop
+    bindings of the aborted transaction's dead variables. *)
+
 val refill : ?node_limit:int -> t -> Relational.Database.t -> Logic.Formula.t -> int
 (** Top the cache up to capacity with distinct witnesses (the paper's
     background-process role); returns the number now held.  Asks the

@@ -53,7 +53,12 @@ type summary = {
   violations : (int * string) list; (* (cycle, what broke) *)
 }
 
-let run_cycle ?pool ~seed () =
+(* In actor mode ([actors]) every engine call round-trips through the
+   owning actor on a real spawned domain (clamp off), while the schedule
+   PRNG stays on the orchestrator — the event trace must be identical to
+   the inline run, which is how the harness proves fault schedules are
+   pure functions of orchestrator-side coordinates in actor mode too. *)
+let run_cycle ?pool ?actors ~seed () =
   let rng = Prng.create seed in
   let geometry =
     { Flights.flights = 1; rows_per_flight = 2 + Prng.int rng 2; dest = "LA" }
@@ -73,6 +78,17 @@ let run_cycle ?pool ~seed () =
   let squeeze_gov =
     Governor.make ~node_budget:(1 + Prng.int rng 40) ~max_retries:1 ~escalation:1 ()
   in
+  let rt =
+    match actors with
+    | Some n when n >= 1 ->
+      Some (Actor.Runtime.create ~clamp:false ~actors:n ~make:(fun _ -> ()) ())
+    | _ -> None
+  in
+  let exec f =
+    match rt with
+    | Some rt -> Actor.Runtime.call rt ~key:0 (fun () -> f ())
+    | None -> f ()
+  in
   let events = ref [] in
   let record e = events := e :: !events in
   let violations = ref [] in
@@ -87,70 +103,75 @@ let run_cycle ?pool ~seed () =
   in
   let users = Prng.shuffle_list rng users in
   let seats = Flights.seats_per_flight geometry in
-  List.iter
-    (fun u ->
-      (match Prng.int rng 10 with
-       | 0 ->
-         (* Blind write under possible recheck injection: delete one
-            PRNG-chosen Available seat.  Accepted, refused or aborted —
-            all three must replay identically. *)
-         let seat = Prng.int rng seats in
-         let op = Database.Delete ("Available", Tuple.of_list [ Value.Int 0; Value.Int seat ]) in
-         (match Qdb.write qdb [ op ] with
-          | Ok () -> record "W+"
-          | Error e when String.length e >= 18 && String.sub e 0 18 = "write revalidation" ->
-            incr write_aborts;
-            record "W!"
-          | Error _ -> record "W-")
-       | 1 ->
-         (match Qdb.pending qdb with
-          | [] -> ()
-          | pending ->
-            let txn = List.nth pending (Prng.int rng (List.length pending)) in
-            let n = List.length (Qdb.ground qdb txn.Rtxn.id) in
-            groundings := !groundings + n;
-            record (Printf.sprintf "G%d" n))
-       | _ -> ());
-      let txn = if Prng.bool rng then Travel.entangled_txn u else Travel.plain_txn u in
-      if Prng.int rng 4 = 0 then begin
-        incr squeezed;
-        let before = Qdb.pending_count qdb in
-        match Qdb.submit ~governor:squeeze_gov qdb txn with
-        | Qdb.Committed _ -> record "sC"
-        | Qdb.Rejected _ ->
-          record "sR";
-          (* Oracle: a rejection under pressure must be a real rejection.
-             Resubmitting with the full default budget committing would
-             mean an exhaustion escaped as a semantic no. *)
-          (match Qdb.submit qdb txn with
-           | Qdb.Committed _ ->
-             violate "squeezed Rejected committed on unsqueezed resubmit"
-           | Qdb.Rejected _ -> record "rr"
-           | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
-        | Qdb.Overloaded _ ->
-          record "sO";
-          if Qdb.pending_count qdb <> before then
-            violate "Overloaded mutated the pending set";
-          (* Resubmitting without the squeeze must make progress. *)
-          (match Qdb.submit qdb txn with
-           | Qdb.Committed _ -> record "oC"
-           | Qdb.Rejected _ -> record "oR"
-           | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
-      end
-      else
-        match Qdb.submit qdb txn with
-        | Qdb.Committed _ -> record "C"
-        | Qdb.Rejected _ -> record "R"
-        | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
-    users;
-  (* Post-cycle survival contract. *)
-  (try
-     let n = List.length (Qdb.ground_all qdb) in
-     groundings := !groundings + n;
-     record (Printf.sprintf "GA%d" n)
-   with Qdb.Engine_overloaded _ -> violate "ground_all overloaded under default budget");
-  if not (Qdb.invariant_holds qdb) then
-    violate "composed-satisfiability invariant broken after chaos cycle";
+  Fun.protect
+    ~finally:(fun () -> Option.iter Actor.Runtime.shutdown rt)
+    (fun () ->
+      List.iter
+        (fun u ->
+          (match Prng.int rng 10 with
+           | 0 ->
+             (* Blind write under possible recheck injection: delete one
+                PRNG-chosen Available seat.  Accepted, refused or aborted —
+                all three must replay identically. *)
+             let seat = Prng.int rng seats in
+             let op =
+               Database.Delete ("Available", Tuple.of_list [ Value.Int 0; Value.Int seat ])
+             in
+             (match exec (fun () -> Qdb.write qdb [ op ]) with
+              | Ok () -> record "W+"
+              | Error e when String.length e >= 18 && String.sub e 0 18 = "write revalidation" ->
+                incr write_aborts;
+                record "W!"
+              | Error _ -> record "W-")
+           | 1 ->
+             (match exec (fun () -> Qdb.pending qdb) with
+              | [] -> ()
+              | pending ->
+                let txn = List.nth pending (Prng.int rng (List.length pending)) in
+                let n = List.length (exec (fun () -> Qdb.ground qdb txn.Rtxn.id)) in
+                groundings := !groundings + n;
+                record (Printf.sprintf "G%d" n))
+           | _ -> ());
+          let txn = if Prng.bool rng then Travel.entangled_txn u else Travel.plain_txn u in
+          if Prng.int rng 4 = 0 then begin
+            incr squeezed;
+            let before = exec (fun () -> Qdb.pending_count qdb) in
+            match exec (fun () -> Qdb.submit ~governor:squeeze_gov qdb txn) with
+            | Qdb.Committed _ -> record "sC"
+            | Qdb.Rejected _ ->
+              record "sR";
+              (* Oracle: a rejection under pressure must be a real rejection.
+                 Resubmitting with the full default budget committing would
+                 mean an exhaustion escaped as a semantic no. *)
+              (match exec (fun () -> Qdb.submit qdb txn) with
+               | Qdb.Committed _ ->
+                 violate "squeezed Rejected committed on unsqueezed resubmit"
+               | Qdb.Rejected _ -> record "rr"
+               | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
+            | Qdb.Overloaded _ ->
+              record "sO";
+              if exec (fun () -> Qdb.pending_count qdb) <> before then
+                violate "Overloaded mutated the pending set";
+              (* Resubmitting without the squeeze must make progress. *)
+              (match exec (fun () -> Qdb.submit qdb txn) with
+               | Qdb.Committed _ -> record "oC"
+               | Qdb.Rejected _ -> record "oR"
+               | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
+          end
+          else
+            match exec (fun () -> Qdb.submit qdb txn) with
+            | Qdb.Committed _ -> record "C"
+            | Qdb.Rejected _ -> record "R"
+            | Qdb.Overloaded _ -> violate "default governor reported Overloaded")
+        users;
+      (* Post-cycle survival contract. *)
+      (try
+         let n = List.length (exec (fun () -> Qdb.ground_all qdb)) in
+         groundings := !groundings + n;
+         record (Printf.sprintf "GA%d" n)
+       with Qdb.Engine_overloaded _ -> violate "ground_all overloaded under default budget");
+      if not (exec (fun () -> Qdb.invariant_holds qdb)) then
+        violate "composed-satisfiability invariant broken after chaos cycle");
   let m = Qdb.metrics qdb in
   let submitted = m.Metrics.submitted in
   if m.Metrics.committed + m.Metrics.rejected + m.Metrics.overloaded <> submitted then
@@ -199,11 +220,17 @@ let run ?(cycles = 100) ?(seed = 1234) () =
         let o1 = run_cycle ~seed:cycle_seed () in
         let o2 = run_cycle ~pool:pool2 ~seed:cycle_seed () in
         let o4 = run_cycle ~pool:pool4 ~seed:cycle_seed () in
-        let cycle_violations = ref (o1.violations @ o2.violations @ o4.violations) in
+        let oa = run_cycle ~actors:2 ~seed:cycle_seed () in
+        let cycle_violations =
+          ref (o1.violations @ o2.violations @ o4.violations @ oa.violations)
+        in
         if o1.events <> o2.events then
           cycle_violations := "events diverge between 1 and 2 domains" :: !cycle_violations;
         if o1.events <> o4.events then
           cycle_violations := "events diverge between 1 and 4 domains" :: !cycle_violations;
+        if o1.events <> oa.events then
+          cycle_violations :=
+            "events diverge between inline and actor-routed runs" :: !cycle_violations;
         let s = !acc in
         acc :=
           {
@@ -216,7 +243,7 @@ let run ?(cycles = 100) ?(seed = 1234) () =
             refill_faults = s.refill_faults + o1.refill_faults;
             write_aborts = s.write_aborts + o1.write_aborts;
             groundings = s.groundings + o1.groundings;
-            determinism_checks = s.determinism_checks + 2;
+            determinism_checks = s.determinism_checks + 3;
             violations =
               s.violations @ List.map (fun v -> (cycle, v)) !cycle_violations;
           }
@@ -225,8 +252,8 @@ let run ?(cycles = 100) ?(seed = 1234) () =
 
 let pp fmt s =
   Format.fprintf fmt
-    "@[<v>%d cycle(s) x {1,2,4} domains: %d submission(s) — %d committed, %d rejected, %d \
-     overloaded@,\
+    "@[<v>%d cycle(s) x {1,2,4} domains + actor replay: %d submission(s) — %d committed, %d \
+     rejected, %d overloaded@,\
      %d squeezed admission(s); %d refill fault(s) absorbed, %d write abort(s)@,\
      %d grounding(s); %d determinism check(s); %d violation(s)@]"
     s.cycles s.submissions s.committed s.rejected s.overloaded s.squeezed s.refill_faults

@@ -32,13 +32,17 @@ type summary = {
   violations : (int * string) list;  (** (cycle, what broke) *)
 }
 
-val run_cycle : ?pool:Par.Pool.t -> seed:int -> unit -> cycle_outcome
+val run_cycle : ?pool:Par.Pool.t -> ?actors:int -> seed:int -> unit -> cycle_outcome
 (** One reproducible chaos cycle: fresh engine over a small scarce travel
     fixture, PRNG-scheduled submissions (a quarter squeezed), blind
-    writes and groundings, fault injection on every fan-out kind. *)
+    writes and groundings, fault injection on every fan-out kind.  With
+    [actors], every engine call round-trips through an owning actor on a
+    real spawned domain ({!Actor.Runtime.call}, unclamped) while the
+    schedule PRNG stays on the orchestrator. *)
 
 val run : ?cycles:int -> ?seed:int -> unit -> summary
-(** Run [cycles] cycles, each at 1, 2 and 4 domains, comparing the event
-    traces bit-for-bit.  Pools are created once and reused. *)
+(** Run [cycles] cycles, each at 1, 2 and 4 domains plus an actor-routed
+    replay, comparing the event traces bit-for-bit.  Pools are created
+    once and reused. *)
 
 val pp : Format.formatter -> summary -> unit

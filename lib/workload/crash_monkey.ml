@@ -102,7 +102,13 @@ type cycle_outcome = {
   violation : string option;
 }
 
-let run_cycle ?pool ~seed () =
+(* In actor mode every post-fixture engine operation round-trips through
+   the owning actor ([Actor.Runtime.call] on a real spawned domain —
+   clamping is off so even a 1-core host exercises the hop), proving the
+   injected [Fault.Crash] propagates across the domain boundary to the
+   driver and that WAL append ordering — what the recovery contract
+   checks — is unaffected by which domain ran the engine. *)
+let run_cycle ?pool ?actors ~seed () =
   let rng = Prng.create seed in
   let fault_rng = Prng.create (seed lxor 0x5EED5EED) in
   let pristine = Wal.mem_backend () in
@@ -140,24 +146,41 @@ let run_cycle ?pool ~seed () =
   in
   let users = Prng.shuffle_list rng users in
   let crashed = ref false in
-  (try
-     List.iter
-       (fun u ->
-         (match Prng.int rng 12 with
-          | 0 -> ignore (Qdb.read qdb (Travel.seat_query u))
-          | 1 -> Store.checkpoint store
-          | 2 ->
-            (match Qdb.pending qdb with
-             | [] -> ()
-             | pending ->
-               let txn = List.nth pending (Prng.int rng (List.length pending)) in
-               ignore (Qdb.ground qdb txn.Rtxn.id))
-          | _ -> ());
-         let txn = if Prng.bool rng then Travel.entangled_txn u else Travel.plain_txn u in
-         ignore (Qdb.submit qdb txn))
-       users;
-     ignore (Qdb.ground_all qdb)
-   with Fault.Crash -> crashed := true);
+  let rt =
+    match actors with
+    | Some n when n >= 1 ->
+      Some (Actor.Runtime.create ~clamp:false ~actors:n ~make:(fun _ -> ()) ())
+    | _ -> None
+  in
+  let exec f =
+    match rt with
+    | Some rt -> Actor.Runtime.call rt ~key:0 (fun () -> f ())
+    | None -> f ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Actor.Runtime.shutdown rt)
+    (fun () ->
+      try
+        List.iter
+          (fun u ->
+            (match Prng.int rng 12 with
+             | 0 -> exec (fun () -> ignore (Qdb.read qdb (Travel.seat_query u)))
+             | 1 -> exec (fun () -> Store.checkpoint store)
+             | 2 ->
+               exec (fun () ->
+                   match Qdb.pending qdb with
+                   | [] -> ()
+                   | pending ->
+                     let txn = List.nth pending (Prng.int rng (List.length pending)) in
+                     ignore (Qdb.ground qdb txn.Rtxn.id))
+             | _ -> ());
+            let txn =
+              if Prng.bool rng then Travel.entangled_txn u else Travel.plain_txn u
+            in
+            exec (fun () -> ignore (Qdb.submit qdb txn)))
+          users;
+        exec (fun () -> ignore (Qdb.ground_all qdb))
+      with Fault.Crash -> crashed := true);
   let flipped_mid_log =
     match flip_at with
     | Some n -> n < handle.Fault.appends
@@ -189,7 +212,7 @@ let run_cycle ?pool ~seed () =
   in
   { crashed = !crashed; damage; flipped_mid_log; kept; dropped; violation }
 
-let run ?(cycles = 200) ?(seed = 42) ?pool () =
+let run ?(cycles = 200) ?(seed = 42) ?pool ?actors () =
   let acc =
     ref
       {
@@ -206,7 +229,7 @@ let run ?(cycles = 200) ?(seed = 42) ?pool () =
       }
   in
   for cycle = 0 to cycles - 1 do
-    let o = run_cycle ?pool ~seed:(seed + (cycle * 7919)) () in
+    let o = run_cycle ?pool ?actors ~seed:(seed + (cycle * 7919)) () in
     let s = !acc in
     acc :=
       {

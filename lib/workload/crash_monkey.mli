@@ -25,10 +25,14 @@ type summary = {
   violations : (int * string) list;  (** (cycle, what broke) — must be [] *)
 }
 
-val run : ?cycles:int -> ?seed:int -> ?pool:Par.Pool.t -> unit -> summary
+val run : ?cycles:int -> ?seed:int -> ?pool:Par.Pool.t -> ?actors:int -> unit -> summary
 (** Defaults: 200 cycles, seed 42.  With [pool], each cycle's engine
     runs its cache-refill fan-out across the pool (capacity 3, so the
     fan-out actually fires) — proving WAL ordering and the recovery
-    contract are unaffected by where solver work ran. *)
+    contract are unaffected by where solver work ran.  With [actors],
+    every post-fixture engine operation instead round-trips through an
+    owning actor on a real spawned domain ({!Actor.Runtime.call},
+    unclamped), proving the injected crash propagates across the domain
+    boundary and the recovery contract holds in actor mode too. *)
 
 val pp : Format.formatter -> summary -> unit

@@ -233,6 +233,181 @@ let run_sharded ?pool ?collect engine spec =
     ops = List.length ops;
   }
 
+(* -- Actor execution (shared-nothing partition owners) ----------------------
+
+   The sharded runner above still orchestrates from the calling thread:
+   every flight's whole stream is one pool job, and the enqueue→dequeue
+   wait of those giant jobs is what the Figure-7 sweep measured as 179 s
+   of queue time against a 43 s wall.  [run_actors] inverts the
+   ownership: one long-lived actor domain owns each flight group
+   end-to-end — store, engine, admission, grounding, WAL — and the
+   driver only routes operations to owners, op by op, through bounded
+   mailboxes.  Nothing is enqueued per flight; nothing waits on a
+   centralized queue; backpressure is a full mailbox blocking the
+   driver.
+
+   Outcome identity: each group runs the SAME per-flight op sequence
+   against the same fresh store + engine as a [run_sharded] shard (the
+   global stream and PRNG consumption are shared via [build_ops], and
+   per-owner mailbox FIFO preserves per-flight order), so admission
+   outcomes are bit-identical to [run_sharded] — and across actor
+   counts, since a group's stream does not depend on which actor owns
+   it. *)
+
+type group = {
+  g_flight : int;
+  g_store : Store.t;
+  g_qdb : Qdb.t option;
+  mutable g_committed : int;
+  mutable g_rejected : int;
+  mutable g_max_pending : int;
+  mutable g_time_reads : float;
+  mutable g_time_updates : float;
+}
+
+type actor_report = {
+  actors_requested : int;
+  actors_live : int;  (** after the hardware clamp *)
+  busy_s : float;  (** summed actor task time, the denominator of phase attribution *)
+  messages : int;
+}
+
+let run_actors ?mailbox_capacity ?clamp ?collect ~actors engine spec =
+  let rng = Prng.create spec.seed in
+  let ops, users = build_ops spec rng in
+  (* Flight ids in first-appearance order, for the final ground_all round
+     and the (sorted) merge. *)
+  let seen = Hashtbl.create 16 in
+  let flight_ids = ref [] in
+  List.iter
+    (fun op ->
+      let u = match op with Book u | Read_seat u -> u in
+      if not (Hashtbl.mem seen u.Travel.flight) then begin
+        Hashtbl.add seen u.Travel.flight ();
+        flight_ids := u.Travel.flight :: !flight_ids
+      end)
+    ops;
+  let flights = List.sort Int.compare !flight_ids in
+  (* Group state is born on the owning actor's domain: the store and
+     engine never exist anywhere else. *)
+  let make flight =
+    let store = Flights.fresh_store spec.geometry in
+    {
+      g_flight = flight;
+      g_store = store;
+      g_qdb =
+        (match engine with
+         | Quantum_engine config -> Some (Qdb.create ~config store)
+         | Intelligent_social -> None);
+      g_committed = 0;
+      g_rejected = 0;
+      g_max_pending = 0;
+      g_time_reads = 0.;
+      g_time_updates = 0.;
+    }
+  in
+  let rt = Actor.Runtime.create ?mailbox_capacity ?clamp ~actors ~make () in
+  Fun.protect ~finally:(fun () -> Actor.Runtime.shutdown rt)
+  @@ fun () ->
+  let start = Obs.Mclock.now_ns () in
+  let apply g op =
+    let op_start = Obs.Mclock.now_ns () in
+    (match op, g.g_qdb with
+     | Book user, Some qdb ->
+       (match Qdb.submit qdb (Travel.entangled_txn user) with
+        | Qdb.Committed _ -> g.g_committed <- g.g_committed + 1
+        | Qdb.Rejected _ | Qdb.Overloaded _ -> g.g_rejected <- g.g_rejected + 1);
+       g.g_max_pending <- max g.g_max_pending (Qdb.pending_count qdb)
+     | Book user, None ->
+       if Travel.is_book g.g_store user then g.g_committed <- g.g_committed + 1
+       else g.g_rejected <- g.g_rejected + 1
+     | Read_seat user, Some qdb -> ignore (Qdb.read qdb (Travel.seat_query user))
+     | Read_seat user, None ->
+       ignore (Solver.Query.all (Store.db g.g_store) (Travel.seat_query user)));
+    let dt = Obs.Mclock.elapsed_s op_start in
+    match op with
+    | Book _ -> g.g_time_updates <- g.g_time_updates +. dt
+    | Read_seat _ -> g.g_time_reads <- g.g_time_reads +. dt
+  in
+  (* Route the global stream op by op; per-owner FIFO keeps each flight's
+     sub-order. *)
+  List.iter
+    (fun op ->
+      let u = match op with Book u | Read_seat u -> u in
+      Actor.Runtime.post rt ~key:u.Travel.flight (fun g -> apply g op))
+    ops;
+  (* Deferred assignments ground at the end, on their owners. *)
+  List.iter
+    (fun f ->
+      Actor.Runtime.post rt ~key:f (fun g ->
+          match g.g_qdb with
+          | Some qdb -> ignore (Qdb.ground_all qdb)
+          | None -> ()))
+    flights;
+  Actor.Runtime.drain rt;
+  let total_time_s = Obs.Mclock.elapsed_s start in
+  (* Merge on the driver, in flight order — safe after [drain] (every
+     actor is parked, and the barrier round-trip ordered our reads). *)
+  let committed = ref 0 and rejected = ref 0 in
+  let max_pending = ref 0 in
+  let time_reads = ref 0. and time_updates = ref 0. in
+  let coordinated = ref 0 and max_possible = ref 0 in
+  (Obs.Flight.time Obs.Flight.Merge @@ fun () ->
+   Obs.Trace.span ~cat:"shard"
+     ~args:(fun () -> [ ("groups", Obs.Trace.Int (List.length flights)) ])
+     "actor.merge"
+   @@ fun () ->
+   List.iter
+     (fun flight ->
+       match Actor.Runtime.group rt ~key:flight with
+       | None -> ()
+       | Some g ->
+         (match g.g_qdb with
+          | Some qdb -> Quantum.Metrics.merge ~into:metrics_sink (Qdb.metrics qdb)
+          | None -> ());
+         committed := !committed + g.g_committed;
+         rejected := !rejected + g.g_rejected;
+         max_pending := max !max_pending g.g_max_pending;
+         time_reads := !time_reads +. g.g_time_reads;
+         time_updates := !time_updates +. g.g_time_updates;
+         let db = Store.db g.g_store in
+         let shard_users = List.filter (fun u -> u.Travel.flight = flight) users in
+         coordinated := !coordinated + Travel.coordinated_users db shard_users;
+         max_possible := !max_possible + Travel.max_coordination spec.geometry shard_users;
+         (match collect with
+          | Some f -> f ~flight:g.g_flight db
+          | None -> ()))
+     flights);
+  let stats = Actor.Runtime.stats rt in
+  let report =
+    {
+      actors_requested = Actor.Runtime.requested rt;
+      actors_live = Actor.Runtime.live rt;
+      busy_s =
+        Array.fold_left
+          (fun acc (s : Actor.Runtime.stats) -> acc +. (float_of_int s.Actor.Runtime.busy_ns *. 1e-9))
+          0. stats;
+      messages =
+        Array.fold_left (fun acc (s : Actor.Runtime.stats) -> acc + s.Actor.Runtime.messages) 0 stats;
+    }
+  in
+  ( {
+      cumulative_ms = [||];
+      total_time_s;
+      committed = !committed;
+      rejected = !rejected;
+      coordinated = !coordinated;
+      max_possible = !max_possible;
+      coordination_pct =
+        (if !max_possible = 0 then 0.
+         else 100. *. float_of_int !coordinated /. float_of_int !max_possible);
+      max_pending = !max_pending;
+      time_reads_s = !time_reads;
+      time_updates_s = !time_updates;
+      ops = List.length ops;
+    },
+    report )
+
 let run engine spec =
   let rng = Prng.create spec.seed in
   let store = Flights.fresh_store spec.geometry in

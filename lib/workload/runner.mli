@@ -58,6 +58,32 @@ val run_sharded :
     order, with the shard's final database.  [cumulative_ms] is empty and
     [max_pending] is the per-shard max. *)
 
+type actor_report = {
+  actors_requested : int;
+  actors_live : int;  (** after the hardware clamp *)
+  busy_s : float;  (** summed actor task time across live actors *)
+  messages : int;
+}
+
+val run_actors :
+  ?mailbox_capacity:int ->
+  ?clamp:bool ->
+  ?collect:(flight:int -> Relational.Database.t -> unit) ->
+  actors:int ->
+  engine ->
+  spec ->
+  outcome * actor_report
+(** Shared-nothing actor execution: one long-lived domain owns each
+    flight group end-to-end (store, engine, admission, grounding, WAL),
+    and the driver routes the global stream op by op through bounded
+    mailboxes — no per-flight pool jobs, no centralized queue wait.
+    Same stream and PRNG consumption as {!run_sharded}; per-owner FIFO
+    preserves per-flight order, so admission outcomes are bit-identical
+    to {!run_sharded} and across actor counts.  [clamp] (default true)
+    limits spawned domains to the host's recommended parallelism; the
+    report records requested vs live actors and their summed busy
+    time. *)
+
 val metrics_sink : Quantum.Metrics.t
 (** Engine metrics merged across every quantum run in this process —
     snapshot it with {!Quantum.Metrics.snapshot} for telemetry export. *)

@@ -20,6 +20,12 @@ echo "== crash-monkey under domain pool =="
 # pool: WAL ordering and recovery must not care where solver work ran.
 dune exec bin/qdb_cli.exe -- crashmonkey --cycles 50 --seed 7 --domains 2
 
+echo "== crash-monkey actor-routed =="
+# Same contract with every post-fixture engine call round-tripping
+# through an owning actor on a real spawned domain: the injected crash
+# must propagate across the domain boundary and recovery must hold.
+dune exec bin/qdb_cli.exe -- crashmonkey --cycles 50 --seed 7 --actors 2
+
 echo "== admission sweep (incremental vs from-scratch) =="
 # Pending-depth sweep at k in {5,10,20,40}, each with delta composition
 # on and off; the bench itself exits non-zero when accept/reject
@@ -71,18 +77,29 @@ echo "== bench smoke (micro) =="
 rm -f results/metrics.json
 dune exec bench/main.exe -- --only micro
 
-echo "== scaling smoke (--domains 2) =="
-# The committed-baseline workload (10 flights x 150 seats) at 1 and 2
-# domains: asserts identical admission outcomes across pool sizes (the
-# scaling subcommand exits non-zero on divergence) and gates the
-# 1-domain admission latency against the committed BENCH_scaling.json.
+echo "== scaling smoke (actor mode, --domains 1,2) =="
+# The committed-baseline workload (10 flights x 150 seats) in actor mode
+# at 1 and 2 requested domains: asserts identical admission outcomes
+# across actor counts and real rejections/overloads on the contended
+# companion points (the scaling subcommand exits non-zero on
+# divergence).  On failure, a per-phase profile of the same workload is
+# captured so the CI artifact shows where admission time went.
 rm -f results/BENCH_scaling.json
-dune exec bin/qdb_cli.exe -- scaling --domains 1,2 --out results/BENCH_scaling.json
+dune exec bin/qdb_cli.exe -- scaling --mode actor --domains 1,2 --out results/BENCH_scaling.json \
+  || { mkdir -p results; \
+       dune exec bin/qdb_cli.exe -- profile --top 10 > results/scaling_failure_profile.txt 2>&1 || true; \
+       exit 1; }
 
-echo "== scaling regression gate =="
-# Same comparator as the admission gate: schema v2 additionally requires
-# every point to carry a phases_s breakdown attributing >= 95% of wall.
-dune exec bin/qdb_cli.exe -- bench diff BENCH_scaling.json results/BENCH_scaling.json --gate 25
+echo "== scaling regression gate (no-slowdown) =="
+# Same comparator as the admission gate.  Schema v3 additionally gates:
+# speedup_vs_1 >= 0.90 at every point (more domains may never slow
+# admission down — the pathology this PR removed), queue_wait < 5% of
+# wall, per-phase attribution >= 95% of measured actor busy time, and
+# real rejected/Overloaded outcomes on the contended companion series.
+dune exec bin/qdb_cli.exe -- bench diff BENCH_scaling.json results/BENCH_scaling.json --gate 25 \
+  || { mkdir -p results; \
+       dune exec bin/qdb_cli.exe -- profile --top 10 > results/scaling_failure_profile.txt 2>&1 || true; \
+       exit 1; }
 
 echo "== telemetry check =="
 if [ ! -f results/metrics.json ]; then

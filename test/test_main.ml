@@ -30,6 +30,7 @@ let () =
       ("cloud", Test_cloud.suite);
       ("workload", Test_workload.suite);
       ("par", Test_par.suite);
+      ("actor", Test_actor.suite);
       ("governor", Test_governor.suite);
       ("profiler", Test_profiler.suite);
     ]
