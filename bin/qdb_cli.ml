@@ -431,26 +431,43 @@ let profile_cmd =
    and checks the recovery contract.  Exit 1 on any violation, so CI can
    gate on it. *)
 
-let run_crashmonkey cycles seed domains actors =
-  let pool = if domains > 1 then Some (Par.Pool.create ~domains ()) else None in
-  let actors = if actors > 0 then Some actors else None in
-  let s =
-    Fun.protect
-      ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
-      (fun () -> Workload.Crash_monkey.run ~cycles ~seed ?pool ?actors ())
-  in
-  Format.printf "crash monkey (seed %d, %d domain(s)%s):@.%a@." seed (max 1 domains)
-    (match actors with
-     | Some n -> Printf.sprintf ", actor-routed x%d" n
-     | None -> "")
-    Workload.Crash_monkey.pp s;
-  match s.Workload.Crash_monkey.violations with
-  | [] -> ()
-  | violations ->
-    List.iter
-      (fun (cycle, what) -> Printf.eprintf "violation in cycle %d: %s\n" cycle what)
-      violations;
-    exit 1
+let run_crashmonkey cycles seed domains actors server =
+  if server then begin
+    (* Server mode: live TCP sessions into a group-commit engine whose
+       WAL rides a volatile page cache, crashes armed at PRNG-chosen
+       sync boundaries — every acked admission must survive replay. *)
+    let s = Workload.Crash_monkey.run_server ~cycles ~seed ~domains () in
+    Format.printf "crash monkey, server mode (seed %d, %d domain(s)):@.%a@." seed
+      (max 1 domains) Workload.Crash_monkey.pp_server s;
+    match s.Workload.Crash_monkey.srv_violations with
+    | [] -> ()
+    | violations ->
+      List.iter
+        (fun (cycle, what) -> Printf.eprintf "violation in cycle %d: %s\n" cycle what)
+        violations;
+      exit 1
+  end
+  else begin
+    let pool = if domains > 1 then Some (Par.Pool.create ~domains ()) else None in
+    let actors = if actors > 0 then Some actors else None in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
+        (fun () -> Workload.Crash_monkey.run ~cycles ~seed ?pool ?actors ())
+    in
+    Format.printf "crash monkey (seed %d, %d domain(s)%s):@.%a@." seed (max 1 domains)
+      (match actors with
+       | Some n -> Printf.sprintf ", actor-routed x%d" n
+       | None -> "")
+      Workload.Crash_monkey.pp s;
+    match s.Workload.Crash_monkey.violations with
+    | [] -> ()
+    | violations ->
+      List.iter
+        (fun (cycle, what) -> Printf.eprintf "violation in cycle %d: %s\n" cycle what)
+        violations;
+      exit 1
+  end
 
 let crashmonkey_cmd =
   let doc =
@@ -479,8 +496,17 @@ let crashmonkey_cmd =
                    the injected crash must propagate across the domain boundary \
                    and the recovery contract must hold regardless.")
   in
+  let server_arg =
+    Arg.(value & flag
+         & info [ "server" ]
+             ~doc:"Crash the network front door instead: TCP sessions admit through \
+                   the group-commit queue over a volatile write buffer, the crash \
+                   arms at a PRNG-chosen sync, and recovery must show every acked \
+                   admission durable (un-acked may vanish, never half-apply).")
+  in
   Cmd.v (Cmd.info "crashmonkey" ~doc)
-    Term.(const run_crashmonkey $ cycles_arg $ seed_arg $ domains_arg $ actors_arg)
+    Term.(const run_crashmonkey $ cycles_arg $ seed_arg $ domains_arg $ actors_arg
+          $ server_arg)
 
 (* -- chaos --------------------------------------------------------------------- *)
 
@@ -572,6 +598,118 @@ let scaling_cmd =
     Term.(const run_scaling $ trace_arg $ mode_arg $ repeats_arg $ domains_arg
           $ flights_arg $ rows_arg $ pairs_arg $ seed_arg $ out_arg)
 
+(* -- serve / load --------------------------------------------------------------- *)
+
+(* The network front door as a process: [serve] owns a store and the
+   engine; [load] is the open-loop generator pointed at it from any
+   other process.  Both default to the same 4x400 load shape so a bare
+   `qdb_cli serve` and a bare `qdb_cli load` agree on the flight bands
+   the sessions book into. *)
+
+let run_serve host port sessions requests domains wal duration =
+  let geometry = Harness.Server.geometry_for ~sessions ~requests_per_session:requests in
+  let backend = Option.map Relational.Wal.file_backend wal in
+  let store = Workload.Flights.fresh_store ?backend geometry in
+  let config = { Net.Server.default_config with Net.Server.domains } in
+  let server = Net.Server.start ~config ~store (Net.Server.Tcp (host, port)) in
+  (match Net.Server.address server with
+   | Net.Server.Tcp (h, p) ->
+     Printf.printf "qdb server listening on %s:%d (%d flights, %d domain(s), wal: %s)\n%!" h p
+       geometry.Workload.Flights.flights domains
+       (Option.value ~default:"in-memory" wal)
+   | Net.Server.Unix_sock p -> Printf.printf "qdb server listening on %s\n%!" p);
+  let interrupted = Atomic.make false in
+  let previous =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set interrupted true))
+  in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) duration in
+  let expired () =
+    match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+  in
+  while
+    (not (Atomic.get interrupted))
+    && (not (expired ()))
+    && Net.Server.failure server = None
+  do
+    Unix.sleepf 0.1
+  done;
+  Sys.set_signal Sys.sigint previous;
+  Net.Server.stop server;
+  let gc = Net.Server.group_commit server in
+  Printf.printf "server stopped: %d group-commit batches, %d acked, mean batch %.2f\n%!"
+    (Net.Group_commit.batches gc)
+    (Net.Group_commit.acked_durable gc)
+    (Net.Group_commit.mean_batch_size gc);
+  match Net.Server.failure server with
+  | Some exn ->
+    Printf.eprintf "engine failure: %s\n%!" (Printexc.to_string exn);
+    exit 1
+  | None -> ()
+
+let sessions_arg =
+  Arg.(value & opt int 4
+       & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent sessions the load shape plans for.")
+
+let requests_arg =
+  Arg.(value & opt int 400
+       & info [ "requests" ] ~docv:"N" ~doc:"Requests per session the load shape plans for.")
+
+let serve_cmd =
+  let doc =
+    "Run the network front door: accept connections, admit transactions through the \
+     group-commit queue, until Ctrl-C, $(b,--duration), or an engine failure."
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Bind address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7790 & info [ "port" ] ~docv:"PORT" ~doc:"Bind port (0 picks one).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Engine domain-pool size.")
+  in
+  let wal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"FILE"
+             ~doc:"Write-ahead log file (real fsyncs); in-memory when absent.")
+  in
+  let duration_arg =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Stop gracefully after $(docv).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run_serve $ host_arg $ port_arg $ sessions_arg $ requests_arg $ domains_arg
+          $ wal_arg $ duration_arg)
+
+let run_load host port sessions requests hz seed =
+  let stats =
+    Harness.Server.load ~host ~port ~sessions ~requests_per_session:requests ~target_hz:hz
+      ~seed
+  in
+  Harness.Server.print_load stats;
+  if stats.Harness.Server.l_errors > 0 then exit 1
+
+let load_cmd =
+  let doc =
+    "Drive a running server with the open-loop generator (target-rate arrivals) and \
+     report client-side admission latency; exits 1 on any error response."
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7790 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let hz_arg =
+    Arg.(value & opt float 800. & info [ "hz" ] ~docv:"HZ" ~doc:"Per-session arrival rate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(const run_load $ host_arg $ port_arg $ sessions_arg $ requests_arg $ hz_arg
+          $ seed_arg)
+
 (* -- bench diff ---------------------------------------------------------------- *)
 
 (* The one regression comparator.  scripts/ci.sh used to carry two
@@ -594,7 +732,13 @@ let scaling_cmd =
        old pool pathology — fails), queue_wait < 5% of wall, per-phase
        attribution >= 95% of measured actor busy time, and the contended
        companion series must show real rejections and real Overloaded
-       outcomes.
+       outcomes;
+     qdb.bench.server/v1 — admission outcome counts pinned exactly to
+       the baseline's (the load is seeded and per-flight-deterministic),
+       zero error responses, mean group-commit batch size > 1 (the
+       queue must actually group), accept/reject p50/p99/p999 splits
+       present, and the accept-p99 admission latency must not exceed
+       the baseline's by more than PCT percent.
 
    Exits 1 with a FAIL line on any violation, 0 with OK lines otherwise. *)
 
@@ -877,8 +1021,69 @@ let run_bench_diff baseline_path current_path gate =
      Printf.printf
        "OK: >=1 point in the 10-50%% rejection regime; accept/reject/overload latency \
         split present everywhere\n"
+   | "qdb.bench.server/v1" ->
+     (* The load is seeded and every flight band is driven by exactly one
+        session, so per-flight admission order — and with it the outcome
+        counts — is deterministic: pin them exactly.  Latency is the one
+        machine-dependent number, so only its accept-p99 is gated. *)
+     let outcomes label j =
+       match Json.member "outcomes" j with
+       | Some o ->
+         ( int_of_float (jnum label "committed" o),
+           int_of_float (jnum label "rejected" o),
+           int_of_float (jnum label "overloaded" o),
+           int_of_float (jnum label "errors" o) )
+       | None -> bench_fail "%s: missing \"outcomes\" object" label
+     in
+     let b = outcomes "baseline" baseline and c = outcomes "current" current in
+     if b <> c then begin
+       let s (co, re, ov, er) = Printf.sprintf "%d/%d/%d/%d" co re ov er in
+       bench_fail
+         "admission outcomes changed: %s vs baseline %s \
+          (committed/rejected/overloaded/errors)"
+         (s c) (s b)
+     end;
+     let _, _, _, errors = c in
+     if errors <> 0 then bench_fail "%d error responses under clean load" errors;
+     Printf.printf "OK: admission outcome counts match baseline\n";
+     let gc_field name =
+       match Json.member "group_commit" current with
+       | Some g -> jnum "current" name g
+       | None -> bench_fail "current: missing \"group_commit\" object"
+     in
+     let mean_batch = gc_field "mean_batch_size" in
+     if mean_batch <= 1.0 then
+       bench_fail "group commit never grouped: mean batch size %.2f (floor: > 1)" mean_batch;
+     Printf.printf "OK: mean group-commit batch size %.2f > 1 (%d batches)\n" mean_batch
+       (int_of_float (gc_field "batches"));
+     let split label j which =
+       match Json.member "latency_us" j with
+       | Some l ->
+         (match Json.member which l with
+          | Some s -> s
+          | None -> bench_fail "%s: latency_us lacks the %S split" label which)
+       | None -> bench_fail "%s: missing \"latency_us\" object" label
+     in
+     List.iter
+       (fun which ->
+         let s = split "current" current which in
+         List.iter
+           (fun f -> ignore (jnum "current" f s))
+           [ "count"; "mean"; "p50"; "p99"; "p999" ])
+       [ "accept"; "reject" ];
+     Printf.printf "OK: accept/reject p50/p99/p999 admission-latency splits present\n";
+     check_ratio "accept p99 admission latency (us)"
+       (jnum "baseline" "p99" (split "baseline" baseline "accept"))
+       (jnum "current" "p99" (split "current" current "accept"))
    | other -> bench_fail "unsupported schema %S" other);
   Printf.printf "bench diff: %s within %.0f%% of %s\n%!" current_path gate baseline_path
+
+let run_bench_server sessions requests hz domains seed out =
+  let spec = { Harness.Server.sessions; requests_per_session = requests;
+               target_hz = hz; domains; seed } in
+  let r = Harness.Server.bench ~spec () in
+  Harness.Server.print r;
+  ignore (Harness.Server.write ~path:out r)
 
 let bench_cmd =
   let diff_cmd =
@@ -899,8 +1104,31 @@ let bench_cmd =
     Cmd.v (Cmd.info "diff" ~doc)
       Term.(const run_bench_diff $ baseline_arg $ current_arg $ gate_arg)
   in
-  let doc = "Bench-recording tooling (regression comparison)." in
-  Cmd.group (Cmd.info "bench" ~doc) [ diff_cmd ]
+  let server_cmd =
+    let doc =
+      "Run the loopback server bench: open-loop load over a real socket into the \
+       group-commit queue, twice with the same seed, and write the \
+       qdb.bench.server/v1 recording."
+    in
+    let hz_arg =
+      Arg.(value & opt float 800. & info [ "hz" ] ~docv:"HZ" ~doc:"Per-session arrival rate.")
+    in
+    let domains_arg =
+      Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Engine domain-pool size.")
+    in
+    let seed_arg =
+      Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+    in
+    let out_arg =
+      Arg.(value & opt string "results/BENCH_server.json"
+           & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON recording.")
+    in
+    Cmd.v (Cmd.info "server" ~doc)
+      Term.(const run_bench_server $ sessions_arg $ requests_arg $ hz_arg $ domains_arg
+            $ seed_arg $ out_arg)
+  in
+  let doc = "Bench-recording tooling (producers and regression comparison)." in
+  Cmd.group (Cmd.info "bench" ~doc) [ diff_cmd; server_cmd ]
 
 (* -- shell --------------------------------------------------------------------- *)
 
@@ -1033,4 +1261,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ exp_cmd; demo_cmd; shell_cmd; stats_cmd; profile_cmd; crashmonkey_cmd;
-            chaos_cmd; scaling_cmd; bench_cmd ]))
+            chaos_cmd; scaling_cmd; serve_cmd; load_cmd; bench_cmd ]))

@@ -58,6 +58,7 @@ type 'g t = {
   requested : int;
   acts : 'g actor array;
   make : int -> 'g;
+  on_batch_end : ('g -> unit) option;
   mutable domains : unit Domain.t list;
   coord : Mutex.t; (* serializes multi-owner coordinations *)
   mutable stopped : bool;
@@ -95,17 +96,42 @@ let store_failure a f resolve =
   with e ->
     if a.failed = None then a.failed <- Some (e, Printexc.get_raw_backtrace ())
 
+(* The group-commit boundary: run the batch-end hook over every group
+   this actor owns.  Counted as busy time (the hook is real actor work —
+   typically one WAL sync covering the whole drained batch); failures
+   park in [failed] like any posted task's. *)
+let batch_end t (a : _ actor) =
+  match t.on_batch_end with
+  | None -> ()
+  | Some hook ->
+    if Hashtbl.length a.groups > 0 then begin
+      let t0 = Obs.Mclock.now_ns () in
+      Fun.protect
+        ~finally:(fun () -> a.busy_ns <- Int64.add a.busy_ns (Obs.Mclock.elapsed_ns t0))
+        (fun () ->
+          try Hashtbl.iter (fun _ g -> hook g) a.groups
+          with e ->
+            if a.failed = None then a.failed <- Some (e, Printexc.get_raw_backtrace ()))
+    end
+
 let rec actor_loop t a =
   match Par.Mailbox.recv a.mbox with
-  | None -> () (* closed and drained: shutdown *)
+  | None -> batch_end t a (* closed and drained: final boundary, then shutdown *)
   | Some (Work f) ->
     run_work t a f;
+    (* Mailbox ran dry: everything admitted since the last boundary is
+       one batch — exactly when the front door's commit queue would
+       sync.  Back-to-back arrivals keep coalescing instead. *)
+    if Par.Mailbox.length a.mbox = 0 then batch_end t a;
     actor_loop t a
   | Some (Barrier iv) ->
+    (* Durability before visibility: the barrier answers only after the
+       open batch hit the hook, so [drain]-then-read sees synced state. *)
+    batch_end t a;
     fill iv ();
     actor_loop t a
 
-let create ?(mailbox_capacity = 64) ?(clamp = true) ~actors ~make () =
+let create ?(mailbox_capacity = 64) ?(clamp = true) ?on_batch_end ~actors ~make () =
   let requested = max 1 actors in
   let hw = max 1 (Domain.recommended_domain_count ()) in
   let n = if clamp then min requested hw else requested in
@@ -121,7 +147,8 @@ let create ?(mailbox_capacity = 64) ?(clamp = true) ~actors ~make () =
         })
   in
   let t =
-    { requested; acts; make; domains = []; coord = Mutex.create (); stopped = false }
+    { requested; acts; make; on_batch_end; domains = []; coord = Mutex.create ();
+      stopped = false }
   in
   if n > 1 then
     t.domains <-
@@ -138,7 +165,13 @@ let check_running t =
 let dispatch t idx f =
   check_running t;
   let a = t.acts.(idx) in
-  if inline_mode t then run_work t a (store_failure a f)
+  if inline_mode t then begin
+    run_work t a (store_failure a f);
+    (* Inline mode has no mailbox to run dry: every task is its own
+       batch, which is exactly the [Every_batch] cost the 1-domain
+       configuration always paid. *)
+    batch_end t a
+  end
   else if not (Par.Mailbox.send a.mbox (Work (store_failure a f))) then
     invalid_arg "Actor.Runtime: mailbox closed"
 
@@ -154,6 +187,7 @@ let call_on t idx f =
     if inline_mode t then begin
       let out = ref None in
       run_work t a (fun resolve -> out := Some (body resolve));
+      batch_end t a;
       Option.get !out
     end
     else begin

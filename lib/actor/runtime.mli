@@ -25,6 +25,7 @@ type 'g t
 val create :
   ?mailbox_capacity:int ->
   ?clamp:bool ->
+  ?on_batch_end:('g -> unit) ->
   actors:int ->
   make:(int -> 'g) ->
   unit ->
@@ -36,7 +37,17 @@ val create :
     [clamp] (default [true]) limits spawned domains to
     [Domain.recommended_domain_count ()]; [mailbox_capacity] (default
     64) bounds each actor's mailbox — a full mailbox blocks the sender,
-    which is the runtime's backpressure. *)
+    which is the runtime's backpressure.
+
+    [on_batch_end] is the per-actor group-commit boundary: it runs on
+    the owning actor's domain over each of its groups whenever the
+    actor's mailbox runs dry, before a [drain] barrier answers, and at
+    shutdown — so a run of back-to-back messages forms one batch (e.g.
+    one WAL sync under [Relational.Wal.Never]) instead of paying
+    per-message durability.  With a single live actor every task is its
+    own batch, matching the [Every_batch] cost that configuration
+    always paid.  Hook time counts as actor busy time; a hook exception
+    is stored and re-raised like a posted task's. *)
 
 val requested : _ t -> int
 (** The actor count asked for at [create]. *)

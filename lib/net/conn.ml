@@ -1,0 +1,106 @@
+(* Framed socket IO.  The read path keeps one growable buffer per
+   connection: bytes accumulate at the front, [Frame.decode] is retried
+   after every read, and a decoded frame's bytes are shifted out.  The
+   buffer never grows past the frame size limit plus header, so a slow
+   loris peer cannot balloon memory. *)
+
+type t = {
+  fd : Unix.file_descr;
+  max_payload : int;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int; (* valid bytes at offset 0 *)
+  wmutex : Mutex.t;
+  smutex : Mutex.t; (* guards [state] transitions *)
+  mutable state : [ `Open | `Shutdown | `Closed ];
+}
+
+type read_error =
+  | Closed
+  | Protocol of string
+
+(* A peer that vanished mid-conversation must surface as EPIPE from
+   [write], not as a process-killing SIGPIPE — every socket writer here
+   (server acks to a dead client, client requests to a crashed server)
+   treats write failure as connection death. *)
+let ignore_sigpipe =
+  lazy
+    (if not Sys.win32 then
+       try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Sys_error _ -> ())
+
+let of_fd ?(max_payload = Frame.default_max_payload) fd =
+  Lazy.force ignore_sigpipe;
+  {
+    fd;
+    max_payload;
+    rbuf = Bytes.create 4096;
+    rlen = 0;
+    wmutex = Mutex.create ();
+    smutex = Mutex.create ();
+    state = `Open;
+  }
+
+let shutdown t =
+  Mutex.lock t.smutex;
+  if t.state = `Open then begin
+    t.state <- `Shutdown;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock t.smutex
+
+let close t =
+  Mutex.lock t.smutex;
+  if t.state <> `Closed then begin
+    t.state <- `Closed;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock t.smutex
+
+let grow t =
+  if t.rlen = Bytes.length t.rbuf then begin
+    let cap = min (4 + t.max_payload) (max 4096 (2 * Bytes.length t.rbuf)) in
+    if cap > Bytes.length t.rbuf then begin
+      let nbuf = Bytes.create cap in
+      Bytes.blit t.rbuf 0 nbuf 0 t.rlen;
+      t.rbuf <- nbuf
+    end
+  end
+
+let rec read_frame t =
+  match Frame.decode ~max_payload:t.max_payload t.rbuf ~off:0 ~len:t.rlen with
+  | Frame.Frame (frame, consumed) ->
+    Bytes.blit t.rbuf consumed t.rbuf 0 (t.rlen - consumed);
+    t.rlen <- t.rlen - consumed;
+    Ok frame
+  | Frame.Malformed msg -> Error (Protocol msg)
+  | Frame.Need_more ->
+    grow t;
+    let n =
+      try Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> -1 (* retry *)
+      | Unix.Unix_error _ -> 0 (* reset/closed: treat as EOF *)
+    in
+    if n < 0 then read_frame t
+    else if n = 0 then
+      if t.rlen = 0 then Error Closed else Error (Protocol "eof inside a frame")
+    else begin
+      t.rlen <- t.rlen + n;
+      read_frame t
+    end
+
+let write_frame t frame =
+  let data = Bytes.unsafe_of_string (Frame.encode frame) in
+  Mutex.lock t.wmutex;
+  let ok =
+    try
+      let len = Bytes.length data in
+      let sent = ref 0 in
+      while !sent < len do
+        match Unix.write t.fd data !sent (len - !sent) with
+        | n -> sent := !sent + n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      true
+    with Unix.Unix_error _ -> false
+  in
+  Mutex.unlock t.wmutex;
+  ok

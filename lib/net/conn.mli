@@ -1,0 +1,31 @@
+(** Blocking framed IO over a socket: one {!Frame.t} at a time in either
+    direction, with the read buffering and error taxonomy the protocol
+    needs.  Reads are single-consumer; writes are mutex-serialized so an
+    acker and a control path may share the connection. *)
+
+type t
+
+type read_error =
+  | Closed  (** orderly EOF (or the peer vanished) between frames *)
+  | Protocol of string
+      (** a {!Frame.Malformed} payload, or EOF in mid-frame — the stream
+          cannot resynchronise *)
+
+val of_fd : ?max_payload:int -> Unix.file_descr -> t
+(** Wrap a connected socket.  [max_payload] bounds incoming frames
+    (default {!Frame.default_max_payload}). *)
+
+val read_frame : t -> (Frame.t, read_error) result
+(** Block until one complete frame arrives.  Never raises on wire
+    garbage: protocol violations come back as [Error (Protocol _)]. *)
+
+val write_frame : t -> Frame.t -> bool
+(** Write one frame, blocking until fully sent.  [false] when the peer
+    (or this side) has closed the connection. *)
+
+val shutdown : t -> unit
+(** Shut down both directions without closing the descriptor: wakes a
+    thread blocked in {!read_frame} (it sees [Closed]).  Idempotent. *)
+
+val close : t -> unit
+(** Close the descriptor.  Idempotent; implies {!shutdown}. *)

@@ -1,0 +1,233 @@
+(* Length-prefixed binary framing (see frame.mli for the wire layout).
+
+   Encoding builds the body in a Buffer and prepends the 4-byte length;
+   decoding reads through a bounds-checked cursor whose failures surface
+   as [Malformed], never as exceptions — a hostile peer can at worst get
+   its connection closed. *)
+
+type submission = {
+  label : string;
+  partner : string option;
+  text : string;
+}
+
+type t =
+  | Hello of string
+  | Submit_datalog of submission
+  | Submit_sql of submission
+  | Query of string
+  | Ground of int
+  | Ground_all
+  | Ping of string
+  | Hello_ok of string
+  | Committed of int
+  | Rejected of string
+  | Overloaded of string
+  | Rows of string list
+  | Grounded of int
+  | Pong of string
+  | Error_msg of string
+
+let default_max_payload = 1 lsl 20
+
+let tag = function
+  | Hello _ -> 0x01
+  | Submit_datalog _ -> 0x02
+  | Submit_sql _ -> 0x03
+  | Query _ -> 0x04
+  | Ground _ -> 0x05
+  | Ground_all -> 0x06
+  | Ping _ -> 0x07
+  | Hello_ok _ -> 0x41
+  | Committed _ -> 0x42
+  | Rejected _ -> 0x43
+  | Overloaded _ -> 0x44
+  | Rows _ -> 0x45
+  | Grounded _ -> 0x46
+  | Pong _ -> 0x47
+  | Error_msg _ -> 0x48
+
+let is_request = function
+  | Hello _ | Submit_datalog _ | Submit_sql _ | Query _ | Ground _ | Ground_all
+  | Ping _ ->
+    true
+  | Hello_ok _ | Committed _ | Rejected _ | Overloaded _ | Rows _ | Grounded _
+  | Pong _ | Error_msg _ ->
+    false
+
+(* -- Encoding -------------------------------------------------------------- *)
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let put_i64 buf n =
+  let n = Int64.of_int n in
+  for shift = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * shift)) 0xffL)))
+  done
+
+let put_string buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_submission buf { label; partner; text } =
+  put_string buf label;
+  (match partner with
+   | None -> Buffer.add_char buf '\000'
+   | Some p ->
+     Buffer.add_char buf '\001';
+     put_string buf p);
+  put_string buf text
+
+let encode frame =
+  let body = Buffer.create 64 in
+  (match frame with
+   | Hello s | Hello_ok s | Query s | Ping s | Pong s -> put_string body s
+   | Submit_datalog sub | Submit_sql sub -> put_submission body sub
+   | Ground n | Committed n | Grounded n -> put_i64 body n
+   | Ground_all -> ()
+   | Rejected s | Overloaded s | Error_msg s -> put_string body s
+   | Rows rows ->
+     put_u32 body (List.length rows);
+     List.iter (put_string body) rows);
+  let payload_len = 1 + Buffer.length body in
+  let out = Buffer.create (4 + payload_len) in
+  put_u32 out payload_len;
+  Buffer.add_char out (Char.chr (tag frame));
+  Buffer.add_buffer out body;
+  Buffer.contents out
+
+(* -- Decoding -------------------------------------------------------------- *)
+
+exception Bad of string
+
+(* Cursor over the payload body; every read is bounds-checked against the
+   declared payload length, so a lying length field turns into [Bad]. *)
+type cursor = {
+  buf : Bytes.t;
+  mutable pos : int;
+  stop : int;
+}
+
+let need cur n what =
+  if cur.stop - cur.pos < n then raise (Bad (Printf.sprintf "truncated %s" what))
+
+let get_u8 cur what =
+  need cur 1 what;
+  let b = Char.code (Bytes.get cur.buf cur.pos) in
+  cur.pos <- cur.pos + 1;
+  b
+
+let get_u32 cur what =
+  need cur 4 what;
+  let b i = Char.code (Bytes.get cur.buf (cur.pos + i)) in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  cur.pos <- cur.pos + 4;
+  n
+
+let get_i64 cur what =
+  need cur 8 what;
+  let n = ref 0L in
+  for i = 0 to 7 do
+    n :=
+      Int64.logor (Int64.shift_left !n 8)
+        (Int64.of_int (Char.code (Bytes.get cur.buf (cur.pos + i))))
+  done;
+  cur.pos <- cur.pos + 8;
+  Int64.to_int !n
+
+let get_string cur what =
+  let n = get_u32 cur what in
+  (* The length just read is itself bounded by the remaining payload, so
+     a garbage length cannot trigger a giant allocation. *)
+  if cur.stop - cur.pos < n then raise (Bad (Printf.sprintf "truncated %s" what));
+  let s = Bytes.sub_string cur.buf cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let get_submission cur =
+  let label = get_string cur "submission label" in
+  let partner =
+    match get_u8 cur "submission partner flag" with
+    | 0 -> None
+    | 1 -> Some (get_string cur "submission partner")
+    | b -> raise (Bad (Printf.sprintf "bad option flag 0x%02x" b))
+  in
+  let text = get_string cur "submission text" in
+  { label; partner; text }
+
+type decode_result =
+  | Frame of t * int
+  | Need_more
+  | Malformed of string
+
+let decode ?(max_payload = default_max_payload) buf ~off ~len =
+  if len < 4 then Need_more
+  else begin
+    let b i = Char.code (Bytes.get buf (off + i)) in
+    let payload_len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if payload_len < 1 then Malformed "zero-length frame"
+    else if payload_len > max_payload then
+      Malformed
+        (Printf.sprintf "oversized frame: %d bytes (limit %d)" payload_len max_payload)
+    else if len < 4 + payload_len then Need_more
+    else begin
+      let cur = { buf; pos = off + 4; stop = off + 4 + payload_len } in
+      match
+        let tag = get_u8 cur "tag" in
+        let frame =
+          match tag with
+          | 0x01 -> Hello (get_string cur "hello banner")
+          | 0x02 -> Submit_datalog (get_submission cur)
+          | 0x03 -> Submit_sql (get_submission cur)
+          | 0x04 -> Query (get_string cur "query text")
+          | 0x05 -> Ground (get_i64 cur "ground id")
+          | 0x06 -> Ground_all
+          | 0x07 -> Ping (get_string cur "ping payload")
+          | 0x41 -> Hello_ok (get_string cur "hello_ok banner")
+          | 0x42 -> Committed (get_i64 cur "committed id")
+          | 0x43 -> Rejected (get_string cur "rejected reason")
+          | 0x44 -> Overloaded (get_string cur "overloaded reason")
+          | 0x45 ->
+            let n = get_u32 cur "row count" in
+            (* Each row needs at least its 4-byte length on the wire. *)
+            if n > (cur.stop - cur.pos) / 4 then raise (Bad "row count exceeds payload");
+            Rows (List.init n (fun _ -> get_string cur "row"))
+          | 0x46 -> Grounded (get_i64 cur "grounded count")
+          | 0x47 -> Pong (get_string cur "pong payload")
+          | 0x48 -> Error_msg (get_string cur "error message")
+          | t -> raise (Bad (Printf.sprintf "unknown frame tag 0x%02x" t))
+        in
+        if cur.pos <> cur.stop then
+          raise (Bad (Printf.sprintf "%d trailing bytes in frame" (cur.stop - cur.pos)));
+        frame
+      with
+      | frame -> Frame (frame, 4 + payload_len)
+      | exception Bad msg -> Malformed msg
+    end
+  end
+
+(* -- Rendering ------------------------------------------------------------- *)
+
+let clip s = if String.length s <= 40 then s else String.sub s 0 37 ^ "..."
+
+let to_string = function
+  | Hello s -> Printf.sprintf "Hello(%s)" (clip s)
+  | Submit_datalog { label; _ } -> Printf.sprintf "Submit_datalog(%s)" label
+  | Submit_sql { label; _ } -> Printf.sprintf "Submit_sql(%s)" label
+  | Query q -> Printf.sprintf "Query(%s)" (clip q)
+  | Ground id -> Printf.sprintf "Ground(%d)" id
+  | Ground_all -> "Ground_all"
+  | Ping s -> Printf.sprintf "Ping(%s)" (clip s)
+  | Hello_ok s -> Printf.sprintf "Hello_ok(%s)" (clip s)
+  | Committed id -> Printf.sprintf "Committed(%d)" id
+  | Rejected r -> Printf.sprintf "Rejected(%s)" (clip r)
+  | Overloaded r -> Printf.sprintf "Overloaded(%s)" (clip r)
+  | Rows rows -> Printf.sprintf "Rows(%d)" (List.length rows)
+  | Grounded n -> Printf.sprintf "Grounded(%d)" n
+  | Pong s -> Printf.sprintf "Pong(%s)" (clip s)
+  | Error_msg m -> Printf.sprintf "Error_msg(%s)" (clip m)

@@ -1,0 +1,64 @@
+(** Wire protocol of the network front door.
+
+    Every frame is length-prefixed binary: a 4-byte big-endian payload
+    length (tag byte + body, so at least 1), a 1-byte type tag, then the
+    body.  Bodies carry the engine's existing *text* surfaces — SQL and
+    Datalog transaction/query forms — plus small binary scalars
+    (admission ids as 8-byte big-endian, strings as 4-byte-length +
+    bytes).  The codec is total: {!decode} classifies any byte sequence
+    as a frame, a prefix of one, or a protocol violation, and never
+    raises. *)
+
+(** A transaction submission: the Datalog/SQL text plus the client-side
+    identity ([label], e.g. the requesting user) and the optional
+    entanglement partner whose commit triggers grounding. *)
+type submission = {
+  label : string;
+  partner : string option;
+  text : string;
+}
+
+type t =
+  (* requests *)
+  | Hello of string  (** protocol handshake; body is the client banner *)
+  | Submit_datalog of submission
+  | Submit_sql of submission
+  | Query of string  (** Datalog read query text *)
+  | Ground of int  (** fix the values of one admission *)
+  | Ground_all
+  | Ping of string
+  (* responses *)
+  | Hello_ok of string  (** server banner *)
+  | Committed of int  (** admission id; sent only after the WAL fsync *)
+  | Rejected of string
+  | Overloaded of string
+  | Rows of string list  (** query answer tuples, rendered as text *)
+  | Grounded of int  (** number of transactions grounded *)
+  | Pong of string
+  | Error_msg of string  (** protocol or execution error *)
+
+val default_max_payload : int
+(** Upper bound on the declared payload length (1 MiB): anything larger
+    is a protocol violation, decoded as {!Malformed} before any
+    allocation of that size happens. *)
+
+val encode : t -> string
+(** The complete wire image of a frame, header included. *)
+
+type decode_result =
+  | Frame of t * int
+      (** A complete frame and the total bytes it consumed. *)
+  | Need_more
+      (** The buffer holds a prefix of a valid frame; read more bytes. *)
+  | Malformed of string
+      (** Protocol violation (oversized/zero length, unknown tag, body
+          that does not parse or has trailing bytes).  The connection
+          cannot resynchronise and must be closed. *)
+
+val decode : ?max_payload:int -> Bytes.t -> off:int -> len:int -> decode_result
+(** Decode one frame from [len] bytes starting at [off].  Total: never
+    raises on any input (out-of-range [off]/[len] excepted). *)
+
+val is_request : t -> bool
+val to_string : t -> string
+(** One-line rendering for logs and errors (payload texts truncated). *)

@@ -1,0 +1,46 @@
+(** The group-commit queue: acknowledgments staged against one shared
+    fsync.
+
+    The consumer thread that owns the engine processes a batch of
+    admissions with the store's sync policy off, {!stage}s each
+    request's acknowledgment thunk, then calls {!flush}: one durable
+    sync covers every staged admission, and only then do the
+    acknowledgments run — the ack-after-fsync contract.  Requests that
+    wrote nothing durable (rejections, pings, witness reads) ride the
+    same queue so per-session response order is preserved, but they
+    never force a sync of their own. *)
+
+type t
+
+val create : sync:(unit -> unit) -> unit -> t
+(** [sync] makes everything staged so far durable (e.g.
+    [Relational.Store.sync]); it is called at most once per {!flush},
+    and only when the open batch contains durable work. *)
+
+val stage : t -> durable:bool -> (unit -> unit) -> unit
+(** Append an acknowledgment to the open batch.  [durable] marks work
+    whose effects must hit stable storage before the ack runs. *)
+
+val staged : t -> int
+(** Acks in the open batch. *)
+
+val flush : t -> int
+(** Close the open batch: sync once if any staged ack was durable, then
+    run every staged ack in stage order.  Returns the durable count.
+    An exception from [sync] aborts the flush with every ack unrun —
+    nothing unsynced is ever acknowledged. *)
+
+(** {2 Telemetry} (monotonic since [create]) *)
+
+val batches : t -> int
+(** Flushes that actually synced. *)
+
+val acked_durable : t -> int
+(** Durable acknowledgments released across all batches. *)
+
+val mean_batch_size : t -> float
+(** Durable admissions per sync; [0.] before the first sync. *)
+
+val batch_size : t -> Obs.Histogram.t
+(** Distribution of durable-admissions-per-sync (observations are
+    counts, not seconds). *)

@@ -1,0 +1,407 @@
+(* The network front door (see server.mli for the thread shape and the
+   backpressure/durability contracts).
+
+   Ownership: the engine thread is the only toucher of the [Qdb.t] and
+   the store; session readers only parse bytes and enqueue; session
+   writers only dequeue and write.  Every cross-thread edge is either a
+   [Par.Mailbox] or a semaphore, so nothing here needs the engine to be
+   thread-safe. *)
+
+module Qdb = Quantum.Qdb
+module Rtxn = Quantum.Rtxn
+module Datalog_parser = Quantum.Datalog_parser
+module Sql_parser = Quantum.Sql_parser
+module Mailbox = Par.Mailbox
+module Store = Relational.Store
+module Wal = Relational.Wal
+module Mclock = Obs.Mclock
+
+type config = {
+  engine_config : Qdb.config;
+  domains : int;
+  max_batch : int;
+  session_buffer : int;
+  engine_queue : int;
+  max_payload : int;
+}
+
+let default_config =
+  {
+    engine_config = Qdb.default_config;
+    domains = 1;
+    max_batch = 64;
+    session_buffer = 16;
+    engine_queue = 256;
+    max_payload = Frame.default_max_payload;
+  }
+
+type address =
+  | Tcp of string * int
+  | Unix_sock of string
+
+let banner = "qdb/1"
+
+type session = {
+  sid : int;
+  conn : Conn.t;
+  out : Frame.t Mailbox.t;
+  inflight : Semaphore.Counting.t;
+  mutable writer : Thread.t option;
+  torn : bool Atomic.t; (* teardown ran (from its reader or from stop) *)
+}
+
+type request = {
+  rq_frame : Frame.t;
+  rq_arrival : int64;
+  rq_session : session;
+}
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  qdb : Qdb.t;
+  pool : Par.Pool.t option;
+  gc : Group_commit.t;
+  engine_q : request Mailbox.t;
+  listen_fd : Unix.file_descr;
+  bound : address;
+  mutable acceptor : Thread.t option;
+  mutable engine : Thread.t option;
+  stopping : bool Atomic.t;
+  stop_mutex : Mutex.t; (* serializes [stop] *)
+  mutable stopped : bool;
+  mutable failure_exn : exn option;
+  sessions : (int, session) Hashtbl.t;
+  sessions_mutex : Mutex.t;
+  next_sid : int Atomic.t;
+  (* telemetry *)
+  sessions_opened : int Atomic.t;
+  sessions_closed : int Atomic.t;
+  frames_in : int Atomic.t;
+  frames_out : int Atomic.t;
+  protocol_errors : int Atomic.t;
+  accept_lat : Obs.Histogram.t;
+  reject_lat : Obs.Histogram.t;
+  overload_lat : Obs.Histogram.t;
+  request_lat : Obs.Histogram.t;
+}
+
+(* -- Session lifecycle ----------------------------------------------------- *)
+
+let sessions_snapshot t =
+  Mutex.lock t.sessions_mutex;
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+  Mutex.unlock t.sessions_mutex;
+  all
+
+(* Idempotent: runs from the session's own reader on disconnect, and
+   from [stop] for sessions still alive at shutdown.  Only the first
+   caller acts; joining the writer twice is safe anyway. *)
+let teardown_session t sess =
+  if not (Atomic.exchange sess.torn true) then begin
+    Conn.shutdown sess.conn;
+    Mailbox.close sess.out;
+    (match sess.writer with Some w -> Thread.join w | None -> ());
+    Conn.close sess.conn;
+    Mutex.lock t.sessions_mutex;
+    Hashtbl.remove t.sessions sess.sid;
+    Mutex.unlock t.sessions_mutex;
+    Atomic.incr t.sessions_closed
+  end
+
+let writer_loop t sess =
+  let rec loop () =
+    match Mailbox.recv sess.out with
+    | Some frame ->
+      if Conn.write_frame sess.conn frame then Atomic.incr t.frames_out;
+      (* Release after the bytes left the process: the slot count is
+         exactly the requests whose response has not reached the socket,
+         which is what keeps a stalled peer's backlog on its own
+         connection. *)
+      Semaphore.Counting.release sess.inflight;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let reader_loop t sess =
+  let fatal msg =
+    Atomic.incr t.protocol_errors;
+    ignore (Mailbox.send sess.out (Frame.Error_msg msg))
+  in
+  let rec loop () =
+    match Conn.read_frame sess.conn with
+    | Error Conn.Closed -> ()
+    | Error (Conn.Protocol msg) -> fatal ("protocol error: " ^ msg)
+    | Ok frame ->
+      Atomic.incr t.frames_in;
+      (match frame with
+       | Frame.Hello _ ->
+         (* Handshake handled inline: no slot, no engine round-trip.
+            FIFO with later acks holds because this precedes any
+            subsequent request's enqueue. *)
+         ignore (Mailbox.send sess.out (Frame.Hello_ok banner));
+         loop ()
+       | frame when Frame.is_request frame ->
+         let arrival = Mclock.now_ns () in
+         Semaphore.Counting.acquire sess.inflight;
+         if Mailbox.send t.engine_q { rq_frame = frame; rq_arrival = arrival; rq_session = sess }
+         then loop ()
+         else fatal "server shutting down"
+       | frame -> fatal ("unexpected response frame: " ^ Frame.to_string frame))
+  in
+  loop ();
+  teardown_session t sess
+
+let spawn_session t fd =
+  let conn = Conn.of_fd ~max_payload:t.cfg.max_payload fd in
+  let sess =
+    {
+      sid = Atomic.fetch_and_add t.next_sid 1;
+      conn;
+      (* +1: the reader's own final error frame never competes with the
+         [session_buffer] in-flight acks for mailbox room, so the
+         engine's staged sends stay non-blocking. *)
+      out = Mailbox.create ~capacity:(t.cfg.session_buffer + 1) ();
+      inflight = Semaphore.Counting.make t.cfg.session_buffer;
+      writer = None;
+      torn = Atomic.make false;
+    }
+  in
+  Mutex.lock t.sessions_mutex;
+  Hashtbl.replace t.sessions sess.sid sess;
+  Mutex.unlock t.sessions_mutex;
+  Atomic.incr t.sessions_opened;
+  sess.writer <- Some (Thread.create (fun () -> writer_loop t sess) ());
+  ignore (Thread.create (fun () -> reader_loop t sess) ())
+
+(* -- Acceptor --------------------------------------------------------------- *)
+
+let acceptor_loop t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.05 with
+       | [], _, _ -> ()
+       | _ :: _, _, _ ->
+         (match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ ->
+            if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+            else spawn_session t fd
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.ECONNABORTED), _, _) ->
+            ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+(* -- Engine ----------------------------------------------------------------- *)
+
+(* Per-request failures a hostile or confused client can cause come back
+   as response frames; anything else means the engine (or its store) can
+   no longer be trusted and kills the server like a process crash. *)
+let run_request t (req : request) : Frame.t =
+  let admit parse =
+    match parse () with
+    | exception Datalog_parser.Syntax_error msg -> Frame.Error_msg ("syntax error: " ^ msg)
+    | exception Sql_parser.Syntax_error msg -> Frame.Error_msg ("syntax error: " ^ msg)
+    | exception Rtxn.Ill_formed msg -> Frame.Error_msg ("ill-formed transaction: " ^ msg)
+    | txn ->
+      (match Qdb.submit t.qdb txn with
+       | Qdb.Committed id -> Frame.Committed id
+       | Qdb.Rejected reason -> Frame.Rejected reason
+       | Qdb.Overloaded reason -> Frame.Overloaded reason)
+  in
+  let trigger = function
+    | None -> Rtxn.On_demand
+    | Some p -> Rtxn.On_partner p
+  in
+  match req.rq_frame with
+  | Frame.Submit_datalog { label; partner; text } ->
+    admit (fun () -> Datalog_parser.parse_txn ~label ~trigger:(trigger partner) text)
+  | Frame.Submit_sql { label; partner = _; text } ->
+    let schema_of name =
+      Option.map Relational.Table.schema (Relational.Database.find_table (Qdb.db t.qdb) name)
+    in
+    admit (fun () -> Sql_parser.parse_txn ~label ~schema_of text)
+  | Frame.Query text ->
+    (match Datalog_parser.parse_query text with
+     | exception Datalog_parser.Syntax_error msg -> Frame.Error_msg ("syntax error: " ^ msg)
+     | query ->
+       (match Qdb.read t.qdb query with
+        | rows -> Frame.Rows (List.map Relational.Tuple.to_string rows)
+        | exception Qdb.Engine_overloaded msg -> Frame.Overloaded msg))
+  | Frame.Ground id ->
+    (match Qdb.ground t.qdb id with
+     | groundings -> Frame.Grounded (List.length groundings)
+     | exception Qdb.Engine_overloaded msg -> Frame.Overloaded msg
+     | exception Not_found -> Frame.Error_msg (Printf.sprintf "no pending transaction %d" id)
+     | exception Invalid_argument msg -> Frame.Error_msg msg
+     | exception Failure msg -> Frame.Error_msg msg)
+  | Frame.Ground_all ->
+    (match Qdb.ground_all t.qdb with
+     | groundings -> Frame.Grounded (List.length groundings)
+     | exception Qdb.Engine_overloaded msg -> Frame.Overloaded msg)
+  | Frame.Ping payload -> Frame.Pong payload
+  | frame -> Frame.Error_msg ("unexpected frame: " ^ Frame.to_string frame)
+
+let observe_latency t resp dt =
+  let hist =
+    match resp with
+    | Frame.Committed _ -> t.accept_lat
+    | Frame.Rejected _ -> t.reject_lat
+    | Frame.Overloaded _ -> t.overload_lat
+    | _ -> t.request_lat
+  in
+  Obs.Histogram.observe hist dt
+
+let process t (req : request) =
+  let records_before = (Store.wal_stats t.store).Wal.records in
+  let resp = run_request t req in
+  let durable = (Store.wal_stats t.store).Wal.records > records_before in
+  Group_commit.stage t.gc ~durable (fun () ->
+      observe_latency t resp (Mclock.elapsed_s req.rq_arrival);
+      if Mailbox.send req.rq_session.out resp then Atomic.incr t.frames_out)
+
+(* A dead engine is a dead server: drop every connection without
+   acknowledging anything staged — exactly what a process crash after
+   the last completed fsync would look like to clients. *)
+let engine_failed t exn =
+  t.failure_exn <- Some exn;
+  Atomic.set t.stopping true;
+  Mailbox.close t.engine_q;
+  List.iter
+    (fun sess ->
+      Conn.shutdown sess.conn;
+      Mailbox.close sess.out)
+    (sessions_snapshot t)
+
+let engine_loop t =
+  let rec loop () =
+    match Mailbox.recv_batch ~max:t.cfg.max_batch t.engine_q with
+    | [] -> () (* closed and drained: stop already flushed us empty *)
+    | batch ->
+      (match
+         List.iter (process t) batch;
+         ignore (Group_commit.flush t.gc)
+       with
+      | () -> loop ()
+      | exception exn -> engine_failed t exn)
+  in
+  loop ()
+
+(* -- Lifecycle -------------------------------------------------------------- *)
+
+let bind_listener = function
+  | Tcp (host, port) ->
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (try Unix.bind fd (Unix.ADDR_INET (addr, port))
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    Unix.listen fd 128;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (a, p) -> Tcp (Unix.string_of_inet_addr a, p)
+      | _ -> Tcp (host, port)
+    in
+    (fd, bound)
+  | Unix_sock path as addr ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.bind fd (Unix.ADDR_UNIX path)
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    Unix.listen fd 128;
+    (fd, addr)
+
+let start ?(config = default_config) ~store address =
+  let listen_fd, bound = bind_listener address in
+  (* The group committer owns durability from here on: the engine
+     thread decides when the WAL hits the disk, once per batch. *)
+  Store.set_sync store Wal.Never;
+  let pool = if config.domains > 1 then Some (Par.Pool.create ~domains:config.domains ()) else None in
+  let qdb = Qdb.create ~config:config.engine_config ?pool store in
+  let t =
+    {
+      cfg = config;
+      store;
+      qdb;
+      pool;
+      gc = Group_commit.create ~sync:(fun () -> Store.sync store) ();
+      engine_q = Mailbox.create ~capacity:config.engine_queue ();
+      listen_fd;
+      bound;
+      acceptor = None;
+      engine = None;
+      stopping = Atomic.make false;
+      stop_mutex = Mutex.create ();
+      stopped = false;
+      failure_exn = None;
+      sessions = Hashtbl.create 64;
+      sessions_mutex = Mutex.create ();
+      next_sid = Atomic.make 0;
+      sessions_opened = Atomic.make 0;
+      sessions_closed = Atomic.make 0;
+      frames_in = Atomic.make 0;
+      frames_out = Atomic.make 0;
+      protocol_errors = Atomic.make 0;
+      accept_lat = Obs.Histogram.create ();
+      reject_lat = Obs.Histogram.create ();
+      overload_lat = Obs.Histogram.create ();
+      request_lat = Obs.Histogram.create ();
+    }
+  in
+  t.engine <- Some (Thread.create (fun () -> engine_loop t) ());
+  t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t) ());
+  t
+
+let address t = t.bound
+let qdb t = t.qdb
+let group_commit t = t.gc
+let failure t = t.failure_exn
+
+let stop t =
+  Mutex.lock t.stop_mutex;
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (* Drain before disconnect: the engine processes everything already
+       admitted to the queue, flushes it under one last sync, and acks
+       it — a graceful stop loses nothing that was accepted. *)
+    Mailbox.close t.engine_q;
+    (match t.engine with Some th -> Thread.join th | None -> ());
+    List.iter (teardown_session t) (sessions_snapshot t);
+    (match t.pool with Some p -> Par.Pool.shutdown p | None -> ());
+    (match t.bound with
+     | Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+     | Tcp _ -> ())
+  end;
+  Mutex.unlock t.stop_mutex
+
+let wait t =
+  match t.engine with
+  | Some th -> Thread.join th
+  | None -> ()
+
+let registry t =
+  let reg = Qdb.registry t.qdb in
+  Obs.Registry.set_counter reg "net.sessions.opened" (Atomic.get t.sessions_opened);
+  Obs.Registry.set_counter reg "net.sessions.closed" (Atomic.get t.sessions_closed);
+  Obs.Registry.set_counter reg "net.frames.in" (Atomic.get t.frames_in);
+  Obs.Registry.set_counter reg "net.frames.out" (Atomic.get t.frames_out);
+  Obs.Registry.set_counter reg "net.protocol_errors" (Atomic.get t.protocol_errors);
+  Obs.Registry.set_histogram reg "net.accept.latency" t.accept_lat;
+  Obs.Registry.set_histogram reg "net.reject.latency" t.reject_lat;
+  Obs.Registry.set_histogram reg "net.overload.latency" t.overload_lat;
+  Obs.Registry.set_histogram reg "net.request.latency" t.request_lat;
+  Obs.Registry.set_counter reg "net.group_commit.batches" (Group_commit.batches t.gc);
+  Obs.Registry.set_counter reg "net.group_commit.acked" (Group_commit.acked_durable t.gc);
+  Obs.Registry.set_gauge reg "net.group_commit.mean_batch_size" (Group_commit.mean_batch_size t.gc);
+  Obs.Registry.set_histogram reg "net.group_commit.batch_size" (Group_commit.batch_size t.gc);
+  reg

@@ -1,0 +1,72 @@
+(** The network front door: a socket server over one engine.
+
+    Thread shape: a single acceptor thread; per connection one reader
+    thread and one writer thread; one engine thread that owns the
+    [Quantum.Qdb.t].  Every request frame crosses exactly one bounded
+    {!Par.Mailbox} (many session readers, one engine consumer), the
+    engine drains it in batches with {!Par.Mailbox.recv_batch}, and
+    each batch's durable effects hit the WAL under a single
+    {!Group_commit} fsync before any acknowledgment frame is released.
+
+    Backpressure is layered: each session holds at most
+    [session_buffer] unacknowledged requests (its reader stops pulling
+    bytes off the socket until acks drain, so a flooding client stalls
+    itself, not the engine), and the engine mailbox bounds total queued
+    work (a full engine blocks the readers feeding it).  Because every
+    in-flight request holds a reserved slot in its session's response
+    mailbox, the engine's acknowledgment sends never block — a stalled
+    reader on one connection cannot delay another session's acks. *)
+
+type config = {
+  engine_config : Quantum.Qdb.config;
+  domains : int;  (** Par pool size for solver fan-out; <= 1 runs inline *)
+  max_batch : int;  (** group-commit batch cap per engine drain *)
+  session_buffer : int;  (** per-session in-flight (unacked) request cap *)
+  engine_queue : int;  (** central request mailbox capacity *)
+  max_payload : int;  (** per-frame byte bound, see {!Frame.decode} *)
+}
+
+val default_config : config
+(** [engine_config = Quantum.Qdb.default_config], [domains = 1],
+    [max_batch = 64], [session_buffer = 16], [engine_queue = 256],
+    [max_payload = Frame.default_max_payload]. *)
+
+type address =
+  | Tcp of string * int  (** host, port; port 0 binds an ephemeral port *)
+  | Unix_sock of string  (** filesystem path *)
+
+type t
+
+val start : ?config:config -> store:Relational.Store.t -> address -> t
+(** Bind, listen and serve.  The server takes ownership of [store]: it
+    switches the WAL sync policy to [Never] and issues the fsyncs
+    itself at group-commit boundaries.  @raise Unix.Unix_error when the
+    address cannot be bound. *)
+
+val address : t -> address
+(** The bound address — with the real port when [Tcp (_, 0)] was
+    given. *)
+
+val qdb : t -> Quantum.Qdb.t
+
+val registry : t -> Obs.Registry.t
+(** Engine registry plus [net.*] counters and latency histograms
+    ([net.accept.latency], [net.reject.latency], [net.request.latency],
+    [net.group_commit.*], session/frame counters). *)
+
+val group_commit : t -> Group_commit.t
+
+val failure : t -> exn option
+(** Set when the engine thread died on an unrecoverable exception (an
+    injected crash, [Quantum.Qdb.Inconsistent]); the server is torn down as if
+    the process were lost: connections drop, nothing unsynced was ever
+    acknowledged. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, let the engine drain and flush
+    every queued request, acknowledge them, then close every session.
+    Idempotent; safe after an engine failure (joins what remains). *)
+
+val wait : t -> unit
+(** Block until the engine thread exits (a {!stop} from another thread,
+    or an engine failure). *)

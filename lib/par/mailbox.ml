@@ -64,6 +64,26 @@ let recv t =
   Mutex.unlock t.mutex;
   msg
 
+(* Blocking batch receive: wait for the first message, then take
+   everything else already queued, up to [max], under one lock
+   acquisition — the batch boundary is exactly "what had arrived by the
+   time the consumer came back", which is what group commit wants. *)
+let recv_batch ?(max = Stdlib.max_int) t =
+  if max <= 0 then invalid_arg "Mailbox.recv_batch: max must be positive";
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.not_empty t.mutex
+  done;
+  let batch = ref [] in
+  let n = ref 0 in
+  while !n < max && not (Queue.is_empty t.queue) do
+    batch := Queue.pop t.queue :: !batch;
+    incr n
+  done;
+  if !n > 0 then Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex;
+  List.rev !batch
+
 let try_recv t =
   Mutex.lock t.mutex;
   let msg =

@@ -32,6 +32,15 @@ val recv : 'a t -> 'a option
 val try_recv : 'a t -> 'a option
 (** Non-blocking [recv]: [None] when empty, whether or not closed. *)
 
+val recv_batch : ?max:int -> 'a t -> 'a list
+(** Blocking batch [recv]: wait until at least one message is queued (or
+    the mailbox is closed), then return everything queued at that moment,
+    oldest first, capped at [max] (default: unbounded).  Returns [[]]
+    only when the mailbox is closed AND drained.  This is the
+    group-commit primitive: messages that piled up while the consumer was
+    busy coalesce into one batch.  Raises [Invalid_argument] when
+    [max <= 0]. *)
+
 val close : 'a t -> unit
 (** Reject future [send]s and unblock everyone.  Idempotent. *)
 

@@ -32,6 +32,7 @@ let find_table t name = Database.find_table t.db name
 let wal_stats t = Wal.stats t.wal
 let recovery_report t = Wal.last_recovery t.wal
 let sync t = Wal.sync t.wal
+let set_sync t policy = Wal.set_sync t.wal policy
 let close t = Wal.close t.wal
 
 let apply t ops =

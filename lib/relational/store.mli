@@ -33,6 +33,10 @@ val recovery_report : t -> Wal.recovery_report option
 val sync : t -> unit
 (** Force the WAL to stable storage regardless of the sync policy. *)
 
+val set_sync : t -> Wal.sync_policy -> unit
+(** Switch the WAL durability policy (see {!Wal.set_sync}); a group
+    committer sets [Never] and owns the {!sync} cadence itself. *)
+
 val close : t -> unit
 
 val checkpoint : t -> unit

@@ -291,7 +291,7 @@ let report_to_string r =
 
 type t = {
   backend : backend;
-  sync : sync_policy;
+  mutable sync : sync_policy;
   mutable next_batch : int;
   mutable next_seq : int;
   mutable unsynced : int; (* records appended since the last flush *)
@@ -312,6 +312,7 @@ let create ?(sync = Every_batch) backend =
 
 let stats t = t.stats
 let last_recovery t = t.last_recovery
+let set_sync t policy = t.sync <- policy
 
 let force_sync t =
   if t.unsynced > 0 then begin

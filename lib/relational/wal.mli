@@ -105,6 +105,11 @@ val log_batch : t -> Database.op list -> int
 val sync : t -> unit
 (** Force a flush regardless of the sync policy. *)
 
+val set_sync : t -> sync_policy -> unit
+(** Switch the durability policy of a live handle.  The network front
+    door uses this to take over fsync scheduling: [Never] plus explicit
+    {!sync} calls at group-commit boundaries. *)
+
 val close : t -> unit
 
 val records : t -> record list

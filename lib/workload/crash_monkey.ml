@@ -260,3 +260,213 @@ let pp fmt s =
      %d invariant violation(s)@]"
     s.cycles s.crashes s.clean_crashes s.torn_crashes s.flipped_crashes s.mid_log_flips
     s.truncations s.records_kept s.records_dropped (List.length s.violations)
+
+(* -- Server mode ------------------------------------------------------------
+
+   The durability contract of the network front door: the store sits on
+   a volatile write buffer ([Fault.write_buffered] — appends reach
+   stable storage only at a group-commit sync), concurrent client
+   sessions pipeline submissions over real sockets, and the n-th sync
+   kills the "process" mid-flush.  The oracle then recovers from the
+   durable backend alone and demands:
+
+   - every admission a client was ACKED survives recovery — as a
+     re-admitted pending transaction or as its grounded booking
+     (acks are sent only after the batch fsync, so this is exactly the
+     server's contract);
+   - the recovered state is a batch-prefix of the attempted history
+     (an un-acked admission may vanish entirely but never half-apply);
+   - the composed-satisfiability invariant holds after recovery.
+
+   Which admissions end up acked depends on scheduling (batch formation
+   races the crash), but the contract must hold at every interleaving
+   and every domain count — that is what makes it a contract. *)
+
+module Server = Net.Server
+module Client = Net.Client
+module Frame = Net.Frame
+
+type server_summary = {
+  srv_cycles : int;
+  srv_crashes : int;
+  srv_acked : int; (* acked admissions checked against recovery *)
+  srv_lost_unacked : int; (* un-acked submissions absent after recovery *)
+  srv_batches : int; (* group-commit batches that synced *)
+  srv_violations : (int * string) list;
+}
+
+type ack = {
+  ack_label : string;
+  ack_verdict : [ `Committed of int | `Rejected | `Overloaded ];
+}
+
+(* One session: pipeline every submission, then a Ground_all, and read
+   verdicts until the server hangs up (the crash) or everything is
+   answered.  Responses are FIFO per session, so sent labels zip with
+   received frames. *)
+let drive_session addr ~seed users =
+  let client = Client.connect addr in
+  let requests =
+    List.map
+      (fun u ->
+        let entangled = Hashtbl.hash (seed, u.Travel.name, "txn") land 1 = 0 in
+        let text =
+          if entangled then Travel.entangled_txn_text u else Travel.plain_txn_text u
+        in
+        let partner = if entangled then Some u.Travel.partner else None in
+        (u.Travel.name, Frame.Submit_datalog { Frame.label = u.Travel.name; partner; text }))
+      users
+    @ [ ("", Frame.Ground_all) ]
+  in
+  let sent =
+    (* Stop at the first failed send: the server is gone. *)
+    let rec fire acc = function
+      | [] -> List.rev acc
+      | (label, frame) :: rest ->
+        if Client.send client frame then fire (label :: acc) rest else List.rev acc
+    in
+    fire [] requests
+  in
+  let acks = ref [] in
+  (try
+     List.iter
+       (fun label ->
+         match Client.recv client with
+         | Ok (Frame.Committed id) ->
+           acks := { ack_label = label; ack_verdict = `Committed id } :: !acks
+         | Ok (Frame.Rejected _) -> acks := { ack_label = label; ack_verdict = `Rejected } :: !acks
+         | Ok (Frame.Overloaded _) ->
+           acks := { ack_label = label; ack_verdict = `Overloaded } :: !acks
+         | Ok (Frame.Grounded _) | Ok (Frame.Error_msg _) -> ()
+         | Ok _ -> ()
+         | Error _ -> raise Exit)
+       sent
+   with Exit -> ());
+  Client.close client;
+  (sent, List.rev !acks)
+
+let run_server_cycle ~seed ~domains () =
+  let rng = Prng.create seed in
+  let buf_rng = Prng.create (seed lxor 0xF100F5) in
+  let pristine = Wal.mem_backend () in
+  let durable = Wal.mem_backend () in
+  let fh, buffered = Fault.write_buffered buf_rng durable in
+  let backend = tee pristine buffered in
+  let geometry = { Flights.flights = 2; rows_per_flight = 2; dest = "LA" } in
+  let store = Flights.fresh_store ~backend geometry in
+  backend.Wal.flush ();
+  (* fixture durable before any fault is armed *)
+  let config =
+    { Server.default_config with Server.domains; max_batch = 8; session_buffer = 16 }
+  in
+  let server = Server.start ~config ~store (Server.Tcp ("127.0.0.1", 0)) in
+  let addr = Server.address server in
+  let damage =
+    match Prng.int rng 3 with
+    | 0 -> Fault.Clean
+    | 1 -> Fault.Torn
+    | _ -> Fault.Flipped
+  in
+  (* Only a handful of group-commit flushes happen per cycle (one per
+     engine drain), so aim the crash at the first few. *)
+  Fault.arm_flush fh ~crash_at_flush:(Prng.int rng 3) ~damage;
+  let pairs = 2 + Prng.int rng 2 in
+  let users = Travel.make_users ~flights:geometry.Flights.flights ~pairs_per_flight:pairs in
+  let flights_of f = List.filter (fun u -> u.Travel.flight = f) users in
+  let results = Array.make geometry.Flights.flights ([], []) in
+  let threads =
+    List.init geometry.Flights.flights (fun f ->
+        Thread.create (fun () -> results.(f) <- drive_session addr ~seed (flights_of f)) ())
+  in
+  List.iter Thread.join threads;
+  (* [stop]'s final drain may itself hit the armed flush, so judge the
+     crash only after shutdown finished. *)
+  (try Server.stop server with Fault.Crash -> ());
+  let crashed = Server.failure server <> None in
+  let batches = Net.Group_commit.batches (Server.group_commit server) in
+  let all_sent = Array.to_list results |> List.concat_map fst in
+  let all_acked = Array.to_list results |> List.concat_map snd in
+  (* The process is dead: recover from the durable backend alone. *)
+  let qdb' = Qdb.recover durable in
+  let recovered = Qdb.db qdb' in
+  let pending' = Qdb.pending qdb' in
+  let survives label id =
+    List.exists (fun t -> t.Rtxn.id = id) pending'
+    || Flights.booking_of recovered label <> None
+  in
+  let violation =
+    if not (List.exists (fun s -> Database.equal s recovered) (prefix_states pristine)) then
+      Some "recovered state is not a prefix of the committed batches"
+    else if not (Qdb.invariant_holds qdb') then
+      Some "composed-satisfiability invariant broken after recovery"
+    else
+      List.find_map
+        (fun a ->
+          match a.ack_verdict with
+          | `Committed id when not (survives a.ack_label id) ->
+            Some
+              (Printf.sprintf "acked admission %d (%s) did not survive recovery" id
+                 a.ack_label)
+          | `Committed _ | `Rejected | `Overloaded -> None)
+        all_acked
+  in
+  let acked_labels =
+    List.filter_map
+      (fun a -> match a.ack_verdict with `Committed _ -> Some a.ack_label | _ -> None)
+      all_acked
+  in
+  let lost_unacked =
+    (* Submissions the client never heard back about and recovery does
+       not contain: allowed to vanish — counted to show the volatile
+       buffer actually bites. *)
+    List.length
+      (List.filter
+         (fun label ->
+           label <> ""
+           && (not (List.mem label acked_labels))
+           && (not (List.exists (fun t -> t.Rtxn.label = label) pending'))
+           && Flights.booking_of recovered label = None)
+         all_sent)
+  in
+  (crashed, List.length acked_labels, lost_unacked, batches, violation)
+
+let run_server ?(cycles = 20) ?(seed = 77) ?(domains = 1) () =
+  let acc =
+    ref
+      {
+        srv_cycles = 0;
+        srv_crashes = 0;
+        srv_acked = 0;
+        srv_lost_unacked = 0;
+        srv_batches = 0;
+        srv_violations = [];
+      }
+  in
+  for cycle = 0 to cycles - 1 do
+    let crashed, acked, lost, batches, violation =
+      run_server_cycle ~seed:(seed + (cycle * 7919)) ~domains ()
+    in
+    let s = !acc in
+    acc :=
+      {
+        srv_cycles = s.srv_cycles + 1;
+        srv_crashes = (s.srv_crashes + if crashed then 1 else 0);
+        srv_acked = s.srv_acked + acked;
+        srv_lost_unacked = s.srv_lost_unacked + lost;
+        srv_batches = s.srv_batches + batches;
+        srv_violations =
+          (match violation with
+           | Some v -> (cycle, v) :: s.srv_violations
+           | None -> s.srv_violations);
+      }
+  done;
+  let s = !acc in
+  { s with srv_violations = List.rev s.srv_violations }
+
+let pp_server fmt s =
+  Format.fprintf fmt
+    "@[<v>%d server cycle(s): %d crash(es) mid-sync, %d group-commit batch(es)@,\
+     %d acked admission(s) verified durable; %d un-acked submission(s) vanished (allowed)@,\
+     %d contract violation(s)@]"
+    s.srv_cycles s.srv_crashes s.srv_batches s.srv_acked s.srv_lost_unacked
+    (List.length s.srv_violations)

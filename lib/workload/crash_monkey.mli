@@ -36,3 +36,35 @@ val run : ?cycles:int -> ?seed:int -> ?pool:Par.Pool.t -> ?actors:int -> unit ->
     boundary and the recovery contract holds in actor mode too. *)
 
 val pp : Format.formatter -> summary -> unit
+
+(** {1 Server mode}
+
+    The same contract through the network front door: the store sits on
+    a volatile write buffer ({!Fault.write_buffered} — appends reach
+    stable storage only at a group-commit fsync), one client session
+    per flight pipelines submissions over real sockets, and an armed
+    flush kills the "process" mid-sync.  Recovery from the durable
+    backend alone must contain every admission a client was {e acked}
+    (acks go out only after the batch fsync), must be a batch-prefix of
+    the attempted history (un-acked admissions may vanish but never
+    half-apply), and must satisfy the composed-satisfiability
+    invariant. *)
+
+type server_summary = {
+  srv_cycles : int;
+  srv_crashes : int;  (** cycles where the armed flush fired *)
+  srv_acked : int;  (** acked admissions verified durable *)
+  srv_lost_unacked : int;
+      (** un-acked submissions absent after recovery — allowed losses,
+          counted to show the volatile buffer actually bites *)
+  srv_batches : int;  (** group-commit batches that synced *)
+  srv_violations : (int * string) list;  (** (cycle, what broke) — must be [] *)
+}
+
+val run_server : ?cycles:int -> ?seed:int -> ?domains:int -> unit -> server_summary
+(** Defaults: 20 cycles, seed 77, 1 domain.  Which admissions end up
+    acked depends on scheduling (batch formation races the crash), but
+    the contract must hold at every interleaving and every domain
+    count. *)
+
+val pp_server : Format.formatter -> server_summary -> unit

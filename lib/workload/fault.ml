@@ -108,6 +108,108 @@ let wrap rng (inner : Wal.backend) =
       rewrite;
     } )
 
+(* -- Volatile write buffer --------------------------------------------------
+
+   Models the OS page cache under a [Never] sync policy: appends land in
+   RAM and reach the durable inner backend only at [flush] — a crash
+   loses exactly the unflushed suffix.  This is what makes the network
+   front door's ack-after-fsync contract falsifiable: with a plain
+   mem-backend every append would be instantly "durable" and an
+   unacknowledged admission could never vanish.
+
+   Once armed, the [crash_at_flush]-th flush (0-based, counted from
+   [arm_flush]) kills the "process" mid-sync: [Clean] transfers nothing
+   of the pending buffer, [Torn] transfers a strict prefix of its lines
+   with the next line cut mid-line, [Flipped] transfers everything with
+   one bit flipped in the final line.  Lines transferred by earlier
+   flushes are never touched — damage is confined to the crashing sync,
+   like a real power cut under an ordered page cache. *)
+
+type flush_handle = {
+  frng : Prng.t;
+  mutable pending_lines : string list; (* newest first; volatile *)
+  mutable flushes : int; (* flushes observed since arming *)
+  mutable flush_plan : (int * damage) option;
+  mutable flush_crashed : bool;
+}
+
+let arm_flush h ~crash_at_flush ~damage =
+  h.flush_plan <- Some (crash_at_flush, damage);
+  h.flushes <- 0;
+  h.flush_crashed <- false
+
+let write_buffered rng (inner : Wal.backend) =
+  let h =
+    { frng = rng; pending_lines = []; flushes = 0; flush_plan = None; flush_crashed = false }
+  in
+  let drain () =
+    let lines = List.rev h.pending_lines in
+    h.pending_lines <- [];
+    lines
+  in
+  let transfer lines = List.iter inner.Wal.append lines in
+  let sync_all () =
+    transfer (drain ());
+    inner.Wal.flush ()
+  in
+  let flush () =
+    let n = h.flushes in
+    h.flushes <- n + 1;
+    match h.flush_plan with
+    | Some (at, damage) when n >= at && not h.flush_crashed ->
+      let lines = List.rev h.pending_lines in
+      (match damage with
+       | Clean -> ()
+       | Torn ->
+         (match lines with
+          | [] -> ()
+          | _ ->
+            let k = Prng.int h.frng (List.length lines) in
+            transfer (List.filteri (fun i _ -> i < k) lines);
+            (match List.nth_opt lines k with
+             | Some line when String.length line > 0 ->
+               inner.Wal.append (String.sub line 0 (Prng.int h.frng (String.length line)))
+             | _ -> ()))
+       | Flipped ->
+         (match List.rev lines with
+          | [] -> ()
+          | last :: before ->
+            transfer (List.rev before);
+            inner.Wal.append (flip_one_bit h.frng last)));
+      inner.Wal.flush ();
+      h.flush_crashed <- true;
+      raise Crash
+    | _ -> sync_all ()
+  in
+  ( h,
+    {
+      Wal.append = (fun line -> h.pending_lines <- line :: h.pending_lines);
+      iter_lines =
+        (fun f ->
+          inner.Wal.iter_lines f;
+          List.iter f (List.rev h.pending_lines));
+      read_all = (fun () -> inner.Wal.read_all () @ List.rev h.pending_lines);
+      truncate =
+        (fun n ->
+          sync_all ();
+          inner.Wal.truncate n);
+      rewrite =
+        (fun lines ->
+          h.pending_lines <- [];
+          inner.Wal.rewrite lines);
+      flush;
+      close =
+        (fun () ->
+          (* Orderly process exit syncs; a crashed one already lost its
+             buffer. *)
+          if not h.flush_crashed then sync_all ();
+          inner.Wal.close ());
+      reset =
+        (fun () ->
+          h.pending_lines <- [];
+          inner.Wal.reset ());
+    } )
+
 (* -- Engine-level fault injection ------------------------------------------
 
    Beyond storage, the chaos harness injects faults into the engine's

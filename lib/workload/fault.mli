@@ -46,6 +46,35 @@ val wrap : Prng.t -> Relational.Wal.backend -> handle * Relational.Wal.backend
     swaps ([rewrite]) count as one append and, at the crash point, either
     fully happen or not at all (atomic rename), PRNG-decided. *)
 
+(** {1 Volatile write buffer}
+
+    The OS page cache under a [Never] sync policy: appends stay in RAM
+    until [flush] transfers them to the durable inner backend, so a
+    crash loses exactly the unflushed suffix.  Gives the network front
+    door's ack-after-fsync contract something to violate — on a plain
+    mem-backend no unacknowledged admission could ever vanish. *)
+
+type flush_handle = {
+  frng : Prng.t;
+  mutable pending_lines : string list;  (** newest first; volatile *)
+  mutable flushes : int;  (** flushes observed since {!arm_flush} *)
+  mutable flush_plan : (int * damage) option;
+  mutable flush_crashed : bool;
+}
+
+val arm_flush : flush_handle -> crash_at_flush:int -> damage:damage -> unit
+(** Crash on flush number [crash_at_flush] (0-based, counted from this
+    call): [Clean] transfers none of the buffer, [Torn] a strict prefix
+    with the next line cut mid-line, [Flipped] everything with one bit
+    flipped in the last line.  Earlier flushes' lines are never
+    damaged. *)
+
+val write_buffered : Prng.t -> Relational.Wal.backend -> flush_handle * Relational.Wal.backend
+(** The wrapped backend buffers appends until [flush]; recovery must
+    proceed from the inner backend alone (the survivor of the crash).
+    [close] on an uncrashed handle syncs first (orderly exit);
+    [truncate] syncs, [rewrite] discards the buffer (segment swap). *)
+
 (** {1 Engine-level fault injection}
 
     Faults inside the engine's parallel fan-outs, delivered through

@@ -292,6 +292,11 @@ let run_actors ?mailbox_capacity ?clamp ?collect ~actors engine spec =
      engine never exist anywhere else. *)
   let make flight =
     let store = Flights.fresh_store spec.geometry in
+    (* Group commit at the actor's mailbox-drain boundary (the
+       [on_batch_end] hook below) owns durability from here on: the
+       per-admission [Every_batch] sync the ROADMAP flagged is retired,
+       one sync covers however many admissions drained together. *)
+    Store.set_sync store Relational.Wal.Never;
     {
       g_flight = flight;
       g_store = store;
@@ -306,7 +311,11 @@ let run_actors ?mailbox_capacity ?clamp ?collect ~actors engine spec =
       g_time_updates = 0.;
     }
   in
-  let rt = Actor.Runtime.create ?mailbox_capacity ?clamp ~actors ~make () in
+  let rt =
+    Actor.Runtime.create ?mailbox_capacity ?clamp
+      ~on_batch_end:(fun g -> Store.sync g.g_store)
+      ~actors ~make ()
+  in
   Fun.protect ~finally:(fun () -> Actor.Runtime.shutdown rt)
   @@ fun () ->
   let start = Obs.Mclock.now_ns () in

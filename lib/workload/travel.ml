@@ -47,6 +47,19 @@ let entangled_txn user =
       ]
     ()
 
+(* The same transactions in the Datalog text surface — what a client of
+   the network front door actually sends.  [Datalog_parser.parse_txn]
+   with the user's label and an [On_partner] trigger lowers the
+   entangled text to exactly the structure [entangled_txn] builds. *)
+let entangled_txn_text user =
+  Printf.sprintf
+    "-Available(%d, s), +Bookings(\"%s\", %d, s) :-1 Available(%d, s), ?Bookings(\"%s\", %d, s2), ?Adjacent(s, s2)"
+    user.flight user.name user.flight user.flight user.partner user.flight
+
+let plain_txn_text user =
+  Printf.sprintf "-Available(%d, s), +Bookings(\"%s\", %d, s) :-1 Available(%d, s)"
+    user.flight user.name user.flight user.flight
+
 (* A plain (non-entangled) resource transaction: any seat, no preference. *)
 let plain_txn user =
   let s = Term.var (Term.fresh_var "s") in

@@ -17,6 +17,13 @@ val entangled_txn : user -> Quantum.Rtxn.t
 
 val plain_txn : user -> Quantum.Rtxn.t
 
+val entangled_txn_text : user -> string
+(** {!entangled_txn} in the Datalog text surface the network front door
+    speaks: parsing it with the user's label and an [On_partner] trigger
+    yields the same transaction structure. *)
+
+val plain_txn_text : user -> string
+
 val group_txn :
   ?trigger:Quantum.Rtxn.trigger -> members:string list -> flight:int -> unit -> Quantum.Rtxn.t
 (** One transaction booking a seat per group member, with an OPTIONAL

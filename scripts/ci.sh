@@ -101,6 +101,41 @@ dune exec bin/qdb_cli.exe -- bench diff BENCH_scaling.json results/BENCH_scaling
        dune exec bin/qdb_cli.exe -- profile --top 10 > results/scaling_failure_profile.txt 2>&1 || true; \
        exit 1; }
 
+echo "== server smoke (serve / open-loop load / clean shutdown) =="
+# Real socket round-trip in two processes: a served engine takes an
+# open-loop burst from the load generator, then shuts down gracefully
+# on SIGINT.  `load` exits 1 on any error response; `wait` surfaces the
+# server's own exit status (1 on engine failure).
+dune build bin/qdb_cli.exe
+./_build/default/bin/qdb_cli.exe serve --port 7817 --sessions 2 --requests 100 --duration 60 &
+SERVER_PID=$!
+sleep 1
+./_build/default/bin/qdb_cli.exe load --port 7817 --sessions 2 --requests 100 --hz 600
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+
+echo "== crash-monkey server mode (acked implies durable) =="
+# Live TCP sessions into the group-commit queue over a volatile write
+# buffer; crashes arm at PRNG-chosen syncs.  Every acked admission must
+# survive WAL replay; un-acked ones may vanish but never half-apply.
+dune exec bin/qdb_cli.exe -- crashmonkey --server --cycles 30 --seed 7
+dune exec bin/qdb_cli.exe -- crashmonkey --server --cycles 15 --seed 7 --domains 2
+
+echo "== server bench (group commit + admission latency) =="
+# Loopback open-loop bench on a file-backed WAL, run twice with the same
+# seed inside the subcommand; it records the warm run and the
+# deterministic flag the gate requires.
+rm -f results/BENCH_server.json
+dune exec bin/qdb_cli.exe -- bench server --out results/BENCH_server.json
+
+echo "== server regression gate =="
+# Outcome counts pinned exactly to the committed baseline, zero error
+# responses, mean group-commit batch size > 1, accept/reject
+# p50/p99/p999 splits present.  The accept-p99 latency gate is generous
+# (400%): absolute socket + fsync latency on shared CI hardware is
+# noisy, while the structural checks above are exact.
+dune exec bin/qdb_cli.exe -- bench diff BENCH_server.json results/BENCH_server.json --gate 400
+
 echo "== telemetry check =="
 if [ ! -f results/metrics.json ]; then
   echo "FAIL: bench run did not write results/metrics.json" >&2

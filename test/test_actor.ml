@@ -116,6 +116,85 @@ let test_runtime_backpressure () =
   let messages = Array.fold_left (fun n s -> n + s.Runtime.messages) 0 (Runtime.stats rt) in
   Alcotest.(check int) "every post processed exactly once" (4 * per_key) messages
 
+(* -- Group-commit batch boundary --------------------------------------------- *)
+
+(* Group state for the hook tests: how much work landed vs how much the
+   last batch-end boundary covered — the WAL-sync shape without a WAL. *)
+type synced = { mutable work : int; mutable synced : int }
+
+let test_batch_end_covers_all_work () =
+  let rt =
+    Runtime.create ~clamp:false
+      ~on_batch_end:(fun g -> g.synced <- g.work)
+      ~actors:2
+      ~make:(fun _ -> { work = 0; synced = 0 })
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+  List.iter
+    (fun key ->
+      for _ = 1 to 100 do
+        Runtime.post rt ~key (fun g -> g.work <- g.work + 1)
+      done)
+    [ 0; 1; 2; 3 ];
+  (* The drain barrier is a batch boundary: nothing the driver can now
+     read may be ahead of its last sync. *)
+  Runtime.drain rt;
+  List.iter
+    (fun key ->
+      match Runtime.group rt ~key with
+      | Some g ->
+        Alcotest.(check int) (Printf.sprintf "key %d: all work landed" key) 100 g.work;
+        Alcotest.(check int)
+          (Printf.sprintf "key %d: boundary covered every message" key)
+          g.work g.synced
+      | None -> Alcotest.fail "group missing")
+    [ 0; 1; 2; 3 ]
+
+let test_batch_end_inline_per_task () =
+  (* A single live actor runs inline: every task is its own batch, so
+     the hook holds after each post without any drain. *)
+  let boundaries = ref 0 in
+  let rt =
+    Runtime.create ~clamp:false
+      ~on_batch_end:(fun g ->
+        incr boundaries;
+        g.synced <- g.work)
+      ~actors:1
+      ~make:(fun _ -> { work = 0; synced = 0 })
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+  for i = 1 to 5 do
+    Runtime.post rt ~key:9 (fun g -> g.work <- g.work + 1);
+    match Runtime.group rt ~key:9 with
+    | Some g ->
+      Alcotest.(check int) (Printf.sprintf "post %d synced inline" i) i g.synced
+    | None -> Alcotest.fail "group missing"
+  done;
+  Alcotest.(check int) "one boundary per inline task" 5 !boundaries
+
+let test_batch_end_failure_surfaces () =
+  (* A failing sync is a failing batch: the exception parks like a
+     posted task's and re-raises at the next drain. *)
+  let armed = ref true in
+  let rt =
+    Runtime.create ~clamp:false
+      ~on_batch_end:(fun _ ->
+        if !armed then begin
+          armed := false;
+          failwith "sync exploded"
+        end)
+      ~actors:2
+      ~make:(fun _ -> ref 0)
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+  Runtime.post rt ~key:0 (fun r -> incr r);
+  match Runtime.drain rt with
+  | () -> Alcotest.fail "batch-end failure swallowed"
+  | exception Failure msg -> Alcotest.(check string) "the hook's failure" "sync exploded" msg
+
 (* -- Two-phase cross-group coordination over the engine ---------------------- *)
 
 (* One engine group per key: a 1-flight fixture with [rows] seat rows
@@ -283,6 +362,12 @@ let suite =
     Alcotest.test_case "mailbox: blocking send keeps fifo" `Quick test_blocking_send_fifo;
     Alcotest.test_case "runtime: backpressure loses nothing" `Quick
       test_runtime_backpressure;
+    Alcotest.test_case "group commit: drain boundary covers all work" `Quick
+      test_batch_end_covers_all_work;
+    Alcotest.test_case "group commit: inline mode syncs per task" `Quick
+      test_batch_end_inline_per_task;
+    Alcotest.test_case "group commit: hook failure re-raises at drain" `Quick
+      test_batch_end_failure_surfaces;
     Alcotest.test_case "2pc: cross-actor commit" `Quick test_coordinate_commit;
     Alcotest.test_case "2pc: cross-actor abort rolls back" `Quick test_coordinate_abort;
     Alcotest.test_case "2pc: single-owner fast path" `Quick

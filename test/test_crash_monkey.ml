@@ -30,8 +30,35 @@ let test_deterministic () =
      || a.Crash_monkey.records_dropped <> c.Crash_monkey.records_dropped
      || a.Crash_monkey.crashes <> c.Crash_monkey.crashes)
 
+(* -- Server mode: the ack-after-fsync contract over real sockets ---------- *)
+
+let test_server_contract domains () =
+  let s = Crash_monkey.run_server ~cycles:12 ~seed:77 ~domains () in
+  Alcotest.(check int) "all cycles ran" 12 s.Crash_monkey.srv_cycles;
+  Alcotest.(check bool) "crashes actually happened" true (s.Crash_monkey.srv_crashes > 6);
+  Alcotest.(check bool) "admissions were acked" true (s.Crash_monkey.srv_acked > 0);
+  Alcotest.(check bool) "group commit actually batched" true (s.Crash_monkey.srv_batches > 0);
+  List.iter
+    (fun (cycle, what) -> Alcotest.failf "cycle %d: %s" cycle what)
+    s.Crash_monkey.srv_violations
+
+let test_server_volatility_bites () =
+  (* The volatile write buffer must make some un-acked submission vanish
+     across the cycles — otherwise the acked/un-acked distinction was
+     never at stake and the contract is vacuous. *)
+  let s = Crash_monkey.run_server ~cycles:12 ~seed:77 ~domains:1 () in
+  Alcotest.(check bool) "un-acked submissions vanished" true
+    (s.Crash_monkey.srv_lost_unacked > 0)
+
 let suite =
   [ Alcotest.test_case "no violations over 60 cycles" `Quick test_no_violations;
     Alcotest.test_case "all damage modes exercised" `Quick test_all_damage_modes_exercised;
     Alcotest.test_case "deterministic from seed" `Quick test_deterministic;
+    Alcotest.test_case "server: acked admissions survive (1 domain)" `Quick
+      (test_server_contract 1);
+    Alcotest.test_case "server: acked admissions survive (2 domains)" `Quick
+      (test_server_contract 2);
+    Alcotest.test_case "server: acked admissions survive (4 domains)" `Quick
+      (test_server_contract 4);
+    Alcotest.test_case "server: un-acked losses occur" `Quick test_server_volatility_bites;
   ]

@@ -29,6 +29,7 @@ let () =
       ("calendar", Test_calendar.suite);
       ("cloud", Test_cloud.suite);
       ("workload", Test_workload.suite);
+      ("net", Test_net.suite);
       ("par", Test_par.suite);
       ("actor", Test_actor.suite);
       ("governor", Test_governor.suite);

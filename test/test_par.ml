@@ -293,6 +293,92 @@ let test_sharded_matches_unsharded_outcomes () =
   Alcotest.(check (float 1e-9)) "coordination" global.Runner.coordination_pct
     sharded.Runner.coordination_pct
 
+(* -- Mailbox close semantics across domains ----------------------------------
+   The shutdown handshake the network front door leans on: senders
+   blocked on a full mailbox must wake and learn the close (no enqueue,
+   no hang), and the consumer must drain everything accepted before
+   seeing [None] — acks admitted before a close are never dropped. *)
+
+let test_mailbox_blocked_senders_wake_on_close () =
+  let mb = Par.Mailbox.create ~capacity:1 () in
+  Alcotest.(check bool) "first send fits" true (Par.Mailbox.send mb 0);
+  let results = Array.make 3 None in
+  let senders =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () -> results.(i) <- Some (Par.Mailbox.send mb (i + 1))))
+  in
+  (* Let the senders reach the full-mailbox wait before closing. *)
+  let rec settle tries =
+    if tries > 0 && Par.Mailbox.length mb >= Par.Mailbox.capacity mb then begin
+      Thread.yield ();
+      settle (tries - 1)
+    end
+  in
+  settle 1000;
+  Par.Mailbox.close mb;
+  Array.iter Domain.join senders;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (option bool))
+        (Printf.sprintf "blocked sender %d returned false" i)
+        (Some false) r)
+    results;
+  (* The message accepted before the close still drains, then None. *)
+  Alcotest.(check (option int)) "accepted message drains" (Some 0) (Par.Mailbox.recv mb);
+  Alcotest.(check (option int)) "then closed" None (Par.Mailbox.recv mb)
+
+let test_mailbox_drains_before_none () =
+  let mb = Par.Mailbox.create ~capacity:8 () in
+  for i = 0 to 4 do
+    Alcotest.(check bool) "send accepted" true (Par.Mailbox.send mb i)
+  done;
+  Par.Mailbox.close mb;
+  Alcotest.(check bool) "send after close refused" false (Par.Mailbox.send mb 99);
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec drain acc =
+          match Par.Mailbox.recv mb with
+          | Some v -> drain (v :: acc)
+          | None -> List.rev acc
+        in
+        drain [])
+  in
+  Alcotest.(check (list int)) "FIFO drain then None" [ 0; 1; 2; 3; 4 ] (Domain.join consumer)
+
+let test_mailbox_blocked_receiver_wakes_on_close () =
+  let mb : int Par.Mailbox.t = Par.Mailbox.create ~capacity:4 () in
+  let consumer = Domain.spawn (fun () -> Par.Mailbox.recv mb) in
+  Thread.yield ();
+  Par.Mailbox.close mb;
+  Alcotest.(check (option int)) "empty+closed receiver wakes to None" None
+    (Domain.join consumer)
+
+let test_mailbox_recv_batch () =
+  let mb = Par.Mailbox.create ~capacity:16 () in
+  for i = 0 to 9 do
+    ignore (Par.Mailbox.send mb i)
+  done;
+  Alcotest.(check (list int)) "batch capped at max, oldest first" [ 0; 1; 2; 3 ]
+    (Par.Mailbox.recv_batch ~max:4 mb);
+  Alcotest.(check (list int)) "rest in one batch" [ 4; 5; 6; 7; 8; 9 ]
+    (Par.Mailbox.recv_batch mb);
+  (* Batch recv unblocks senders that were waiting on a full mailbox. *)
+  let mb2 = Par.Mailbox.create ~capacity:2 () in
+  ignore (Par.Mailbox.send mb2 0);
+  ignore (Par.Mailbox.send mb2 1);
+  let sender = Domain.spawn (fun () -> Par.Mailbox.send mb2 2) in
+  Thread.yield ();
+  Alcotest.(check (list int)) "drain frees capacity" [ 0; 1 ] (Par.Mailbox.recv_batch mb2);
+  Alcotest.(check bool) "blocked sender completed" true (Domain.join sender);
+  Alcotest.(check (list int)) "late send arrives" [ 2 ] (Par.Mailbox.recv_batch mb2);
+  Par.Mailbox.close mb2;
+  Alcotest.(check (list int)) "closed and drained: empty batch" []
+    (Par.Mailbox.recv_batch mb2);
+  Alcotest.(check bool) "rejects max <= 0" true
+    (match Par.Mailbox.recv_batch ~max:0 mb2 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
 (* -- Crash monkey under a pool ------------------------------------------------ *)
 
 let test_crash_monkey_under_pool () =
@@ -332,6 +418,12 @@ let suite =
       test_sharded_determinism_across_domains;
     Alcotest.test_case "sharded run matches unsharded outcomes" `Quick
       test_sharded_matches_unsharded_outcomes;
+    Alcotest.test_case "mailbox: blocked senders wake on close" `Quick
+      test_mailbox_blocked_senders_wake_on_close;
+    Alcotest.test_case "mailbox: drains before None" `Quick test_mailbox_drains_before_none;
+    Alcotest.test_case "mailbox: blocked receiver wakes on close" `Quick
+      test_mailbox_blocked_receiver_wakes_on_close;
+    Alcotest.test_case "mailbox: recv_batch order, cap, close" `Quick test_mailbox_recv_batch;
     Alcotest.test_case "crash monkey under pool: zero violations" `Slow
       test_crash_monkey_under_pool;
     Alcotest.test_case "crash monkey under pool: deterministic" `Slow
