@@ -8,10 +8,7 @@ let connect ?max_payload address =
   let fd =
     match (address : Server.address) with
     | Server.Tcp (host, port) ->
-      let addr =
-        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-        with Not_found -> Unix.inet_addr_of_string host
-      in
+      let addr = Conn.resolve host in
       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       (try Unix.connect fd (Unix.ADDR_INET (addr, port))
        with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);

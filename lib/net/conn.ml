@@ -27,6 +27,29 @@ let ignore_sigpipe =
     (if not Sys.win32 then
        try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Sys_error _ -> ())
 
+(* One resolver for server bind and client connect.  [gethostbyname] is
+   a trap here: beyond being obsolete, an entry with an empty address
+   list makes [h_addr_list.(0)] raise [Invalid_argument].  Literal
+   addresses short-circuit; names go through [getaddrinfo], which never
+   returns an empty-address entry. *)
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ ->
+    let candidates =
+      try
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with Unix.Unix_error _ | Not_found -> []
+    in
+    (match
+       List.find_map
+         (function { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } -> Some a | _ -> None)
+         candidates
+     with
+     | Some addr -> addr
+     | None -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
 let of_fd ?(max_payload = Frame.default_max_payload) fd =
   Lazy.force ignore_sigpipe;
   {

@@ -11,6 +11,12 @@ type read_error =
       (** a {!Frame.Malformed} payload, or EOF in mid-frame — the stream
           cannot resynchronise *)
 
+val resolve : string -> Unix.inet_addr
+(** Resolve a literal IPv4 address or a hostname (via [getaddrinfo]) to
+    an address usable for bind/connect.  Shared by {!Server} and
+    {!Client} so both fail the same way.  @raise Failure when the name
+    does not resolve to any IPv4 address. *)
+
 val of_fd : ?max_payload:int -> Unix.file_descr -> t
 (** Wrap a connected socket.  [max_payload] bounds incoming frames
     (default {!Frame.default_max_payload}). *)

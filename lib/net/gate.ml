@@ -1,0 +1,32 @@
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable permits : int;
+  mutable closed : bool;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Gate.create: negative permit count";
+  { mutex = Mutex.create (); cond = Condition.create (); permits = n; closed = false }
+
+let acquire t =
+  Mutex.lock t.mutex;
+  while t.permits = 0 && not t.closed do
+    Condition.wait t.cond t.mutex
+  done;
+  let taken = not t.closed in
+  if taken then t.permits <- t.permits - 1;
+  Mutex.unlock t.mutex;
+  taken
+
+let release t =
+  Mutex.lock t.mutex;
+  t.permits <- t.permits + 1;
+  Condition.signal t.cond;
+  Mutex.unlock t.mutex
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex

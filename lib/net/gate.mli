@@ -1,0 +1,24 @@
+(** A closable counting semaphore for the per-session request window.
+
+    Identical to [Semaphore.Counting] until {!close}: after that every
+    blocked and future {!acquire} returns [false] immediately, so a
+    reader parked on a full window wakes up and can run its teardown
+    when the session (or the whole server) goes away. *)
+
+type t
+
+val create : int -> t
+(** [create n] starts with [n] permits. *)
+
+val acquire : t -> bool
+(** Block until a permit is available or the gate closes.  [true] means
+    a permit was taken; [false] means the gate is closed (no permit
+    held — do not {!release}). *)
+
+val release : t -> unit
+(** Return one permit.  Safe after {!close} (the extra permit is
+    irrelevant once every acquire fails). *)
+
+val close : t -> unit
+(** Wake every blocked {!acquire} and make all future ones fail.
+    Idempotent. *)

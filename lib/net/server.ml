@@ -44,8 +44,12 @@ let banner = "qdb/1"
 type session = {
   sid : int;
   conn : Conn.t;
-  out : Frame.t Mailbox.t;
-  inflight : Semaphore.Counting.t;
+  (* Each queued frame is tagged with whether its request took an
+     [inflight] permit, so the writer releases exactly the permits that
+     were acquired — an inline frame (the reader's one terminal error)
+     must not widen the window. *)
+  out : (Frame.t * bool) Mailbox.t;
+  inflight : Gate.t;
   mutable writer : Thread.t option;
   torn : bool Atomic.t; (* teardown ran (from its reader or from stop) *)
 }
@@ -100,6 +104,9 @@ let sessions_snapshot t =
 let teardown_session t sess =
   if not (Atomic.exchange sess.torn true) then begin
     Conn.shutdown sess.conn;
+    (* Wake a reader parked on a full window; it sees the closed gate,
+       exits its loop, and re-enters here as a no-op. *)
+    Gate.close sess.inflight;
     Mailbox.close sess.out;
     (match sess.writer with Some w -> Thread.join w | None -> ());
     Conn.close sess.conn;
@@ -112,22 +119,28 @@ let teardown_session t sess =
 let writer_loop t sess =
   let rec loop () =
     match Mailbox.recv sess.out with
-    | Some frame ->
+    | Some (frame, took_slot) ->
       if Conn.write_frame sess.conn frame then Atomic.incr t.frames_out;
       (* Release after the bytes left the process: the slot count is
          exactly the requests whose response has not reached the socket,
          which is what keeps a stalled peer's backlog on its own
          connection. *)
-      Semaphore.Counting.release sess.inflight;
+      if took_slot then Gate.release sess.inflight;
       loop ()
     | None -> ()
   in
   loop ()
 
 let reader_loop t sess =
+  (* [fatal] is terminal: the loop never continues past it, so at most
+     one slot-less frame per session ever enters the out mailbox — the
+     "+1" reserved at [spawn_session].  Every other frame (including
+     Hello_ok) holds an [inflight] permit, so mailbox occupancy never
+     exceeds capacity and the engine's acknowledgment sends stay
+     non-blocking no matter what a protocol-legal client does. *)
   let fatal msg =
     Atomic.incr t.protocol_errors;
-    ignore (Mailbox.send sess.out (Frame.Error_msg msg))
+    ignore (Mailbox.send sess.out (Frame.Error_msg msg, false))
   in
   let rec loop () =
     match Conn.read_frame sess.conn with
@@ -137,15 +150,19 @@ let reader_loop t sess =
       Atomic.incr t.frames_in;
       (match frame with
        | Frame.Hello _ ->
-         (* Handshake handled inline: no slot, no engine round-trip.
-            FIFO with later acks holds because this precedes any
-            subsequent request's enqueue. *)
-         ignore (Mailbox.send sess.out (Frame.Hello_ok banner));
-         loop ()
+         (* Handshake handled inline (no engine round-trip), but it
+            still takes a window slot: a Hello flood must queue behind
+            the session's own unread responses, not grow them.  FIFO
+            with later acks holds because this precedes any subsequent
+            request's enqueue. *)
+         if Gate.acquire sess.inflight then begin
+           ignore (Mailbox.send sess.out (Frame.Hello_ok banner, true));
+           loop ()
+         end
        | frame when Frame.is_request frame ->
          let arrival = Mclock.now_ns () in
-         Semaphore.Counting.acquire sess.inflight;
-         if Mailbox.send t.engine_q { rq_frame = frame; rq_arrival = arrival; rq_session = sess }
+         if not (Gate.acquire sess.inflight) then ()
+         else if Mailbox.send t.engine_q { rq_frame = frame; rq_arrival = arrival; rq_session = sess }
          then loop ()
          else fatal "server shutting down"
        | frame -> fatal ("unexpected response frame: " ^ Frame.to_string frame))
@@ -159,11 +176,13 @@ let spawn_session t fd =
     {
       sid = Atomic.fetch_and_add t.next_sid 1;
       conn;
-      (* +1: the reader's own final error frame never competes with the
-         [session_buffer] in-flight acks for mailbox room, so the
-         engine's staged sends stay non-blocking. *)
+      (* +1: the reader's single terminal error frame is the only
+         producer that bypasses the [inflight] window, so one reserved
+         slot keeps it from competing with the [session_buffer]
+         permit-holding frames for mailbox room — the engine's staged
+         sends stay non-blocking. *)
       out = Mailbox.create ~capacity:(t.cfg.session_buffer + 1) ();
-      inflight = Semaphore.Counting.make t.cfg.session_buffer;
+      inflight = Gate.create t.cfg.session_buffer;
       writer = None;
       torn = Atomic.make false;
     }
@@ -175,23 +194,55 @@ let spawn_session t fd =
   sess.writer <- Some (Thread.create (fun () -> writer_loop t sess) ());
   ignore (Thread.create (fun () -> reader_loop t sess) ())
 
+(* -- Failure ---------------------------------------------------------------- *)
+
+(* A dead engine (or acceptor) is a dead server: drop every connection
+   without acknowledging anything staged — exactly what a process crash
+   after the last completed fsync would look like to clients. *)
+let server_failed t exn =
+  t.failure_exn <- Some exn;
+  Atomic.set t.stopping true;
+  Mailbox.close t.engine_q;
+  List.iter
+    (fun sess ->
+      Conn.shutdown sess.conn;
+      Gate.close sess.inflight;
+      Mailbox.close sess.out)
+    (sessions_snapshot t)
+
 (* -- Acceptor --------------------------------------------------------------- *)
 
 let acceptor_loop t =
   let rec loop () =
     if Atomic.get t.stopping then ()
     else begin
-      (match Unix.select [ t.listen_fd ] [] [] 0.05 with
-       | [], _, _ -> ()
-       | _ :: _, _, _ ->
-         (match Unix.accept ~cloexec:true t.listen_fd with
-          | fd, _ ->
-            if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
-            else spawn_session t fd
-          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.ECONNABORTED), _, _) ->
-            ())
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept ~cloexec:true t.listen_fd with
+         | fd, _ ->
+           if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+           else spawn_session t fd;
+           loop ()
+         | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                                      | Unix.ECONNABORTED | Unix.ECONNRESET), _, _) ->
+           (* The half-open connection died before we got it; next. *)
+           loop ()
+         | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE
+                                      | Unix.ENOBUFS | Unix.ENOMEM), _, _) ->
+           (* Fd/buffer exhaustion is routine under a connection flood:
+              back off and keep serving — existing sessions will close
+              and return descriptors.  The pending connection stays in
+              the listen backlog meanwhile. *)
+           Thread.delay 0.05;
+           loop ()
+         | exception (Unix.Unix_error _ as exn) ->
+           (* Anything else means we can no longer accept: a silently
+              dead acceptor would look like a healthy server that
+              ignores the world, so fail loudly and tear down. *)
+           server_failed t exn)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> loop ()
+      | exception (Unix.Unix_error _ as exn) -> server_failed t exn
     end
   in
   loop ();
@@ -263,20 +314,7 @@ let process t (req : request) =
   let durable = (Store.wal_stats t.store).Wal.records > records_before in
   Group_commit.stage t.gc ~durable (fun () ->
       observe_latency t resp (Mclock.elapsed_s req.rq_arrival);
-      if Mailbox.send req.rq_session.out resp then Atomic.incr t.frames_out)
-
-(* A dead engine is a dead server: drop every connection without
-   acknowledging anything staged — exactly what a process crash after
-   the last completed fsync would look like to clients. *)
-let engine_failed t exn =
-  t.failure_exn <- Some exn;
-  Atomic.set t.stopping true;
-  Mailbox.close t.engine_q;
-  List.iter
-    (fun sess ->
-      Conn.shutdown sess.conn;
-      Mailbox.close sess.out)
-    (sessions_snapshot t)
+      if Mailbox.send req.rq_session.out (resp, true) then Atomic.incr t.frames_out)
 
 let engine_loop t =
   let rec loop () =
@@ -288,7 +326,7 @@ let engine_loop t =
          ignore (Group_commit.flush t.gc)
        with
       | () -> loop ()
-      | exception exn -> engine_failed t exn)
+      | exception exn -> server_failed t exn)
   in
   loop ()
 
@@ -296,10 +334,7 @@ let engine_loop t =
 
 let bind_listener = function
   | Tcp (host, port) ->
-    let addr =
-      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      with Not_found -> Unix.inet_addr_of_string host
-    in
+    let addr = Conn.resolve host in
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
     (try Unix.bind fd (Unix.ADDR_INET (addr, port))

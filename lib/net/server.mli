@@ -13,9 +13,11 @@
     bytes off the socket until acks drain, so a flooding client stalls
     itself, not the engine), and the engine mailbox bounds total queued
     work (a full engine blocks the readers feeding it).  Because every
-    in-flight request holds a reserved slot in its session's response
-    mailbox, the engine's acknowledgment sends never block — a stalled
-    reader on one connection cannot delay another session's acks. *)
+    in-flight request — including the inline-handled [Hello] — holds a
+    reserved slot in its session's response mailbox until its response
+    reaches the socket, the engine's acknowledgment sends never block:
+    a stalled reader on one connection cannot delay another session's
+    acks, no matter what frame sequence the peer sends. *)
 
 type config = {
   engine_config : Quantum.Qdb.config;

@@ -308,6 +308,71 @@ let test_stalled_session_isolated () =
   Client.close stalled;
   Server.stop server
 
+(* A protocol-legal window-defeat attempt: interleave Hellos (handled
+   inline, no engine round-trip) with requests, never read a byte.
+   Hello responses must consume window slots like any other — if they
+   widened the window instead (the old bug: the writer released a permit
+   per frame written, including frames that never acquired one), the
+   flooder's backlog would eventually fill its response mailbox and
+   block the engine thread on it, stalling every other session. *)
+let test_hello_flood_isolated () =
+  let store = Flights.fresh_store geometry in
+  let config = { Server.default_config with Server.session_buffer = 2; max_batch = 4 } in
+  let server = Server.start ~config ~store (Server.Tcp ("127.0.0.1", 0)) in
+  let addr = Server.address server in
+  let rounds = 32 in
+  let flooder = Client.connect addr in
+  for i = 0 to rounds - 1 do
+    Alcotest.(check bool) (Printf.sprintf "hello %d accepted" i) true
+      (Client.send flooder (Frame.Hello (string_of_int i)));
+    Alcotest.(check bool) (Printf.sprintf "ping %d accepted" i) true
+      (Client.send flooder (Frame.Ping (string_of_int i)))
+  done;
+  (* The engine must still serve other sessions promptly. *)
+  let brisk = Client.connect addr in
+  for i = 0 to 9 do
+    match Client.ping brisk (Printf.sprintf "brisk-%d" i) with
+    | Ok payload ->
+      Alcotest.(check string) "brisk pong" (Printf.sprintf "brisk-%d" i) payload
+    | Error msg -> Alcotest.failf "brisk session stalled by hello flooder: %s" msg
+  done;
+  Client.close brisk;
+  (* The flooder drains its whole backlog, nothing lost: all Hello_oks
+     (enqueued inline by the reader) and all pongs, the latter in
+     request order.  The two kinds interleave freely on the wire — the
+     reader may enqueue Hello_ok(i+1) before the engine acks ping i. *)
+  let hellos = ref 0 and pongs = ref [] in
+  for i = 0 to (2 * rounds) - 1 do
+    match Client.recv flooder with
+    | Ok (Frame.Hello_ok _) -> incr hellos
+    | Ok (Frame.Pong payload) -> pongs := payload :: !pongs
+    | Ok frame -> Alcotest.failf "frame %d: unexpected %s" i (Frame.to_string frame)
+    | Error _ -> Alcotest.failf "frame %d of %d lost" i (2 * rounds)
+  done;
+  Alcotest.(check int) "every hello answered" rounds !hellos;
+  Alcotest.(check (list string)) "pongs in request order"
+    (List.init rounds string_of_int) (List.rev !pongs);
+  Client.close flooder;
+  Server.stop server;
+  Alcotest.(check bool) "no failure recorded" true (Server.failure server = None)
+
+(* -- Gate: the closable session window --------------------------------------- *)
+
+let test_gate_close_wakes_blocked () =
+  let gate = Net.Gate.create 1 in
+  Alcotest.(check bool) "first acquire succeeds" true (Net.Gate.acquire gate);
+  let woke = ref None in
+  let parked = Thread.create (fun () -> woke := Some (Net.Gate.acquire gate)) () in
+  Thread.delay 0.05; (* let it park on the empty gate *)
+  Alcotest.(check (option bool)) "still parked" None !woke;
+  Net.Gate.close gate;
+  Thread.join parked;
+  Alcotest.(check (option bool)) "woken with failure" (Some false) !woke;
+  Alcotest.(check bool) "acquire after close fails" false (Net.Gate.acquire gate);
+  (* A writer finishing after teardown must not crash. *)
+  Net.Gate.release gate;
+  Alcotest.(check bool) "still closed after release" false (Net.Gate.acquire gate)
+
 (* -- Graceful shutdown answers everything admitted --------------------------- *)
 
 let test_stop_acks_admitted () =
@@ -357,6 +422,10 @@ let suite =
       test_loopback_errors;
     Alcotest.test_case "stalled reader only stalls itself" `Quick
       test_stalled_session_isolated;
+    Alcotest.test_case "hello flood cannot widen the session window" `Quick
+      test_hello_flood_isolated;
+    Alcotest.test_case "gate close wakes parked readers" `Quick
+      test_gate_close_wakes_blocked;
     Alcotest.test_case "graceful stop answers everything admitted" `Quick
       test_stop_acks_admitted;
   ]
