@@ -110,6 +110,10 @@ type t = {
      coordinate; raising poisons that job.  [None] in production. *)
   mutable fault_injector : (kind:string -> fanout:int -> job:int -> unit) option;
   mutable fanout_seq : int;
+  (* Incremental CDCL session for the SAT backend, created on first use:
+     one per engine, so encoded chunks and learned clauses survive across
+     admissions instead of re-encoding the composed body from scratch. *)
+  mutable sat_session : Sat.Inc.t option;
 }
 
 type commit_result =
@@ -183,6 +187,7 @@ let create ?(config = default_config) ?pool store =
     ground_hook = None;
     fault_injector = None;
     fanout_seq = 0;
+    sat_session = None;
   }
 
 (* Fan a list of pure compute jobs across the domain pool (inline without
@@ -229,6 +234,33 @@ type check_verdict =
   | Check_unsat
   | Check_overload of string
 
+(* Conflict budget for the CDCL backend, derived from the same node
+   budget the governor escalates for the search solver: one conflict
+   (propagate-analyze-learn-backjump) is worth roughly 64 search nodes of
+   work, floored so even a squeezed budget lets the solver move. *)
+let sat_conflict_limit node_limit =
+  if node_limit >= max_int / 64 then max_int else max 16 (node_limit / 64)
+
+let sat_session t ~charge =
+  match t.sat_session with
+  | Some s -> s
+  | None ->
+    let s = Sat.Inc.create ?budget:(Governor.sat_budget charge) () in
+    t.sat_session <- Some s;
+    s
+
+(* Mirror the session's cumulative counters into the engine metrics after
+   every SAT check (absolute copy: one session per engine). *)
+let sync_sat_metrics t =
+  match t.sat_session with
+  | None -> ()
+  | Some s ->
+    let st = Sat.Inc.stats s in
+    t.metrics.Metrics.sat_conflicts <- st.Sat.Cdcl.conflicts;
+    t.metrics.Metrics.sat_learned <- st.Sat.Cdcl.learned;
+    t.metrics.Metrics.sat_restarts <- st.Sat.Cdcl.restarts;
+    t.metrics.Metrics.sat_propagations <- st.Sat.Cdcl.propagations
+
 (* Admission check through the configured backend, under the governor's
    budget and degradation ladder.  The backtracking backend goes through
    the partition's solution cache: each cached witness is tried as a seed
@@ -236,17 +268,21 @@ type check_verdict =
    transactions stay pinned), and only when every extension fails does it
    force [full_formula] for an unseeded re-solve — so acceptance
    decisions match the from-scratch path exactly, while extension hits
-   never flatten the whole body.  The other backends re-solve the full
-   composed body, which is exactly the cost profile the ablation bench
-   measures.
+   never flatten the whole body.  The SAT backend keeps a persistent CDCL
+   session: per-transaction chunks are encoded once and solved under
+   activation literals, so learned clauses survive across admissions and
+   the hot path touches neither the flattened body nor a fresh encoding
+   (the non-incremental configuration runs the from-scratch
+   encode-and-DPLL ablation instead).
 
    On exhaustion the ladder climbs: bounded escalated retries of the
    incremental solve (deterministic jittered backoff between rungs),
    then one degraded full-recompose solve at the next escalation rung,
    then [Check_overload] — nothing is mutated along the way. *)
-let check_admission t (p : Partition.partition) ~gov ~salt ~new_clauses ~full_formula =
+let check_admission t (p : Partition.partition) ~gov ~salt ~txn ~new_clauses ~full_formula =
   let database = db t in
   let charge = Governor.arm gov in
+  let deadline_ns = Governor.deadline charge in
   let exhausted reason =
     t.metrics.Metrics.governor_exhaustions <- t.metrics.Metrics.governor_exhaustions + 1;
     if Obs.Trace.on () then
@@ -255,30 +291,28 @@ let check_admission t (p : Partition.partition) ~gov ~salt ~new_clauses ~full_fo
         "governor.exhausted";
     reason
   in
-  let full_solve ~node_limit ?deadline_ns () =
+  let full_solve ~node_limit () =
     Solver.Cache.solve_full ~node_limit ?deadline_ns p.Partition.cache database
       (Lazy.force full_formula)
   in
-  let ladder ~incremental =
-    let deadline_ns = Governor.deadline charge in
-    let attempt retry =
-      let node_limit = Governor.node_budget charge ~default_limit:t.config.node_limit ~retry in
-      if incremental then
-        Solver.Cache.try_extend ~node_limit ?deadline_ns p.Partition.cache database ~new_clauses
-          ~full_formula
-      else full_solve ~node_limit ?deadline_ns ()
-    in
-    let rec climb retry =
+  (* Generic governor ladder: [attempt retry] is one bounded solve through
+     some backend, [None] meaning the backend cannot represent the body —
+     the climb aborts and the caller picks a fallback.  The degraded rung
+     is always an unseeded full-recompose search solve, the engine's
+     completeness escape hatch whatever backend exhausted. *)
+  let climb attempt =
+    let rec go retry =
       match attempt retry with
-      | Solver.Cache.Sat w -> Check_sat w
-      | Solver.Cache.Unsat -> Check_unsat
-      | Solver.Cache.Exhausted reason ->
+      | None -> None
+      | Some (Solver.Cache.Sat w) -> Some (Check_sat w)
+      | Some Solver.Cache.Unsat -> Some Check_unsat
+      | Some (Solver.Cache.Exhausted reason) ->
         let reason = exhausted reason in
-        if Governor.expired charge then Check_overload reason
+        if Governor.expired charge then Some (Check_overload reason)
         else if retry < Governor.max_retries charge then begin
           t.metrics.Metrics.governor_retries <- t.metrics.Metrics.governor_retries + 1;
           Governor.backoff charge ~salt ~retry;
-          climb (retry + 1)
+          go (retry + 1)
         end
         else begin
           (* Last rung before refusing: one unseeded full-recompose solve
@@ -289,13 +323,29 @@ let check_admission t (p : Partition.partition) ~gov ~salt ~new_clauses ~full_fo
           let node_limit =
             Governor.node_budget charge ~default_limit:t.config.node_limit ~retry:(retry + 1)
           in
-          match full_solve ~node_limit ?deadline_ns () with
-          | Solver.Cache.Sat w -> Check_sat w
-          | Solver.Cache.Unsat -> Check_unsat
-          | Solver.Cache.Exhausted reason -> Check_overload (exhausted reason)
+          Some
+            (match full_solve ~node_limit () with
+            | Solver.Cache.Sat w -> Check_sat w
+            | Solver.Cache.Unsat -> Check_unsat
+            | Solver.Cache.Exhausted reason -> Check_overload (exhausted reason))
         end
     in
-    climb 0
+    go 0
+  in
+  let ladder ~incremental =
+    match
+      climb (fun retry ->
+          let node_limit =
+            Governor.node_budget charge ~default_limit:t.config.node_limit ~retry
+          in
+          Some
+            (if incremental then
+               Solver.Cache.try_extend ~node_limit ?deadline_ns p.Partition.cache database
+                 ~new_clauses ~full_formula
+             else full_solve ~node_limit ()))
+    with
+    | Some verdict -> verdict
+    | None -> assert false (* search attempts are total *)
   in
   (* Ladder orchestration is its own flight phase; the solves inside
      account themselves (exclusively) as cache/solve time. *)
@@ -312,19 +362,61 @@ let check_admission t (p : Partition.partition) ~gov ~salt ~new_clauses ~full_fo
        Solver.Cache.set_witness p.Partition.cache w;
        Check_sat w
      | None -> Check_unsat)
-  | Sat_backend ->
-    (match
-       Obs.Flight.time Obs.Flight.Solve (fun () ->
-           Sat.Encode.solve ?budget:(Governor.sat_budget charge) database
-             (Lazy.force full_formula))
-     with
-     | Some (Some w) ->
-       Solver.Cache.set_witness p.Partition.cache w;
-       Check_sat w
-     | Some None -> Check_unsat
+  | Sat_backend when t.config.incremental ->
+    (* Incremental CDCL: the engine-wide session already holds the prior
+       transactions' chunks; only the new chunk is encoded, and the solve
+       runs under the live chunks' activation literals with every learned
+       clause from earlier admissions still in force. *)
+    let session = sat_session t ~charge in
+    let chunks = Compose.Inc.chunks p.Partition.body @ [ new_clauses ] in
+    let live_vars =
+      List.fold_left
+        (fun acc tx -> Term.Var_set.union acc (Rtxn.all_vars tx))
+        (Rtxn.all_vars txn) p.Partition.txns
+    in
+    let verdict =
+      climb (fun retry ->
+          let node_limit =
+            Governor.node_budget charge ~default_limit:t.config.node_limit ~retry
+          in
+          Solver.Cache.check_sat ~conflict_limit:(sat_conflict_limit node_limit) ?deadline_ns
+            p.Partition.cache session database ~chunks ~live_vars)
+    in
+    sync_sat_metrics t;
+    (match verdict with
+     | Some v -> v
      | None ->
-       (* Over the encoding budget: fall back to search so admission stays
-          complete. *)
+       (* Not SAT-encodable (negative atoms, order constraints, oversized
+          equality theory, encode budget): fall back to search so
+          admission stays complete. *)
+       t.metrics.Metrics.sat_fallbacks <- t.metrics.Metrics.sat_fallbacks + 1;
+       ladder ~incremental:true)
+  | Sat_backend ->
+    (* From-scratch ablation: eager encode of the flattened body plus one
+       bounded DPLL run per admission — the pre-CDCL cost profile the SAT
+       bench's "dpll" series measures. *)
+    let attempt retry =
+      let node_limit = Governor.node_budget charge ~default_limit:t.config.node_limit ~retry in
+      match
+        Obs.Flight.time Obs.Flight.Solve (fun () ->
+            Sat.Encode.solve ?budget:(Governor.sat_budget charge) ~node_limit ?deadline_ns
+              database (Lazy.force full_formula))
+      with
+      | Some (Some w) ->
+        Solver.Cache.set_witness p.Partition.cache w;
+        Some (Solver.Cache.Sat w)
+      | Some None -> Some Solver.Cache.Unsat
+      | None -> None (* over the encoding budget *)
+      | exception Sat.Encode.Unsupported _ -> None
+      | exception Sat.Dpll.Too_many_nodes ->
+        Some (Solver.Cache.Exhausted "solver node budget exhausted")
+      | exception Sat.Dpll.Timed_out ->
+        Some (Solver.Cache.Exhausted "admission deadline exceeded")
+    in
+    (match climb attempt with
+     | Some v -> v
+     | None ->
+       t.metrics.Metrics.sat_fallbacks <- t.metrics.Metrics.sat_fallbacks + 1;
        ladder ~incremental:true)
 
 (* -- Grounding (Section 3.2.3) -------------------------------------------- *)
@@ -833,7 +925,7 @@ let rec prepare_admission t txn ~gov ~attempts =
                Compose.body_of_sequence ~check_inserts:t.config.check_inserts
                  ~key_of:(key_resolver t.store) (prior @ [ txn ])))
     in
-    match check_admission t p ~gov ~salt:txn.Rtxn.id ~new_clauses ~full_formula with
+    match check_admission t p ~gov ~salt:txn.Rtxn.id ~txn ~new_clauses ~full_formula with
     | Check_sat _ ->
       Admission_prepared { prep_p = p; prep_txn = txn; prep_new_clauses = new_clauses }
     | Check_unsat ->
@@ -1220,6 +1312,12 @@ let registry t =
         (Printf.sprintf "qdb.partition.%d.composed_clauses" p.Partition.pid)
         (float_of_int (Partition.composed_clauses p)))
     (Partition.partitions t.parts);
+  (match t.sat_session with
+   | None -> ()
+   | Some s ->
+     Obs.Registry.set_gauge reg "sat.session.live_clauses"
+       (float_of_int (Sat.Inc.live_clauses s));
+     Obs.Registry.set_gauge reg "sat.session.resets" (float_of_int (Sat.Inc.resets s)));
   let ws = Store.wal_stats t.store in
   Obs.Registry.set_counter reg "wal.records" ws.Relational.Wal.records;
   Obs.Registry.set_counter reg "wal.batches" ws.Relational.Wal.batches;
@@ -1264,6 +1362,11 @@ let invariant_holds t =
    every recorded transaction, then recompose partitions in admission
    order without re-running admission checks (they held before the crash
    and the extensional state is exactly the pre-crash committed state). *)
+let sat_session_resets t =
+  match t.sat_session with
+  | Some s -> Sat.Inc.resets s
+  | None -> 0
+
 let recovery_report t = Store.recovery_report t.store
 
 let recover ?(config = default_config) ?pool ?strict backend =

@@ -17,7 +17,18 @@ type read_policy =
 type solver_backend =
   | Backtracking  (** dynamic-order search + solution cache (default) *)
   | Limit_one_plan of int  (** static plans, bounded optimizer lookahead *)
-  | Sat_backend  (** CNF + DPLL, Section 6 ablation *)
+  | Sat_backend
+      (** CNF admission backend (Section 6 offloading).  With
+          [config.incremental] (the default) this is a first-class
+          incremental CDCL backend: per-transaction chunks are encoded
+          once into a persistent engine-wide session and solved under
+          activation-literal assumptions, so learned clauses survive
+          across admissions.  With [incremental = false] it is the
+          from-scratch ablation — eager {!Sat.Encode} of the flattened
+          body plus one DPLL run per admission.  Bodies the encoder
+          cannot express (negative atoms, order constraints, oversized
+          equality classes) fall back to the search solver, so admission
+          outcomes are identical to {!Backtracking} in every case. *)
 
 type config = {
   k : int;  (** max pending transactions per partition (prototype: 61) *)
@@ -95,6 +106,11 @@ val composed_clause_total : t -> int
 (** Sum of the partitions' composed-body clause counts, read off the
     incremental chunk caches (also exported as the
     [qdb.partition.composed_clauses] gauge). *)
+
+val sat_session_resets : t -> int
+(** How many times the SAT backend's incremental session rebuilt itself
+    under clause-budget pressure (0 when the backend never ran; also the
+    [sat.session.resets] gauge). *)
 
 val submit : ?governor:Governor.t -> t -> Rtxn.t -> commit_result
 (** Admission check (Section 3.2.1): freshen, merge dependent partitions,

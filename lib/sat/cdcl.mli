@@ -1,0 +1,68 @@
+(** Conflict-driven clause learning with incremental solving under
+    assumptions — the paper's Section 6 "modern SAT solver" backend.
+
+    A solver instance is persistent: {!new_var} and {!add_clause} grow
+    the instance between {!solve} calls, each solve runs under assumption
+    literals (decided first, in order), and learned clauses survive
+    across calls.  Admission checking gates each per-transaction CNF
+    chunk behind an activation literal and re-solves under the live
+    chunks' activation assumptions — the SAT mirror of the engine's
+    delta composition. *)
+
+type t
+
+exception Conflict_budget_exceeded
+(** The conflict budget of one {!solve} ran out.  The instance has been
+    unwound to level 0 and stays usable. *)
+
+exception Timed_out
+(** The monotonic-clock deadline of one {!solve} passed (checked at
+    entry and on conflict/decision strides).  Instance stays usable. *)
+
+type result =
+  | Sat
+  | Unsat
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;  (** trail literals whose watch lists were walked *)
+  restarts : int;
+  learned : int;  (** learned clauses added over the instance lifetime *)
+  minimized : int;  (** literals dropped by learned-clause minimization *)
+}
+
+val create : unit -> t
+val new_var : t -> int
+(** Fresh 1-based variable. *)
+
+val add_clause : t -> int array -> unit
+(** Add a problem clause (DIMACS literals over {!new_var} results) at
+    decision level 0.  Tautologies and level-0-satisfied clauses are
+    dropped; an empty (or immediately contradictory) clause makes every
+    later {!solve} return [Unsat].
+    @raise Invalid_argument on literal 0, unknown variables, or when the
+    instance is mid-search. *)
+
+val solve :
+  ?conflict_limit:int ->
+  ?deadline_ns:int64 ->
+  ?assumptions:int list ->
+  t ->
+  result
+(** Solve the current clause set under [assumptions].  [Unsat] with
+    assumptions means unsat {e under those assumptions} — the instance
+    itself stays consistent and reusable.  [conflict_limit] bounds this
+    call's conflicts ({!Conflict_budget_exceeded}); [deadline_ns] is an
+    absolute {!Obs.Mclock} deadline ({!Timed_out}). *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer (false for anything
+    unassigned or out of range).  Valid until the next [solve]. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+(** Live (non-deleted) clauses, problem and learned. *)
+
+val stats : t -> stats
+(** Cumulative over the instance's lifetime. *)

@@ -3,10 +3,13 @@
 
    Section 6 of the paper proposes offloading composed-body satisfiability
    to SAT/SMT solvers; this solver plus {!Encode} realizes that proposal as
-   an ablation backend.  CDCL clause learning is deliberately out of scope:
-   the instances the encoder produces at bench scale are small and heavily
-   structured, and the watched-literal DPLL already solves them in
-   microseconds. *)
+   the from-scratch ablation backend ({!Cdcl} is the learning, incremental
+   upgrade).  Budget hooks mirror {!Solver.Backtrack}: a node (decision +
+   propagation) limit and a monotonic-clock deadline, so no admission
+   backend can run unbounded. *)
+
+exception Too_many_nodes
+exception Timed_out
 
 type result =
   | Sat of bool array (* assignment indexed by variable (1-based; index 0 unused) *)
@@ -29,6 +32,8 @@ type state = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  node_limit : int; (* decisions + propagations allowance; max_int = none *)
+  deadline_ns : int64; (* absolute monotonic deadline; max value = none *)
 }
 
 let lit_index num_vars l = if l > 0 then l else num_vars + -l
@@ -39,7 +44,7 @@ let value st l =
   | True_at _ -> Some (l > 0)
   | False_at _ -> Some (l < 0)
 
-let make num_vars clauses =
+let make ?(node_limit = max_int) ?(deadline_ns = Int64.max_int) num_vars clauses =
   {
     num_vars;
     clauses = Array.of_list (List.map Array.copy clauses);
@@ -51,7 +56,23 @@ let make num_vars clauses =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    node_limit;
+    deadline_ns;
   }
+
+(* Same accounting shape as [Solver.Backtrack]: every decision and every
+   propagated literal is a node; the deadline is only consulted on a node
+   stride so the hot path stays clock-free. *)
+let deadline_stride = 256
+
+let charge_node st =
+  let nodes = st.decisions + st.propagations in
+  if nodes > st.node_limit then raise Too_many_nodes;
+  if
+    st.deadline_ns <> Int64.max_int
+    && nodes land (deadline_stride - 1) = 0
+    && Obs.Mclock.now_ns () >= st.deadline_ns
+  then raise Timed_out
 
 let watch st l ci = st.watches.(lit_index st.num_vars l) <- ci :: st.watches.(lit_index st.num_vars l)
 
@@ -85,6 +106,7 @@ let assign_lit st l ~decision =
    false on conflict. *)
 let rec propagate st l =
   st.propagations <- st.propagations + 1;
+  charge_node st;
   let falsified = -l in
   let watching = st.watches.(lit_index st.num_vars falsified) in
   st.watches.(lit_index st.num_vars falsified) <- [];
@@ -156,7 +178,10 @@ let pick_branch_var st =
 
 let bump st clause = Array.iter (fun l -> st.activity.(abs l) <- st.activity.(abs l) +. 1.) clause
 
-let solve ?(num_vars = 0) clauses =
+let solve ?(num_vars = 0) ?node_limit ?deadline_ns clauses =
+  (match deadline_ns with
+   | Some d when Obs.Mclock.now_ns () >= d -> raise Timed_out
+   | _ -> ());
   let num_vars =
     List.fold_left (fun m c -> Array.fold_left (fun m l -> max m (abs l)) m c) num_vars clauses
   in
@@ -165,7 +190,7 @@ let solve ?(num_vars = 0) clauses =
   if List.exists (fun c -> Array.length c = 0) clauses then Unsat
   else begin
     let multi, units = List.partition (fun c -> Array.length c >= 2) clauses in
-    let st = make num_vars multi in
+    let st = make ?node_limit ?deadline_ns num_vars multi in
     Array.iteri
       (fun ci clause ->
         watch st clause.(0) ci;
@@ -203,6 +228,7 @@ let solve ?(num_vars = 0) clauses =
           Sat model
         | Some v ->
           st.decisions <- st.decisions + 1;
+          charge_node st;
           st.level <- st.level + 1;
           branch v false ~flipped:false
       and branch v polarity ~flipped =

@@ -1,15 +1,26 @@
 (** DPLL SAT solver: two watched literals, unit propagation,
     activity-guided branching, chronological backtracking.  Realizes the
     paper's Section 6 proposal of offloading composed-body satisfiability
-    to a SAT solver (via {!Encode}). *)
+    to a SAT solver (via {!Encode}); {!Cdcl} is the learning, incremental
+    upgrade and this solver survives as the from-scratch ablation. *)
+
+exception Too_many_nodes
+(** The decision + propagation allowance of one {!solve} ran out. *)
+
+exception Timed_out
+(** The monotonic-clock deadline passed (checked at entry and on a node
+    stride). *)
 
 type result =
   | Sat of bool array  (** model indexed by variable, 1-based *)
   | Unsat
 
-val solve : ?num_vars:int -> int array list -> result
+val solve : ?num_vars:int -> ?node_limit:int -> ?deadline_ns:int64 -> int array list -> result
 (** Solve a clause list (DIMACS-style literals).  [num_vars] may be given
-    when it exceeds the largest literal. *)
+    when it exceeds the largest literal.  [node_limit] bounds decisions +
+    propagations ({!Too_many_nodes}); [deadline_ns] is an absolute
+    {!Obs.Mclock} deadline ({!Timed_out}) — the governor hooks that keep
+    every admission backend bounded. *)
 
 val check_model : int array list -> bool array -> bool
 (** Does the model satisfy every clause? *)

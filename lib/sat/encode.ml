@@ -179,21 +179,34 @@ let equalize_domains env formula =
   (* Collect var-const constraints (minting their value literals) and
      var-var (dis)equality links from every leaf, regardless of Or context
      — an over-approximation that only adds conditional clauses, never
-     spurious conflicts. *)
-  let links = ref [] in
+     spurious conflicts.  Links remember whether the pair carries an
+     equality anywhere: only Eq links merge classes. *)
+  let links = Hashtbl.create 32 in
+  let record (v1 : Term.var) (v2 : Term.var) ~eq =
+    let key = (min v1.Term.vid v2.Term.vid, max v1.Term.vid v2.Term.vid) in
+    match Hashtbl.find_opt links key with
+    | Some (_, _, has_eq) -> if eq then has_eq := true
+    | None -> Hashtbl.add links key (v1, v2, ref eq)
+  in
   let rec walk = function
     | Formula.True | Formula.False | Formula.Atom _ | Formula.Not_atom _
     | Formula.Key_free _ -> ()
     | Formula.Eq (Term.V v, Term.C c) | Formula.Eq (Term.C c, Term.V v)
     | Formula.Neq (Term.V v, Term.C c) | Formula.Neq (Term.C c, Term.V v) ->
       ignore (value_lit env v c)
-    | Formula.Eq (Term.V v1, Term.V v2) | Formula.Neq (Term.V v1, Term.V v2) ->
-      if not (Term.equal_var v1 v2) then links := (v1, v2) :: !links
+    | Formula.Eq (Term.V v1, Term.V v2) ->
+      if not (Term.equal_var v1 v2) then record v1 v2 ~eq:true
+    | Formula.Neq (Term.V v1, Term.V v2) ->
+      if not (Term.equal_var v1 v2) then record v1 v2 ~eq:false
     | Formula.Eq _ | Formula.Neq _ | Formula.Lt _ | Formula.Le _ -> ()
     | Formula.And fs | Formula.Or fs -> List.iter walk fs
   in
   walk formula;
-  (* Union-find over equality links. *)
+  (* Union-find over *equality* links only.  Disequality webs (pairwise
+     distinctness across a partition's resource variables) used to merge
+     everything into one class and blow the closure budget; they carry no
+     unification information, so they stay out of the classes and get the
+     cheap value-level treatment below instead. *)
   let parent = Hashtbl.create 16 in
   let rec find v =
     match Hashtbl.find_opt parent v with
@@ -208,27 +221,27 @@ let equalize_domains env formula =
     if ra <> rb then Hashtbl.replace parent ra rb
   in
   let vars_of_class = Hashtbl.create 16 in
-  List.iter
-    (fun ((v1 : Term.var), (v2 : Term.var)) ->
-      Hashtbl.replace parent v1.Term.vid (Option.value ~default:v1.Term.vid (Hashtbl.find_opt parent v1.Term.vid));
-      Hashtbl.replace parent v2.Term.vid (Option.value ~default:v2.Term.vid (Hashtbl.find_opt parent v2.Term.vid));
-      union v1.Term.vid v2.Term.vid)
-    !links;
-  List.iter
-    (fun ((v1 : Term.var), (v2 : Term.var)) ->
-      List.iter
-        (fun v ->
-          let root = find v.Term.vid in
-          let members = Option.value ~default:[] (Hashtbl.find_opt vars_of_class root) in
-          if not (List.exists (fun (m : Term.var) -> m.Term.vid = v.Term.vid) members) then
-            Hashtbl.replace vars_of_class root (v :: members))
-        [ v1; v2 ])
-    !links;
+  Hashtbl.iter
+    (fun _ ((v1 : Term.var), (v2 : Term.var), has_eq) ->
+      if !has_eq then union v1.Term.vid v2.Term.vid)
+    links;
+  Hashtbl.iter
+    (fun _ ((v1 : Term.var), (v2 : Term.var), has_eq) ->
+      if !has_eq then
+        List.iter
+          (fun v ->
+            let root = find v.Term.vid in
+            let members = Option.value ~default:[] (Hashtbl.find_opt vars_of_class root) in
+            if not (List.exists (fun (m : Term.var) -> m.Term.vid = v.Term.vid) members) then
+              Hashtbl.replace vars_of_class root (v :: members))
+          [ v1; v2 ])
+    links;
   (* Equalize domains and build the equality theory per class: every
      member gets every class value; every pair gets an equality bit with
      value bridging (eq ∧ v1=a → v2=a, and same-value → eq); triples get
      transitivity.  This is a small eager EUF fragment — sufficient
-     because classes are the leaves' own variable clusters. *)
+     because classes are the chains unification would merge, which real
+     bodies keep tiny (entangled partners, not distinctness webs). *)
   Hashtbl.iter
     (fun _root members ->
       let all_values =
@@ -276,7 +289,34 @@ let equalize_domains env formula =
         done
       done;
       check_size env)
-    vars_of_class
+    vars_of_class;
+  (* Pairs linked across (or outside) the classes carry no equality
+     constraint, so nothing can force their bit true except concrete
+     values: one clause per shared domain value — same value forces the
+     bit, which the Neq selector then refutes.  The eq → value-propagation
+     directions are vacuous for such pairs (the bit can always be false)
+     and are omitted; that keeps a k-variable distinctness clique at
+     O(k² · |dom|) clauses with no transitivity triples at all. *)
+  Hashtbl.iter
+    (fun key ((v1 : Term.var), (v2 : Term.var), _) ->
+      if find v1.Term.vid <> find v2.Term.vid then begin
+        let eq =
+          match Hashtbl.find_opt env.eq_bits key with
+          | Some l -> l
+          | None ->
+            let l = Cnf.fresh_var env.cnf in
+            Hashtbl.add env.eq_bits key l;
+            l
+        in
+        List.iter
+          (fun a ->
+            if Hashtbl.mem env.value_lits (v2.Term.vid, a) then
+              Cnf.add_clause env.cnf
+                [ Cnf.neg (value_lit env v1 a); Cnf.neg (value_lit env v2 a); eq ])
+          (values_of_var env v1);
+        check_size env
+      end)
+    links
 
 let rec encode_node env atom_selectors f =
   match f with
@@ -357,22 +397,22 @@ let encode ?(budget = default_budget) db formula =
   in
   { cnf = env.cnf; decode }
 
-let satisfiable ?budget db formula =
+let satisfiable ?budget ?node_limit ?deadline_ns db formula =
   match formula with
   | Formula.True -> Some true
   | Formula.False -> Some false
   | _ ->
     (match encode ?budget db formula with
      | { cnf; _ } ->
-       (match Dpll.solve (Cnf.clauses cnf) with
+       (match Dpll.solve ?node_limit ?deadline_ns (Cnf.clauses cnf) with
         | Dpll.Sat _ -> Some true
         | Dpll.Unsat -> Some false)
      | exception Too_large -> None)
 
-let solve ?budget db formula =
+let solve ?budget ?node_limit ?deadline_ns db formula =
   match encode ?budget db formula with
   | { cnf; decode } ->
-    (match Dpll.solve (Cnf.clauses cnf) with
+    (match Dpll.solve ?node_limit ?deadline_ns (Cnf.clauses cnf) with
      | Dpll.Sat model -> Some (Some (decode model))
      | Dpll.Unsat -> Some None)
   | exception Too_large -> None

@@ -22,13 +22,24 @@ val encode : ?budget:budget -> Relational.Database.t -> Logic.Formula.t -> encod
 (** @raise Too_large when the instance exceeds the budget.
     @raise Unsupported on negative atoms. *)
 
-val satisfiable : ?budget:budget -> Relational.Database.t -> Logic.Formula.t -> bool option
-(** [Some verdict], or [None] when the encoding exceeded its budget. *)
+val satisfiable :
+  ?budget:budget ->
+  ?node_limit:int ->
+  ?deadline_ns:int64 ->
+  Relational.Database.t ->
+  Logic.Formula.t ->
+  bool option
+(** [Some verdict], or [None] when the encoding exceeded its budget.
+    [node_limit]/[deadline_ns] bound the DPLL run
+    ({!Dpll.Too_many_nodes} / {!Dpll.Timed_out}). *)
 
 val solve :
   ?budget:budget ->
+  ?node_limit:int ->
+  ?deadline_ns:int64 ->
   Relational.Database.t ->
   Logic.Formula.t ->
   Logic.Subst.t option option
 (** [Some (Some subst)] with a decoded witness, [Some None] when
-    unsatisfiable, [None] when over budget. *)
+    unsatisfiable, [None] when over budget.  Budget hooks as in
+    {!satisfiable}. *)

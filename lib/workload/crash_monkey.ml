@@ -108,7 +108,8 @@ type cycle_outcome = {
    injected [Fault.Crash] propagates across the domain boundary to the
    driver and that WAL append ordering — what the recovery contract
    checks — is unaffected by which domain ran the engine. *)
-let run_cycle ?pool ?actors ~seed () =
+let run_cycle ?pool ?actors ?(backend = Qdb.Backtracking) ~seed () =
+  let engine_backend = backend in
   let rng = Prng.create seed in
   let fault_rng = Prng.create (seed lxor 0x5EED5EED) in
   let pristine = Wal.mem_backend () in
@@ -123,9 +124,18 @@ let run_cycle ?pool ?actors ~seed () =
      commit (capacity > 1) — the WAL ordering the recovery contract
      checks must be unaffected by where solver work ran. *)
   let config =
-    match pool with
-    | Some _ -> { Qdb.default_config with Qdb.cache_capacity = 3 }
-    | None -> Qdb.default_config
+    let base =
+      match pool with
+      | Some _ -> { Qdb.default_config with Qdb.cache_capacity = 3 }
+      | None -> Qdb.default_config
+    in
+    match engine_backend with
+    | Qdb.Sat_backend ->
+      (* Insert-safety predicates are negative atoms the eager encoder
+         refuses, so the SAT monkey runs without them — on both sides of
+         the crash, or recovery re-admission would diverge. *)
+      { base with Qdb.backend = Qdb.Sat_backend; Qdb.check_inserts = false }
+    | b -> { base with Qdb.backend = b }
   in
   let qdb = Qdb.create ~config ?pool store in
   (* Fault schedule: arm only after the fixture is built, so the crash
@@ -186,8 +196,9 @@ let run_cycle ?pool ?actors ~seed () =
     | Some n -> n < handle.Fault.appends
     | None -> false
   in
-  (* The process is dead; recover from the (possibly damaged) log alone. *)
-  let qdb' = Qdb.recover real in
+  (* The process is dead; recover from the (possibly damaged) log alone,
+     under the same config so re-admission checks compose the same body. *)
+  let qdb' = Qdb.recover ~config real in
   let kept, dropped =
     match Qdb.recovery_report qdb' with
     | Some r -> (r.Wal.records_kept, r.Wal.records_dropped)
@@ -212,7 +223,7 @@ let run_cycle ?pool ?actors ~seed () =
   in
   { crashed = !crashed; damage; flipped_mid_log; kept; dropped; violation }
 
-let run ?(cycles = 200) ?(seed = 42) ?pool ?actors () =
+let run ?(cycles = 200) ?(seed = 42) ?pool ?actors ?backend () =
   let acc =
     ref
       {
@@ -229,7 +240,7 @@ let run ?(cycles = 200) ?(seed = 42) ?pool ?actors () =
       }
   in
   for cycle = 0 to cycles - 1 do
-    let o = run_cycle ?pool ?actors ~seed:(seed + (cycle * 7919)) () in
+    let o = run_cycle ?pool ?actors ?backend ~seed:(seed + (cycle * 7919)) () in
     let s = !acc in
     acc :=
       {

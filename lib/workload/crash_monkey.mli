@@ -25,7 +25,14 @@ type summary = {
   violations : (int * string) list;  (** (cycle, what broke) — must be [] *)
 }
 
-val run : ?cycles:int -> ?seed:int -> ?pool:Par.Pool.t -> ?actors:int -> unit -> summary
+val run :
+  ?cycles:int ->
+  ?seed:int ->
+  ?pool:Par.Pool.t ->
+  ?actors:int ->
+  ?backend:Quantum.Qdb.solver_backend ->
+  unit ->
+  summary
 (** Defaults: 200 cycles, seed 42.  With [pool], each cycle's engine
     runs its cache-refill fan-out across the pool (capacity 3, so the
     fan-out actually fires) — proving WAL ordering and the recovery
@@ -33,7 +40,12 @@ val run : ?cycles:int -> ?seed:int -> ?pool:Par.Pool.t -> ?actors:int -> unit ->
     every post-fixture engine operation instead round-trips through an
     owning actor on a real spawned domain ({!Actor.Runtime.call},
     unclamped), proving the injected crash propagates across the domain
-    boundary and the recovery contract holds in actor mode too. *)
+    boundary and the recovery contract holds in actor mode too.  [backend]
+    selects the admission backend under fault injection (default
+    {!Qdb.Backtracking}); {!Qdb.Sat_backend} drives the incremental CDCL
+    session through every crash/recovery cycle, with insert-safety checks
+    off (negative atoms are not SAT-encodable) on both sides of the
+    crash. *)
 
 val pp : Format.formatter -> summary -> unit
 

@@ -73,6 +73,22 @@ echo "== rejection-path smoke =="
 # all fire; the bench exits non-zero on any violation.
 dune exec bench/main.exe -- --only rejection
 
+echo "== sat backend sweep (cdcl vs dpll vs backtracking) =="
+# Pending-depth sweep at k in {40,80,160} plus a dense entangled point,
+# across the three admission backends on identical workloads; the bench
+# itself exits non-zero when accept/reject outcomes diverge between
+# backends at any point.
+rm -f results/BENCH_sat.json
+dune exec bench/main.exe -- --only sat
+
+echo "== sat regression gate =="
+# Structural gates are exact (outcomes deterministic, CDCL >= 3x DPLL at
+# k=40, CDCL native at k=160 with zero fallbacks and real conflicts,
+# DPLL over budget at k=160); the absolute ns-per-admission latency gate
+# is generous (200%) because CI hardware differs from the recording
+# host, while the relative speedups self-normalize.
+dune exec bin/qdb_cli.exe -- bench diff BENCH_sat.json results/BENCH_sat.json --gate 200
+
 echo "== bench smoke (micro) =="
 rm -f results/metrics.json
 dune exec bench/main.exe -- --only micro
@@ -154,6 +170,8 @@ for key in ("counters", "gauges", "histograms"):
 micro = [k for k in d["gauges"] if k.startswith("bench.micro.")]
 if not micro:
     sys.exit("FAIL: no bench.micro.* gauges in results/metrics.json")
+if "bench.micro.sat.propagate.ns_per_literal" not in d["gauges"]:
+    sys.exit("FAIL: bench.micro.sat.propagate.ns_per_literal gauge missing")
 print(f"ok: metrics.json valid ({len(micro)} micro-bench gauges)")
 EOF
 

@@ -14,6 +14,7 @@ let () =
       ("query", Test_query.suite);
       ("join-order+limit-one", Test_join_order.suite);
       ("sat", Test_sat.suite);
+      ("sat-backend", Test_sat_backend.suite);
       ("compose", Test_compose.suite);
       ("qdb", Test_qdb.suite);
       ("possible-worlds", Test_possible_worlds.suite);
